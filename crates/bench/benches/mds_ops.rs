@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks of the MDS algebra (Definition 4): the inner
+//! loops of splits and queries.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dc_common::{DimensionId, ValueId};
+use dc_mds::{DimSet, Mds};
+use dc_tpcd::{generate, TpcdConfig};
+
+fn mds_of_width(data: &dc_tpcd::TpcdData, width: usize, offset: usize) -> Mds {
+    let dims = (0..data.schema.num_dims())
+        .map(|d| {
+            let h = data.schema.dim(DimensionId(d as u16));
+            let count = h.num_values_at(0);
+            let take = width.min(count);
+            let start = offset.min(count - take) as u32;
+            DimSet::new(0, (start..start + take as u32).map(|i| ValueId::new(0, i)).collect())
+        })
+        .collect();
+    Mds::new(dims)
+}
+
+fn bench_mds_ops(c: &mut Criterion) {
+    let data = generate(&TpcdConfig::scaled(20_000, 1));
+    let small_a = mds_of_width(&data, 4, 0);
+    let small_b = mds_of_width(&data, 4, 2);
+    let large_a = mds_of_width(&data, 256, 0);
+    let large_b = mds_of_width(&data, 256, 128);
+
+    let mut g = c.benchmark_group("mds");
+    g.bench_function("overlap/small", |b| b.iter(|| small_a.overlap(&small_b)));
+    g.bench_function("overlap/large", |b| b.iter(|| large_a.overlap(&large_b)));
+    g.bench_function("extension/large", |b| b.iter(|| large_a.extension(&large_b)));
+    g.bench_function("union_aligned/large", |b| b.iter(|| large_a.union_aligned(&large_b)));
+    g.bench_function("volume/large", |b| b.iter(|| large_a.volume()));
+    g.bench_function("contained_in/large", |b| {
+        b.iter(|| large_a.contained_in(&large_b, &data.schema).unwrap())
+    });
+    g.bench_function("adapt_to_levels/leaf_to_top", |b| {
+        let levels: Vec<u8> =
+            data.schema.dims().map(|h| h.top_level()).collect();
+        b.iter(|| large_a.adapt_to_levels(&data.schema, &levels).unwrap())
+    });
+    g.bench_function("cover/mixed_levels", |b| {
+        let coarse = Mds::all(&data.schema);
+        b.iter(|| large_a.cover(&coarse, &data.schema).unwrap())
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("record");
+    let record = data.records[0].clone();
+    g.bench_function("contains_record", |b| {
+        b.iter(|| large_a.contains_record(&data.schema, &record).unwrap())
+    });
+    g.bench_function("extend_to_cover_record", |b| {
+        b.iter_batched(
+            || large_a.clone(),
+            |mut m| m.extend_to_cover_record(&data.schema, &record).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_mds_ops
+}
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Criterion micro-benchmarks of whole-tree operations: single inserts,
+//! range queries per selectivity (DC-tree vs X-tree vs scan), and deletes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dc_query::{mds_to_mbr, RangeQueryGen, ValuePick};
+use dc_scan::FlatTable;
+use dc_storage::BlockConfig;
+use dc_tpcd::{generate, TpcdConfig};
+use dc_tree::{DcTree, DcTreeConfig};
+use dc_xtree::{XTree, XTreeConfig};
+
+const N: usize = 20_000;
+/// Mutation benches clone the whole tree in their (untimed) setup, so they
+/// use a smaller cube to keep the wall-clock of the run sane.
+const N_MUT: usize = 4_000;
+
+fn bench_tree_ops(c: &mut Criterion) {
+    let data = generate(&TpcdConfig::scaled(N, 1));
+    let mut dc = DcTree::new(data.schema.clone(), DcTreeConfig::default());
+    let mut x = XTree::new(data.schema.num_flat_axes(), XTreeConfig::default());
+    let mut scan = FlatTable::for_schema(BlockConfig::DEFAULT, &data.schema);
+    for r in &data.records {
+        dc.insert(r.clone()).unwrap();
+        x.insert(data.schema.flatten_record(r).unwrap(), r.measure);
+        scan.insert(r.clone());
+    }
+
+    let mut_data = generate(&TpcdConfig::scaled(N_MUT, 1));
+    let mut mut_dc = DcTree::new(mut_data.schema.clone(), DcTreeConfig::default());
+    for r in &mut_data.records {
+        mut_dc.insert(r.clone()).unwrap();
+    }
+
+    let mut g = c.benchmark_group("insert");
+    g.sample_size(20);
+    let extra = generate(&TpcdConfig::scaled(N_MUT, 2));
+    let mut cursor = 0usize;
+    g.bench_function("dc_tree", |b| {
+        b.iter_batched(
+            || {
+                // Records from a second seed: not yet present in the tree's
+                // schema clone, so intern them via raw paths.
+                let r = &extra.records[cursor % extra.records.len()];
+                cursor += 1;
+                (mut_dc.clone(), extra.paths_for(r), r.measure)
+            },
+            |(mut tree, paths, m)| tree.insert_raw(&paths, m).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("range_query");
+    g.sample_size(30);
+    for sel in [0.01, 0.05, 0.25] {
+        let mut gen = RangeQueryGen::new(sel, ValuePick::ContiguousRun, 7);
+        let queries: Vec<_> = (0..64).map(|_| gen.generate(&data.schema)).collect();
+        let mbrs: Vec<_> = queries.iter().map(|q| mds_to_mbr(&data.schema, q)).collect();
+        let mut i = 0usize;
+        g.bench_function(format!("dc_tree/{:.0}%", sel * 100.0), |b| {
+            b.iter(|| {
+                i += 1;
+                dc.range_summary(&queries[i % queries.len()]).unwrap()
+            })
+        });
+        let mut i = 0usize;
+        g.bench_function(format!("x_tree/{:.0}%", sel * 100.0), |b| {
+            b.iter(|| {
+                i += 1;
+                x.range_summary(&mbrs[i % mbrs.len()])
+            })
+        });
+        let mut i = 0usize;
+        g.bench_function(format!("seq_scan/{:.0}%", sel * 100.0), |b| {
+            b.iter(|| {
+                i += 1;
+                scan.range_summary(&data.schema, &queries[i % queries.len()]).unwrap()
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("delete");
+    g.sample_size(20);
+    let mut i = 0usize;
+    g.bench_function("dc_tree", |b| {
+        b.iter_batched(
+            || {
+                i += 1;
+                (mut_dc.clone(), mut_data.records[i % mut_data.records.len()].clone())
+            },
+            |(mut tree, victim)| assert!(tree.delete(&victim).unwrap()),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_tree_ops
+}
+criterion_main!(benches);

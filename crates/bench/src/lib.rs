@@ -1,0 +1,2 @@
+//! Shared harness utilities for the DC-tree benchmark binaries.
+pub mod harness;

@@ -1,0 +1,329 @@
+//! The bitmap index over a data cube.
+//!
+//! One compressed bitmap per attribute value of every hierarchy level of
+//! every dimension, plus a measure column addressed by record id. A range
+//! MDS is evaluated the classic way: OR the bitmaps of the selected values
+//! within each dimension, AND the per-dimension results, then walk the
+//! surviving record ids through the measure column.
+//!
+//! The structure demonstrates both halves of the paper's §2 verdict:
+//! queries are fast set algebra, but **every insertion touches one bitmap
+//! per (dimension, level)** — 13 bitmap appends per record on the TPC-D
+//! cube — and the measure column is unclustered, so selected records
+//! scatter across its pages.
+
+use std::collections::HashMap;
+
+use dc_common::{AggregateOp, DcError, DcResult, DimensionId, Measure, MeasureSummary, ValueId};
+use dc_hierarchy::{CubeSchema, Record};
+use dc_mds::Mds;
+use dc_storage::{BlockConfig, IoStats, IoTracker};
+
+use crate::wah::CompressedBitmap;
+
+/// A compressed bitmap index over the cube's dimensions and hierarchy
+/// levels, with a measure column.
+#[derive(Debug)]
+pub struct BitmapIndex {
+    /// `bitmaps[dim][level]` maps a value's per-level index to its bitmap.
+    bitmaps: Vec<Vec<HashMap<u32, CompressedBitmap>>>,
+    measures: Vec<Measure>,
+    /// Records logically deleted (bitmap indices handle deletion by
+    /// masking, not by rewriting every bitmap).
+    deleted: CompressedBitmap,
+    deleted_count: u64,
+    records_per_block: usize,
+    io: IoTracker,
+}
+
+impl BitmapIndex {
+    /// An empty index for `schema`'s shape.
+    pub fn new(schema: &CubeSchema, block: BlockConfig) -> Self {
+        let bitmaps = schema
+            .dims()
+            .map(|h| (0..h.top_level()).map(|_| HashMap::new()).collect())
+            .collect();
+        let record_bytes = schema.num_dims() * 4 + 8;
+        BitmapIndex {
+            bitmaps,
+            measures: Vec::new(),
+            deleted: CompressedBitmap::new(),
+            deleted_count: 0,
+            records_per_block: (block.block_size / record_bytes.max(1)).max(1),
+            io: IoTracker::new(),
+        }
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> u64 {
+        self.measures.len() as u64 - self.deleted_count
+    }
+
+    /// `true` iff no live records exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Logical I/O counters. Bitmap touches are charged per compressed
+    /// block; measure lookups per record block.
+    pub fn io_stats(&self) -> IoStats {
+        self.io.stats()
+    }
+
+    /// Resets the I/O counters.
+    pub fn reset_io(&self) {
+        self.io.reset();
+    }
+
+    /// Total compressed size of all bitmaps, in bytes.
+    pub fn bitmap_bytes(&self) -> usize {
+        self.bitmaps
+            .iter()
+            .flatten()
+            .flat_map(HashMap::values)
+            .map(CompressedBitmap::size_in_bytes)
+            .sum()
+    }
+
+    /// Inserts a record — the expensive path the paper criticizes: one
+    /// bitmap append per (dimension, level).
+    pub fn insert(&mut self, schema: &CubeSchema, record: &Record) -> DcResult<()> {
+        schema.validate_record(record)?;
+        let rid = self.measures.len() as u64;
+        for (d, h) in schema.dims().enumerate() {
+            for level in 0..h.top_level() {
+                let value = h.ancestor_at(record.dims[d], level)?;
+                let bm = self.bitmaps[d][level as usize]
+                    .entry(value.index())
+                    .or_default();
+                bm.set(rid);
+                // Each append dirties (at worst) the bitmap's last block.
+                self.io.write(1);
+            }
+        }
+        self.measures.push(record.measure);
+        self.io.write(1);
+        Ok(())
+    }
+
+    /// Marks one record matching `record` (dims and measure) as deleted.
+    /// Returns `false` when none matches. Deletion never rewrites value
+    /// bitmaps; the deleted mask is consulted at query time.
+    pub fn delete(&mut self, schema: &CubeSchema, record: &Record) -> DcResult<bool> {
+        schema.validate_record(record)?;
+        // Find candidates by intersecting the leaf-level bitmaps.
+        let mut acc: Option<CompressedBitmap> = None;
+        for (d, _) in schema.dims().enumerate() {
+            let bm = self.bitmaps[d][0]
+                .get(&record.dims[d].index())
+                .cloned()
+                .unwrap_or_default();
+            self.charge_bitmap_read(&bm);
+            acc = Some(match acc {
+                None => bm,
+                Some(a) => a.and(&bm),
+            });
+        }
+        let Some(candidates) = acc else { return Ok(false) };
+        let deleted: Vec<u64> = self.deleted.iter_ones().collect();
+        for rid in candidates.iter_ones() {
+            if self.measures[rid as usize] == record.measure
+                && deleted.binary_search(&rid).is_err()
+            {
+                // Rebuild the deleted mask with the new bit (append-only
+                // bitmaps cannot set an interior bit directly).
+                let mut single = CompressedBitmap::new();
+                single.set(rid);
+                self.deleted = self.deleted.or(&single);
+                self.deleted_count += 1;
+                self.io.write(1);
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    fn charge_bitmap_read(&self, bm: &CompressedBitmap) {
+        let blocks = bm.size_in_bytes().div_ceil(4096).max(1);
+        self.io.read(blocks as u32);
+    }
+
+    /// Evaluates a range MDS: OR within dimensions, AND across, then gather
+    /// measures.
+    pub fn range_summary(&self, schema: &CubeSchema, range: &Mds) -> DcResult<MeasureSummary> {
+        if range.num_dims() != schema.num_dims() {
+            return Err(DcError::DimensionMismatch {
+                expected: schema.num_dims(),
+                got: range.num_dims(),
+            });
+        }
+        let mut acc: Option<CompressedBitmap> = None;
+        for ((d, set), h) in range.dims().enumerate().zip(schema.dims()) {
+            if set.level() >= h.top_level() {
+                continue; // ALL — unconstrained
+            }
+            let level = &self.bitmaps[d][set.level() as usize];
+            let mut dim_or = CompressedBitmap::new();
+            for &v in set.values() {
+                if let Some(bm) = level.get(&v.index()) {
+                    self.charge_bitmap_read(bm);
+                    dim_or = dim_or.or(bm);
+                }
+            }
+            acc = Some(match acc {
+                None => dim_or,
+                Some(a) => a.and(&dim_or),
+            });
+        }
+
+        let mut summary = MeasureSummary::empty();
+        match acc {
+            None => {
+                // Fully unconstrained: every live record qualifies.
+                let deleted: Vec<u64> = self.deleted.iter_ones().collect();
+                let blocks = self.measures.len().div_ceil(self.records_per_block).max(1);
+                self.io.read(blocks as u32);
+                for (rid, &m) in self.measures.iter().enumerate() {
+                    if deleted.binary_search(&(rid as u64)).is_err() {
+                        summary.add(m);
+                    }
+                }
+            }
+            Some(selected) => {
+                let deleted: Vec<u64> = self.deleted.iter_ones().collect();
+                // The measure column is unclustered: each selected record
+                // costs a block read unless it shares the previous one.
+                let mut last_block = u64::MAX;
+                for rid in selected.iter_ones() {
+                    if deleted.binary_search(&rid).is_ok() {
+                        continue;
+                    }
+                    let block = rid / self.records_per_block as u64;
+                    if block != last_block {
+                        self.io.read(1);
+                        last_block = block;
+                    }
+                    summary.add(self.measures[rid as usize]);
+                }
+            }
+        }
+        Ok(summary)
+    }
+
+    /// Evaluates a range query with one aggregation operator.
+    pub fn range_query(
+        &self,
+        schema: &CubeSchema,
+        range: &Mds,
+        op: AggregateOp,
+    ) -> DcResult<Option<f64>> {
+        Ok(self.range_summary(schema, range)?.eval(op))
+    }
+
+    /// Direct access to one value's bitmap (diagnostics).
+    pub fn bitmap_for(&self, dim: DimensionId, value: ValueId) -> Option<&CompressedBitmap> {
+        self.bitmaps
+            .get(dim.as_usize())?
+            .get(value.level() as usize)?
+            .get(&value.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_hierarchy::HierarchySchema;
+    use dc_mds::DimSet;
+
+    fn setup() -> (CubeSchema, BitmapIndex, Vec<Record>) {
+        let mut schema = CubeSchema::new(
+            vec![
+                HierarchySchema::new("Customer", vec!["Region".into(), "Nation".into()]),
+                HierarchySchema::new("Time", vec!["Year".into(), "Month".into()]),
+            ],
+            "Price",
+        );
+        let mut idx = BitmapIndex::new(&schema, BlockConfig::DEFAULT);
+        let mut records = Vec::new();
+        for (r, n, y, m, price) in [
+            ("EU", "DE", "1996", "01", 100),
+            ("EU", "FR", "1996", "02", 250),
+            ("AS", "JP", "1997", "01", 400),
+            ("EU", "DE", "1997", "03", 50),
+        ] {
+            let rec = schema.intern_record(&[vec![r, n], vec![y, m]], price).unwrap();
+            idx.insert(&schema, &rec).unwrap();
+            records.push(rec);
+        }
+        (schema, idx, records)
+    }
+
+    #[test]
+    fn range_queries_match_semantics() {
+        let (schema, idx, _) = setup();
+        let eu = schema.dim(DimensionId(0)).lookup_path(&["EU"]).unwrap();
+        let y96 = schema.dim(DimensionId(1)).lookup_path(&["1996"]).unwrap();
+        let q = Mds::new(vec![DimSet::singleton(eu), DimSet::singleton(y96)]);
+        let s = idx.range_summary(&schema, &q).unwrap();
+        assert_eq!(s.sum, 350);
+        assert_eq!(s.count, 2);
+        // Unconstrained query returns the total.
+        let all = Mds::all(&schema);
+        assert_eq!(idx.range_summary(&schema, &all).unwrap().count, 4);
+    }
+
+    #[test]
+    fn leaf_level_queries_work() {
+        let (schema, idx, _) = setup();
+        let de = schema.dim(DimensionId(0)).lookup_path(&["EU", "DE"]).unwrap();
+        let q = Mds::new(vec![
+            DimSet::singleton(de),
+            DimSet::singleton(schema.dim(DimensionId(1)).all()),
+        ]);
+        let s = idx.range_summary(&schema, &q).unwrap();
+        assert_eq!(s.sum, 150);
+        assert_eq!(s.count, 2);
+    }
+
+    #[test]
+    fn delete_masks_one_record() {
+        let (schema, mut idx, records) = setup();
+        assert!(idx.delete(&schema, &records[0]).unwrap());
+        assert_eq!(idx.len(), 3);
+        let all = Mds::all(&schema);
+        let s = idx.range_summary(&schema, &all).unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, 700);
+        // Deleting again finds nothing equal (measure included).
+        assert!(!idx.delete(&schema, &records[0]).unwrap());
+    }
+
+    #[test]
+    fn insert_cost_grows_with_hierarchy_size() {
+        // The paper's point: every insert appends to one bitmap per
+        // (dimension, level) — 4 here — plus the measure column.
+        let (schema, _, _) = setup();
+        let mut idx = BitmapIndex::new(&schema, BlockConfig::DEFAULT);
+        let mut s2 = schema.clone();
+        let rec = s2.intern_record(&[vec!["EU", "DE"], vec!["1996", "01"]], 10).unwrap();
+        idx.reset_io();
+        idx.insert(&s2, &rec).unwrap();
+        assert_eq!(idx.io_stats().writes, 4 + 1);
+    }
+
+    #[test]
+    fn empty_value_set_yields_empty_result() {
+        let (schema, idx, _) = setup();
+        // A nation that exists but has no records at this measure level...
+        // use a value with no bitmap: query on year 1998 (never inserted).
+        let mut s2 = schema.clone();
+        let rec = s2.intern_record(&[vec!["EU", "DE"], vec!["1998", "01"]], 0).unwrap();
+        let _ = rec;
+        let y98 = s2.dim(DimensionId(1)).lookup_path(&["1998"]).unwrap();
+        let q = Mds::new(vec![
+            DimSet::singleton(s2.dim(DimensionId(0)).all()),
+            DimSet::singleton(y98),
+        ]);
+        assert_eq!(idx.range_summary(&s2, &q).unwrap(), MeasureSummary::empty());
+    }
+}

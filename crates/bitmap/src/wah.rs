@@ -1,0 +1,358 @@
+//! Word-aligned-hybrid (WAH-style) compressed bitmaps.
+//!
+//! The encoding uses 64-bit words of two kinds:
+//! * **literal** (MSB = 0): 63 payload bits verbatim;
+//! * **fill** (MSB = 1): bit 62 is the fill bit, the low 62 bits count how
+//!   many consecutive 63-bit groups consist entirely of that bit.
+//!
+//! Warehouse bitmaps are extremely sparse (each record sets one bit per
+//! attribute), so zero-fills dominate and the index stays small. Bitmaps
+//! are append-only (bits are set in increasing record order — exactly how
+//! an index ingests records) and support the two bulk operations a bitmap
+//! index needs: OR (within a dimension) and AND (across dimensions), plus
+//! iteration over set bits.
+
+const GROUP: u64 = 63;
+const FILL_FLAG: u64 = 1 << 63;
+const FILL_BIT: u64 = 1 << 62;
+const COUNT_MASK: u64 = (1 << 62) - 1;
+
+/// A WAH-style compressed bitmap.
+///
+/// The derived equality is **structural** (same encoding); logically equal
+/// bitmaps with different flush states compare unequal — compare
+/// `iter_ones()` streams for logical equality.
+#[derive(Clone, PartialEq, Eq, Default, Debug)]
+pub struct CompressedBitmap {
+    words: Vec<u64>,
+    /// Number of 63-bit groups encoded in `words`.
+    groups: u64,
+    /// Pending (not yet flushed) literal group.
+    tail: u64,
+    /// Number of bits in the logical bitmap (set via `set`/`push_group`).
+    len: u64,
+}
+
+impl CompressedBitmap {
+    /// An empty bitmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Logical length in bits (highest position passed to [`Self::set`],
+    /// plus one; unset trailing bits are implicit zeros).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` iff no bit was ever set or skipped over.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Heap footprint of the compressed representation, in bytes.
+    pub fn size_in_bytes(&self) -> usize {
+        self.words.len() * 8 + 8 * 3
+    }
+
+    fn push_fill(&mut self, bit: bool, count: u64) {
+        if count == 0 {
+            return;
+        }
+        // Coalesce with a preceding fill of the same bit.
+        if let Some(last) = self.words.last_mut() {
+            let same = *last & FILL_FLAG != 0
+                && ((*last & FILL_BIT != 0) == bit)
+                && (*last & COUNT_MASK) + count <= COUNT_MASK;
+            if same {
+                *last += count;
+                self.groups += count;
+                return;
+            }
+        }
+        let mut w = FILL_FLAG | count;
+        if bit {
+            w |= FILL_BIT;
+        }
+        self.words.push(w);
+        self.groups += count;
+    }
+
+    fn push_literal(&mut self, payload: u64) {
+        debug_assert_eq!(payload & !((1 << GROUP) - 1), 0);
+        if payload == 0 {
+            self.push_fill(false, 1);
+        } else if payload == (1 << GROUP) - 1 {
+            self.push_fill(true, 1);
+        } else {
+            self.words.push(payload);
+            self.groups += 1;
+        }
+    }
+
+    /// Sets bit `pos`. Positions must be strictly increasing across calls —
+    /// the append-only discipline of index construction.
+    ///
+    /// # Panics
+    /// Panics if `pos` is not beyond every previously set bit.
+    pub fn set(&mut self, pos: u64) {
+        assert!(pos >= self.len, "bits must be set in increasing order ({pos} < {})", self.len);
+        let group = pos / GROUP;
+        assert!(
+            group >= self.groups,
+            "append-only: group {group} already flushed (merged bitmaps are read-only)"
+        );
+        // The tail accumulates group index `self.groups`; everything below
+        // is flushed. Entering a later group flushes the tail and zero-fills
+        // any wholly skipped groups.
+        if group > self.groups {
+            if self.len > self.groups * GROUP || self.tail != 0 {
+                let tail = self.tail;
+                self.tail = 0;
+                self.push_literal(tail);
+            }
+            if group > self.groups {
+                let skipped = group - self.groups;
+                self.push_fill(false, skipped);
+            }
+        }
+        debug_assert_eq!(group, self.groups, "tail now accumulates this group");
+        self.tail |= 1 << (pos % GROUP);
+        self.len = pos + 1;
+    }
+
+    /// Extends the logical length to `len` bits without setting anything.
+    pub fn pad_to(&mut self, len: u64) {
+        if len > self.len {
+            self.len = len;
+        }
+    }
+
+    /// Iterates over the positions of set bits, in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = u64> + '_ {
+        OnesIter {
+            cursor: GroupCursor::new(self),
+            group: 0,
+            payload: 0,
+            base: 0,
+        }
+    }
+
+    /// Bitwise OR. Lengths may differ; the result has the longer length.
+    pub fn or(&self, other: &Self) -> Self {
+        merge(self, other, |a, b| a | b)
+    }
+
+    /// Bitwise AND. The result has the longer length (all-zero beyond the
+    /// shorter operand).
+    pub fn and(&self, other: &Self) -> Self {
+        merge(self, other, |a, b| a & b)
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u64 {
+        let mut n = 0;
+        for &w in &self.words {
+            if w & FILL_FLAG != 0 {
+                if w & FILL_BIT != 0 {
+                    n += (w & COUNT_MASK) * GROUP;
+                }
+            } else {
+                n += w.count_ones() as u64;
+            }
+        }
+        n + self.tail.count_ones() as u64
+    }
+}
+
+/// Decodes a bitmap group by group (63-bit payloads).
+struct GroupCursor<'a> {
+    bitmap: &'a CompressedBitmap,
+    word_idx: usize,
+    /// Groups remaining in the current fill word.
+    fill_left: u64,
+    fill_payload: u64,
+    tail_done: bool,
+}
+
+impl<'a> GroupCursor<'a> {
+    fn new(bitmap: &'a CompressedBitmap) -> Self {
+        GroupCursor { bitmap, word_idx: 0, fill_left: 0, fill_payload: 0, tail_done: false }
+    }
+
+    /// Next 63-bit group payload, or `None` past the end (the caller pads
+    /// with zeros as needed).
+    fn next_group(&mut self) -> Option<u64> {
+        if self.fill_left > 0 {
+            self.fill_left -= 1;
+            return Some(self.fill_payload);
+        }
+        if let Some(&w) = self.bitmap.words.get(self.word_idx) {
+            self.word_idx += 1;
+            if w & FILL_FLAG != 0 {
+                let payload = if w & FILL_BIT != 0 { (1 << GROUP) - 1 } else { 0 };
+                let count = w & COUNT_MASK;
+                self.fill_left = count - 1;
+                self.fill_payload = payload;
+                return Some(payload);
+            }
+            return Some(w);
+        }
+        if !self.tail_done {
+            self.tail_done = true;
+            // The tail is only meaningful if the logical length extends
+            // beyond the flushed groups.
+            if self.bitmap.len > self.bitmap.groups * GROUP {
+                return Some(self.bitmap.tail);
+            }
+        }
+        None
+    }
+}
+
+fn merge(a: &CompressedBitmap, b: &CompressedBitmap, op: fn(u64, u64) -> u64) -> CompressedBitmap {
+    let mut out = CompressedBitmap::new();
+    let mut ca = GroupCursor::new(a);
+    let mut cb = GroupCursor::new(b);
+    loop {
+        let ga = ca.next_group();
+        let gb = cb.next_group();
+        if ga.is_none() && gb.is_none() {
+            break;
+        }
+        out.push_literal(op(ga.unwrap_or(0), gb.unwrap_or(0)));
+    }
+    // All groups are flushed (tail stays empty); the logical length is the
+    // longer operand's. Flushed groups may extend slightly past it, but
+    // only with zero bits (operand tails never carry bits beyond `len`).
+    out.len = a.len.max(b.len);
+    out
+}
+
+struct OnesIter<'a> {
+    cursor: GroupCursor<'a>,
+    /// Index of the group currently held in `payload`.
+    group: u64,
+    /// Remaining unemitted bits of the current group.
+    payload: u64,
+    /// Bit position of the current group's first bit.
+    base: u64,
+}
+
+impl Iterator for OnesIter<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        loop {
+            if self.payload != 0 {
+                let bit = self.payload.trailing_zeros() as u64;
+                self.payload &= self.payload - 1;
+                return Some(self.base + bit);
+            }
+            let g = self.cursor.next_group()?;
+            self.base = self.group * GROUP;
+            self.group += 1;
+            self.payload = g;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_positions(pos: &[u64]) -> CompressedBitmap {
+        let mut b = CompressedBitmap::new();
+        for &p in pos {
+            b.set(p);
+        }
+        b
+    }
+
+    #[test]
+    fn set_and_iterate_roundtrip() {
+        let pos = [0u64, 1, 62, 63, 64, 126, 1000, 1001, 100_000];
+        let b = from_positions(&pos);
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), pos);
+        assert_eq!(b.count_ones(), pos.len() as u64);
+        assert_eq!(b.len(), 100_001);
+    }
+
+    #[test]
+    fn sparse_bitmaps_compress_well() {
+        let mut b = CompressedBitmap::new();
+        for i in 0..100 {
+            b.set(i * 1_000_000);
+        }
+        // 100 M bits sparse: far below 1 KiB compressed.
+        assert!(b.size_in_bytes() < 8_192, "{} bytes", b.size_in_bytes());
+        assert_eq!(b.count_ones(), 100);
+    }
+
+    #[test]
+    fn dense_runs_become_fills() {
+        let mut b = CompressedBitmap::new();
+        for i in 0..63 * 10 {
+            b.set(i);
+        }
+        assert_eq!(b.count_ones(), 630);
+        // Ten full groups coalesce into one fill word (plus bookkeeping).
+        assert!(b.size_in_bytes() <= 8 * 2 + 24, "{} bytes", b.size_in_bytes());
+        assert_eq!(b.iter_ones().count(), 630);
+    }
+
+    #[test]
+    fn or_unions_and_and_intersects() {
+        let a = from_positions(&[1, 5, 100, 200]);
+        let b = from_positions(&[5, 100, 300, 5000]);
+        let or: Vec<u64> = a.or(&b).iter_ones().collect();
+        assert_eq!(or, vec![1, 5, 100, 200, 300, 5000]);
+        let and: Vec<u64> = a.and(&b).iter_ones().collect();
+        assert_eq!(and, vec![5, 100]);
+        assert_eq!(a.or(&b).len(), 5001);
+    }
+
+    #[test]
+    fn operations_with_empty() {
+        let a = from_positions(&[7, 70]);
+        let e = CompressedBitmap::new();
+        // Logical (not structural) equality: a merge flushes the tail, so
+        // the representation may differ while the bit set is identical.
+        assert_eq!(
+            a.or(&e).iter_ones().collect::<Vec<_>>(),
+            a.iter_ones().collect::<Vec<_>>()
+        );
+        assert_eq!(a.or(&e).len(), a.len());
+        assert_eq!(a.and(&e).count_ones(), 0);
+        assert_eq!(e.or(&e).count_ones(), 0);
+    }
+
+    #[test]
+    fn out_of_order_set_panics() {
+        let mut b = from_positions(&[10]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.set(5)));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn merge_results_are_composable() {
+        let a = from_positions(&[0, 64, 128]);
+        let b = from_positions(&[64, 129]);
+        let c = from_positions(&[0, 129, 10_000]);
+        let u = a.or(&b).or(&c);
+        assert_eq!(u.iter_ones().collect::<Vec<_>>(), vec![0, 64, 128, 129, 10_000]);
+        let i = a.or(&b).and(&c);
+        assert_eq!(i.iter_ones().collect::<Vec<_>>(), vec![0, 129]);
+    }
+
+    #[test]
+    fn pad_to_extends_length_only() {
+        let mut b = from_positions(&[3]);
+        b.pad_to(1_000);
+        assert_eq!(b.len(), 1_000);
+        assert_eq!(b.count_ones(), 1);
+        // Still appendable past the pad.
+        b.set(2_000);
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![3, 2_000]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property tests: the WAH bitmap against a naive `Vec<bool>` oracle, and
+//! the bitmap index against a sequential scan on TPC-D-style cubes.
+
+use dc_bitmap::{BitmapIndex, CompressedBitmap};
+use dc_query::{RangeQueryGen, ValuePick};
+use dc_storage::BlockConfig;
+use dc_tpcd::{generate, TpcdConfig};
+use proptest::prelude::*;
+
+/// Strategy: a sorted, deduplicated set of bit positions.
+fn positions() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::btree_set(0u64..5_000, 0..200)
+        .prop_map(|s| s.into_iter().collect())
+}
+
+fn build(pos: &[u64]) -> CompressedBitmap {
+    let mut b = CompressedBitmap::new();
+    for &p in pos {
+        b.set(p);
+    }
+    b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// set → iter_ones is the identity on sorted position sets.
+    #[test]
+    fn roundtrip(pos in positions()) {
+        let b = build(&pos);
+        prop_assert_eq!(b.iter_ones().collect::<Vec<_>>(), pos.clone());
+        prop_assert_eq!(b.count_ones() as usize, pos.len());
+    }
+
+    /// OR and AND agree with set union and intersection.
+    #[test]
+    fn or_and_match_set_algebra(a in positions(), b in positions()) {
+        let ba = build(&a);
+        let bb = build(&b);
+        let sa: std::collections::BTreeSet<u64> = a.iter().copied().collect();
+        let sb: std::collections::BTreeSet<u64> = b.iter().copied().collect();
+        let union: Vec<u64> = sa.union(&sb).copied().collect();
+        let inter: Vec<u64> = sa.intersection(&sb).copied().collect();
+        prop_assert_eq!(ba.or(&bb).iter_ones().collect::<Vec<_>>(), union);
+        prop_assert_eq!(ba.and(&bb).iter_ones().collect::<Vec<_>>(), inter);
+    }
+
+    /// Operations compose: (a ∪ b) ∩ c computed via bitmaps equals sets.
+    #[test]
+    fn composition(a in positions(), b in positions(), c in positions()) {
+        let (ba, bb, bc) = (build(&a), build(&b), build(&c));
+        let sa: std::collections::BTreeSet<u64> = a.iter().copied().collect();
+        let sb: std::collections::BTreeSet<u64> = b.iter().copied().collect();
+        let sc: std::collections::BTreeSet<u64> = c.iter().copied().collect();
+        let expected: Vec<u64> =
+            sa.union(&sb).copied().collect::<std::collections::BTreeSet<_>>()
+                .intersection(&sc)
+                .copied()
+                .collect();
+        prop_assert_eq!(
+            ba.or(&bb).and(&bc).iter_ones().collect::<Vec<_>>(),
+            expected
+        );
+    }
+
+    /// Compression never loses bits on adversarial run structures
+    /// (alternating dense runs and long gaps).
+    #[test]
+    fn dense_runs_and_gaps(runs in prop::collection::vec((0u64..50, 1u64..200), 1..20)) {
+        let mut pos = Vec::new();
+        let mut cursor = 0u64;
+        for (gap, run) in runs {
+            cursor += gap * 63;
+            for _ in 0..run {
+                pos.push(cursor);
+                cursor += 1;
+            }
+        }
+        let b = build(&pos);
+        prop_assert_eq!(b.iter_ones().collect::<Vec<_>>(), pos);
+    }
+}
+
+#[test]
+fn bitmap_index_agrees_with_brute_force_on_tpcd() {
+    let data = generate(&TpcdConfig::scaled(2_000, 5));
+    let mut idx = BitmapIndex::new(&data.schema, BlockConfig::DEFAULT);
+    for r in &data.records {
+        idx.insert(&data.schema, r).unwrap();
+    }
+    for (sel, seed) in [(0.01, 1u64), (0.05, 2), (0.25, 3)] {
+        let mut gen = RangeQueryGen::new(sel, ValuePick::ContiguousRun, seed);
+        for _ in 0..40 {
+            let q = gen.generate(&data.schema);
+            let got = idx.range_summary(&data.schema, &q).unwrap();
+            let want: dc_common::MeasureSummary = data
+                .records
+                .iter()
+                .filter(|r| q.contains_record(&data.schema, r).unwrap())
+                .map(|r| r.measure)
+                .collect();
+            assert_eq!(got, want, "selectivity {sel}");
+        }
+    }
+}
+
+#[test]
+fn bitmap_index_handles_scattered_queries() {
+    let data = generate(&TpcdConfig::scaled(1_500, 7));
+    let mut idx = BitmapIndex::new(&data.schema, BlockConfig::DEFAULT);
+    for r in &data.records {
+        idx.insert(&data.schema, r).unwrap();
+    }
+    let mut gen = RangeQueryGen::new(0.10, ValuePick::Scattered, 9);
+    for _ in 0..30 {
+        let q = gen.generate(&data.schema);
+        let got = idx.range_summary(&data.schema, &q).unwrap();
+        let want: dc_common::MeasureSummary = data
+            .records
+            .iter()
+            .filter(|r| q.contains_record(&data.schema, r).unwrap())
+            .map(|r| r.measure)
+            .collect();
+        assert_eq!(got, want);
+    }
+}
+
+#[test]
+fn deletes_interleave_with_queries() {
+    let data = generate(&TpcdConfig::scaled(600, 11));
+    let mut idx = BitmapIndex::new(&data.schema, BlockConfig::DEFAULT);
+    for r in &data.records {
+        idx.insert(&data.schema, r).unwrap();
+    }
+    let mut live: Vec<_> = data.records.clone();
+    for i in (0..data.records.len()).step_by(3) {
+        assert!(idx.delete(&data.schema, &data.records[i]).unwrap());
+        let pos = live.iter().position(|r| r == &data.records[i]).unwrap();
+        live.remove(pos);
+    }
+    let mut gen = RangeQueryGen::new(0.25, ValuePick::ContiguousRun, 13);
+    for _ in 0..20 {
+        let q = gen.generate(&data.schema);
+        let got = idx.range_summary(&data.schema, &q).unwrap();
+        let want: dc_common::MeasureSummary = live
+            .iter()
+            .filter(|r| q.contains_record(&data.schema, r).unwrap())
+            .map(|r| r.measure)
+            .collect();
+        assert_eq!(got, want);
+    }
+}
+
+#[test]
+fn compressed_size_stays_reasonable() {
+    let data = generate(&TpcdConfig::scaled(5_000, 17));
+    let mut idx = BitmapIndex::new(&data.schema, BlockConfig::DEFAULT);
+    for r in &data.records {
+        idx.insert(&data.schema, r).unwrap();
+    }
+    // 13 bitmap families over 5k records: compressed size must stay far
+    // below the uncompressed total (#values × 5000 bits).
+    let bytes = idx.bitmap_bytes();
+    assert!(bytes < 4 << 20, "compressed index too large: {bytes} bytes");
+}

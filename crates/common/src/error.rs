@@ -1,0 +1,105 @@
+//! The workspace-wide error type.
+//!
+//! Kept dependency-free (no `thiserror`): a plain enum with manual
+//! `Display`/`Error` implementations, per the workspace dependency policy in
+//! `DESIGN.md`.
+
+use std::fmt;
+use std::io;
+
+use crate::id::{DimensionId, Level, ValueId};
+
+/// Convenient result alias used across the workspace.
+pub type DcResult<T> = Result<T, DcError>;
+
+/// Errors produced by the DC-tree workspace crates.
+#[derive(Debug)]
+pub enum DcError {
+    /// A record or query referenced a dimension the cube schema does not have.
+    DimensionMismatch {
+        /// Number of dimensions the structure was built with.
+        expected: usize,
+        /// Number of dimensions supplied.
+        got: usize,
+    },
+    /// A `ValueId` was used with a hierarchy that never issued it.
+    UnknownValue { dim: DimensionId, id: ValueId },
+    /// A dimension path (root→leaf attribute chain) had the wrong length.
+    BadPathLength { dim: DimensionId, expected: usize, got: usize },
+    /// Asked for an ancestor above the root or below the value itself.
+    BadLevel { dim: DimensionId, id: ValueId, requested: Level },
+    /// A hierarchy level overflowed the 4-bit encoding or a level index the
+    /// 28-bit encoding.
+    IdSpaceExhausted { dim: DimensionId, level: Level },
+    /// MDS operands disagreed on dimensionality or levels in a way that the
+    /// adaptation rules cannot reconcile.
+    IncomparableMds(String),
+    /// A record to be deleted was not found in the index.
+    RecordNotFound,
+    /// A persisted tree image was malformed.
+    Corrupt(String),
+    /// Underlying I/O failure while persisting or loading.
+    Io(io::Error),
+}
+
+impl fmt::Display for DcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DcError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension count mismatch: structure has {expected}, input has {got}")
+            }
+            DcError::UnknownValue { dim, id } => {
+                write!(f, "value {id} was never registered in {dim}")
+            }
+            DcError::BadPathLength { dim, expected, got } => {
+                write!(f, "{dim}: attribute path must have {expected} entries, got {got}")
+            }
+            DcError::BadLevel { dim, id, requested } => {
+                write!(f, "{dim}: level {requested} is invalid for {id}")
+            }
+            DcError::IdSpaceExhausted { dim, level } => {
+                write!(f, "{dim}: ID space exhausted on level {level}")
+            }
+            DcError::IncomparableMds(msg) => write!(f, "incomparable MDS operands: {msg}"),
+            DcError::RecordNotFound => f.write_str("record not found"),
+            DcError::Corrupt(msg) => write!(f, "corrupt tree image: {msg}"),
+            DcError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DcError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DcError {
+    fn from(e: io::Error) -> Self {
+        DcError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DcError::DimensionMismatch { expected: 4, got: 3 };
+        assert!(e.to_string().contains("4"));
+        assert!(e.to_string().contains("3"));
+        let e = DcError::UnknownValue { dim: DimensionId(1), id: ValueId::new(2, 9) };
+        assert!(e.to_string().contains("dim1"));
+    }
+
+    #[test]
+    fn io_error_wraps_with_source() {
+        use std::error::Error as _;
+        let e: DcError = io::Error::other("boom").into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,241 @@
+//! Measures and materialized aggregate summaries.
+//!
+//! The DC-tree materializes, for every MDS in the directory, "the values of
+//! the measure attributes" (§3.2, §6): the aggregation of the measure over
+//! all data records covered by the MDS. The paper demonstrates SUM and notes
+//! that "any other aggregation, e.g. AVERAGE, would have to be treated
+//! accordingly" (Fig. 7).
+//!
+//! We materialize a single mergeable summary — sum, count, min, max — from
+//! which SUM, COUNT, AVG, MIN and MAX range queries can all be answered with
+//! the contained-entry shortcut of the range-query algorithm.
+//!
+//! Measures are fixed-point 64-bit integers (e.g. price in cents) so that
+//! aggregates are exact and test-verifiable; floating-point measures can be
+//! scaled into this representation by the caller.
+
+use std::fmt;
+
+/// A measure value: fixed-point signed 64-bit (e.g. cents).
+pub type Measure = i64;
+
+/// The aggregation operator applied by a range query.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AggregateOp {
+    /// Sum of the measure over all selected records.
+    Sum,
+    /// Number of selected records.
+    Count,
+    /// Average of the measure (returned as `sum / count` in f64).
+    Avg,
+    /// Minimum measure among selected records.
+    Min,
+    /// Maximum measure among selected records.
+    Max,
+}
+
+impl AggregateOp {
+    /// All supported operators, e.g. for exhaustive testing.
+    pub const ALL: [AggregateOp; 5] = [
+        AggregateOp::Sum,
+        AggregateOp::Count,
+        AggregateOp::Avg,
+        AggregateOp::Min,
+        AggregateOp::Max,
+    ];
+}
+
+impl fmt::Display for AggregateOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggregateOp::Sum => "SUM",
+            AggregateOp::Count => "COUNT",
+            AggregateOp::Avg => "AVG",
+            AggregateOp::Min => "MIN",
+            AggregateOp::Max => "MAX",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A mergeable aggregate over a set of measure values.
+///
+/// `MeasureSummary` forms a commutative monoid under [`merge`](Self::merge)
+/// with [`empty`](Self::empty) as identity — the property the DC-tree relies
+/// on when it propagates materialized measures up the directory.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MeasureSummary {
+    /// Sum of all measure values.
+    pub sum: i64,
+    /// Number of values aggregated.
+    pub count: u64,
+    /// Minimum value; `i64::MAX` when empty.
+    pub min: i64,
+    /// Maximum value; `i64::MIN` when empty.
+    pub max: i64,
+}
+
+impl MeasureSummary {
+    /// The identity summary (zero records).
+    #[inline]
+    pub fn empty() -> Self {
+        MeasureSummary { sum: 0, count: 0, min: i64::MAX, max: i64::MIN }
+    }
+
+    /// Summary of a single measure value.
+    #[inline]
+    pub fn of(value: Measure) -> Self {
+        MeasureSummary { sum: value, count: 1, min: value, max: value }
+    }
+
+    /// `true` iff no records are aggregated.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Adds one measure value.
+    #[inline]
+    pub fn add(&mut self, value: Measure) {
+        self.sum += value;
+        self.count += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merges another summary into this one.
+    #[inline]
+    pub fn merge(&mut self, other: &MeasureSummary) {
+        self.sum += other.sum;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Returns the merge of two summaries.
+    #[inline]
+    pub fn merged(mut self, other: &MeasureSummary) -> Self {
+        self.merge(other);
+        self
+    }
+
+    /// Removes one measure value from the sum and count.
+    ///
+    /// Returns `true` if min/max remain exact, `false` if the removed value
+    /// touched an extremum, in which case the caller must recompute min/max
+    /// from its children (the DC-tree's delete path does exactly that).
+    #[inline]
+    #[must_use]
+    pub fn subtract(&mut self, value: Measure) -> bool {
+        debug_assert!(self.count > 0, "subtract from empty summary");
+        self.sum -= value;
+        self.count -= 1;
+        if self.count == 0 {
+            *self = MeasureSummary::empty();
+            return true;
+        }
+        value != self.min && value != self.max
+    }
+
+    /// Extracts the scalar answer for one aggregation operator.
+    ///
+    /// Returns `None` for `Min`/`Max`/`Avg` over an empty selection
+    /// (SQL would return NULL); `Sum` and `Count` of an empty selection are
+    /// `Some(0.0)` to match the running-total style of the paper's Fig. 7.
+    pub fn eval(&self, op: AggregateOp) -> Option<f64> {
+        match op {
+            AggregateOp::Sum => Some(self.sum as f64),
+            AggregateOp::Count => Some(self.count as f64),
+            AggregateOp::Avg => {
+                if self.count == 0 {
+                    None
+                } else {
+                    Some(self.sum as f64 / self.count as f64)
+                }
+            }
+            AggregateOp::Min => (self.count > 0).then_some(self.min as f64),
+            AggregateOp::Max => (self.count > 0).then_some(self.max as f64),
+        }
+    }
+}
+
+impl Default for MeasureSummary {
+    fn default() -> Self {
+        MeasureSummary::empty()
+    }
+}
+
+impl FromIterator<Measure> for MeasureSummary {
+    fn from_iter<T: IntoIterator<Item = Measure>>(iter: T) -> Self {
+        let mut s = MeasureSummary::empty();
+        for v in iter {
+            s.add(v);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_identity() {
+        let mut a = MeasureSummary::of(5);
+        a.merge(&MeasureSummary::empty());
+        assert_eq!(a, MeasureSummary::of(5));
+    }
+
+    #[test]
+    fn merge_matches_bulk_build() {
+        let left: MeasureSummary = [1i64, -3, 7].into_iter().collect();
+        let right: MeasureSummary = [10i64, 2].into_iter().collect();
+        let all: MeasureSummary = [1i64, -3, 7, 10, 2].into_iter().collect();
+        assert_eq!(left.merged(&right), all);
+    }
+
+    #[test]
+    fn eval_all_operators() {
+        let s: MeasureSummary = [2i64, 4, 6].into_iter().collect();
+        assert_eq!(s.eval(AggregateOp::Sum), Some(12.0));
+        assert_eq!(s.eval(AggregateOp::Count), Some(3.0));
+        assert_eq!(s.eval(AggregateOp::Avg), Some(4.0));
+        assert_eq!(s.eval(AggregateOp::Min), Some(2.0));
+        assert_eq!(s.eval(AggregateOp::Max), Some(6.0));
+    }
+
+    #[test]
+    fn eval_empty_selection() {
+        let s = MeasureSummary::empty();
+        assert_eq!(s.eval(AggregateOp::Sum), Some(0.0));
+        assert_eq!(s.eval(AggregateOp::Count), Some(0.0));
+        assert_eq!(s.eval(AggregateOp::Avg), None);
+        assert_eq!(s.eval(AggregateOp::Min), None);
+        assert_eq!(s.eval(AggregateOp::Max), None);
+    }
+
+    #[test]
+    fn subtract_interior_value_keeps_extrema() {
+        let mut s: MeasureSummary = [1i64, 5, 9].into_iter().collect();
+        assert!(s.subtract(5));
+        assert_eq!(s.sum, 10);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 9);
+    }
+
+    #[test]
+    fn subtract_extremum_flags_recompute() {
+        let mut s: MeasureSummary = [1i64, 5, 9].into_iter().collect();
+        assert!(!s.subtract(9));
+        assert_eq!(s.sum, 6);
+        assert_eq!(s.count, 2);
+    }
+
+    #[test]
+    fn subtract_to_empty_resets() {
+        let mut s = MeasureSummary::of(7);
+        assert!(s.subtract(7));
+        assert_eq!(s, MeasureSummary::empty());
+    }
+}

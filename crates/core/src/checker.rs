@@ -1,0 +1,126 @@
+//! Structural invariant checker.
+//!
+//! Run inside tests (and available to embedders) after mutation batches:
+//! verifies coverage, materialized-measure consistency, capacity accounting
+//! and arena reachability. Any violation is reported as
+//! [`DcError::Corrupt`] with a description of the failing node.
+
+use std::collections::HashSet;
+
+use dc_common::{DcError, DcResult, MeasureSummary};
+use dc_mds::Mds;
+
+use crate::node::{NodeId, NodeKind};
+use crate::tree::DcTree;
+
+impl DcTree {
+    /// Verifies every structural invariant of the tree:
+    ///
+    /// 1. **record coverage**: every stored record is contained in the MDS
+    ///    of *every* node on its path from the root (Definition 3's
+    ///    coverage — checked at record granularity because lazy split
+    ///    refinement may legitimately leave an inner node's MDS on a finer
+    ///    level than a not-yet-refined entry below it);
+    /// 2. each directory entry's MDS and summary equal the referenced
+    ///    child's own (the duplication that enables Fig. 7's shortcut);
+    /// 3. each node's summary equals the fold of its content (materialized
+    ///    measures are exact);
+    /// 4. node occupancy never exceeds `capacity × blocks`, `blocks ≥ 1`;
+    /// 5. every live arena node is reachable from the root exactly once;
+    /// 6. the recorded record count matches the stored records.
+    pub fn check_invariants(&self) -> DcResult<()> {
+        let mut seen: HashSet<u32> = HashSet::new();
+        let mut records = 0u64;
+        let mut path: Vec<Mds> = Vec::new();
+        self.check_node(self.root, None, &mut path, &mut seen, &mut records)?;
+        if seen.len() != self.num_nodes() {
+            return Err(DcError::Corrupt(format!(
+                "{} live nodes but only {} reachable from the root",
+                self.num_nodes(),
+                seen.len()
+            )));
+        }
+        if records != self.len() {
+            return Err(DcError::Corrupt(format!(
+                "tree reports {} records but stores {records}",
+                self.len()
+            )));
+        }
+        Ok(())
+    }
+
+    fn check_node(
+        &self,
+        id: NodeId,
+        expected: Option<(&Mds, &MeasureSummary)>,
+        path: &mut Vec<Mds>,
+        seen: &mut HashSet<u32>,
+        records: &mut u64,
+    ) -> DcResult<()> {
+        if !seen.insert(id.0) {
+            return Err(DcError::Corrupt(format!("{id:?} reachable via two paths")));
+        }
+        let node = self.arena.get(id);
+        let fail = |msg: String| Err(DcError::Corrupt(format!("{id:?}: {msg}")));
+
+        if node.blocks == 0 {
+            return fail("zero blocks".into());
+        }
+        if let Some((mds, summary)) = expected {
+            if node.mds != *mds {
+                return fail("node MDS differs from its parent entry's copy".into());
+            }
+            if node.summary != *summary {
+                return fail("node summary differs from its parent entry's copy".into());
+            }
+        }
+
+        path.push(node.mds.clone());
+        let result = (|| {
+            match &node.kind {
+                NodeKind::Data(stored) => {
+                    let cap = self.config().data_capacity * node.blocks as usize;
+                    if stored.len() > cap {
+                        return fail(format!("{} records exceed capacity {cap}", stored.len()));
+                    }
+                    let mut summary = MeasureSummary::empty();
+                    for r in stored {
+                        for (depth, mds) in path.iter().enumerate() {
+                            if !mds.contains_record(self.schema(), &r.record)? {
+                                return fail(format!(
+                                    "record {:?} escapes the MDS at path depth {depth}",
+                                    r.id
+                                ));
+                            }
+                        }
+                        summary.add(r.record.measure);
+                    }
+                    if summary != node.summary {
+                        return fail("summary does not equal the fold of the records".into());
+                    }
+                    *records += stored.len() as u64;
+                }
+                NodeKind::Dir(entries) => {
+                    let cap = self.config().dir_capacity * node.blocks as usize;
+                    if entries.len() > cap {
+                        return fail(format!("{} entries exceed capacity {cap}", entries.len()));
+                    }
+                    if entries.is_empty() {
+                        return fail("directory node without entries".into());
+                    }
+                    let mut summary = MeasureSummary::empty();
+                    for e in entries {
+                        summary.merge(&e.summary);
+                        self.check_node(e.child, Some((&e.mds, &e.summary)), path, seen, records)?;
+                    }
+                    if summary != node.summary {
+                        return fail("summary does not equal the fold of the entries".into());
+                    }
+                }
+            }
+            Ok(())
+        })();
+        path.pop();
+        result
+    }
+}

@@ -1,0 +1,979 @@
+//! A **disk-resident** DC-tree: nodes live as page chains in a
+//! [`PagedFile`] behind a [`BufferPool`], loaded and decoded on demand.
+//!
+//! The paper's trees are disk-based; the in-memory [`DcTree`](crate::DcTree)
+//! models their I/O with logical counters, while this implementation makes
+//! it physical: every node visit goes through the pool (hits and misses
+//! observable via [`DiskDcTree::pool_stats`]), node capacity and supernode
+//! growth follow the same rules as the in-memory tree, and the whole store
+//! — schema, nodes, counters — round-trips through
+//! [`flush`](DiskDcTree::flush)/[`open`](DiskDcTree::open).
+//!
+//! The algorithms (choose-subtree, hierarchy split with lazy refinement,
+//! supernodes, materialized range queries, deletion with condensation) are
+//! the same as the in-memory tree's; the differential test suite in
+//! `tests/disk_tree.rs` holds the two implementations to identical answers
+//! on identical workloads.
+//!
+//! Layout: page 1 is the metadata page (magic, root chain head, schema
+//! chain head, record counters); every node occupies a chain of pages
+//! (`[next: u64][len: u32][payload]` per page, like the paged checkpoint
+//! store). Entry `child` handles store the head page of the child's chain.
+//!
+//! [`PagedFile`]: dc_storage::PagedFile
+//! [`BufferPool`]: dc_storage::BufferPool
+
+use std::path::Path;
+
+use dc_common::{
+    AggregateOp, DcError, DcResult, Measure, MeasureSummary, RecordId,
+};
+use dc_hierarchy::{CubeSchema, Record};
+use dc_mds::Mds;
+use dc_storage::{BufferPool, ByteReader, ByteWriter, PageId, PagedFile, PoolStats};
+
+use crate::config::DcTreeConfig;
+use crate::node::{DirEntry, Node, NodeId, NodeKind, StoredRecord};
+use crate::persist::{read_node, write_node};
+use crate::query::PreparedRange;
+use crate::split::{hierarchy_split, SplitOutcome};
+
+const META_MAGIC: u64 = 0x4443_4449_534b_3031; // "DCDISK01"
+const CHAIN_NONE: u64 = u64::MAX;
+const PAGE_HEADER: usize = 8 + 4;
+
+fn pid(id: NodeId) -> PageId {
+    PageId(id.0 as u64)
+}
+
+fn nid(page: PageId) -> NodeId {
+    debug_assert!(page.0 <= u32::MAX as u64, "page id exceeds node-handle width");
+    NodeId(page.0 as u32)
+}
+
+/// The disk-resident DC-tree.
+#[derive(Debug)]
+pub struct DiskDcTree {
+    schema: CubeSchema,
+    config: DcTreeConfig,
+    pool: BufferPool,
+    meta: PageId,
+    root: PageId,
+    next_record_id: u64,
+    len: u64,
+    schema_dirty: bool,
+}
+
+impl DiskDcTree {
+    /// Creates a fresh disk tree at `path` (truncating any existing file).
+    /// `frames` bounds the buffer pool.
+    pub fn create(
+        path: impl AsRef<Path>,
+        schema: CubeSchema,
+        config: DcTreeConfig,
+        frames: usize,
+    ) -> DcResult<Self> {
+        config.validate();
+        let file = PagedFile::create(path, config.block)?;
+        let mut pool = BufferPool::new(file, frames);
+        let meta = pool.alloc()?;
+        debug_assert_eq!(meta.0, 1, "metadata occupies page 1");
+        let mut tree = DiskDcTree {
+            schema,
+            config,
+            pool,
+            meta,
+            root: PageId(0), // placeholder until the root is allocated
+            next_record_id: 0,
+            len: 0,
+            schema_dirty: true,
+        };
+        let root_node = Node::new_data(Mds::all(&tree.schema));
+        tree.root = tree.alloc_node(&root_node)?;
+        tree.flush()?;
+        Ok(tree)
+    }
+
+    /// Opens an existing disk tree.
+    pub fn open(path: impl AsRef<Path>, config: DcTreeConfig, frames: usize) -> DcResult<Self> {
+        let file = PagedFile::open(path, config.block)?;
+        let mut pool = BufferPool::new(file, frames);
+        let meta = PageId(1);
+        let (magic, root, schema_head, next_record_id, len) =
+            pool.with_page(meta, |d| {
+                (
+                    u64::from_le_bytes(d[0..8].try_into().expect("8 bytes")),
+                    u64::from_le_bytes(d[8..16].try_into().expect("8 bytes")),
+                    u64::from_le_bytes(d[16..24].try_into().expect("8 bytes")),
+                    u64::from_le_bytes(d[24..32].try_into().expect("8 bytes")),
+                    u64::from_le_bytes(d[32..40].try_into().expect("8 bytes")),
+                )
+            })?;
+        if magic != META_MAGIC {
+            return Err(DcError::Corrupt("not a disk DC-tree".into()));
+        }
+        let schema_bytes = read_chain(&mut pool, PageId(schema_head))?;
+        let mut r = ByteReader::new(&schema_bytes);
+        let schema = crate::persist::read_schema(&mut r)?;
+        r.expect_end()?;
+        Ok(DiskDcTree {
+            schema,
+            config,
+            pool,
+            meta,
+            root: PageId(root),
+            next_record_id,
+            len,
+            schema_dirty: false,
+        })
+    }
+
+    /// The cube schema.
+    pub fn schema(&self) -> &CubeSchema {
+        &self.schema
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DcTreeConfig {
+        &self.config
+    }
+
+    /// Stored records.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Buffer-pool counters: real page hits, misses, write-backs.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Tree height (number of node levels).
+    pub fn height(&mut self) -> DcResult<usize> {
+        let mut h = 1;
+        let mut page = self.root;
+        loop {
+            let node = self.load_node(page)?;
+            match &node.kind {
+                NodeKind::Dir(entries) => {
+                    h += 1;
+                    page = pid(entries[0].child);
+                }
+                NodeKind::Data(_) => return Ok(h),
+            }
+        }
+    }
+
+    /// The materialized total, read from the root.
+    pub fn total_summary(&mut self) -> DcResult<MeasureSummary> {
+        Ok(self.load_node(self.root)?.summary)
+    }
+
+    // ------------------------------------------------------------------
+    // Chain I/O
+    // ------------------------------------------------------------------
+
+    fn payload_per_page(&self) -> usize {
+        self.config.block.block_size - PAGE_HEADER
+    }
+
+    fn load_node(&mut self, page: PageId) -> DcResult<Node> {
+        let bytes = read_chain(&mut self.pool, page)?;
+        let mut r = ByteReader::new(&bytes);
+        let node = read_node(&mut r, self.schema.num_dims())?;
+        r.expect_end()?;
+        Ok(node)
+    }
+
+    /// Rewrites the chain headed at `head` with the node's encoding,
+    /// reusing pages and freeing/allocating as the size changed.
+    fn store_node(&mut self, head: PageId, node: &Node) -> DcResult<()> {
+        let mut w = ByteWriter::new();
+        write_node(&mut w, node);
+        let payload = self.payload_per_page();
+        write_chain(&mut self.pool, head, &w.into_vec(), payload)
+    }
+
+    fn alloc_node(&mut self, node: &Node) -> DcResult<PageId> {
+        let head = self.pool.alloc()?;
+        // Fresh pages are zeroed; initialize an empty chain terminator
+        // before the real store.
+        self.pool.with_page_mut(head, |d| {
+            d[0..8].copy_from_slice(&CHAIN_NONE.to_le_bytes());
+            d[8..12].copy_from_slice(&0u32.to_le_bytes());
+        })?;
+        self.store_node(head, node)?;
+        Ok(head)
+    }
+
+    fn free_node(&mut self, head: PageId) -> DcResult<()> {
+        free_chain(&mut self.pool, head)
+    }
+
+    /// Persists metadata + schema and flushes the pool to disk.
+    pub fn flush(&mut self) -> DcResult<()> {
+        // Schema chain: rewritten when the hierarchies grew.
+        let schema_head = {
+            let mut w = ByteWriter::new();
+            crate::persist::write_schema(&mut w, &self.schema);
+            let bytes = w.into_vec();
+            let existing = self.pool.with_page(self.meta, |d| {
+                u64::from_le_bytes(d[16..24].try_into().expect("8 bytes"))
+            })?;
+            let head = if existing == 0 || existing == CHAIN_NONE {
+                let h = self.pool.alloc()?;
+                self.pool.with_page_mut(h, |d| {
+                    d[0..8].copy_from_slice(&CHAIN_NONE.to_le_bytes());
+                    d[8..12].copy_from_slice(&0u32.to_le_bytes());
+                })?;
+                h
+            } else {
+                PageId(existing)
+            };
+            if self.schema_dirty || existing == 0 || existing == CHAIN_NONE {
+                let payload = self.payload_per_page();
+                write_chain(&mut self.pool, head, &bytes, payload)?;
+                self.schema_dirty = false;
+            }
+            head
+        };
+        let (root, next, len) = (self.root.0, self.next_record_id, self.len);
+        self.pool.with_page_mut(self.meta, |d| {
+            d[0..8].copy_from_slice(&META_MAGIC.to_le_bytes());
+            d[8..16].copy_from_slice(&root.to_le_bytes());
+            d[16..24].copy_from_slice(&schema_head.0.to_le_bytes());
+            d[24..32].copy_from_slice(&next.to_le_bytes());
+            d[32..40].copy_from_slice(&len.to_le_bytes());
+        })?;
+        self.pool.flush()
+    }
+
+    // ------------------------------------------------------------------
+    // Insertion — the same algorithm as the in-memory tree, via load/store
+    // ------------------------------------------------------------------
+
+    /// Inserts a raw record (paths are interned dynamically).
+    pub fn insert_raw<S: AsRef<str>>(
+        &mut self,
+        paths: &[Vec<S>],
+        measure: Measure,
+    ) -> DcResult<RecordId> {
+        let record = self.schema.intern_record(paths, measure)?;
+        self.schema_dirty = true;
+        self.insert(record)
+    }
+
+    /// Inserts a pre-interned record.
+    pub fn insert(&mut self, record: Record) -> DcResult<RecordId> {
+        self.schema.validate_record(&record)?;
+        let id = RecordId(self.next_record_id);
+        self.next_record_id += 1;
+        let stored = StoredRecord { id, record };
+        if let Some(sibling) = self.insert_rec(self.root, &stored)? {
+            let old_root = self.load_node(self.root)?;
+            let new_node = self.load_node(sibling)?;
+            let mds = old_root.mds.cover(&new_node.mds, &self.schema)?;
+            let entries = vec![
+                DirEntry { mds: old_root.mds.clone(), summary: old_root.summary, child: nid(self.root) },
+                DirEntry { mds: new_node.mds.clone(), summary: new_node.summary, child: nid(sibling) },
+            ];
+            let root = Node::new_dir(mds, entries);
+            self.root = self.alloc_node(&root)?;
+        }
+        self.len += 1;
+        Ok(id)
+    }
+
+    fn insert_rec(&mut self, page: PageId, stored: &StoredRecord) -> DcResult<Option<PageId>> {
+        let mut node = self.load_node(page)?;
+        match &mut node.kind {
+            NodeKind::Data(records) => {
+                node.summary.add(stored.record.measure);
+                node.mds.extend_to_cover_record(&self.schema, &stored.record)?;
+                records.push(stored.clone());
+                let over = records.len() > self.config.data_capacity * node.blocks as usize;
+                self.store_node(page, &node)?;
+                if over {
+                    return self.split_node(page);
+                }
+                Ok(None)
+            }
+            NodeKind::Dir(_) => {
+                let choice = choose_subtree(&self.schema, &node, &stored.record)?;
+                node.summary.add(stored.record.measure);
+                node.mds.extend_to_cover_record(&self.schema, &stored.record)?;
+                let child = {
+                    let entries = node.entries_mut();
+                    entries[choice].summary.add(stored.record.measure);
+                    entries[choice]
+                        .mds
+                        .extend_to_cover_record(&self.schema, &stored.record)?;
+                    entries[choice].child
+                };
+                self.store_node(page, &node)?;
+
+                if let Some(sibling) = self.insert_rec(pid(child), stored)? {
+                    let refreshed = self.load_node(pid(child))?;
+                    let new_node = self.load_node(sibling)?;
+                    let mut node = self.load_node(page)?;
+                    {
+                        let entries = node.entries_mut();
+                        let e = entries
+                            .iter_mut()
+                            .find(|e| e.child == child)
+                            .expect("split child still referenced");
+                        e.mds = refreshed.mds.clone();
+                        e.summary = refreshed.summary;
+                        entries.push(DirEntry {
+                            mds: new_node.mds.clone(),
+                            summary: new_node.summary,
+                            child: nid(sibling),
+                        });
+                    }
+                    let over =
+                        node.len() > self.config.dir_capacity * node.blocks as usize;
+                    self.store_node(page, &node)?;
+                    if over {
+                        return self.split_node(page);
+                    }
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// The split of §4.2 with the same calibration as the in-memory tree
+    /// (level descent, lazy refinement, disjoint acceptance, geometric
+    /// supernode growth, block bound).
+    fn split_node(&mut self, page: PageId) -> DcResult<Option<PageId>> {
+        let node = self.load_node(page)?;
+        let (member_mds, children): (Vec<Mds>, Option<Vec<NodeId>>) = match &node.kind {
+            NodeKind::Dir(entries) => (
+                entries.iter().map(|e| e.mds.clone()).collect(),
+                Some(entries.iter().map(|e| e.child).collect()),
+            ),
+            NodeKind::Data(records) => (
+                records.iter().map(|r| Mds::from_record(&r.record)).collect(),
+                None,
+            ),
+        };
+        let node_levels = node.mds.levels();
+        let node_dim_lens: Vec<usize> =
+            (0..node.mds.num_dims()).map(|d| node.mds.dim(d).len()).collect();
+        let num_members = member_mds.len();
+        let min_group = self.config.min_group(num_members);
+
+        let mut dims: Vec<usize> = (0..node_levels.len()).collect();
+        dims.sort_by_key(|&d| std::cmp::Reverse(node_levels[d]));
+        let align_levels: Vec<u8> = (0..node_levels.len())
+            .map(|dim| {
+                member_mds
+                    .iter()
+                    .map(|m| m.dim(dim).level())
+                    .max()
+                    .unwrap_or(node_levels[dim])
+                    .max(node_levels[dim])
+            })
+            .collect();
+
+        let mut best_rejected: Option<(SplitOutcome, f64)> = None;
+        for &d in &dims {
+            let start = if node_dim_lens[d] < 2 && node_levels[d] > 0 {
+                node_levels[d] - 1
+            } else {
+                node_levels[d]
+            };
+            for level in (0..=start).rev() {
+                let mut target = align_levels.clone();
+                target[d] = level;
+                let mut analysis = Vec::with_capacity(num_members);
+                let mut refinements: Vec<(usize, dc_mds::DimSet)> = Vec::new();
+                for (i, m) in member_mds.iter().enumerate() {
+                    let mut a = m.adapt_to_levels(&self.schema, &{
+                        let mut t = target.clone();
+                        t[d] = t[d].max(m.dim(d).level());
+                        t
+                    })?;
+                    if m.dim(d).level() > level {
+                        let refined = match &children {
+                            Some(kids) => self.subtree_dimset_at(pid(kids[i]), d, level)?,
+                            None => unreachable!("records sit on leaf level 0"),
+                        };
+                        *a.dim_mut(d) = refined.clone();
+                        refinements.push((i, refined));
+                    }
+                    analysis.push(a);
+                }
+                let Some(outcome) = hierarchy_split(&self.schema, &analysis, d, min_group)?
+                else {
+                    break;
+                };
+                let ratio = outcome.overlap_ratio();
+                let balanced = outcome.min_group_len() >= min_group
+                    || (ratio == 0.0 && outcome.min_group_len() >= 2);
+                let low_overlap = ratio <= self.config.max_overlap;
+                if balanced && low_overlap {
+                    // Commit lazy refinement to children and this node's
+                    // entries before partitioning.
+                    if !refinements.is_empty() {
+                        let mut node = self.load_node(page)?;
+                        for (i, refined) in &refinements {
+                            let child = children.as_ref().expect("dir refinement")[*i];
+                            let mut child_node = self.load_node(pid(child))?;
+                            *child_node.mds.dim_mut(d) = refined.clone();
+                            self.store_node(pid(child), &child_node)?;
+                            *node.entries_mut()[*i].mds.dim_mut(d) = refined.clone();
+                        }
+                        self.store_node(page, &node)?;
+                    }
+                    return Ok(Some(self.apply_split(page, outcome)?));
+                }
+                let better = match &best_rejected {
+                    None => true,
+                    Some((prev, prev_ratio)) => {
+                        (outcome.min_group_len(), -ratio) > (prev.min_group_len(), -prev_ratio)
+                    }
+                };
+                if better && outcome.min_group_len() >= 1 && refinements.is_empty() {
+                    best_rejected = Some((outcome, ratio));
+                }
+            }
+        }
+
+        let may_grow = self.config.allow_supernodes
+            && self.load_node(page)?.blocks < self.config.max_supernode_blocks;
+        if may_grow {
+            let mut node = self.load_node(page)?;
+            node.blocks += (node.blocks / 4).max(1);
+            self.store_node(page, &node)?;
+            Ok(None)
+        } else {
+            let outcome = match best_rejected {
+                Some((outcome, _)) => outcome,
+                None => {
+                    let mid = num_members / 2;
+                    let group1: Vec<usize> = (0..mid).collect();
+                    let group2: Vec<usize> = (mid..num_members).collect();
+                    let cover_of = |idx: &[usize]| -> DcResult<Mds> {
+                        let mut cover: Option<Mds> = None;
+                        for &i in idx {
+                            cover = Some(match cover {
+                                None => member_mds[i].clone(),
+                                Some(c) => c.cover(&member_mds[i], &self.schema)?,
+                            });
+                        }
+                        Ok(cover.expect("non-empty group"))
+                    };
+                    SplitOutcome {
+                        cover1: cover_of(&group1)?,
+                        cover2: cover_of(&group2)?,
+                        group1,
+                        group2,
+                    }
+                }
+            };
+            Ok(Some(self.apply_split(page, outcome)?))
+        }
+    }
+
+    fn apply_split(&mut self, page: PageId, outcome: SplitOutcome) -> DcResult<PageId> {
+        let SplitOutcome { group1, group2, cover1, cover2 } = outcome;
+        let node = self.load_node(page)?;
+        let (mut keep, sibling) = match node.kind {
+            NodeKind::Data(records) => {
+                let mut in1 = vec![false; records.len()];
+                for &i in &group1 {
+                    in1[i] = true;
+                }
+                let _ = &group2;
+                let (mut part1, mut part2) = (Vec::new(), Vec::new());
+                for (i, r) in records.into_iter().enumerate() {
+                    if in1[i] {
+                        part1.push(r);
+                    } else {
+                        part2.push(r);
+                    }
+                }
+                let summary1: MeasureSummary = part1.iter().map(|r| r.record.measure).collect();
+                let summary2: MeasureSummary = part2.iter().map(|r| r.record.measure).collect();
+                let mut keep = Node::new_data(cover1);
+                keep.summary = summary1;
+                *keep.records_mut() = part1;
+                let mut sib = Node::new_data(cover2);
+                sib.summary = summary2;
+                *sib.records_mut() = part2;
+                (keep, sib)
+            }
+            NodeKind::Dir(entries) => {
+                let mut in1 = vec![false; entries.len()];
+                for &i in &group1 {
+                    in1[i] = true;
+                }
+                let (mut part1, mut part2) = (Vec::new(), Vec::new());
+                for (i, e) in entries.into_iter().enumerate() {
+                    if in1[i] {
+                        part1.push(e);
+                    } else {
+                        part2.push(e);
+                    }
+                }
+                let keep = Node::new_dir(cover1, part1);
+                let sib = Node::new_dir(cover2, part2);
+                (keep, sib)
+            }
+        };
+        let shrink = |n: &Node, cfg: &DcTreeConfig| -> u32 {
+            let cap = if n.is_data() { cfg.data_capacity } else { cfg.dir_capacity };
+            (n.len().div_ceil(cap)).max(1) as u32
+        };
+        keep.blocks = shrink(&keep, &self.config);
+        let mut sibling = sibling;
+        sibling.blocks = shrink(&sibling, &self.config);
+        self.store_node(page, &keep)?;
+        let sib_page = self.alloc_node(&sibling)?;
+        Ok(sib_page)
+    }
+
+    fn subtree_dimset_at(
+        &mut self,
+        page: PageId,
+        d: usize,
+        level: u8,
+    ) -> DcResult<dc_mds::DimSet> {
+        let node = self.load_node(page)?;
+        if node.mds.dim(d).level() <= level {
+            let h = self.schema.dims().nth(d).expect("dimension in schema");
+            return node.mds.dim(d).adapt_to(h, level);
+        }
+        match &node.kind {
+            NodeKind::Data(records) => {
+                let h = self.schema.dims().nth(d).expect("dimension in schema");
+                let mut values = Vec::with_capacity(records.len());
+                for r in records {
+                    values.push(h.ancestor_at(r.record.dims[d], level)?);
+                }
+                values.sort_unstable();
+                values.dedup();
+                Ok(dc_mds::DimSet::new(level, values))
+            }
+            NodeKind::Dir(entries) => {
+                let parts: Vec<(dc_mds::DimSet, Option<NodeId>)> = entries
+                    .iter()
+                    .map(|e| {
+                        if e.mds.dim(d).level() <= level {
+                            Ok((e.mds.dim(d).clone(), None))
+                        } else {
+                            Ok((dc_mds::DimSet::new(level, Vec::new()), Some(e.child)))
+                        }
+                    })
+                    .collect::<DcResult<_>>()?;
+                let mut acc: Option<dc_mds::DimSet> = None;
+                for (set, descend) in parts {
+                    let part = match descend {
+                        None => {
+                            let h =
+                                self.schema.dims().nth(d).expect("dimension in schema");
+                            set.adapt_to(h, level)?
+                        }
+                        Some(child) => self.subtree_dimset_at(pid(child), d, level)?,
+                    };
+                    acc = Some(match acc {
+                        None => part,
+                        Some(mut a) => {
+                            a.union_with(&part);
+                            a
+                        }
+                    });
+                }
+                acc.ok_or_else(|| DcError::Corrupt("directory node without entries".into()))
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Range query with one aggregation operator.
+    pub fn range_query(&mut self, range: &Mds, op: AggregateOp) -> DcResult<Option<f64>> {
+        Ok(self.range_summary(range)?.eval(op))
+    }
+
+    /// Range query returning the mergeable summary (Fig. 7 with the
+    /// materialized shortcut, pages loaded through the buffer pool).
+    pub fn range_summary(&mut self, range: &Mds) -> DcResult<MeasureSummary> {
+        if range.num_dims() != self.schema.num_dims() {
+            return Err(DcError::DimensionMismatch {
+                expected: self.schema.num_dims(),
+                got: range.num_dims(),
+            });
+        }
+        let prepared = PreparedRange::with_mode(
+            &self.schema,
+            range,
+            self.config.use_paper_fig7_containment,
+        )?;
+        let mut acc = MeasureSummary::empty();
+        self.query_rec(self.root, &prepared, &mut acc)?;
+        Ok(acc)
+    }
+
+    fn query_rec(
+        &mut self,
+        page: PageId,
+        range: &PreparedRange,
+        acc: &mut MeasureSummary,
+    ) -> DcResult<()> {
+        let node = self.load_node(page)?;
+        match &node.kind {
+            NodeKind::Data(records) => {
+                for r in records {
+                    if range.contains_record(&self.schema, &r.record)? {
+                        acc.add(r.record.measure);
+                    }
+                }
+            }
+            NodeKind::Dir(entries) => {
+                for e in entries {
+                    if !range.overlaps(&self.schema, &e.mds)? {
+                        continue;
+                    }
+                    if self.config.use_materialized_aggregates
+                        && range.contains_entry(&self.schema, &e.mds)?
+                    {
+                        acc.merge(&e.summary);
+                    } else {
+                        self.query_rec(pid(e.child), range, acc)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Deletion
+    // ------------------------------------------------------------------
+
+    /// Deletes one record equal to `record`; `false` when absent.
+    pub fn delete(&mut self, record: &Record) -> DcResult<bool> {
+        self.schema.validate_record(record)?;
+        let mut orphans = Vec::new();
+        if !self.delete_rec(self.root, record, &mut orphans)? {
+            return Ok(false);
+        }
+        self.len -= 1;
+        // Collapse single-entry roots.
+        loop {
+            let node = self.load_node(self.root)?;
+            match &node.kind {
+                NodeKind::Dir(entries) if entries.len() == 1 => {
+                    let child = pid(entries[0].child);
+                    self.free_node(self.root)?;
+                    self.root = child;
+                }
+                NodeKind::Dir(entries) if entries.is_empty() => {
+                    let fresh = Node::new_data(Mds::all(&self.schema));
+                    self.store_node(self.root, &fresh)?;
+                    break;
+                }
+                _ => break,
+            }
+        }
+        for orphan in orphans {
+            // Re-insert without consuming new record ids.
+            if let Some(sibling) = self.insert_rec(self.root, &orphan)? {
+                let old_root = self.load_node(self.root)?;
+                let new_node = self.load_node(sibling)?;
+                let mds = old_root.mds.cover(&new_node.mds, &self.schema)?;
+                let entries = vec![
+                    DirEntry {
+                        mds: old_root.mds.clone(),
+                        summary: old_root.summary,
+                        child: nid(self.root),
+                    },
+                    DirEntry {
+                        mds: new_node.mds.clone(),
+                        summary: new_node.summary,
+                        child: nid(sibling),
+                    },
+                ];
+                let root = Node::new_dir(mds, entries);
+                self.root = self.alloc_node(&root)?;
+            }
+        }
+        Ok(true)
+    }
+
+    fn delete_rec(
+        &mut self,
+        page: PageId,
+        record: &Record,
+        orphans: &mut Vec<StoredRecord>,
+    ) -> DcResult<bool> {
+        let mut node = self.load_node(page)?;
+        match &mut node.kind {
+            NodeKind::Data(records) => {
+                let Some(pos) = records.iter().position(|r| &r.record == record) else {
+                    return Ok(false);
+                };
+                records.remove(pos);
+                recompute_node(&self.schema, &mut node)?;
+                self.store_node(page, &node)?;
+                Ok(true)
+            }
+            NodeKind::Dir(_) => {
+                let candidates: Vec<(usize, NodeId)> = node
+                    .entries()
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, e)| {
+                        match e.mds.contains_record(&self.schema, record) {
+                            Ok(true) => Some(Ok((i, e.child))),
+                            Ok(false) => None,
+                            Err(e) => Some(Err(e)),
+                        }
+                    })
+                    .collect::<DcResult<_>>()?;
+                for (i, child) in candidates {
+                    if !self.delete_rec(pid(child), record, orphans)? {
+                        continue;
+                    }
+                    let child_node = self.load_node(pid(child))?;
+                    let min_fill_len = self.config.min_group(if child_node.is_data() {
+                        self.config.data_capacity
+                    } else {
+                        self.config.dir_capacity
+                    });
+                    let mut node = self.load_node(page)?;
+                    if child_node.len() < min_fill_len {
+                        self.collect_subtree(pid(child), orphans)?;
+                        node.entries_mut().remove(i);
+                    } else {
+                        let cap = if child_node.is_data() {
+                            self.config.data_capacity
+                        } else {
+                            self.config.dir_capacity
+                        };
+                        let needed = (child_node.len().div_ceil(cap)).max(1) as u32;
+                        if needed < child_node.blocks {
+                            let mut shrunk = child_node.clone();
+                            shrunk.blocks = needed;
+                            self.store_node(pid(child), &shrunk)?;
+                        }
+                        let refreshed = self.load_node(pid(child))?;
+                        node.entries_mut()[i] = DirEntry {
+                            mds: refreshed.mds.clone(),
+                            summary: refreshed.summary,
+                            child,
+                        };
+                    }
+                    recompute_node(&self.schema, &mut node)?;
+                    self.store_node(page, &node)?;
+                    return Ok(true);
+                }
+                Ok(false)
+            }
+        }
+    }
+
+    fn collect_subtree(
+        &mut self,
+        page: PageId,
+        out: &mut Vec<StoredRecord>,
+    ) -> DcResult<()> {
+        let node = self.load_node(page)?;
+        match node.kind {
+            NodeKind::Data(mut records) => out.append(&mut records),
+            NodeKind::Dir(entries) => {
+                for e in entries {
+                    self.collect_subtree(pid(e.child), out)?;
+                }
+            }
+        }
+        self.free_node(page)
+    }
+}
+
+/// Choose-subtree identical to the in-memory tree's criterion.
+fn choose_subtree(schema: &CubeSchema, node: &Node, record: &Record) -> DcResult<usize> {
+    let entries = node.entries();
+    debug_assert!(!entries.is_empty());
+    let mut best_covering: Option<(u128, usize, usize)> = None;
+    for (i, e) in entries.iter().enumerate() {
+        if e.mds.contains_record(schema, record)? {
+            let key = (e.mds.volume(), e.mds.size(), i);
+            if best_covering.is_none_or(|b| key < b) {
+                best_covering = Some(key);
+            }
+        }
+    }
+    if let Some((_, _, i)) = best_covering {
+        return Ok(i);
+    }
+    let d = schema.num_dims();
+    let mut holds = vec![false; entries.len() * d];
+    let mut holders_per_dim = vec![0usize; d];
+    for (i, e) in entries.iter().enumerate() {
+        for (dim, h) in schema.dims().enumerate() {
+            let anc = h.ancestor_at(record.dims[dim], e.mds.dim(dim).level())?;
+            if e.mds.dim(dim).contains_value(anc) {
+                holds[i * d + dim] = true;
+                holders_per_dim[dim] += 1;
+            }
+        }
+    }
+    let mut best: Option<(usize, u128, u128, usize, usize)> = None;
+    for (i, e) in entries.iter().enumerate() {
+        let mut overlap_penalty = 0usize;
+        for dim in 0..d {
+            if !holds[i * d + dim] {
+                overlap_penalty += holders_per_dim[dim];
+            }
+        }
+        let enlargement = e.mds.enlargement_for_record(schema, record)?;
+        let key = (overlap_penalty, enlargement, e.mds.volume(), e.mds.size(), i);
+        if best.is_none_or(|b| key < b) {
+            best = Some(key);
+        }
+    }
+    Ok(best.expect("non-empty entries").4)
+}
+
+/// Recompute summary + minimal MDS after a deletion (same as in-memory).
+fn recompute_node(schema: &CubeSchema, node: &mut Node) -> DcResult<()> {
+    let levels = node.mds.levels();
+    let (mds, summary) = match &node.kind {
+        NodeKind::Data(records) => {
+            if records.is_empty() {
+                (node.mds.clone(), MeasureSummary::empty())
+            } else {
+                let mut mds: Option<Mds> = None;
+                let mut summary = MeasureSummary::empty();
+                for r in records {
+                    summary.add(r.record.measure);
+                    let p = Mds::from_record(&r.record).adapt_to_levels(schema, &levels)?;
+                    mds = Some(match mds {
+                        None => p,
+                        Some(m) => m.union_aligned(&p),
+                    });
+                }
+                (mds.expect("non-empty records"), summary)
+            }
+        }
+        NodeKind::Dir(entries) => {
+            let levels: Vec<u8> = (0..node.mds.num_dims())
+                .map(|dim| {
+                    entries
+                        .iter()
+                        .map(|e| e.mds.dim(dim).level())
+                        .max()
+                        .unwrap_or(levels[dim])
+                })
+                .collect();
+            let mut mds: Option<Mds> = None;
+            let mut summary = MeasureSummary::empty();
+            for e in entries {
+                summary.merge(&e.summary);
+                let p = e.mds.adapt_to_levels(schema, &levels)?;
+                mds = Some(match mds {
+                    None => p,
+                    Some(m) => m.union_aligned(&p),
+                });
+            }
+            (mds.unwrap_or_else(|| node.mds.clone()), summary)
+        }
+    };
+    node.mds = mds;
+    node.summary = summary;
+    Ok(())
+}
+
+// ----------------------------------------------------------------------
+// Chain primitives (shared layout with the paged checkpoint store)
+// ----------------------------------------------------------------------
+
+fn read_chain(pool: &mut BufferPool, head: PageId) -> DcResult<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut page = head.0;
+    let mut guard = 0usize;
+    while page != CHAIN_NONE {
+        let (next, chunk) = pool.with_page(PageId(page), |d| {
+            let next = u64::from_le_bytes(d[0..8].try_into().expect("8 bytes"));
+            let len = u32::from_le_bytes(d[8..12].try_into().expect("4 bytes")) as usize;
+            let len = len.min(d.len() - PAGE_HEADER);
+            (next, d[PAGE_HEADER..PAGE_HEADER + len].to_vec())
+        })?;
+        out.extend_from_slice(&chunk);
+        page = next;
+        guard += 1;
+        if guard > 1 << 22 {
+            return Err(DcError::Corrupt("page chain cycle".into()));
+        }
+    }
+    Ok(out)
+}
+
+fn chain_pages(pool: &mut BufferPool, head: PageId) -> DcResult<Vec<PageId>> {
+    let mut pages = vec![head];
+    let mut page = head.0;
+    loop {
+        let next = pool.with_page(PageId(page), |d| {
+            u64::from_le_bytes(d[0..8].try_into().expect("8 bytes"))
+        })?;
+        if next == CHAIN_NONE {
+            return Ok(pages);
+        }
+        pages.push(PageId(next));
+        page = next;
+        if pages.len() > 1 << 22 {
+            return Err(DcError::Corrupt("page chain cycle".into()));
+        }
+    }
+}
+
+/// Rewrites the chain headed at `head` (which stays the head) to hold
+/// `bytes`, reusing pages, allocating extras, freeing spares.
+fn write_chain(
+    pool: &mut BufferPool,
+    head: PageId,
+    bytes: &[u8],
+    payload_per_page: usize,
+) -> DcResult<()> {
+    let mut existing = chain_pages(pool, head)?;
+    let chunks: Vec<&[u8]> = if bytes.is_empty() {
+        vec![&[][..]]
+    } else {
+        bytes.chunks(payload_per_page).collect()
+    };
+    // Grow or shrink the page list to match.
+    while existing.len() < chunks.len() {
+        let p = pool.alloc()?;
+        existing.push(p);
+    }
+    while existing.len() > chunks.len() {
+        let spare = existing.pop().expect("len checked");
+        pool.free(spare)?;
+    }
+    for (i, chunk) in chunks.iter().enumerate() {
+        let next = if i + 1 < existing.len() { existing[i + 1].0 } else { CHAIN_NONE };
+        pool.with_page_mut(existing[i], |d| {
+            d[0..8].copy_from_slice(&next.to_le_bytes());
+            d[8..12].copy_from_slice(&(chunk.len() as u32).to_le_bytes());
+            d[PAGE_HEADER..PAGE_HEADER + chunk.len()].copy_from_slice(chunk);
+        })?;
+    }
+    Ok(())
+}
+
+fn free_chain(pool: &mut BufferPool, head: PageId) -> DcResult<()> {
+    for page in chain_pages(pool, head)? {
+        pool.free(page)?;
+    }
+    Ok(())
+}

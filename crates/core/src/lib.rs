@@ -1,0 +1,72 @@
+//! # dc-tree
+//!
+//! The **DC-tree**: a fully dynamic index structure for data warehouses
+//! modelled as a data cube (Ester, Kohlhammer, Kriegel; ICDE 2000).
+//!
+//! The DC-tree is a hierarchical, X-tree-like index whose node regions are
+//! [minimum describing sequences] over the [concept hierarchies] of the cube
+//! dimensions, and whose directory entries *materialize the measure
+//! aggregate* of the records below them. Range queries whose range fully
+//! contains an entry's MDS are answered from the materialized aggregate
+//! without descending — the source of the paper's reported speedups (≈4.5×
+//! over the X-tree, ≈12.5× over a sequential scan at 25% selectivity).
+//!
+//! Unlike the bulk-update data-warehouse indexes it was designed to replace,
+//! the DC-tree is updated **record at a time**: inserting a record assigns
+//! IDs to its attribute values (growing the concept hierarchies
+//! dynamically), descends the directory updating the materialized measures,
+//! and splits overfull nodes with the *hierarchy split* — or grows them into
+//! multi-block *supernodes* when no balanced, low-overlap split exists.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dc_hierarchy::{CubeSchema, HierarchySchema};
+//! use dc_tree::{DcTree, DcTreeConfig};
+//! use dc_mds::{DimSet, Mds};
+//! use dc_common::AggregateOp;
+//!
+//! // A two-dimensional cube: Customer (Region→Nation) × Time (Year→Month).
+//! let schema = CubeSchema::new(
+//!     vec![
+//!         HierarchySchema::new("Customer", vec!["Region".into(), "Nation".into()]),
+//!         HierarchySchema::new("Time", vec!["Year".into(), "Month".into()]),
+//!     ],
+//!     "Revenue",
+//! );
+//! let mut tree = DcTree::new(schema, DcTreeConfig::default());
+//!
+//! // Fully dynamic: insert raw records one at a time.
+//! tree.insert_raw(&[vec!["Europe", "Germany"], vec!["1996", "03"]], 1200).unwrap();
+//! tree.insert_raw(&[vec!["Europe", "France"], vec!["1996", "07"]], 800).unwrap();
+//! tree.insert_raw(&[vec!["Asia", "Japan"], vec!["1997", "01"]], 500).unwrap();
+//!
+//! // Range query: all European revenue in 1996.
+//! let europe = tree.schema().dim(dc_common::DimensionId(0))
+//!     .lookup_path(&["Europe"]).unwrap();
+//! let y1996 = tree.schema().dim(dc_common::DimensionId(1))
+//!     .lookup_path(&["1996"]).unwrap();
+//! let query = Mds::new(vec![DimSet::singleton(europe), DimSet::singleton(y1996)]);
+//! let sum = tree.range_query(&query, AggregateOp::Sum).unwrap();
+//! assert_eq!(sum, Some(2000.0));
+//! ```
+//!
+//! [minimum describing sequences]: dc_mds::Mds
+//! [concept hierarchies]: dc_hierarchy::ConceptHierarchy
+
+pub mod checker;
+pub mod config;
+pub mod disk;
+pub mod node;
+pub mod persist;
+pub mod persist_paged;
+pub mod query;
+pub mod split;
+pub mod stats;
+pub mod tree;
+
+pub use config::DcTreeConfig;
+pub use stats::{DeadSpaceReport, LevelStat, TreeStats};
+pub use disk::DiskDcTree;
+pub use persist_paged::PagedTreeStore;
+pub use tree::{DcTree, TreeMetrics};

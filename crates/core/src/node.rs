@@ -1,0 +1,255 @@
+//! Node arena of the DC-tree.
+//!
+//! Nodes live in a slab with explicit [`NodeId`] handles (a free list
+//! recycles slots released by deletion). Every node carries its own MDS and
+//! materialized [`MeasureSummary`]; directory entries duplicate the MDS and
+//! summary of the child they reference so that a range query can apply the
+//! contained-entry shortcut of Fig. 7 *without touching the child's page* —
+//! that duplication is the whole point of the DC-tree's directory layout.
+
+use dc_common::{MeasureSummary, RecordId};
+use dc_hierarchy::Record;
+use dc_mds::Mds;
+
+/// Handle of a node inside the arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One directory entry: the child's MDS and materialized measure summary,
+/// plus the child pointer.
+#[derive(Clone, Debug)]
+pub struct DirEntry {
+    /// MDS of the referenced subtree (kept identical to the child's own).
+    pub mds: Mds,
+    /// Materialized aggregate over all records below the child.
+    pub summary: MeasureSummary,
+    /// The referenced child node.
+    pub child: NodeId,
+}
+
+/// A stored record together with its stable identifier.
+#[derive(Clone, Debug)]
+pub struct StoredRecord {
+    /// The record id assigned at insertion.
+    pub id: RecordId,
+    /// The record itself.
+    pub record: Record,
+}
+
+/// Payload of a node: directory entries or data records.
+#[derive(Clone, Debug)]
+pub enum NodeKind {
+    /// An internal (directory) node.
+    Dir(Vec<DirEntry>),
+    /// A data (leaf) node.
+    Data(Vec<StoredRecord>),
+}
+
+/// A DC-tree node: MDS, materialized summary, supernode block count, and
+/// the payload.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// The node's minimum describing sequence.
+    pub mds: Mds,
+    /// Materialized aggregate over all records below this node.
+    pub summary: MeasureSummary,
+    /// Number of blocks this node spans; > 1 makes it a *supernode*.
+    pub blocks: u32,
+    /// Directory entries or data records.
+    pub kind: NodeKind,
+}
+
+impl Node {
+    /// A fresh data node.
+    pub fn new_data(mds: Mds) -> Self {
+        Node { mds, summary: MeasureSummary::empty(), blocks: 1, kind: NodeKind::Data(Vec::new()) }
+    }
+
+    /// A fresh directory node.
+    pub fn new_dir(mds: Mds, entries: Vec<DirEntry>) -> Self {
+        let mut summary = MeasureSummary::empty();
+        for e in &entries {
+            summary.merge(&e.summary);
+        }
+        Node { mds, summary, blocks: 1, kind: NodeKind::Dir(entries) }
+    }
+
+    /// `true` iff this is a data (leaf) node.
+    pub fn is_data(&self) -> bool {
+        matches!(self.kind, NodeKind::Data(_))
+    }
+
+    /// `true` iff this node spans more than one block.
+    pub fn is_supernode(&self) -> bool {
+        self.blocks > 1
+    }
+
+    /// Number of entries (directory) or records (data) stored.
+    pub fn len(&self) -> usize {
+        match &self.kind {
+            NodeKind::Dir(entries) => entries.len(),
+            NodeKind::Data(records) => records.len(),
+        }
+    }
+
+    /// `true` iff the node stores nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Directory entries; panics on data nodes (internal use).
+    pub fn entries(&self) -> &[DirEntry] {
+        match &self.kind {
+            NodeKind::Dir(entries) => entries,
+            NodeKind::Data(_) => panic!("entries() on a data node"),
+        }
+    }
+
+    /// Mutable directory entries; panics on data nodes (internal use).
+    pub(crate) fn entries_mut(&mut self) -> &mut Vec<DirEntry> {
+        match &mut self.kind {
+            NodeKind::Dir(entries) => entries,
+            NodeKind::Data(_) => panic!("entries_mut() on a data node"),
+        }
+    }
+
+    /// Data records; panics on directory nodes (internal use).
+    pub fn records(&self) -> &[StoredRecord] {
+        match &self.kind {
+            NodeKind::Data(records) => records,
+            NodeKind::Dir(_) => panic!("records() on a directory node"),
+        }
+    }
+
+    /// Mutable data records; panics on directory nodes (internal use).
+    pub(crate) fn records_mut(&mut self) -> &mut Vec<StoredRecord> {
+        match &mut self.kind {
+            NodeKind::Data(records) => records,
+            NodeKind::Dir(_) => panic!("records_mut() on a directory node"),
+        }
+    }
+}
+
+/// Slab arena with a free list.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Arena {
+    slots: Vec<Option<Node>>,
+    free: Vec<u32>,
+}
+
+impl Arena {
+    pub(crate) fn new() -> Self {
+        Arena::default()
+    }
+
+    pub(crate) fn alloc(&mut self, node: Node) -> NodeId {
+        if let Some(idx) = self.free.pop() {
+            self.slots[idx as usize] = Some(node);
+            NodeId(idx)
+        } else {
+            self.slots.push(Some(node));
+            NodeId((self.slots.len() - 1) as u32)
+        }
+    }
+
+    pub(crate) fn free(&mut self, id: NodeId) {
+        debug_assert!(self.slots[id.index()].is_some(), "double free of {id:?}");
+        self.slots[id.index()] = None;
+        self.free.push(id.0);
+    }
+
+    pub(crate) fn get(&self, id: NodeId) -> &Node {
+        self.slots[id.index()].as_ref().expect("dangling NodeId")
+    }
+
+    pub(crate) fn get_mut(&mut self, id: NodeId) -> &mut Node {
+        self.slots[id.index()].as_mut().expect("dangling NodeId")
+    }
+
+    /// Number of live nodes.
+    pub(crate) fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Iterates over live `(NodeId, &Node)` pairs.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|n| (NodeId(i as u32), n)))
+    }
+
+    /// All slots including holes — used by the persistence codec so that
+    /// `NodeId`s survive a save/load round-trip unchanged.
+    pub(crate) fn slots(&self) -> &[Option<Node>] {
+        &self.slots
+    }
+
+    /// Rebuilds an arena from raw slots (persistence load path).
+    pub(crate) fn from_slots(slots: Vec<Option<Node>>) -> Self {
+        let free = slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.is_none().then_some(i as u32))
+            .collect();
+        Arena { slots, free }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_mds::DimSet;
+    use dc_common::ValueId;
+
+    fn dummy_mds() -> Mds {
+        Mds::new(vec![DimSet::singleton(ValueId::new(1, 0))])
+    }
+
+    #[test]
+    fn arena_alloc_get_free_recycles() {
+        let mut a = Arena::new();
+        let n1 = a.alloc(Node::new_data(dummy_mds()));
+        let n2 = a.alloc(Node::new_data(dummy_mds()));
+        assert_ne!(n1, n2);
+        assert_eq!(a.len(), 2);
+        a.free(n1);
+        assert_eq!(a.len(), 1);
+        let n3 = a.alloc(Node::new_data(dummy_mds()));
+        assert_eq!(n3, n1); // slot reused
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.iter().count(), 2);
+    }
+
+    #[test]
+    fn new_dir_aggregates_entry_summaries() {
+        let mut a = Arena::new();
+        let c1 = a.alloc(Node::new_data(dummy_mds()));
+        let c2 = a.alloc(Node::new_data(dummy_mds()));
+        let entries = vec![
+            DirEntry { mds: dummy_mds(), summary: MeasureSummary::of(10), child: c1 },
+            DirEntry { mds: dummy_mds(), summary: MeasureSummary::of(-4), child: c2 },
+        ];
+        let dir = Node::new_dir(dummy_mds(), entries);
+        assert_eq!(dir.summary.sum, 6);
+        assert_eq!(dir.summary.count, 2);
+        assert_eq!(dir.summary.min, -4);
+        assert_eq!(dir.summary.max, 10);
+        assert!(!dir.is_data());
+        assert!(!dir.is_supernode());
+        assert_eq!(dir.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "data node")]
+    fn entries_on_data_node_panics() {
+        let n = Node::new_data(dummy_mds());
+        let _ = n.entries();
+    }
+}

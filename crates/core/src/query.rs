@@ -1,0 +1,293 @@
+//! Prepared range queries.
+//!
+//! The naive range-query algorithm (Fig. 7) adapts the *query* MDS to the
+//! entry's level for every directory entry it inspects. With large query
+//! MDSs (the paper's 25%-selectivity runs reach hundreds of values per
+//! dimension) that re-adaptation dominates the runtime — the effect the
+//! paper itself observes: "a larger query MDS involves more expensive
+//! computations of the overlap, because a large MDS consists of large sets
+//! for the single dimensions."
+//!
+//! A `PreparedRange` hoists that work out of the traversal: per dimension
+//! it precomputes, once, the query's value set adapted to **every** level at
+//! or above the query level. Each entry test then degenerates to
+//! parent-pointer walks and O(1) bitset probes against the precomputed sets.
+
+use dc_common::{DcResult, Level, ValueId};
+use dc_hierarchy::{CubeSchema, Record};
+use dc_mds::Mds;
+
+/// A dense bitset over the per-level index space of one hierarchy level.
+#[derive(Clone, Debug)]
+struct LevelBits {
+    words: Vec<u64>,
+}
+
+impl LevelBits {
+    fn from_values(values: &[ValueId], universe: usize) -> Self {
+        let mut words = vec![0u64; universe.div_ceil(64).max(1)];
+        for v in values {
+            let idx = v.index() as usize;
+            words[idx / 64] |= 1 << (idx % 64);
+        }
+        LevelBits { words }
+    }
+
+    #[inline]
+    fn contains(&self, v: ValueId) -> bool {
+        let idx = v.index() as usize;
+        self.words
+            .get(idx / 64)
+            .is_some_and(|w| w & (1 << (idx % 64)) != 0)
+    }
+}
+
+/// One dimension of a prepared range: the query's set, pre-adapted to every
+/// level from the query level up to `ALL`, as O(1)-membership bitsets.
+#[derive(Clone, Debug)]
+pub(crate) struct PreparedDim {
+    /// The query's own relevant level.
+    level: Level,
+    /// `bits[l - level]` = the query set adapted to level `l`.
+    bits: Vec<LevelBits>,
+}
+
+impl PreparedDim {
+    /// Membership in the query set adapted to `level` (≥ the query level).
+    #[inline]
+    fn contains_at(&self, level: Level, v: ValueId) -> bool {
+        self.bits[(level - self.level) as usize].contains(v)
+    }
+}
+
+/// A range MDS preprocessed for fast entry tests: every per-entry and
+/// per-record test reduces to parent-pointer walks plus O(1) bit probes.
+#[derive(Clone, Debug)]
+pub(crate) struct PreparedRange {
+    dims: Vec<PreparedDim>,
+    /// Reproduce the paper's literal (unsound) Fig. 7 adaptation: when the
+    /// entry is coarser than the query, lift the *query* to the entry's
+    /// level and test subset there. See `DcTreeConfig::use_paper_fig7_containment`.
+    paper_containment: bool,
+}
+
+impl PreparedRange {
+    /// Prepares `range` against `schema`: O(size × levels) once, instead of
+    /// per directory entry.
+    pub(crate) fn new(schema: &CubeSchema, range: &Mds) -> DcResult<Self> {
+        Self::with_mode(schema, range, false)
+    }
+
+    /// Prepares `range` with an explicit containment mode.
+    pub(crate) fn with_mode(
+        schema: &CubeSchema,
+        range: &Mds,
+        paper_containment: bool,
+    ) -> DcResult<Self> {
+        let mut dims = Vec::with_capacity(range.num_dims());
+        for (set, h) in range.dims().zip(schema.dims()) {
+            let level = set.level();
+            let mut bits =
+                vec![LevelBits::from_values(set.values(), h.num_values_at(level))];
+            let mut current = set.values().to_vec();
+            for l in level..h.top_level() {
+                let mut up: Vec<ValueId> = current
+                    .iter()
+                    .map(|&v| h.parent(v).map(|p| p.expect("below ALL")))
+                    .collect::<DcResult<_>>()?;
+                up.sort_unstable();
+                up.dedup();
+                bits.push(LevelBits::from_values(&up, h.num_values_at(l + 1)));
+                current = up;
+            }
+            dims.push(PreparedDim { level, bits });
+        }
+        Ok(PreparedRange { dims, paper_containment })
+    }
+
+    /// `true` iff `entry` overlaps the range in every dimension — the
+    /// pruning test of Fig. 7, with the query side precomputed.
+    pub(crate) fn overlaps(&self, schema: &CubeSchema, entry: &Mds) -> DcResult<bool> {
+        for ((p, e), h) in self.dims.iter().zip(entry.dims()).zip(schema.dims()) {
+            let le = e.level();
+            let hit = if le >= p.level {
+                // Query adapted up to the entry's level: probe each entry
+                // value against the precomputed bitset.
+                e.values().iter().any(|&v| p.contains_at(le, v))
+            } else {
+                // Entry is finer: lift each entry value to the query level.
+                let mut any = false;
+                for &v in e.values() {
+                    if p.contains_at(p.level, h.ancestor_at(v, p.level)?) {
+                        any = true;
+                        break;
+                    }
+                }
+                any
+            };
+            if !hit {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// `true` iff `entry` is fully contained in the range (Definition 4
+    /// domination) — the materialized-measure shortcut of Fig. 7.
+    pub(crate) fn contains_entry(&self, schema: &CubeSchema, entry: &Mds) -> DcResult<bool> {
+        for ((p, e), h) in self.dims.iter().zip(entry.dims()).zip(schema.dims()) {
+            if e.level() > p.level {
+                if !self.paper_containment {
+                    return Ok(false); // coarser than the range: cannot be inside
+                }
+                // Paper mode (Fig. 7 literal): lift the query to the
+                // entry's level and test subset there — over-approximate.
+                for &v in e.values() {
+                    if !p.contains_at(e.level(), v) {
+                        return Ok(false);
+                    }
+                }
+                continue;
+            }
+            for &v in e.values() {
+                if !p.contains_at(p.level, h.ancestor_at(v, p.level)?) {
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// `true` iff the record is selected by the range.
+    pub(crate) fn contains_record(&self, schema: &CubeSchema, record: &Record) -> DcResult<bool> {
+        for ((p, &leaf), h) in self.dims.iter().zip(&record.dims).zip(schema.dims()) {
+            let anc = h.ancestor_at(leaf, p.level)?;
+            if !p.contains_at(p.level, anc) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// Consistency helper for tests: the prepared tests must agree with the
+/// direct MDS algebra.
+#[cfg(test)]
+pub(crate) fn agrees_with_mds(
+    schema: &CubeSchema,
+    range: &Mds,
+    entry: &Mds,
+) -> DcResult<(bool, bool)> {
+    let p = PreparedRange::new(schema, range)?;
+    let fast = (p.overlaps(schema, entry)?, p.contains_entry(schema, entry)?);
+    let slow = (entry.overlaps(range, schema)?, entry.contained_in(range, schema)?);
+    assert_eq!(fast, slow, "prepared query diverges from MDS algebra");
+    Ok(fast)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_common::DimensionId;
+    use dc_hierarchy::HierarchySchema;
+    use dc_mds::DimSet;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn schema() -> CubeSchema {
+        let mut s = CubeSchema::new(
+            vec![
+                HierarchySchema::new(
+                    "Customer",
+                    vec!["Region".into(), "Nation".into(), "Cust".into()],
+                ),
+                HierarchySchema::new("Time", vec!["Year".into(), "Month".into()]),
+            ],
+            "Price",
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..300 {
+            let r = rng.gen_range(0..4);
+            let n = rng.gen_range(0..5);
+            let c = rng.gen_range(0..10);
+            let y = rng.gen_range(1995..1999);
+            let m = rng.gen_range(1..13);
+            s.intern_record(
+                &[
+                    vec![
+                        format!("R{r}"),
+                        format!("R{r}N{n}"),
+                        format!("R{r}N{n}C{c}"),
+                    ],
+                    vec![format!("{y}"), format!("{y}-{m:02}")],
+                ],
+                1,
+            )
+            .unwrap();
+        }
+        s
+    }
+
+    fn random_mds(s: &CubeSchema, rng: &mut StdRng) -> Mds {
+        let dims = (0..s.num_dims())
+            .map(|d| {
+                let h = s.dim(DimensionId(d as u16));
+                let level = rng.gen_range(0..=h.top_level());
+                let vals: Vec<ValueId> = h.values_at(level).collect();
+                let take = rng.gen_range(1..=vals.len().min(6));
+                DimSet::new(level, vals.choose_multiple(rng, take).copied().collect())
+            })
+            .collect();
+        Mds::new(dims)
+    }
+
+    #[test]
+    fn prepared_tests_agree_with_mds_algebra() {
+        let s = schema();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..500 {
+            let range = random_mds(&s, &mut rng);
+            let entry = random_mds(&s, &mut rng);
+            let _ = agrees_with_mds(&s, &range, &entry).unwrap();
+        }
+    }
+
+    #[test]
+    fn prepared_record_test_agrees() {
+        let mut s = schema();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut records = Vec::new();
+        for _ in 0..50 {
+            let r = rng.gen_range(0..4);
+            let n = rng.gen_range(0..5);
+            let c = rng.gen_range(0..10);
+            let y = rng.gen_range(1995..1999);
+            let m = rng.gen_range(1..13);
+            records.push(
+                s.intern_record(
+                    &[
+                        vec![
+                            format!("R{r}"),
+                            format!("R{r}N{n}"),
+                            format!("R{r}N{n}C{c}"),
+                        ],
+                        vec![format!("{y}"), format!("{y}-{m:02}")],
+                    ],
+                    1,
+                )
+                .unwrap(),
+            );
+        }
+        for _ in 0..100 {
+            let range = random_mds(&s, &mut rng);
+            let p = PreparedRange::new(&s, &range).unwrap();
+            for r in &records {
+                assert_eq!(
+                    p.contains_record(&s, r).unwrap(),
+                    range.contains_record(&s, r).unwrap()
+                );
+            }
+        }
+    }
+
+}

@@ -1,0 +1,397 @@
+//! The **hierarchy split** (§4.3, Fig. 6).
+//!
+//! A quadratic-split in the tradition of Guttman's R-tree, re-engineered
+//! around the partial ordering of the concept hierarchies:
+//!
+//! 1. the covering MDS of every pair of members is computed and the pair
+//!    with the *largest* cover becomes the two seeds;
+//! 2. in every round, the member with the **greatest difference between the
+//!    enlargements of the two groups in the split dimension** is assigned
+//!    next — splitting along a split dimension aims at two groups with
+//!    *disjoint attribute values* in that dimension;
+//! 3. the member joins the group yielding the **minimum resulting overlap**
+//!    between the groups; ties prefer the group "sharing as many
+//!    attribute values as possible in the split dimension" (§4.3) and then
+//!    fall back to the minimum sum of extensions and the minimum sum of
+//!    volumes (Fig. 6's tie chain).
+//!
+//! Because all members of a node sit on the *same* relevant level, set
+//! cardinalities alone cannot see that two values share a parent concept
+//! while two others do not (e.g. {Germany, France} and {Germany, Japan} are
+//! both two-element nation sets). Wherever Fig. 6's metrics tie, we
+//! therefore consult the split dimension **one level up the hierarchy**:
+//! the pair spanning more parent concepts is the "larger" seed pair, and a
+//! member preferably joins the group with which it shares parent concepts.
+//! This is exactly the partial-order information the DC-tree is built to
+//! exploit (Fig. 2's discussion of partial versus total orderings).
+//!
+//! The function operates on *aligned* members: the caller (the DC-tree's
+//! insert path) has already adapted every member MDS to the splitting node's
+//! MDS — "all MDSs corresponding to the entries of a node have to be
+//! comparable to each other" (§4.2).
+
+use dc_common::DcResult;
+use dc_hierarchy::CubeSchema;
+use dc_mds::{DimSet, Mds};
+
+/// Result of a hierarchy split: member indices and covering MDS per group.
+#[derive(Clone, Debug)]
+pub struct SplitOutcome {
+    /// Indices (into the input slice) assigned to the first group.
+    pub group1: Vec<usize>,
+    /// Indices assigned to the second group.
+    pub group2: Vec<usize>,
+    /// Covering MDS of the first group.
+    pub cover1: Mds,
+    /// Covering MDS of the second group.
+    pub cover2: Mds,
+}
+
+impl SplitOutcome {
+    /// Size of the smaller group.
+    pub fn min_group_len(&self) -> usize {
+        self.group1.len().min(self.group2.len())
+    }
+
+    /// `overlap(G1, G2) / extension(G1, G2)` — the quantity tested against
+    /// the acceptance threshold ("overlap is not too high", Fig. 5).
+    /// Zero when the extension is zero (degenerate).
+    pub fn overlap_ratio(&self) -> f64 {
+        let ext = self.cover1.extension(&self.cover2);
+        if ext == 0 {
+            return 0.0;
+        }
+        self.cover1.overlap(&self.cover2) as f64 / ext as f64
+    }
+}
+
+/// Runs the hierarchy split of Fig. 6 over aligned member MDSs.
+///
+/// Returns `Ok(None)` when fewer than two members exist (nothing to split).
+///
+/// `min_group` is Guttman's minimum-fill parameter: the hierarchy split "is
+/// based on the quadratic split of [Guttman 1984]", whose assignment loop
+/// force-assigns all remaining members to a group once the other group could
+/// no longer reach the minimum — without this rule the greedy min-overlap
+/// criterion degenerates to n−1 : 1 partitions on homogeneous members. The
+/// caller still *checks* balance and overlap afterwards and rejects
+/// (→ supernode) when the forced assignment spoiled the split.
+pub fn hierarchy_split(
+    schema: &CubeSchema,
+    members: &[Mds],
+    split_dim: usize,
+    min_group: usize,
+) -> DcResult<Option<SplitOutcome>> {
+    if members.len() < 2 {
+        return Ok(None);
+    }
+
+    // The split dimension one level up: used for all hierarchy-aware
+    // tie-breaking. At the top level the parent view degenerates to ALL and
+    // stops discriminating, which is fine.
+    let h = schema
+        .dims()
+        .nth(split_dim)
+        .expect("split dimension within schema");
+    let level = members[0].dim(split_dim).level();
+    let parent_level = (level + 1).min(h.top_level());
+    let parent_sets: Vec<DimSet> = members
+        .iter()
+        .map(|m| m.dim(split_dim).adapt_to(h, parent_level))
+        .collect::<DcResult<_>>()?;
+
+    // Seed selection: the pair with the largest covering MDS — volume first,
+    // then the number of distinct parent concepts spanned in the split
+    // dimension, then total size; index order keeps it deterministic.
+    //
+    // The exhaustive pair scan is quadratic; beyond `QUADRATIC_LIMIT`
+    // members (only reachable inside large supernodes) every retry would
+    // cost O(n²·d), so large inputs switch to Guttman's *linear* seed
+    // heuristic: a double sweep picking the member "farthest" from member
+    // 0 under the same key, then the member farthest from that one.
+    const QUADRATIC_LIMIT: usize = 128;
+    let seed_key = |i: usize, j: usize| {
+        let cover = members[i].union_aligned(&members[j]);
+        let spread = parent_sets[i].union_len(&parent_sets[j]);
+        (cover.volume(), spread, cover.size())
+    };
+    let (mut s1, mut s2) = (0usize, 1usize);
+    if members.len() <= QUADRATIC_LIMIT {
+        let mut best: Option<(u128, usize, usize)> = None;
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                let key = seed_key(i, j);
+                if best.is_none_or(|b| key > b) {
+                    best = Some(key);
+                    (s1, s2) = (i, j);
+                }
+            }
+        }
+    } else {
+        let far_from = |origin: usize| {
+            (0..members.len())
+                .filter(|&j| j != origin)
+                .max_by_key(|&j| seed_key(origin.min(j), origin.max(j)))
+                .expect("at least two members")
+        };
+        s1 = far_from(0);
+        s2 = far_from(s1);
+        if s1 == s2 {
+            s2 = usize::from(s1 == 0);
+        }
+        if s1 > s2 {
+            std::mem::swap(&mut s1, &mut s2);
+        }
+    }
+
+    let mut group1 = vec![s1];
+    let mut group2 = vec![s2];
+    let mut cover1 = members[s1].clone();
+    let mut cover2 = members[s2].clone();
+    let mut parents1 = parent_sets[s1].clone();
+    let mut parents2 = parent_sets[s2].clone();
+
+    let mut remaining: Vec<usize> =
+        (0..members.len()).filter(|&i| i != s1 && i != s2).collect();
+
+    let total = members.len();
+    while !remaining.is_empty() {
+        // Guttman's force-assignment: if one group must receive every
+        // remaining member to reach the minimum fill, hand them over.
+        if group2.len() + remaining.len() <= min_group.max(1) {
+            for idx in remaining.drain(..) {
+                group2.push(idx);
+                cover2 = cover2.union_aligned(&members[idx]);
+            }
+            break;
+        }
+        if group1.len() + remaining.len() <= min_group.max(1) {
+            for idx in remaining.drain(..) {
+                group1.push(idx);
+                cover1 = cover1.union_aligned(&members[idx]);
+            }
+            break;
+        }
+        // Symmetrically, stop a group from hoarding: once it can no longer
+        // leave the other group its minimum share, route the rest there.
+        if group1.len() >= total.saturating_sub(min_group.max(1)) {
+            for idx in remaining.drain(..) {
+                group2.push(idx);
+                cover2 = cover2.union_aligned(&members[idx]);
+            }
+            break;
+        }
+        if group2.len() >= total.saturating_sub(min_group.max(1)) {
+            for idx in remaining.drain(..) {
+                group1.push(idx);
+                cover1 = cover1.union_aligned(&members[idx]);
+            }
+            break;
+        }
+        // Decision 1 — which member next: greatest difference between the
+        // enlargements of the two groups in the split dimension; the parent
+        // level breaks ties among same-level singletons. Rescanning all
+        // remaining members every round is quadratic, so beyond the same
+        // limit as the seed scan the members are simply taken in input
+        // order (Guttman's linear variant).
+        let idx = if total <= QUADRATIC_LIMIT {
+            let mut pick = 0usize;
+            let mut pick_key = (-1i64, -1i64);
+            for (pos, &idx) in remaining.iter().enumerate() {
+                let m = members[idx].dim(split_dim);
+                let e1 = cover1.dim(split_dim).union_len(m) as i64
+                    - cover1.dim(split_dim).len() as i64;
+                let e2 = cover2.dim(split_dim).union_len(m) as i64
+                    - cover2.dim(split_dim).len() as i64;
+                let p = &parent_sets[idx];
+                let p1 = parents1.union_len(p) as i64 - parents1.len() as i64;
+                let p2 = parents2.union_len(p) as i64 - parents2.len() as i64;
+                let key = ((e1 - e2).abs(), (p1 - p2).abs());
+                if key > pick_key {
+                    pick_key = key;
+                    pick = pos;
+                }
+            }
+            remaining.swap_remove(pick)
+        } else {
+            remaining.pop().expect("non-empty remaining")
+        };
+        let m = &members[idx];
+
+        // Decision 2 — which group: minimum resulting overlap between the
+        // groups; ties prefer the group sharing more parent concepts with
+        // the member in the split dimension (§4.3), then the minimum sum of
+        // extensions (covered volume after insertion), the minimum volume,
+        // and finally the smaller group.
+        let grown1 = cover1.union_aligned(m);
+        let grown2 = cover2.union_aligned(m);
+        let shared1 = parents1.intersection_len(&parent_sets[idx]);
+        let shared2 = parents2.intersection_len(&parent_sets[idx]);
+        let key1 = (
+            grown1.overlap(&cover2),
+            usize::MAX - shared1,
+            grown1.volume().saturating_add(cover2.volume()),
+            cover1.volume(),
+            group1.len(),
+        );
+        let key2 = (
+            cover1.overlap(&grown2),
+            usize::MAX - shared2,
+            cover1.volume().saturating_add(grown2.volume()),
+            cover2.volume(),
+            group2.len(),
+        );
+        if key1 <= key2 {
+            group1.push(idx);
+            cover1 = grown1;
+            parents1.union_with(&parent_sets[idx]);
+        } else {
+            group2.push(idx);
+            cover2 = grown2;
+            parents2.union_with(&parent_sets[idx]);
+        }
+    }
+
+    Ok(Some(SplitOutcome { group1, group2, cover1, cover2 }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_common::{DimensionId, ValueId};
+    use dc_hierarchy::HierarchySchema;
+
+    /// Two dimensions: Customer (Region→Nation), Time (Year→Month).
+    fn schema() -> CubeSchema {
+        let mut s = CubeSchema::new(
+            vec![
+                HierarchySchema::new("Customer", vec!["Region".into(), "Nation".into()]),
+                HierarchySchema::new("Time", vec!["Year".into(), "Month".into()]),
+            ],
+            "Price",
+        );
+        for (r, n) in [
+            ("Europe", "Germany"),
+            ("Europe", "France"),
+            ("Europe", "Netherlands"),
+            ("Asia", "Japan"),
+            ("Asia", "China"),
+            ("Asia", "India"),
+        ] {
+            for m in ["01", "02"] {
+                s.intern_record(&[vec![r, n], vec!["1996", m]], 1).unwrap();
+            }
+        }
+        s
+    }
+
+    fn nation(s: &CubeSchema, name: &str) -> ValueId {
+        let h = s.dim(DimensionId(0));
+        h.values_at(0).find(|&v| h.name(v).unwrap() == name).unwrap()
+    }
+
+    fn year(s: &CubeSchema) -> ValueId {
+        s.dim(DimensionId(1)).lookup_path(&["1996"]).unwrap()
+    }
+
+    fn member(s: &CubeSchema, nations: &[&str]) -> Mds {
+        Mds::new(vec![
+            DimSet::new(0, nations.iter().map(|n| nation(s, n)).collect()),
+            DimSet::new(1, vec![year(s)]),
+        ])
+    }
+
+    #[test]
+    fn splits_disjoint_clusters_cleanly() {
+        let s = schema();
+        // Three European and three Asian members — the hierarchy-aware
+        // tie-breaking must keep the continents together.
+        let members = vec![
+            member(&s, &["Germany"]),
+            member(&s, &["France"]),
+            member(&s, &["Netherlands"]),
+            member(&s, &["Japan"]),
+            member(&s, &["China"]),
+            member(&s, &["India"]),
+        ];
+        let out = hierarchy_split(&s, &members, 0, 2).unwrap().unwrap();
+        assert_eq!(out.group1.len() + out.group2.len(), 6);
+        assert_eq!(out.cover1.overlap(&out.cover2), 0, "groups must be disjoint");
+        assert_eq!(out.overlap_ratio(), 0.0);
+        let europe: Vec<usize> = vec![0, 1, 2];
+        let in1 = europe.iter().all(|i| out.group1.contains(i));
+        let in2 = europe.iter().all(|i| out.group2.contains(i));
+        assert!(in1 || in2, "the European cluster must stay together: {out:?}");
+        assert_eq!(out.min_group_len(), 3);
+    }
+
+    #[test]
+    fn seeds_are_the_pair_with_largest_cover() {
+        let s = schema();
+        // Germany/Japan span two regions (largest cover one level up);
+        // France sits next to Germany. France must join Germany's group.
+        let members = vec![
+            member(&s, &["Germany"]),
+            member(&s, &["France"]),
+            member(&s, &["Japan"]),
+        ];
+        let out = hierarchy_split(&s, &members, 0, 1).unwrap().unwrap();
+        let g_with_f = (out.group1.contains(&0) && out.group1.contains(&1))
+            || (out.group2.contains(&0) && out.group2.contains(&1));
+        assert!(g_with_f, "{out:?}");
+    }
+
+    #[test]
+    fn overlapping_members_produce_valid_covers() {
+        let s = schema();
+        let members = vec![
+            member(&s, &["Germany", "Japan"]),
+            member(&s, &["Germany", "China"]),
+            member(&s, &["France"]),
+            member(&s, &["India"]),
+        ];
+        let out = hierarchy_split(&s, &members, 0, 2).unwrap().unwrap();
+        assert_eq!(out.group1.len() + out.group2.len(), 4);
+        for (&i, cover) in out
+            .group1
+            .iter()
+            .map(|i| (i, &out.cover1))
+            .chain(out.group2.iter().map(|i| (i, &out.cover2)))
+        {
+            assert!(members[i].contained_in(cover, &s).unwrap());
+        }
+    }
+
+    #[test]
+    fn single_member_cannot_split() {
+        let s = schema();
+        assert!(hierarchy_split(&s, &[member(&s, &["Germany"])], 0, 1).unwrap().is_none());
+        assert!(hierarchy_split(&s, &[], 0, 1).unwrap().is_none());
+    }
+
+    #[test]
+    fn two_members_become_the_two_groups() {
+        let s = schema();
+        let members = vec![member(&s, &["Germany"]), member(&s, &["Japan"])];
+        let out = hierarchy_split(&s, &members, 0, 2).unwrap().unwrap();
+        assert_eq!(out.group1, vec![0]);
+        assert_eq!(out.group2, vec![1]);
+        assert_eq!(out.cover1, members[0]);
+        assert_eq!(out.cover2, members[1]);
+    }
+
+    #[test]
+    fn region_level_members_split_disjointly() {
+        let s = schema();
+        let h = s.dim(DimensionId(0));
+        let europe = h.lookup_path(&["Europe"]).unwrap();
+        let asia = h.lookup_path(&["Asia"]).unwrap();
+        let mk = |r: ValueId| {
+            Mds::new(vec![DimSet::new(1, vec![r]), DimSet::new(1, vec![year(&s)])])
+        };
+        let members = vec![mk(europe), mk(asia), mk(europe), mk(asia)];
+        let out = hierarchy_split(&s, &members, 0, 2).unwrap().unwrap();
+        assert_eq!(out.cover1.overlap(&out.cover2), 0);
+        assert_eq!(out.min_group_len(), 2);
+    }
+}

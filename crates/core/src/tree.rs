@@ -1,0 +1,1333 @@
+//! The DC-tree proper: construction, record-at-a-time insertion with
+//! hierarchy splits and supernodes, measure-materialized range queries, and
+//! deletion.
+
+use dc_common::{
+    AggregateOp, DcError, DcResult, DimensionId, Measure, MeasureSummary, RecordId, ValueId,
+};
+use dc_hierarchy::{CubeSchema, Record};
+use dc_mds::Mds;
+use dc_storage::{IoStats, IoTracker};
+
+use crate::config::DcTreeConfig;
+use crate::node::{Arena, DirEntry, Node, NodeId, NodeKind, StoredRecord};
+use crate::query::PreparedRange;
+use crate::split::{hierarchy_split, SplitOutcome};
+
+/// Internal operation counters, useful for performance diagnosis and the
+/// benchmark harness. All counters are cumulative since construction.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct TreeMetrics {
+    /// Node splits that succeeded.
+    pub splits: u64,
+    /// Split attempts that failed in every dimension (→ supernode growth or
+    /// forced split).
+    pub failed_splits: u64,
+    /// Supernode block-growth events.
+    pub supernode_growths: u64,
+    /// Wall time spent inside the split machinery, in nanoseconds.
+    pub split_nanos: u64,
+    /// Range-query directory entries answered from the materialized
+    /// summary (Fig. 7's contained-entry shortcut).
+    pub shortcut_hits: u64,
+    /// Range-query directory entries that had to be descended.
+    pub descents: u64,
+}
+
+/// Interior-mutable query counters (queries take `&self`).
+#[derive(Debug, Default)]
+struct QueryCounters {
+    shortcut_hits: std::sync::atomic::AtomicU64,
+    descents: std::sync::atomic::AtomicU64,
+}
+
+impl Clone for QueryCounters {
+    fn clone(&self) -> Self {
+        use std::sync::atomic::Ordering::Relaxed;
+        let c = QueryCounters::default();
+        c.shortcut_hits
+            .store(self.shortcut_hits.load(Relaxed), Relaxed);
+        c.descents.store(self.descents.load(Relaxed), Relaxed);
+        c
+    }
+}
+
+/// The DC-tree: a fully dynamic, MDS-based index over a data cube with
+/// materialized measures in every directory entry.
+///
+/// See the [crate-level documentation](crate) for an overview and a usage
+/// example.
+#[derive(Clone, Debug)]
+pub struct DcTree {
+    schema: CubeSchema,
+    config: DcTreeConfig,
+    pub(crate) arena: Arena,
+    pub(crate) root: NodeId,
+    io: IoTracker,
+    next_record_id: u64,
+    len: u64,
+    metrics: TreeMetrics,
+    query_counters: QueryCounters,
+}
+
+impl DcTree {
+    /// Creates an empty DC-tree over `schema`. The root starts as a data
+    /// node with the MDS `(ALL, …, ALL)` — "the relevant level is
+    /// initialized to the top level for each dimension" (§3.2).
+    pub fn new(schema: CubeSchema, config: DcTreeConfig) -> Self {
+        config.validate();
+        let mut arena = Arena::new();
+        let root = arena.alloc(Node::new_data(Mds::all(&schema)));
+        DcTree {
+            schema,
+            config,
+            arena,
+            root,
+            io: IoTracker::new(),
+            next_record_id: 0,
+            len: 0,
+            metrics: TreeMetrics::default(),
+            query_counters: QueryCounters::default(),
+        }
+    }
+
+    /// Rebuilds a tree from persisted parts (the load path of
+    /// [`DcTree::from_bytes`](crate::persist)).
+    pub(crate) fn from_parts(
+        schema: CubeSchema,
+        config: DcTreeConfig,
+        arena: Arena,
+        root: NodeId,
+        next_record_id: u64,
+        len: u64,
+    ) -> Self {
+        config.validate();
+        DcTree {
+            schema,
+            config,
+            arena,
+            root,
+            io: IoTracker::new(),
+            next_record_id,
+            len,
+            metrics: TreeMetrics::default(),
+            query_counters: QueryCounters::default(),
+        }
+    }
+
+    /// The record-id counter, exposed for the persistence codec.
+    pub(crate) fn next_record_id_for_persist(&self) -> u64 {
+        self.next_record_id
+    }
+
+    /// The cube schema (grows as `insert_raw` interns new attribute values).
+    pub fn schema(&self) -> &CubeSchema {
+        &self.schema
+    }
+
+    /// The configuration the tree was built with.
+    pub fn config(&self) -> &DcTreeConfig {
+        &self.config
+    }
+
+    /// Number of records stored.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` iff no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of live nodes (directory + data).
+    pub fn num_nodes(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Height of the tree: number of node levels (1 for a lone data node).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut id = self.root;
+        while let NodeKind::Dir(entries) = &self.arena.get(id).kind {
+            h += 1;
+            id = entries[0].child;
+        }
+        h
+    }
+
+    /// The materialized aggregate over **all** records — read from the root
+    /// without touching anything else.
+    pub fn total_summary(&self) -> MeasureSummary {
+        self.arena.get(self.root).summary
+    }
+
+    /// Logical page-I/O counters charged so far.
+    pub fn io_stats(&self) -> IoStats {
+        self.io.stats()
+    }
+
+    /// Internal operation counters (splits, supernode growth, split time,
+    /// query shortcut hits).
+    pub fn metrics(&self) -> TreeMetrics {
+        use std::sync::atomic::Ordering::Relaxed;
+        let mut m = self.metrics;
+        m.shortcut_hits = self.query_counters.shortcut_hits.load(Relaxed);
+        m.descents = self.query_counters.descents.load(Relaxed);
+        m
+    }
+
+    /// Resets the I/O counters.
+    pub fn reset_io(&self) {
+        self.io.reset();
+    }
+
+    /// Starts recording an access trace of the blocks queries touch; end
+    /// with [`Self::end_trace`] and replay it through
+    /// [`dc_storage::CacheSim`] to obtain physical reads under a memory
+    /// budget (the paper's resource normalization, §5.3).
+    pub fn begin_trace(&self) {
+        self.io.begin_trace();
+    }
+
+    /// Stops recording and returns the trace of synthetic block ids.
+    pub fn end_trace(&self) -> Vec<u64> {
+        self.io.end_trace()
+    }
+
+    // ------------------------------------------------------------------
+    // Insertion (§4.1)
+    // ------------------------------------------------------------------
+
+    /// Inserts a raw record: one top→leaf attribute path per dimension plus
+    /// the measure. New attribute values are interned into the concept
+    /// hierarchies on the fly — the fully dynamic path of the paper.
+    pub fn insert_raw<S: AsRef<str>>(
+        &mut self,
+        paths: &[Vec<S>],
+        measure: Measure,
+    ) -> DcResult<RecordId> {
+        let record = self.schema.intern_record(paths, measure)?;
+        self.insert(record)
+    }
+
+    /// Inserts a pre-interned record (its leaf IDs must come from this
+    /// tree's schema, e.g. via [`CubeSchema::intern_record`] on a clone the
+    /// tree was constructed from).
+    pub fn insert(&mut self, record: Record) -> DcResult<RecordId> {
+        self.schema.validate_record(&record)?;
+        let id = RecordId(self.next_record_id);
+        self.next_record_id += 1;
+        let stored = StoredRecord { id, record };
+        self.insert_stored(stored)?;
+        self.len += 1;
+        Ok(id)
+    }
+
+    /// Inserts a batch of pre-interned records, pre-sorted along their
+    /// hierarchy paths (dimension-major, coarse levels first).
+    ///
+    /// The DC-tree's point is that it does *not* need bulk windows — but
+    /// when an initial load is bulk anyway, hierarchy-sorted insertion
+    /// groups related records together, which gives the split algorithm
+    /// cleanly separable runs and markedly better locality than arrival
+    /// order. Returns the assigned ids in the order of the *input* slice.
+    pub fn bulk_insert(&mut self, records: Vec<Record>) -> DcResult<Vec<RecordId>> {
+        let mut keyed: Vec<(Vec<u32>, usize, Record)> = records
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| Ok((self.schema.flatten_record(&r)?, i, r)))
+            .collect::<DcResult<_>>()?;
+        keyed.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut ids = vec![RecordId(0); keyed.len()];
+        for (_, original_index, record) in keyed {
+            ids[original_index] = self.insert(record)?;
+        }
+        Ok(ids)
+    }
+
+    /// Core insertion, shared with delete's re-insertion path (does not
+    /// touch `len` / `next_record_id`).
+    fn insert_stored(&mut self, stored: StoredRecord) -> DcResult<()> {
+        if let Some(new_sibling) = self.insert_rec(self.root, &stored)? {
+            // Root split: grow the tree by one level.
+            let e1 = self.entry_for(self.root);
+            let e2 = self.entry_for(new_sibling);
+            let mds = e1.mds.cover(&e2.mds, &self.schema)?;
+            let new_root = self.arena.alloc(Node::new_dir(mds, vec![e1, e2]));
+            self.io.write(self.arena.get(new_root).blocks);
+            self.root = new_root;
+        }
+        Ok(())
+    }
+
+    fn entry_for(&self, child: NodeId) -> DirEntry {
+        let node = self.arena.get(child);
+        DirEntry { mds: node.mds.clone(), summary: node.summary, child }
+    }
+
+    /// Recursive insert (Fig. 4). Returns the newly created sibling if this
+    /// node was split.
+    fn insert_rec(&mut self, id: NodeId, stored: &StoredRecord) -> DcResult<Option<NodeId>> {
+        self.io.read(self.arena.get(id).blocks);
+        if self.arena.get(id).is_data() {
+            let node = self.arena.get_mut(id);
+            node.summary.add(stored.record.measure);
+            node.mds.extend_to_cover_record(&self.schema, &stored.record)?;
+            node.records_mut().push(stored.clone());
+            self.io.write(self.arena.get(id).blocks);
+            let node = self.arena.get(id);
+            if node.len() > self.config.data_capacity * node.blocks as usize {
+                return self.split_node(id);
+            }
+            return Ok(None);
+        }
+
+        // Directory node: update measure, choose subtree, descend.
+        let choice = self.choose_subtree(id, &stored.record)?;
+        let child = {
+            let node = self.arena.get_mut(id);
+            node.summary.add(stored.record.measure);
+            node.mds.extend_to_cover_record(&self.schema, &stored.record)?;
+            let entry = &mut node.entries_mut()[choice];
+            entry.summary.add(stored.record.measure);
+            entry.mds.extend_to_cover_record(&self.schema, &stored.record)?;
+            entry.child
+        };
+        self.io.write(self.arena.get(id).blocks);
+
+        if let Some(new_sibling) = self.insert_rec(child, stored)? {
+            // The child was split: refresh its entry and add the new son.
+            let refreshed = self.entry_for(child);
+            let new_entry = self.entry_for(new_sibling);
+            let node = self.arena.get_mut(id);
+            let entry = node
+                .entries_mut()
+                .iter_mut()
+                .find(|e| e.child == child)
+                .expect("split child must still be referenced");
+            *entry = refreshed;
+            node.entries_mut().push(new_entry);
+            self.io.write(self.arena.get(id).blocks);
+            let node = self.arena.get(id);
+            if node.len() > self.config.dir_capacity * node.blocks as usize {
+                return self.split_node(id);
+            }
+        }
+        Ok(None)
+    }
+
+    /// Chooses the son to descend into: prefer entries already covering the
+    /// record (smallest volume wins); otherwise minimize the **overlap**
+    /// the insertion creates with sibling entries (the X-tree's
+    /// choose-subtree criterion, which keeps sibling regions separable for
+    /// later directory splits), then the volume enlargement, the volume,
+    /// and the size.
+    ///
+    /// The overlap criterion uses a linear-time surrogate: inserting the
+    /// record adds, per dimension, its ancestor on the entry's relevant
+    /// level; each sibling already holding that value is a newly shared
+    /// value, i.e. prospective overlap.
+    fn choose_subtree(&self, id: NodeId, record: &Record) -> DcResult<usize> {
+        let entries = self.arena.get(id).entries();
+        debug_assert!(!entries.is_empty(), "directory node without entries");
+        let mut best_covering: Option<(u128, usize, usize)> = None;
+        for (i, e) in entries.iter().enumerate() {
+            if e.mds.contains_record(&self.schema, record)? {
+                let key = (e.mds.volume(), e.mds.size(), i);
+                if best_covering.is_none_or(|b| key < b) {
+                    best_covering = Some(key);
+                }
+            }
+        }
+        if let Some((_, _, i)) = best_covering {
+            return Ok(i);
+        }
+
+        // Per (entry, dim): does the entry already hold the record's
+        // ancestor on its relevant level? One pass, reused below.
+        let d = self.schema.num_dims();
+        let mut holds = vec![false; entries.len() * d];
+        let mut holders_per_dim = vec![0usize; d];
+        for (i, e) in entries.iter().enumerate() {
+            for (dim, h) in self.schema.dims().enumerate() {
+                let anc = h.ancestor_at(record.dims[dim], e.mds.dim(dim).level())?;
+                if e.mds.dim(dim).contains_value(anc) {
+                    holds[i * d + dim] = true;
+                    holders_per_dim[dim] += 1;
+                }
+            }
+        }
+
+        let mut best: Option<(usize, u128, u128, usize, usize)> = None;
+        for (i, e) in entries.iter().enumerate() {
+            // Newly shared values this insertion would create: for every
+            // dimension whose ancestor the entry lacks, all sibling entries
+            // already holding it become overlap partners.
+            let mut overlap_penalty = 0usize;
+            for dim in 0..d {
+                if !holds[i * d + dim] {
+                    overlap_penalty += holders_per_dim[dim];
+                }
+            }
+            let enlargement = e.mds.enlargement_for_record(&self.schema, record)?;
+            let key = (overlap_penalty, enlargement, e.mds.volume(), e.mds.size(), i);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+        Ok(best.expect("non-empty entries").4)
+    }
+
+    // ------------------------------------------------------------------
+    // Split (§4.2)
+    // ------------------------------------------------------------------
+
+    /// Attempts to split node `id` (Fig. 5). On success the node keeps the
+    /// first group and the returned sibling holds the second. On failure
+    /// the node grows into (or extends) a supernode and `None` is returned —
+    /// unless supernodes are disabled, in which case the best rejected
+    /// grouping is forced.
+    fn split_node(&mut self, id: NodeId) -> DcResult<Option<NodeId>> {
+        let t0 = std::time::Instant::now();
+        let result = self.split_node_inner(id);
+        self.metrics.split_nanos += t0.elapsed().as_nanos() as u64;
+        result
+    }
+
+    fn split_node_inner(&mut self, id: NodeId) -> DcResult<Option<NodeId>> {
+        let (member_mds, children, node_levels, node_dim_lens): (
+            Vec<Mds>,
+            Option<Vec<NodeId>>,
+            Vec<u8>,
+            Vec<usize>,
+        ) = {
+            let node = self.arena.get(id);
+            let (members, children) = match &node.kind {
+                NodeKind::Dir(entries) => (
+                    entries.iter().map(|e| e.mds.clone()).collect(),
+                    Some(entries.iter().map(|e| e.child).collect()),
+                ),
+                NodeKind::Data(records) => (
+                    records.iter().map(|r| Mds::from_record(&r.record)).collect(),
+                    None,
+                ),
+            };
+            let levels = node.mds.levels();
+            let lens = (0..node.mds.num_dims()).map(|d| node.mds.dim(d).len()).collect();
+            (members, children, levels, lens)
+        };
+        let num_members = member_mds.len();
+        let min_group = self.config.min_group(num_members);
+
+        // Candidate split dimensions, highest hierarchy level first (Fig. 5:
+        // "the algorithm always selects the dimension with the highest
+        // hierarchy level of the elements of the MDS").
+        let mut dims: Vec<usize> = (0..node_levels.len()).collect();
+        dims.sort_by_key(|&d| std::cmp::Reverse(node_levels[d]));
+
+        // Lazy refinement can leave members coarser than the node MDS, so
+        // the analysis alignment level per dimension is the coarsest of
+        // (node level, member levels).
+        let align_levels: Vec<u8> = (0..node_levels.len())
+            .map(|dim| {
+                member_mds
+                    .iter()
+                    .map(|m| m.dim(dim).level())
+                    .max()
+                    .unwrap_or(node_levels[dim])
+                    .max(node_levels[dim])
+            })
+            .collect();
+
+        let mut best_rejected: Option<(SplitOutcome, f64)> = None;
+        for &d in &dims {
+            // The relevant level the subgroups will use in the split
+            // dimension. When the node's MDS holds a single value there
+            // (e.g. ALL), it is decreased by one (§3.2) — and when the split
+            // is rejected as unbalanced or too overlapping, we keep
+            // descending the concept hierarchy: finer values give the
+            // assignment more room to separate skewed distributions.
+            // Members coarser than the target level are *refined* by
+            // recomputing their extent from their subtree, so no member
+            // pins the descent; their group's final cover is still taken
+            // from the original (coarse) MDS, preserving coverage.
+            let start = if node_dim_lens[d] < 2 && node_levels[d] > 0 {
+                node_levels[d] - 1
+            } else {
+                node_levels[d]
+            };
+            for level in (0..=start).rev() {
+                let mut target = align_levels.clone();
+                target[d] = level;
+                let mut analysis = Vec::with_capacity(num_members);
+                let mut refinements: Vec<(usize, dc_mds::DimSet)> = Vec::new();
+                for (i, m) in member_mds.iter().enumerate() {
+                    let mut a = m.adapt_to_levels(
+                        &self.schema,
+                        &{
+                            // Adapt non-split dims to the alignment levels;
+                            // the split dim is handled separately below.
+                            let mut t = target.clone();
+                            t[d] = t[d].max(m.dim(d).level());
+                            t
+                        },
+                    )?;
+                    if m.dim(d).level() > level {
+                        // Coarser than the target: refine from the subtree.
+                        let refined = match &children {
+                            Some(kids) => self.subtree_dimset_at(kids[i], d, level)?,
+                            None => unreachable!("records sit on leaf level 0"),
+                        };
+                        *a.dim_mut(d) = refined.clone();
+                        refinements.push((i, refined));
+                    }
+                    analysis.push(a);
+                }
+                let Some(outcome) =
+                    hierarchy_split(&self.schema, &analysis, d, min_group)? else { break };
+                let ratio = outcome.overlap_ratio();
+                // A split is accepted when its overlap is low enough and it
+                // is either balanced (the X-tree rule) or **disjoint**: a
+                // zero-overlap split never causes multi-path descent, so an
+                // uneven but clean partition beats growing a supernode —
+                // the skew is the data's, not the structure's.
+                let balanced = outcome.min_group_len() >= min_group
+                    || (ratio == 0.0 && outcome.min_group_len() >= 2);
+                let low_overlap = ratio <= self.config.max_overlap;
+                if balanced && low_overlap {
+                    self.metrics.splits += 1;
+                    // Commit the lazy refinement: entries analysed at the
+                    // finer level keep it — both in this node's entries and
+                    // in the referenced child's own MDS. Their extent at the
+                    // finer level is exact (computed from the subtree), so
+                    // record coverage is preserved while dead space shrinks.
+                    for (i, refined) in refinements {
+                        let child = children.as_ref().expect("refinement only on dir")[i];
+                        *self.arena.get_mut(child).mds.dim_mut(d) = refined.clone();
+                        let node = self.arena.get_mut(id);
+                        *node.entries_mut()[i].mds.dim_mut(d) = refined;
+                    }
+                    return Ok(Some(self.apply_split(id, outcome)));
+                }
+                let better = match &best_rejected {
+                    None => true,
+                    Some((prev, prev_ratio)) => {
+                        (outcome.min_group_len(), -ratio)
+                            > (prev.min_group_len(), -prev_ratio)
+                    }
+                };
+                if better && outcome.min_group_len() >= 1 {
+                    // Only splits needing no refinement may be forced later
+                    // (the refinement is not committed for rejected levels).
+                    if refinements.is_empty() {
+                        best_rejected = Some((outcome, ratio));
+                    }
+                }
+            }
+        }
+
+        // No acceptable split in any dimension.
+        self.metrics.failed_splits += 1;
+        let may_grow = self.config.allow_supernodes
+            && self.arena.get(id).blocks < self.config.max_supernode_blocks;
+        if may_grow {
+            // Grow the supernode. Growth is geometric (¼ of the current
+            // block count, at least one block): a node that keeps failing to
+            // split retries on every overflow of `capacity × blocks`, and
+            // each retry re-analyses the whole subtree — linear-by-one
+            // growth would make a persistently unsplittable node cost
+            // O(n²) over its lifetime.
+            self.metrics.supernode_growths += 1;
+            let node = self.arena.get_mut(id);
+            node.blocks += (node.blocks / 4).max(1);
+            self.io.write(self.arena.get(id).blocks);
+            Ok(None)
+        } else {
+            // Supernodes disabled (ablation A2) or the supernode hit its
+            // block bound: force the least-bad grouping; if every candidate
+            // required uncommitted refinement, fall back to halving the
+            // members in storage order.
+            let outcome = match best_rejected {
+                Some((outcome, _)) => outcome,
+                None => {
+                    let mid = num_members / 2;
+                    let group1: Vec<usize> = (0..mid).collect();
+                    let group2: Vec<usize> = (mid..num_members).collect();
+                    let cover_of = |idx: &[usize]| -> DcResult<Mds> {
+                        let mut cover: Option<Mds> = None;
+                        for &i in idx {
+                            cover = Some(match cover {
+                                None => member_mds[i].clone(),
+                                Some(c) => c.cover(&member_mds[i], &self.schema)?,
+                            });
+                        }
+                        Ok(cover.expect("non-empty group"))
+                    };
+                    SplitOutcome {
+                        cover1: cover_of(&group1)?,
+                        cover2: cover_of(&group2)?,
+                        group1,
+                        group2,
+                    }
+                }
+            };
+            Ok(Some(self.apply_split(id, outcome)))
+        }
+    }
+
+    /// Computes the extent of the subtree under `id` in dimension `d`,
+    /// expressed on `level` — descending past entries whose stored MDS is
+    /// coarser than `level`. Used by the split path to refine coarse
+    /// members; never stored.
+    fn subtree_dimset_at(
+        &self,
+        id: NodeId,
+        d: usize,
+        level: u8,
+    ) -> DcResult<dc_mds::DimSet> {
+        let node = self.arena.get(id);
+        let h = self.schema.dims().nth(d).expect("dimension in schema");
+        if node.mds.dim(d).level() <= level {
+            return node.mds.dim(d).adapt_to(h, level);
+        }
+        match &node.kind {
+            NodeKind::Data(records) => {
+                let mut values = Vec::with_capacity(records.len());
+                for r in records {
+                    values.push(h.ancestor_at(r.record.dims[d], level)?);
+                }
+                values.sort_unstable();
+                values.dedup();
+                Ok(dc_mds::DimSet::new(level, values))
+            }
+            NodeKind::Dir(entries) => {
+                let mut acc: Option<dc_mds::DimSet> = None;
+                for e in entries {
+                    let part = if e.mds.dim(d).level() <= level {
+                        e.mds.dim(d).adapt_to(h, level)?
+                    } else {
+                        self.subtree_dimset_at(e.child, d, level)?
+                    };
+                    acc = Some(match acc {
+                        None => part,
+                        Some(mut a) => {
+                            a.union_with(&part);
+                            a
+                        }
+                    });
+                }
+                acc.ok_or_else(|| DcError::Corrupt("directory node without entries".into()))
+            }
+        }
+    }
+
+    /// Materializes a split outcome: the node keeps group 1, a fresh sibling
+    /// receives group 2. Returns the sibling.
+    fn apply_split(&mut self, id: NodeId, outcome: SplitOutcome) -> NodeId {
+        let SplitOutcome { group1, group2, cover1, cover2 } = outcome;
+        let old_kind = std::mem::replace(
+            &mut self.arena.get_mut(id).kind,
+            NodeKind::Data(Vec::new()),
+        );
+        let mut sibling = match old_kind {
+            NodeKind::Data(records) => {
+                let (mut part1, mut part2) = (Vec::new(), Vec::new());
+                partition_by_index(records, &group1, &group2, &mut part1, &mut part2);
+                let summary1: MeasureSummary =
+                    part1.iter().map(|r| r.record.measure).collect();
+                let summary2: MeasureSummary =
+                    part2.iter().map(|r| r.record.measure).collect();
+                let node = self.arena.get_mut(id);
+                node.kind = NodeKind::Data(part1);
+                node.summary = summary1;
+                node.mds = cover1;
+                let mut sibling = Node::new_data(cover2);
+                sibling.summary = summary2;
+                *sibling.records_mut() = part2;
+                sibling
+            }
+            NodeKind::Dir(entries) => {
+                let (mut part1, mut part2) = (Vec::new(), Vec::new());
+                partition_by_index(entries, &group1, &group2, &mut part1, &mut part2);
+                let summary1 = part1.iter().fold(MeasureSummary::empty(), |mut a, e| {
+                    a.merge(&e.summary);
+                    a
+                });
+                let node = self.arena.get_mut(id);
+                node.kind = NodeKind::Dir(part1);
+                node.summary = summary1;
+                node.mds = cover1;
+                Node::new_dir(cover2, part2)
+            }
+        };
+        // Supernodes shrink back to the fewest blocks that hold each part.
+        let (data_cap, dir_cap) = (self.config.data_capacity, self.config.dir_capacity);
+        let node = self.arena.get_mut(id);
+        node.blocks = blocks_needed(node, data_cap, dir_cap);
+        sibling.blocks = blocks_needed(&sibling, data_cap, dir_cap);
+        self.io.write(self.arena.get(id).blocks);
+        let sid = self.arena.alloc(sibling);
+        self.io.write(self.arena.get(sid).blocks);
+        sid
+    }
+
+    // ------------------------------------------------------------------
+    // Range queries (Fig. 7)
+    // ------------------------------------------------------------------
+
+    /// Runs a range query and evaluates one aggregation operator over the
+    /// selected records. The range is an MDS: per dimension, a set of
+    /// attribute values on one hierarchy level; a record is selected iff
+    /// each of its leaf values lies below one of the range's values.
+    ///
+    /// Returns `None` for `MIN`/`MAX`/`AVG` over an empty selection.
+    pub fn range_query(&self, range: &Mds, op: AggregateOp) -> DcResult<Option<f64>> {
+        Ok(self.range_summary(range)?.eval(op))
+    }
+
+    /// Runs a range query, returning the full mergeable summary.
+    ///
+    /// Directory entries whose MDS is fully contained in the range
+    /// contribute their **materialized** summary without being descended
+    /// into; partially overlapping entries are recursed (Fig. 7). With
+    /// `use_materialized_aggregates` disabled the query always descends —
+    /// the ablation isolating the benefit of materialization.
+    pub fn range_summary(&self, range: &Mds) -> DcResult<MeasureSummary> {
+        if range.num_dims() != self.schema.num_dims() {
+            return Err(DcError::DimensionMismatch {
+                expected: self.schema.num_dims(),
+                got: range.num_dims(),
+            });
+        }
+        let prepared = PreparedRange::with_mode(
+            &self.schema,
+            range,
+            self.config.use_paper_fig7_containment,
+        )?;
+        let mut acc = MeasureSummary::empty();
+        self.query_rec(self.root, &prepared, &mut acc)?;
+        Ok(acc)
+    }
+
+    fn query_rec(
+        &self,
+        id: NodeId,
+        range: &PreparedRange,
+        acc: &mut MeasureSummary,
+    ) -> DcResult<()> {
+        let node = self.arena.get(id);
+        self.io.read_keyed(id.0 as u64, node.blocks);
+        match &node.kind {
+            NodeKind::Data(records) => {
+                for r in records {
+                    if range.contains_record(&self.schema, &r.record)? {
+                        acc.add(r.record.measure);
+                    }
+                }
+            }
+            NodeKind::Dir(entries) => {
+                for e in entries {
+                    if !range.overlaps(&self.schema, &e.mds)? {
+                        continue;
+                    }
+                    if self.config.use_materialized_aggregates
+                        && range.contains_entry(&self.schema, &e.mds)?
+                    {
+                        self.query_counters
+                            .shortcut_hits
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        acc.merge(&e.summary);
+                    } else {
+                        self.query_counters
+                            .descents
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        self.query_rec(e.child, range, acc)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Range **selection**: invokes `f` for every stored record inside the
+    /// range. Aggregation queries are the paper's focus, but an index
+    /// integrated into a DBMS (the paper's future work) must also produce
+    /// the qualifying rows; selection cannot use the materialized shortcut,
+    /// so contained subtrees are descended to their data pages.
+    pub fn for_each_in_range(
+        &self,
+        range: &Mds,
+        mut f: impl FnMut(&StoredRecord),
+    ) -> DcResult<()> {
+        if range.num_dims() != self.schema.num_dims() {
+            return Err(DcError::DimensionMismatch {
+                expected: self.schema.num_dims(),
+                got: range.num_dims(),
+            });
+        }
+        let prepared = PreparedRange::new(&self.schema, range)?;
+        self.select_rec(self.root, &prepared, &mut f)
+    }
+
+    /// Range selection collecting the matching records.
+    pub fn range_records(&self, range: &Mds) -> DcResult<Vec<Record>> {
+        let mut out = Vec::new();
+        self.for_each_in_range(range, |r| out.push(r.record.clone()))?;
+        Ok(out)
+    }
+
+    fn select_rec(
+        &self,
+        id: NodeId,
+        range: &PreparedRange,
+        f: &mut impl FnMut(&StoredRecord),
+    ) -> DcResult<()> {
+        let node = self.arena.get(id);
+        self.io.read_keyed(id.0 as u64, node.blocks);
+        match &node.kind {
+            NodeKind::Data(records) => {
+                for r in records {
+                    if range.contains_record(&self.schema, &r.record)? {
+                        f(r);
+                    }
+                }
+            }
+            NodeKind::Dir(entries) => {
+                for e in entries {
+                    if range.overlaps(&self.schema, &e.mds)? {
+                        self.select_rec(e.child, range, f)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Counts the stored records equal to `record` (same leaf IDs and
+    /// measure) — the point-query counterpart of [`Self::range_summary`].
+    pub fn count_matching(&self, record: &Record) -> DcResult<u64> {
+        self.schema.validate_record(record)?;
+        let mut count = 0;
+        self.count_rec(self.root, record, &mut count)?;
+        Ok(count)
+    }
+
+    fn count_rec(&self, id: NodeId, record: &Record, count: &mut u64) -> DcResult<()> {
+        let node = self.arena.get(id);
+        self.io.read(node.blocks);
+        match &node.kind {
+            NodeKind::Data(records) => {
+                *count += records.iter().filter(|r| &r.record == record).count() as u64;
+            }
+            NodeKind::Dir(entries) => {
+                for e in entries {
+                    if e.mds.contains_record(&self.schema, record)? {
+                        self.count_rec(e.child, record, count)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Groups a range query's result by the values of one hierarchy level of
+    /// one dimension — the roll-up primitive of OLAP ("revenue by region").
+    ///
+    /// Equivalent to one [`Self::range_summary`] per value of
+    /// `(group_dim, group_level)` with `filter` additionally constrained to
+    /// that value, but computed in a **single traversal**: a directory entry
+    /// whose MDS maps to one group value (and is contained in the filter)
+    /// contributes its materialized summary to that group directly.
+    ///
+    /// Returns the non-empty groups in ID order.
+    pub fn group_by(
+        &self,
+        group_dim: DimensionId,
+        group_level: dc_common::Level,
+        filter: &Mds,
+    ) -> DcResult<Vec<(ValueId, MeasureSummary)>> {
+        if filter.num_dims() != self.schema.num_dims() {
+            return Err(DcError::DimensionMismatch {
+                expected: self.schema.num_dims(),
+                got: filter.num_dims(),
+            });
+        }
+        let h = self.schema.dim(group_dim);
+        if group_level > h.top_level() {
+            return Err(DcError::BadLevel {
+                dim: group_dim,
+                id: h.all(),
+                requested: group_level,
+            });
+        }
+        let prepared = PreparedRange::new(&self.schema, filter)?;
+        let mut groups: Vec<MeasureSummary> =
+            vec![MeasureSummary::empty(); h.num_values_at(group_level)];
+        self.group_rec(self.root, &prepared, group_dim, group_level, &mut groups)?;
+        Ok(groups
+            .into_iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(i, s)| (ValueId::new(group_level, i as u32), s))
+            .collect())
+    }
+
+    fn group_rec(
+        &self,
+        id: NodeId,
+        filter: &PreparedRange,
+        group_dim: DimensionId,
+        group_level: dc_common::Level,
+        groups: &mut [MeasureSummary],
+    ) -> DcResult<()> {
+        let node = self.arena.get(id);
+        self.io.read(node.blocks);
+        let h = self.schema.dim(group_dim);
+        match &node.kind {
+            NodeKind::Data(records) => {
+                for r in records {
+                    if filter.contains_record(&self.schema, &r.record)? {
+                        let key = h.ancestor_at(r.record.dims[group_dim.as_usize()], group_level)?;
+                        groups[key.index() as usize].add(r.record.measure);
+                    }
+                }
+            }
+            NodeKind::Dir(entries) => {
+                for e in entries {
+                    if !filter.overlaps(&self.schema, &e.mds)? {
+                        continue;
+                    }
+                    // The materialized shortcut applies when the entry lies
+                    // fully inside the filter AND maps to a single group
+                    // value (its group-dim set collapses to one ancestor).
+                    let single_group = self.single_group_of(&e.mds, group_dim, group_level)?;
+                    if self.config.use_materialized_aggregates
+                        && filter.contains_entry(&self.schema, &e.mds)?
+                    {
+                        if let Some(key) = single_group {
+                            groups[key.index() as usize].merge(&e.summary);
+                            continue;
+                        }
+                    }
+                    self.group_rec(e.child, filter, group_dim, group_level, groups)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// If every value of `mds`'s group dimension lies below one single value
+    /// on `group_level`, returns that value.
+    fn single_group_of(
+        &self,
+        mds: &Mds,
+        group_dim: DimensionId,
+        group_level: dc_common::Level,
+    ) -> DcResult<Option<ValueId>> {
+        let h = self.schema.dim(group_dim);
+        let set = mds.dim(group_dim.as_usize());
+        if set.level() > group_level {
+            return Ok(None); // coarser than the grouping level: spans many
+        }
+        let mut single: Option<ValueId> = None;
+        for &v in set.values() {
+            let anc = h.ancestor_at(v, group_level)?;
+            match single {
+                None => single = Some(anc),
+                Some(prev) if prev == anc => {}
+                Some(_) => return Ok(None),
+            }
+        }
+        Ok(single)
+    }
+
+    /// Cross-tabulates a range query over two hierarchy levels — the pivot
+    /// table of OLAP ("revenue by region × year"). Computed in a single
+    /// traversal like [`Self::group_by`]; a directory entry mapping to one
+    /// cell (single group value on *both* axes, contained in the filter)
+    /// contributes its materialized summary directly.
+    ///
+    /// Returns the non-empty cells as `((row_value, column_value), summary)`
+    /// in row-major ID order.
+    #[allow(clippy::type_complexity)]
+    pub fn pivot(
+        &self,
+        row: (DimensionId, dc_common::Level),
+        column: (DimensionId, dc_common::Level),
+        filter: &Mds,
+    ) -> DcResult<Vec<((ValueId, ValueId), MeasureSummary)>> {
+        if filter.num_dims() != self.schema.num_dims() {
+            return Err(DcError::DimensionMismatch {
+                expected: self.schema.num_dims(),
+                got: filter.num_dims(),
+            });
+        }
+        for &(dim, level) in [&row, &column] {
+            let h = self.schema.dim(dim);
+            if level > h.top_level() {
+                return Err(DcError::BadLevel { dim, id: h.all(), requested: level });
+            }
+        }
+        let cols = self.schema.dim(column.0).num_values_at(column.1).max(1);
+        let rows = self.schema.dim(row.0).num_values_at(row.1).max(1);
+        let prepared = PreparedRange::with_mode(
+            &self.schema,
+            filter,
+            self.config.use_paper_fig7_containment,
+        )?;
+        let mut cells = vec![MeasureSummary::empty(); rows * cols];
+        self.pivot_rec(self.root, &prepared, row, column, cols, &mut cells)?;
+        Ok(cells
+            .into_iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(i, s)| {
+                (
+                    (
+                        ValueId::new(row.1, (i / cols) as u32),
+                        ValueId::new(column.1, (i % cols) as u32),
+                    ),
+                    s,
+                )
+            })
+            .collect())
+    }
+
+    fn pivot_rec(
+        &self,
+        id: NodeId,
+        filter: &PreparedRange,
+        row: (DimensionId, dc_common::Level),
+        column: (DimensionId, dc_common::Level),
+        cols: usize,
+        cells: &mut [MeasureSummary],
+    ) -> DcResult<()> {
+        let node = self.arena.get(id);
+        self.io.read(node.blocks);
+        let hr = self.schema.dim(row.0);
+        let hc = self.schema.dim(column.0);
+        match &node.kind {
+            NodeKind::Data(records) => {
+                for r in records {
+                    if filter.contains_record(&self.schema, &r.record)? {
+                        let rk = hr.ancestor_at(r.record.dims[row.0.as_usize()], row.1)?;
+                        let ck =
+                            hc.ancestor_at(r.record.dims[column.0.as_usize()], column.1)?;
+                        cells[rk.index() as usize * cols + ck.index() as usize]
+                            .add(r.record.measure);
+                    }
+                }
+            }
+            NodeKind::Dir(entries) => {
+                for e in entries {
+                    if !filter.overlaps(&self.schema, &e.mds)? {
+                        continue;
+                    }
+                    if self.config.use_materialized_aggregates
+                        && filter.contains_entry(&self.schema, &e.mds)?
+                    {
+                        let rk = self.single_group_of(&e.mds, row.0, row.1)?;
+                        let ck = self.single_group_of(&e.mds, column.0, column.1)?;
+                        if let (Some(rk), Some(ck)) = (rk, ck) {
+                            cells[rk.index() as usize * cols + ck.index() as usize]
+                                .merge(&e.summary);
+                            continue;
+                        }
+                    }
+                    self.pivot_rec(e.child, filter, row, column, cols, cells)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the tree from scratch via a hierarchy-sorted bulk load —
+    /// compaction after heavy churn (deletes leave recycled arena slots and
+    /// per-node slack that a fresh load removes). Record ids are preserved.
+    pub fn rebuild(&mut self) -> DcResult<()> {
+        let mut stored: Vec<StoredRecord> =
+            self.iter_records().cloned().collect();
+        let mut keys: Vec<(Vec<u32>, usize)> = stored
+            .iter()
+            .enumerate()
+            .map(|(i, r)| Ok((self.schema.flatten_record(&r.record)?, i)))
+            .collect::<DcResult<_>>()?;
+        keys.sort();
+        let mut fresh = DcTree::new(self.schema.clone(), self.config);
+        for (_, i) in keys {
+            fresh.insert_stored(stored[i].clone())?;
+        }
+        fresh.len = stored.len() as u64;
+        fresh.next_record_id = self.next_record_id;
+        stored.clear();
+        // Keep the I/O counters (the rebuild itself is accounted there).
+        let io = self.io.clone();
+        *self = fresh;
+        self.io = io;
+        Ok(())
+    }
+
+    /// Answers a batch of range queries on `threads` worker threads —
+    /// queries take `&self`, so read parallelism is free (the
+    /// `ConcurrentDcTree` wrapper serves the mixed read/write case).
+    pub fn range_summaries_parallel(
+        &self,
+        queries: &[Mds],
+        threads: usize,
+    ) -> DcResult<Vec<MeasureSummary>> {
+        let threads = threads.clamp(1, queries.len().max(1));
+        let mut results = vec![MeasureSummary::empty(); queries.len()];
+        let chunk = queries.len().div_ceil(threads).max(1);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (qs, rs) in queries.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                handles.push(scope.spawn(move || -> DcResult<()> {
+                    for (q, r) in qs.iter().zip(rs.iter_mut()) {
+                        *r = self.range_summary(q)?;
+                    }
+                    Ok(())
+                }));
+            }
+            handles
+                .into_iter().try_for_each(|h| h.join().expect("query worker panicked"))
+        })?;
+        Ok(results)
+    }
+
+    // ------------------------------------------------------------------
+    // Deletion ("fully dynamic")
+    // ------------------------------------------------------------------
+
+    /// Deletes one record equal to `record` (same leaf IDs and measure).
+    /// Returns `false` if no such record exists.
+    ///
+    /// Materialized measures are maintained along the path; MDSs shrink back
+    /// to minimality; underflowing nodes are dissolved and their records
+    /// re-inserted (R-tree-style condensation).
+    pub fn delete(&mut self, record: &Record) -> DcResult<bool> {
+        self.schema.validate_record(record)?;
+        let mut orphans = Vec::new();
+        let found = self.delete_rec(self.root, record, &mut orphans)?;
+        if !found {
+            return Ok(false);
+        }
+        self.len -= 1;
+        // Collapse a root with a single child.
+        loop {
+            let node = self.arena.get(self.root);
+            match &node.kind {
+                NodeKind::Dir(entries) if entries.len() == 1 => {
+                    let child = entries[0].child;
+                    self.arena.free(self.root);
+                    self.root = child;
+                }
+                NodeKind::Dir(entries) if entries.is_empty() => {
+                    let mds = Mds::all(&self.schema);
+                    *self.arena.get_mut(self.root) = Node::new_data(mds);
+                    break;
+                }
+                _ => break,
+            }
+        }
+        for orphan in orphans {
+            self.insert_stored(orphan)?;
+        }
+        Ok(true)
+    }
+
+    /// Replaces the measure of one record equal to `record` — the update
+    /// operation completing the "fully dynamic" triad. Implemented as an
+    /// atomic delete + insert (measure changes can move aggregates at every
+    /// level, so the full maintenance path runs). Returns `false` when no
+    /// matching record exists.
+    pub fn update_measure(&mut self, record: &Record, new_measure: Measure) -> DcResult<bool> {
+        if !self.delete(record)? {
+            return Ok(false);
+        }
+        let mut updated = record.clone();
+        updated.measure = new_measure;
+        self.insert(updated)?;
+        Ok(true)
+    }
+
+    /// Recursive delete; returns whether the record was found and removed in
+    /// this subtree. Underflowing children are dissolved into `orphans`.
+    fn delete_rec(
+        &mut self,
+        id: NodeId,
+        record: &Record,
+        orphans: &mut Vec<StoredRecord>,
+    ) -> DcResult<bool> {
+        self.io.read(self.arena.get(id).blocks);
+        if self.arena.get(id).is_data() {
+            let pos = {
+                let node = self.arena.get(id);
+                node.records().iter().position(|r| &r.record == record)
+            };
+            let Some(pos) = pos else { return Ok(false) };
+            self.arena.get_mut(id).records_mut().remove(pos);
+            self.recompute_node(id)?;
+            self.io.write(self.arena.get(id).blocks);
+            return Ok(true);
+        }
+
+        let candidates: Vec<(usize, NodeId)> = {
+            let node = self.arena.get(id);
+            let mut v = Vec::new();
+            for (i, e) in node.entries().iter().enumerate() {
+                if e.mds.contains_record(&self.schema, record)? {
+                    v.push((i, e.child));
+                }
+            }
+            v
+        };
+        for (i, child) in candidates {
+            if !self.delete_rec(child, record, orphans)? {
+                continue;
+            }
+            let child_node = self.arena.get(child);
+            let min_fill_len = self.config.min_group(match child_node.kind {
+                NodeKind::Data(_) => self.config.data_capacity,
+                NodeKind::Dir(_) => self.config.dir_capacity,
+            });
+            if child_node.len() < min_fill_len {
+                // Dissolve the child: collect its records for re-insertion.
+                self.collect_subtree(child, orphans);
+                self.arena.get_mut(id).entries_mut().remove(i);
+            } else {
+                // Maybe shrink a supernode that no longer needs its blocks.
+                let cap_per_block = if child_node.is_data() {
+                    self.config.data_capacity
+                } else {
+                    self.config.dir_capacity
+                };
+                let needed = (child_node.len().div_ceil(cap_per_block)).max(1) as u32;
+                if needed < child_node.blocks {
+                    self.arena.get_mut(child).blocks = needed;
+                }
+                let refreshed = self.entry_for(child);
+                self.arena.get_mut(id).entries_mut()[i] = refreshed;
+            }
+            self.recompute_node(id)?;
+            self.io.write(self.arena.get(id).blocks);
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Recomputes a node's summary and shrinks its MDS to the minimal cover
+    /// of its content at the node's current relevant levels.
+    fn recompute_node(&mut self, id: NodeId) -> DcResult<()> {
+        let levels = self.arena.get(id).mds.levels();
+        let (mds, summary) = {
+            let node = self.arena.get(id);
+            match &node.kind {
+                NodeKind::Data(records) => {
+                    if records.is_empty() {
+                        (node.mds.clone(), MeasureSummary::empty())
+                    } else {
+                        let mut mds: Option<Mds> = None;
+                        let mut summary = MeasureSummary::empty();
+                        for r in records {
+                            summary.add(r.record.measure);
+                            let p = Mds::from_record(&r.record)
+                                .adapt_to_levels(&self.schema, &levels)?;
+                            mds = Some(match mds {
+                                None => p,
+                                Some(m) => m.union_aligned(&p),
+                            });
+                        }
+                        (mds.unwrap(), summary)
+                    }
+                }
+                NodeKind::Dir(entries) => {
+                    // Lazy refinement may have left this node's MDS finer
+                    // than some entries; the recomputed cover can go no
+                    // deeper than the coarsest entry per dimension.
+                    let levels: Vec<u8> = (0..node.mds.num_dims())
+                        .map(|dim| {
+                            entries
+                                .iter()
+                                .map(|e| e.mds.dim(dim).level())
+                                .max()
+                                .unwrap_or(levels[dim])
+                        })
+                        .collect();
+                    let mut mds: Option<Mds> = None;
+                    let mut summary = MeasureSummary::empty();
+                    for e in entries {
+                        summary.merge(&e.summary);
+                        let p = e.mds.adapt_to_levels(&self.schema, &levels)?;
+                        mds = Some(match mds {
+                            None => p,
+                            Some(m) => m.union_aligned(&p),
+                        });
+                    }
+                    (mds.unwrap_or_else(|| node.mds.clone()), summary)
+                }
+            }
+        };
+        let node = self.arena.get_mut(id);
+        node.mds = mds;
+        node.summary = summary;
+        Ok(())
+    }
+
+    /// Collects every record below `id` and frees the whole subtree.
+    fn collect_subtree(&mut self, id: NodeId, out: &mut Vec<StoredRecord>) {
+        let node = self.arena.get(id);
+        self.io.read(node.blocks);
+        match &node.kind {
+            NodeKind::Data(_) => {
+                let node = self.arena.get_mut(id);
+                out.append(node.records_mut());
+            }
+            NodeKind::Dir(entries) => {
+                let children: Vec<NodeId> = entries.iter().map(|e| e.child).collect();
+                for c in children {
+                    self.collect_subtree(c, out);
+                }
+            }
+        }
+        self.arena.free(id);
+    }
+
+    /// Iterates over every stored record (diagnostics and tests; order is
+    /// unspecified).
+    pub fn iter_records(&self) -> impl Iterator<Item = &StoredRecord> {
+        self.arena.iter().flat_map(|(_, n)| match &n.kind {
+            NodeKind::Data(records) => records.iter(),
+            NodeKind::Dir(_) => [].iter(),
+        })
+    }
+}
+
+/// Splits `items` into the subsets selected by `idx1` / `idx2` (disjoint,
+/// covering index sets).
+fn partition_by_index<T>(
+    items: Vec<T>,
+    idx1: &[usize],
+    idx2: &[usize],
+    out1: &mut Vec<T>,
+    out2: &mut Vec<T>,
+) {
+    debug_assert_eq!(idx1.len() + idx2.len(), items.len());
+    let mut take1 = vec![false; items.len()];
+    for &i in idx1 {
+        take1[i] = true;
+    }
+    let _ = idx2;
+    for (i, item) in items.into_iter().enumerate() {
+        if take1[i] {
+            out1.push(item);
+        } else {
+            out2.push(item);
+        }
+    }
+}
+
+fn blocks_needed(node: &Node, data_cap: usize, dir_cap: usize) -> u32 {
+    let cap = if node.is_data() { data_cap } else { dir_cap };
+    (node.len().div_ceil(cap)).max(1) as u32
+}

@@ -1,0 +1,72 @@
+//! Fuzz-style robustness: arbitrary and mutated byte inputs must never
+//! panic any decoder — they either parse to a valid structure or fail with
+//! a clean error.
+
+use dc_tree::{DcTree, DcTreeConfig};
+use dc_hierarchy::{CubeSchema, HierarchySchema};
+use proptest::prelude::*;
+
+fn small_tree() -> DcTree {
+    let schema = CubeSchema::new(
+        vec![
+            HierarchySchema::new("D0", vec!["A".into(), "B".into()]),
+            HierarchySchema::new("D1", vec!["Y".into(), "M".into()]),
+        ],
+        "m",
+    );
+    let mut tree = DcTree::new(
+        schema,
+        DcTreeConfig { dir_capacity: 3, data_capacity: 3, ..DcTreeConfig::default() },
+    );
+    for i in 0..40 {
+        tree.insert_raw(
+            &[
+                vec![format!("a{}", i % 3), format!("a{}b{}", i % 3, i % 5)],
+                vec![format!("y{}", i % 2), format!("y{}m{}", i % 2, i % 4)],
+            ],
+            i,
+        )
+        .unwrap();
+    }
+    tree
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes fed to the tree loader: never a panic.
+    #[test]
+    fn from_bytes_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = DcTree::from_bytes(&bytes);
+    }
+
+    /// A valid image with arbitrary byte-range mutations: never a panic,
+    /// and on success the structure passes its own invariant check (which
+    /// `from_bytes` runs internally).
+    #[test]
+    fn mutated_image_never_panics(
+        offset_frac in 0.0f64..1.0,
+        len in 1usize..64,
+        xor in 1u8..=255,
+    ) {
+        let image = small_tree().to_bytes();
+        let mut corrupt = image.clone();
+        let start = ((corrupt.len() - 1) as f64 * offset_frac) as usize;
+        let end = (start + len).min(corrupt.len());
+        for b in &mut corrupt[start..end] {
+            *b ^= xor;
+        }
+        if let Ok(tree) = DcTree::from_bytes(&corrupt) {
+            // Accepted images must be fully coherent.
+            tree.check_invariants().unwrap();
+        }
+    }
+
+    /// Truncations at every length: never a panic.
+    #[test]
+    fn truncated_image_never_panics(cut_frac in 0.0f64..1.0) {
+        let image = small_tree().to_bytes();
+        let cut = ((image.len() - 1) as f64 * cut_frac) as usize;
+        let _ = DcTree::from_bytes(&image[..cut]);
+    }
+}

@@ -1,0 +1,31 @@
+//! # dc-durable
+//!
+//! Durability for the DC-tree: a checksummed **write-ahead log**,
+//! **checkpoints**, and **crash recovery**.
+//!
+//! The paper's pitch is a warehouse that never needs a maintenance window —
+//! which only holds in practice if the index also survives process death
+//! without a nightly rebuild. [`DurableDcTree`] wraps a [`DcTree`] with the
+//! classic recipe:
+//!
+//! 1. every mutation is appended to `wal.log` (length + CRC-32 framed,
+//!    carrying the *raw attribute paths*, so replay re-interns values in the
+//!    original order and reproduces identical IDs) **before** it is applied
+//!    to the in-memory tree;
+//! 2. [`checkpoint`](DurableDcTree::checkpoint) writes the full tree image
+//!    to `checkpoint.dct` atomically (write-temp + rename) and starts a
+//!    fresh log;
+//! 3. [`open`](DurableDcTree::open) recovers by loading the last checkpoint
+//!    and replaying the log tail, stopping cleanly at a torn or corrupted
+//!    entry (the partial write of a crash) and truncating it.
+//!
+//! Sync behaviour is configurable: [`SyncMode::Always`] fsyncs per
+//! mutation (maximum durability), [`SyncMode::OnCheckpoint`] leaves
+//! intermediate syncing to the OS.
+
+pub mod tree;
+pub mod wal;
+
+pub use tree::{DurabilityConfig, DurableDcTree, SyncMode};
+pub use wal::{WalEntry, WalReader, WalWriter};
+

@@ -1,0 +1,210 @@
+//! The durable wrapper: WAL + checkpoints + recovery around a [`DcTree`].
+
+use std::path::{Path, PathBuf};
+
+use dc_common::{DcResult, Measure, RecordId};
+use dc_tree::{DcTree, DcTreeConfig};
+
+use crate::wal::{WalEntry, WalReader, WalWriter};
+
+/// When the log is fsynced.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SyncMode {
+    /// fsync after every mutation — nothing acknowledged is ever lost.
+    Always,
+    /// Leave intermediate durability to the OS; fsync at checkpoints.
+    /// A crash may lose the unsynced suffix, never corrupt the store.
+    OnCheckpoint,
+}
+
+/// Durability knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct DurabilityConfig {
+    /// fsync policy for the log.
+    pub sync: SyncMode,
+    /// Automatically checkpoint after this many logged mutations
+    /// (`0` = only on explicit [`DurableDcTree::checkpoint`] calls).
+    pub checkpoint_every: u64,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig { sync: SyncMode::Always, checkpoint_every: 0 }
+    }
+}
+
+/// A crash-safe DC-tree: mutations go to the write-ahead log first, the
+/// in-memory tree second; recovery replays the log over the last
+/// checkpoint. Queries go straight to the wrapped [`DcTree`]
+/// ([`Self::tree`]).
+#[derive(Debug)]
+pub struct DurableDcTree {
+    tree: DcTree,
+    wal: WalWriter,
+    dir: PathBuf,
+    durability: DurabilityConfig,
+    since_checkpoint: u64,
+}
+
+impl DurableDcTree {
+    fn checkpoint_path(dir: &Path) -> PathBuf {
+        dir.join("checkpoint.dct")
+    }
+
+    fn wal_path(dir: &Path) -> PathBuf {
+        dir.join("wal.log")
+    }
+
+    /// Opens (or creates) a durable tree in `dir`, recovering any previous
+    /// state: last checkpoint + clean log tail. `make_tree` builds the
+    /// initial tree when no checkpoint exists (supplying schema and
+    /// config); its config also applies to recovered trees' replay.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        make_tree: impl FnOnce() -> DcTree,
+        durability: DurabilityConfig,
+    ) -> DcResult<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let checkpoint = Self::checkpoint_path(&dir);
+        let mut tree = if checkpoint.exists() {
+            DcTree::load_from(&checkpoint)?
+        } else {
+            make_tree()
+        };
+        // Replay the log tail over the checkpoint, truncating any torn end.
+        let wal_path = Self::wal_path(&dir);
+        let scan = WalReader::scan(&wal_path)?;
+        for entry in &scan.entries {
+            apply(&mut tree, entry)?;
+        }
+        if wal_path.exists() {
+            scan.truncate_tail(&wal_path)?;
+        }
+        let wal = WalWriter::open(&wal_path)?;
+        Ok(DurableDcTree {
+            tree,
+            wal,
+            dir,
+            durability,
+            since_checkpoint: scan.entries.len() as u64,
+        })
+    }
+
+    /// The wrapped tree, for queries (`range_query`, `group_by`, stats …).
+    pub fn tree(&self) -> &DcTree {
+        &self.tree
+    }
+
+    /// The tree's configuration.
+    pub fn config(&self) -> &DcTreeConfig {
+        self.tree.config()
+    }
+
+    /// Mutations logged since the last checkpoint.
+    pub fn log_length(&self) -> u64 {
+        self.since_checkpoint
+    }
+
+    fn log(&mut self, entry: &WalEntry) -> DcResult<()> {
+        self.wal.append(entry)?;
+        if self.durability.sync == SyncMode::Always {
+            self.wal.sync()?;
+        }
+        self.since_checkpoint += 1;
+        Ok(())
+    }
+
+    fn maybe_auto_checkpoint(&mut self) -> DcResult<()> {
+        if self.durability.checkpoint_every > 0
+            && self.since_checkpoint >= self.durability.checkpoint_every
+        {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Durable insert: logged, then applied.
+    pub fn insert_raw<S: AsRef<str>>(
+        &mut self,
+        paths: &[Vec<S>],
+        measure: Measure,
+    ) -> DcResult<RecordId> {
+        let entry = WalEntry::Insert {
+            paths: paths
+                .iter()
+                .map(|d| d.iter().map(|s| s.as_ref().to_string()).collect())
+                .collect(),
+            measure,
+        };
+        self.log(&entry)?;
+        let id = self.tree.insert_raw(paths, measure)?;
+        self.maybe_auto_checkpoint()?;
+        Ok(id)
+    }
+
+    /// Durable delete by raw paths + measure. Returns `false` when no
+    /// matching record exists (the no-op is still logged for replay
+    /// fidelity).
+    pub fn delete_raw<S: AsRef<str>>(
+        &mut self,
+        paths: &[Vec<S>],
+        measure: Measure,
+    ) -> DcResult<bool> {
+        let entry = WalEntry::Delete {
+            paths: paths
+                .iter()
+                .map(|d| d.iter().map(|s| s.as_ref().to_string()).collect())
+                .collect(),
+            measure,
+        };
+        self.log(&entry)?;
+        let deleted = apply(&mut self.tree, &entry)?;
+        self.maybe_auto_checkpoint()?;
+        Ok(deleted)
+    }
+
+    /// Writes a checkpoint atomically (temp + rename) and starts a fresh
+    /// log. After this, recovery needs only the new files.
+    pub fn checkpoint(&mut self) -> DcResult<()> {
+        self.wal.sync()?;
+        let checkpoint = Self::checkpoint_path(&self.dir);
+        let tmp = self.dir.join("checkpoint.tmp");
+        self.tree.save_to(&tmp)?;
+        std::fs::rename(&tmp, &checkpoint)?;
+        // The image is durable; retire the log.
+        let wal_path = Self::wal_path(&self.dir);
+        std::fs::remove_file(&wal_path).ok();
+        self.wal = WalWriter::open(&wal_path)?;
+        self.since_checkpoint = 0;
+        Ok(())
+    }
+
+    /// Syncs the log (meaningful under [`SyncMode::OnCheckpoint`]).
+    pub fn sync(&mut self) -> DcResult<()> {
+        self.wal.sync()
+    }
+}
+
+/// Applies one WAL entry to a tree (the replay step).
+fn apply(tree: &mut DcTree, entry: &WalEntry) -> DcResult<bool> {
+    match entry {
+        WalEntry::Insert { paths, measure } => {
+            tree.insert_raw(paths, *measure)?;
+            Ok(true)
+        }
+        WalEntry::Delete { paths, measure } => {
+            // Resolve the paths against the (replayed) schema; a miss means
+            // the original call was a no-op too.
+            let mut dims = Vec::with_capacity(paths.len());
+            for (d, path) in paths.iter().enumerate() {
+                match tree.schema().dim(dc_common::DimensionId(d as u16)).lookup_path(path) {
+                    Some(id) => dims.push(id),
+                    None => return Ok(false),
+                }
+            }
+            let record = dc_hierarchy::Record::new(dims, *measure);
+            tree.delete(&record)
+        }
+    }
+}

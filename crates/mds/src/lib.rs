@@ -1,0 +1,27 @@
+//! # dc-mds
+//!
+//! Minimum Describing Sequences — the region descriptor of the DC-tree
+//! (§3.2, Definitions 3 and 4).
+//!
+//! Where an R-/X-tree approximates a set of records by a minimum bounding
+//! rectangle over totally ordered axes, the DC-tree describes it by an MDS:
+//! per dimension, an explicit *set* of attribute values, all located on one
+//! "relevant level" of that dimension's concept hierarchy. Only values that
+//! actually occur below the node are listed, so an MDS covers far less dead
+//! space than an MBR (the paper's Fig. 3) at the price of variable size.
+//!
+//! This crate provides the MDS type and its complete algebra:
+//!
+//! * **size / volume** of a single MDS,
+//! * **overlap / extension** of two MDSs (which require both operands to sit
+//!   on the same hierarchy level per dimension — the *adaptation* rule),
+//! * **containment** in the partial-order sense of Definition 4,
+//! * **level adaptation** (promoting values to their ancestors on a higher
+//!   level) and the **covering MDS** of two operands,
+//! * record containment and coverage extension used by the insert path.
+
+pub mod dimset;
+pub mod mds;
+
+pub use dimset::DimSet;
+pub use mds::Mds;

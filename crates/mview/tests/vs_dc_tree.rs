@@ -1,0 +1,102 @@
+//! The static/dynamic face-off from the paper's introduction, executable:
+//! materialized views answer anticipated roll-ups exactly like the DC-tree,
+//! miss unanticipated shapes entirely, and go stale on deletion — while the
+//! DC-tree answers everything and stays current.
+
+use dc_mview::{rollup_lattice, ViewSet};
+use dc_query::{RangeQueryGen, ValuePick};
+use dc_tpcd::{generate, TpcdConfig};
+use dc_tree::{DcTree, DcTreeConfig};
+
+#[test]
+fn views_and_tree_agree_on_anticipated_rollups() {
+    let data = generate(&TpcdConfig::scaled(2_000, 21));
+    let mut tree = DcTree::new(data.schema.clone(), DcTreeConfig::default());
+    for r in &data.records {
+        tree.insert(r.clone()).unwrap();
+    }
+    let views =
+        ViewSet::build(data.schema.clone(), rollup_lattice(&data.schema), &data.records)
+            .unwrap();
+
+    // Every single-dimension roll-up at every level: both engines agree.
+    use dc_common::DimensionId;
+    use dc_mds::{DimSet, Mds};
+    let mut hits = 0;
+    for d in 0..data.schema.num_dims() {
+        let h = data.schema.dim(DimensionId(d as u16));
+        for level in 0..h.top_level() {
+            for v in h.values_at(level).take(10) {
+                let dims = (0..data.schema.num_dims())
+                    .map(|dd| {
+                        if dd == d {
+                            DimSet::singleton(v)
+                        } else {
+                            DimSet::singleton(
+                                data.schema.dim(DimensionId(dd as u16)).all(),
+                            )
+                        }
+                    })
+                    .collect();
+                let q = Mds::new(dims);
+                let from_views = views.answer(&q).unwrap().expect("roll-up in lattice");
+                let from_tree = tree.range_summary(&q).unwrap();
+                assert_eq!(from_views, from_tree);
+                hits += 1;
+            }
+        }
+    }
+    assert!(hits > 30, "the sweep must actually exercise queries ({hits})");
+}
+
+#[test]
+fn unanticipated_queries_miss_the_lattice_but_not_the_tree() {
+    let data = generate(&TpcdConfig::scaled(1_500, 23));
+    let mut tree = DcTree::new(data.schema.clone(), DcTreeConfig::default());
+    for r in &data.records {
+        tree.insert(r.clone()).unwrap();
+    }
+    let views =
+        ViewSet::build(data.schema.clone(), rollup_lattice(&data.schema), &data.records)
+            .unwrap();
+
+    // §5.2-style conjunctive queries constrain several dimensions at once —
+    // never anticipated by the per-dimension roll-up lattice.
+    let mut gen = RangeQueryGen::new(0.25, ValuePick::ContiguousRun, 5);
+    let mut misses = 0;
+    for _ in 0..25 {
+        let q = gen.generate(&data.schema);
+        if views.answer(&q).unwrap().is_none() {
+            misses += 1;
+        }
+        // The DC-tree answers regardless.
+        let _ = tree.range_summary(&q).unwrap();
+    }
+    assert!(
+        misses >= 20,
+        "conjunctive queries should essentially always miss a roll-up lattice ({misses}/25)"
+    );
+}
+
+#[test]
+fn dynamism_gap_deletion() {
+    let data = generate(&TpcdConfig::scaled(800, 29));
+    let mut tree = DcTree::new(data.schema.clone(), DcTreeConfig::default());
+    for r in &data.records {
+        tree.insert(r.clone()).unwrap();
+    }
+    let mut views =
+        ViewSet::build(data.schema.clone(), rollup_lattice(&data.schema), &data.records)
+            .unwrap();
+
+    // One delete: the DC-tree absorbs it; the views go stale until a full
+    // rebuild over the remaining records.
+    let victim = data.records[0].clone();
+    assert!(tree.delete(&victim).unwrap());
+    views.delete(&victim);
+    let all = dc_mds::Mds::all(&data.schema);
+    assert!(views.answer(&all).is_err());
+    let tree_total = tree.range_summary(&all).unwrap();
+    views.rebuild(&data.records[1..]).unwrap();
+    assert_eq!(views.answer(&all).unwrap().unwrap(), tree_total);
+}

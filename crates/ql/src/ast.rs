@@ -1,0 +1,60 @@
+//! The compiled query and the error type.
+
+use std::fmt;
+
+use dc_common::{AggregateOp, DimensionId, Level};
+use dc_mds::Mds;
+
+/// A parsed, name-resolved query, ready to execute against a DC-tree.
+#[derive(Clone, Debug)]
+pub struct ParsedQuery {
+    /// The aggregation operator.
+    pub op: AggregateOp,
+    /// The filter as a range MDS (unconstrained dimensions hold `ALL`).
+    pub filter: Mds,
+    /// Optional `GROUP BY`: the dimension and hierarchy level to group on.
+    pub group_by: Option<(DimensionId, Level)>,
+    /// Optional `TOP k` limit for grouped output (largest aggregate first).
+    pub top: Option<usize>,
+}
+
+/// Parse / resolution errors, with positions where applicable.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum QlError {
+    /// Lexical error at a byte offset.
+    Lex { offset: usize, message: String },
+    /// Grammar violation.
+    Parse { near: String, message: String },
+    /// The query referenced an unknown dimension.
+    UnknownDimension(String),
+    /// The query referenced an attribute the dimension does not have.
+    UnknownAttribute { dimension: String, attribute: String },
+    /// No value with this name exists on the referenced level.
+    UnknownValue { dimension: String, attribute: String, value: String },
+    /// Two conditions constrained the same dimension.
+    DuplicateCondition(String),
+}
+
+impl fmt::Display for QlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QlError::Lex { offset, message } => {
+                write!(f, "lexical error at byte {offset}: {message}")
+            }
+            QlError::Parse { near, message } => write!(f, "parse error near `{near}`: {message}"),
+            QlError::UnknownDimension(d) => write!(f, "unknown dimension `{d}`"),
+            QlError::UnknownAttribute { dimension, attribute } => {
+                write!(f, "dimension `{dimension}` has no attribute `{attribute}`")
+            }
+            QlError::UnknownValue { dimension, attribute, value } => write!(
+                f,
+                "no value named '{value}' on level {attribute} of dimension {dimension}"
+            ),
+            QlError::DuplicateCondition(d) => {
+                write!(f, "dimension `{d}` is constrained twice (combine the values with IN)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QlError {}

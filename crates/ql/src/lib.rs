@@ -1,0 +1,43 @@
+//! # dc-ql
+//!
+//! A small aggregate-query language over data cubes, compiled to the range
+//! MDSs the DC-tree executes. The paper's future work calls for integrating
+//! the DC-tree "into a commercial DBMS"; this crate supplies the thin
+//! declarative front-end such an integration needs:
+//!
+//! ```text
+//! SUM WHERE Customer.Region IN ('EUROPE', 'ASIA') AND Time.Year = '1996'
+//! AVG WHERE Part.Brand = 'Brand#11'
+//! COUNT
+//! ```
+//!
+//! * the aggregate keyword selects the [`AggregateOp`](dc_common::AggregateOp);
+//! * each condition names a dimension and one of its hierarchy attributes —
+//!   the attribute determines the *relevant level* of the range MDS;
+//! * values are resolved by name on that level (every match is included
+//!   when a name repeats under different parents, e.g. month `'03'` of
+//!   every year);
+//! * dimensions without a condition stay unconstrained (`ALL`);
+//! * `GROUP BY <dim>.<attr>` compiles to the DC-tree's single-pass
+//!   [`group_by`](https://docs.rs/dc-tree) plan.
+//!
+//! ```
+//! use dc_hierarchy::{CubeSchema, HierarchySchema};
+//! use dc_ql::parse_query;
+//!
+//! let mut schema = CubeSchema::new(
+//!     vec![HierarchySchema::new("Customer", vec!["Region".into(), "Nation".into()])],
+//!     "Revenue",
+//! );
+//! schema.intern_record(&[vec!["EUROPE", "GERMANY"]], 1).unwrap();
+//! let q = parse_query(&schema, "SUM WHERE Customer.Region IN ('EUROPE')").unwrap();
+//! assert_eq!(q.op, dc_common::AggregateOp::Sum);
+//! assert!(q.group_by.is_none());
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{ParsedQuery, QlError};
+pub use parser::parse_query;

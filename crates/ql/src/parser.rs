@@ -1,0 +1,360 @@
+//! Recursive-descent parser and name resolution.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! query      := agg where? group?
+//! agg        := 'SUM' | 'COUNT' | 'AVG' | 'MIN' | 'MAX'
+//! where      := 'WHERE' condition ('AND' condition)*
+//! condition  := path 'IN' '(' value (',' value)* ')'
+//!             | path '=' value
+//! group      := 'GROUP' 'BY' path ('TOP' int)?
+//! path       := ident '.' ident          // Dimension.Attribute
+//! value      := string | ident           // 'EUROPE' or 1996-03
+//! ```
+
+use dc_common::{AggregateOp, DimensionId, Level, ValueId};
+use dc_hierarchy::{ConceptHierarchy, CubeSchema};
+use dc_mds::{DimSet, Mds};
+
+use crate::ast::{ParsedQuery, QlError};
+use crate::lexer::{tokenize, Token};
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    schema: &'a CubeSchema,
+}
+
+/// Parses and resolves one query against `schema`.
+pub fn parse_query(schema: &CubeSchema, input: &str) -> Result<ParsedQuery, QlError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0, schema };
+    let q = p.query()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.err("expected end of query"));
+    }
+    Ok(q)
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: &str) -> QlError {
+        QlError::Parse {
+            near: self
+                .peek()
+                .map(Token::render)
+                .unwrap_or_else(|| "<end>".into()),
+            message: message.into(),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, QlError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err(&format!("expected {what}")))
+            }
+        }
+    }
+
+    fn value_name(&mut self) -> Result<String, QlError> {
+        match self.next() {
+            Some(Token::Str(s)) => Ok(s),
+            Some(Token::Ident(s)) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected a value (quoted string or bare name)"))
+            }
+        }
+    }
+
+    fn query(&mut self) -> Result<ParsedQuery, QlError> {
+        let op = self.aggregate()?;
+        let mut per_dim: Vec<Option<DimSet>> = vec![None; self.schema.num_dims()];
+        if self.keyword("WHERE") {
+            loop {
+                self.condition(&mut per_dim)?;
+                if !self.keyword("AND") {
+                    break;
+                }
+            }
+        }
+        let group_by = if self.keyword("GROUP") {
+            if !self.keyword("BY") {
+                return Err(self.err("expected BY after GROUP"));
+            }
+            let (dim, level, _) = self.path()?;
+            Some((dim, level))
+        } else {
+            None
+        };
+        let top = if self.keyword("TOP") {
+            if group_by.is_none() {
+                return Err(self.err("TOP requires GROUP BY"));
+            }
+            let n = self.ident("a positive count after TOP")?;
+            let n: usize = n.parse().map_err(|_| QlError::Parse {
+                near: n.clone(),
+                message: "TOP expects a positive integer".into(),
+            })?;
+            if n == 0 {
+                return Err(QlError::Parse {
+                    near: "0".into(),
+                    message: "TOP expects a positive integer".into(),
+                });
+            }
+            Some(n)
+        } else {
+            None
+        };
+        let dims = per_dim
+            .into_iter()
+            .enumerate()
+            .map(|(d, set)| {
+                set.unwrap_or_else(|| {
+                    DimSet::singleton(self.schema.dim(DimensionId(d as u16)).all())
+                })
+            })
+            .collect();
+        Ok(ParsedQuery { op, filter: Mds::new(dims), group_by, top })
+    }
+
+    fn aggregate(&mut self) -> Result<AggregateOp, QlError> {
+        let name = self.ident("an aggregate (SUM, COUNT, AVG, MIN, MAX)")?;
+        match name.to_ascii_uppercase().as_str() {
+            "SUM" => Ok(AggregateOp::Sum),
+            "COUNT" => Ok(AggregateOp::Count),
+            "AVG" => Ok(AggregateOp::Avg),
+            "MIN" => Ok(AggregateOp::Min),
+            "MAX" => Ok(AggregateOp::Max),
+            _ => Err(QlError::Parse {
+                near: name,
+                message: "expected an aggregate (SUM, COUNT, AVG, MIN, MAX)".into(),
+            }),
+        }
+    }
+
+    /// `Dimension.Attribute` resolved to (dimension, level, hierarchy).
+    fn path(&mut self) -> Result<(DimensionId, Level, &'a ConceptHierarchy), QlError> {
+        let dim_name = self.ident("a dimension name")?;
+        if self.next() != Some(Token::Dot) {
+            self.pos = self.pos.saturating_sub(1);
+            return Err(self.err("expected `.` after the dimension name"));
+        }
+        let attr_name = self.ident("an attribute name")?;
+        let dim = self
+            .schema
+            .dims()
+            .position(|h| h.schema().name().eq_ignore_ascii_case(&dim_name))
+            .ok_or_else(|| QlError::UnknownDimension(dim_name.clone()))?;
+        let h = self.schema.dim(DimensionId(dim as u16));
+        let level = (0..h.top_level())
+            .find(|&l| {
+                h.schema()
+                    .attribute_name(l)
+                    .is_some_and(|a| a.eq_ignore_ascii_case(&attr_name))
+            })
+            .ok_or(QlError::UnknownAttribute {
+                dimension: dim_name,
+                attribute: attr_name,
+            })?;
+        Ok((DimensionId(dim as u16), level, h))
+    }
+
+    fn condition(&mut self, per_dim: &mut [Option<DimSet>]) -> Result<(), QlError> {
+        let (dim, level, h) = self.path()?;
+        if per_dim[dim.as_usize()].is_some() {
+            return Err(QlError::DuplicateCondition(h.schema().name().to_string()));
+        }
+        let names: Vec<String> = if self.keyword("IN") {
+            if self.next() != Some(Token::LParen) {
+                self.pos = self.pos.saturating_sub(1);
+                return Err(self.err("expected `(` after IN"));
+            }
+            let mut names = vec![self.value_name()?];
+            loop {
+                match self.next() {
+                    Some(Token::Comma) => names.push(self.value_name()?),
+                    Some(Token::RParen) => break,
+                    _ => {
+                        self.pos = self.pos.saturating_sub(1);
+                        return Err(self.err("expected `,` or `)` in the IN list"));
+                    }
+                }
+            }
+            names
+        } else if self.next() == Some(Token::Eq) {
+            vec![self.value_name()?]
+        } else {
+            self.pos = self.pos.saturating_sub(1);
+            return Err(self.err("expected IN (...) or = after the attribute"));
+        };
+
+        let mut values: Vec<ValueId> = Vec::new();
+        for name in &names {
+            // Every value with this name on the level qualifies (names can
+            // repeat under different parents, e.g. month '03').
+            let matches: Vec<ValueId> = h
+                .values_at(level)
+                .filter(|&v| h.name(v).is_ok_and(|n| n == name))
+                .collect();
+            if matches.is_empty() {
+                return Err(QlError::UnknownValue {
+                    dimension: h.schema().name().to_string(),
+                    attribute: h
+                        .schema()
+                        .attribute_name(level)
+                        .unwrap_or("?")
+                        .to_string(),
+                    value: name.clone(),
+                });
+            }
+            values.extend(matches);
+        }
+        per_dim[dim.as_usize()] = Some(DimSet::new(level, values));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_hierarchy::HierarchySchema;
+
+    fn schema() -> CubeSchema {
+        let mut s = CubeSchema::new(
+            vec![
+                HierarchySchema::new(
+                    "Customer",
+                    vec!["Region".into(), "Nation".into()],
+                ),
+                HierarchySchema::new("Time", vec!["Year".into(), "Month".into()]),
+            ],
+            "Revenue",
+        );
+        for (r, n, y, m) in [
+            ("EUROPE", "GERMANY", "1996", "03"),
+            ("EUROPE", "FRANCE", "1996", "07"),
+            ("ASIA", "JAPAN", "1997", "03"),
+        ] {
+            s.intern_record(&[vec![r, n], vec![y, m]], 1).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn parses_full_query() {
+        let s = schema();
+        let q = parse_query(
+            &s,
+            "sum where Customer.Region in ('EUROPE') and Time.Year = '1996'",
+        )
+        .unwrap();
+        assert_eq!(q.op, AggregateOp::Sum);
+        assert_eq!(q.filter.dim(0).len(), 1);
+        assert_eq!(q.filter.dim(0).level(), 1);
+        assert_eq!(q.filter.dim(1).level(), 1);
+        assert!(q.group_by.is_none());
+    }
+
+    #[test]
+    fn bare_aggregate_is_unconstrained(){
+        let s = schema();
+        let q = parse_query(&s, "COUNT").unwrap();
+        assert_eq!(q.op, AggregateOp::Count);
+        for (d, h) in s.dims().enumerate() {
+            assert_eq!(q.filter.dim(d).values(), &[h.all()]);
+        }
+    }
+
+    #[test]
+    fn repeating_names_match_every_parent() {
+        let s = schema();
+        // Month '03' exists under 1996 and 1997.
+        let q = parse_query(&s, "SUM WHERE Time.Month = '03'").unwrap();
+        assert_eq!(q.filter.dim(1).len(), 2);
+        assert_eq!(q.filter.dim(1).level(), 0);
+    }
+
+    #[test]
+    fn group_by_resolves_level() {
+        let s = schema();
+        let q = parse_query(&s, "AVG GROUP BY Customer.Nation").unwrap();
+        assert_eq!(q.group_by, Some((DimensionId(0), 0)));
+        let q = parse_query(&s, "AVG GROUP BY Customer.Region").unwrap();
+        assert_eq!(q.group_by, Some((DimensionId(0), 1)));
+    }
+
+    #[test]
+    fn top_k_parses_and_validates() {
+        let s = schema();
+        let q = parse_query(&s, "SUM GROUP BY Customer.Region TOP 3").unwrap();
+        assert_eq!(q.top, Some(3));
+        assert!(q.group_by.is_some());
+        assert!(parse_query(&s, "SUM TOP 3").is_err(), "TOP without GROUP BY");
+        assert!(parse_query(&s, "SUM GROUP BY Customer.Region TOP 0").is_err());
+        assert!(parse_query(&s, "SUM GROUP BY Customer.Region TOP x").is_err());
+    }
+
+    #[test]
+    fn bare_identifiers_work_as_values() {
+        let s = schema();
+        let q = parse_query(&s, "SUM WHERE Time.Year IN (1996, 1997)").unwrap();
+        assert_eq!(q.filter.dim(1).len(), 2);
+    }
+
+    #[test]
+    fn error_paths_are_reported() {
+        let s = schema();
+        assert!(matches!(
+            parse_query(&s, "FROB"),
+            Err(QlError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_query(&s, "SUM WHERE Nope.Region = 'EUROPE'"),
+            Err(QlError::UnknownDimension(_))
+        ));
+        assert!(matches!(
+            parse_query(&s, "SUM WHERE Customer.Shoe = 'EUROPE'"),
+            Err(QlError::UnknownAttribute { .. })
+        ));
+        assert!(matches!(
+            parse_query(&s, "SUM WHERE Customer.Region = 'ATLANTIS'"),
+            Err(QlError::UnknownValue { .. })
+        ));
+        assert!(matches!(
+            parse_query(
+                &s,
+                "SUM WHERE Customer.Region = 'EUROPE' AND Customer.Nation = 'GERMANY'"
+            ),
+            Err(QlError::DuplicateCondition(_))
+        ));
+        assert!(matches!(
+            parse_query(&s, "SUM trailing"),
+            Err(QlError::Parse { .. })
+        ));
+    }
+}

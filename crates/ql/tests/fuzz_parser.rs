@@ -1,0 +1,53 @@
+//! Parser robustness: arbitrary input never panics, and every accepted
+//! query produces a structurally valid filter.
+
+use dc_hierarchy::{CubeSchema, HierarchySchema};
+use dc_ql::parse_query;
+use proptest::prelude::*;
+
+fn schema() -> CubeSchema {
+    let mut s = CubeSchema::new(
+        vec![
+            HierarchySchema::new("Customer", vec!["Region".into(), "Nation".into()]),
+            HierarchySchema::new("Time", vec!["Year".into(), "Month".into()]),
+        ],
+        "Revenue",
+    );
+    s.intern_record(&[vec!["EU", "DE"], vec!["1996", "01"]], 1).unwrap();
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary strings never panic the lexer or parser.
+    #[test]
+    fn arbitrary_input_never_panics(input in ".{0,120}") {
+        let s = schema();
+        let _ = parse_query(&s, &input);
+    }
+
+    /// Token-shaped noise (keywords, idents, punctuation in random order)
+    /// never panics and, when accepted, yields a filter with one set per
+    /// dimension.
+    #[test]
+    fn token_soup_never_panics(
+        pieces in prop::collection::vec(
+            prop::sample::select(vec![
+                "SUM", "COUNT", "WHERE", "AND", "GROUP", "BY", "TOP", "IN",
+                "Customer", "Time", "Region", "Year", ".", ",", "(", ")",
+                "=", "'EU'", "'1996'", "3", "x",
+            ]),
+            0..14,
+        )
+    ) {
+        let s = schema();
+        let input = pieces.join(" ");
+        if let Ok(q) = parse_query(&s, &input) {
+            prop_assert_eq!(q.filter.num_dims(), s.num_dims());
+            for set in q.filter.dims() {
+                prop_assert!(set.len() >= 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! # dc-query
+//!
+//! The range-query workload generator of the DC-tree evaluation (§5.2), plus
+//! the MDS→MBR conversion that lets the X-tree answer the same queries.
+//!
+//! The paper's generator works per dimension: it "randomly chooses a level
+//! in the concept hierarchy … depending on its choice, the range_mds will
+//! contain IDs of regions, nations, market segments or customers. The size
+//! of each set of the range_mds is limited by the selectivity" — a
+//! selectivity of 25% admits up to 25% of all attribute values of the chosen
+//! level. The chosen values are random.
+//!
+//! For head-to-head comparisons against the X-tree, the per-level value set
+//! is drawn as a **contiguous run of IDs** (random start): the paper
+//! converts a range_mds into a range_mbr "by using the total ordering of the
+//! IDs", and a contiguous run makes that conversion lossless, so both index
+//! structures answer *exactly* the same predicate (asserted by the
+//! integration tests). A scattered mode exists for DC-tree-only workloads.
+
+use dc_common::{DimensionId, Level, ValueId};
+use dc_hierarchy::CubeSchema;
+use dc_mds::{DimSet, Mds};
+use dc_xtree::Mbr;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// How the per-level value sets are drawn.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ValuePick {
+    /// A contiguous run of IDs (lossless MDS→MBR conversion).
+    ContiguousRun,
+    /// Independently random values (DC-tree-only workloads; the MBR
+    /// conversion would over-approximate these).
+    Scattered,
+}
+
+/// Generator of random range queries in the style of §5.2.
+#[derive(Debug)]
+pub struct RangeQueryGen {
+    selectivity: f64,
+    pick: ValuePick,
+    rng: StdRng,
+}
+
+impl RangeQueryGen {
+    /// Creates a generator with the given selectivity (fraction of values
+    /// admitted per chosen level, e.g. `0.05` for the paper's 5% runs).
+    ///
+    /// # Panics
+    /// Panics unless `0 < selectivity <= 1`.
+    pub fn new(selectivity: f64, pick: ValuePick, seed: u64) -> Self {
+        assert!(
+            selectivity > 0.0 && selectivity <= 1.0,
+            "selectivity must be in (0, 1], got {selectivity}"
+        );
+        RangeQueryGen { selectivity, pick, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The generator's selectivity.
+    pub fn selectivity(&self) -> f64 {
+        self.selectivity
+    }
+
+    /// Generates one range MDS against the current state of `schema`.
+    pub fn generate(&mut self, schema: &CubeSchema) -> Mds {
+        let dims = (0..schema.num_dims())
+            .map(|d| {
+                let h = schema.dim(DimensionId(d as u16));
+                // Random functional level (the paper picks among Region,
+                // Nation, MktSegment, Customer — never ALL).
+                let level: Level = self.rng.gen_range(0..h.top_level());
+                let count = h.num_values_at(level);
+                debug_assert!(count > 0, "level {level} of {d} has no values");
+                let take = ((count as f64 * self.selectivity).floor() as usize)
+                    .clamp(1, count);
+                let values: Vec<ValueId> = match self.pick {
+                    ValuePick::ContiguousRun => {
+                        let start = self.rng.gen_range(0..=(count - take)) as u32;
+                        (start..start + take as u32)
+                            .map(|i| ValueId::new(level, i))
+                            .collect()
+                    }
+                    ValuePick::Scattered => {
+                        let mut all: Vec<u32> = (0..count as u32).collect();
+                        all.partial_shuffle(&mut self.rng, take);
+                        all.truncate(take);
+                        all.into_iter().map(|i| ValueId::new(level, i)).collect()
+                    }
+                };
+                DimSet::new(level, values)
+            })
+            .collect();
+        Mds::new(dims)
+    }
+}
+
+/// Converts a range MDS into the enclosing MBR over the flat-axis space the
+/// X-tree indexes (§5.2's range_mds → range_mbr conversion).
+///
+/// Each constrained `(dimension, level)` pair maps to its flat axis with the
+/// `[min, max]` raw-ID interval of the value set; all other axes stay
+/// unbounded. The conversion is **exact** for contiguous runs and an
+/// over-approximation (the paper's enclosing interval) for scattered sets.
+pub fn mds_to_mbr(schema: &CubeSchema, range: &Mds) -> Mbr {
+    let mut ranges = vec![(0u32, u32::MAX); schema.num_flat_axes()];
+    for (d, set) in range.dims().enumerate() {
+        let h = schema.dim(DimensionId(d as u16));
+        if set.level() >= h.top_level() {
+            continue; // ALL — unconstrained
+        }
+        let axis = schema.flat_axis(DimensionId(d as u16), set.level());
+        let lo = set.values().first().expect("non-empty dim set").raw();
+        let hi = set.values().last().expect("non-empty dim set").raw();
+        ranges[axis] = (lo, hi);
+    }
+    Mbr::from_ranges(&ranges)
+}
+
+/// `true` iff every dimension set of `range` is a contiguous ID run — the
+/// precondition for [`mds_to_mbr`] being lossless.
+pub fn is_contiguous(range: &Mds) -> bool {
+    range.dims().all(|set| {
+        let v = set.values();
+        v.last().is_none_or(|last| {
+            (last.index() - v[0].index()) as usize == v.len() - 1
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_tpcd::{generate, TpcdConfig};
+
+    #[test]
+    fn queries_respect_selectivity_bound() {
+        let data = generate(&TpcdConfig::scaled(2000, 1));
+        for sel in [0.01, 0.05, 0.25] {
+            let mut g = RangeQueryGen::new(sel, ValuePick::ContiguousRun, 42);
+            for _ in 0..50 {
+                let q = g.generate(&data.schema);
+                for (d, set) in q.dims().enumerate() {
+                    let h = data.schema.dim(DimensionId(d as u16));
+                    let count = h.num_values_at(set.level());
+                    let cap = ((count as f64 * sel).floor() as usize).max(1);
+                    assert!(
+                        set.len() <= cap,
+                        "dim {d}: {} values exceed cap {cap} at sel {sel}",
+                        set.len()
+                    );
+                    assert!(set.level() < h.top_level(), "never ALL");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn contiguous_mode_produces_runs() {
+        let data = generate(&TpcdConfig::scaled(1000, 2));
+        let mut g = RangeQueryGen::new(0.25, ValuePick::ContiguousRun, 3);
+        for _ in 0..50 {
+            let q = g.generate(&data.schema);
+            assert!(is_contiguous(&q));
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let data = generate(&TpcdConfig::scaled(500, 4));
+        let mut a = RangeQueryGen::new(0.05, ValuePick::ContiguousRun, 9);
+        let mut b = RangeQueryGen::new(0.05, ValuePick::ContiguousRun, 9);
+        for _ in 0..20 {
+            assert_eq!(a.generate(&data.schema), b.generate(&data.schema));
+        }
+    }
+
+    #[test]
+    fn mbr_conversion_selects_identical_records_for_contiguous_runs() {
+        let data = generate(&TpcdConfig::scaled(1500, 5));
+        let mut g = RangeQueryGen::new(0.25, ValuePick::ContiguousRun, 6);
+        for _ in 0..40 {
+            let q = g.generate(&data.schema);
+            let mbr = mds_to_mbr(&data.schema, &q);
+            for r in &data.records {
+                let by_mds = q.contains_record(&data.schema, r).unwrap();
+                let coords = data.schema.flatten_record(r).unwrap();
+                let by_mbr = mbr.contains_point(&coords);
+                assert_eq!(by_mds, by_mbr, "predicates must agree on {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn scattered_mbr_is_superset() {
+        let data = generate(&TpcdConfig::scaled(1500, 7));
+        let mut g = RangeQueryGen::new(0.25, ValuePick::Scattered, 8);
+        for _ in 0..20 {
+            let q = g.generate(&data.schema);
+            let mbr = mds_to_mbr(&data.schema, &q);
+            for r in &data.records {
+                if q.contains_record(&data.schema, r).unwrap() {
+                    let coords = data.schema.flatten_record(r).unwrap();
+                    assert!(mbr.contains_point(&coords), "MBR must enclose the MDS");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "selectivity")]
+    fn zero_selectivity_rejected() {
+        let _ = RangeQueryGen::new(0.0, ValuePick::ContiguousRun, 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! # dc-scan
+//!
+//! The sequential-scan baseline of the DC-tree evaluation (§5.2):
+//! "the range query algorithm for the sequential search simply runs through
+//! every existing data record and determines whether this data record is
+//! contained in the range_mds or not. In the positive case, the measure
+//! value of the data record is added to the result."
+//!
+//! The table is a flat file of fixed-size records; logical I/O is charged
+//! per block of `records_per_block` records, so experiments can compare page
+//! accesses as well as wall time.
+
+use dc_common::{AggregateOp, DcError, DcResult, MeasureSummary};
+use dc_hierarchy::{CubeSchema, Record};
+use dc_mds::Mds;
+use dc_storage::{BlockConfig, IoStats, IoTracker};
+
+/// A flat record table scanned in full by every query.
+#[derive(Clone, Debug)]
+pub struct FlatTable {
+    records: Vec<Record>,
+    records_per_block: usize,
+    io: IoTracker,
+}
+
+impl FlatTable {
+    /// Creates an empty table. `record_bytes` is the on-disk size of one
+    /// record (dimension IDs + measure), used to derive records per block.
+    pub fn new(block: BlockConfig, record_bytes: usize) -> Self {
+        let records_per_block = (block.block_size / record_bytes.max(1)).max(1);
+        FlatTable { records: Vec::new(), records_per_block, io: IoTracker::new() }
+    }
+
+    /// Creates a table sized for records of `num_dims` dimensions
+    /// (4 bytes per leaf ID + 8 bytes measure).
+    pub fn for_schema(block: BlockConfig, schema: &CubeSchema) -> Self {
+        Self::new(block, schema.num_dims() * 4 + 8)
+    }
+
+    /// Appends a record (the "insert file" of the evaluation is
+    /// append-only).
+    pub fn insert(&mut self, record: Record) {
+        self.records.push(record);
+        self.io.write(1);
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records per simulated block.
+    pub fn records_per_block(&self) -> usize {
+        self.records_per_block
+    }
+
+    /// Logical I/O counters.
+    pub fn io_stats(&self) -> IoStats {
+        self.io.stats()
+    }
+
+    /// Resets the I/O counters.
+    pub fn reset_io(&self) {
+        self.io.reset();
+    }
+
+    /// Starts recording a block-access trace (see `DcTree::begin_trace`).
+    pub fn begin_trace(&self) {
+        self.io.begin_trace();
+    }
+
+    /// Stops recording and returns the trace.
+    pub fn end_trace(&self) -> Vec<u64> {
+        self.io.end_trace()
+    }
+
+    /// Full-scan range query returning the mergeable summary.
+    pub fn range_summary(&self, schema: &CubeSchema, range: &Mds) -> DcResult<MeasureSummary> {
+        if range.num_dims() != schema.num_dims() {
+            return Err(DcError::DimensionMismatch {
+                expected: schema.num_dims(),
+                got: range.num_dims(),
+            });
+        }
+        // A sequential scan reads every block, selected or not.
+        let blocks = self.records.len().div_ceil(self.records_per_block) as u32;
+        for b in 0..blocks.max(1) as u64 {
+            self.io.read_keyed(b, 1);
+        }
+        let mut acc = MeasureSummary::empty();
+        for r in &self.records {
+            if range.contains_record(schema, r)? {
+                acc.add(r.measure);
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Full-scan range query evaluating one aggregation operator.
+    pub fn range_query(
+        &self,
+        schema: &CubeSchema,
+        range: &Mds,
+        op: AggregateOp,
+    ) -> DcResult<Option<f64>> {
+        Ok(self.range_summary(schema, range)?.eval(op))
+    }
+
+    /// Iterates the stored records in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Record> {
+        self.records.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_hierarchy::HierarchySchema;
+    use dc_mds::DimSet;
+
+    fn setup() -> (CubeSchema, FlatTable) {
+        let mut schema = CubeSchema::new(
+            vec![
+                HierarchySchema::new("Customer", vec!["Region".into(), "Nation".into()]),
+                HierarchySchema::new("Time", vec!["Year".into(), "Month".into()]),
+            ],
+            "Price",
+        );
+        let mut table = FlatTable::for_schema(BlockConfig::DEFAULT, &schema);
+        for (r, n, y, m, price) in [
+            ("Europe", "Germany", "1996", "01", 100),
+            ("Europe", "France", "1996", "02", 250),
+            ("Asia", "Japan", "1997", "01", 400),
+        ] {
+            let rec = schema
+                .intern_record(&[vec![r, n], vec![y, m]], price)
+                .unwrap();
+            table.insert(rec);
+        }
+        (schema, table)
+    }
+
+    #[test]
+    fn scan_matches_predicate() {
+        let (schema, table) = setup();
+        let europe = schema.dim(dc_common::DimensionId(0)).lookup_path(&["Europe"]).unwrap();
+        let q = Mds::new(vec![
+            DimSet::singleton(europe),
+            DimSet::singleton(schema.dim(dc_common::DimensionId(1)).all()),
+        ]);
+        let s = table.range_summary(&schema, &q).unwrap();
+        assert_eq!(s.sum, 350);
+        assert_eq!(s.count, 2);
+        assert_eq!(
+            table.range_query(&schema, &q, AggregateOp::Max).unwrap(),
+            Some(250.0)
+        );
+    }
+
+    #[test]
+    fn scan_reads_every_block_regardless_of_selectivity() {
+        let (schema, table) = setup();
+        let all = Mds::all(&schema);
+        table.reset_io();
+        let _ = table.range_summary(&schema, &all).unwrap();
+        let full = table.io_stats().reads;
+        table.reset_io();
+        let europe = schema.dim(dc_common::DimensionId(0)).lookup_path(&["Europe"]).unwrap();
+        let narrow = Mds::new(vec![
+            DimSet::singleton(europe),
+            DimSet::singleton(schema.dim(dc_common::DimensionId(1)).all()),
+        ]);
+        let _ = table.range_summary(&schema, &narrow).unwrap();
+        assert_eq!(table.io_stats().reads, full, "a scan always reads everything");
+    }
+
+    #[test]
+    fn records_per_block_derived_from_record_size() {
+        let (schema, _) = setup();
+        let table = FlatTable::for_schema(BlockConfig::new(4096), &schema);
+        // 2 dims × 4 bytes + 8 bytes measure = 16 bytes → 256 records/block.
+        assert_eq!(table.records_per_block(), 256);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let (schema, table) = setup();
+        let bad = Mds::new(vec![DimSet::singleton(schema.dim(dc_common::DimensionId(0)).all())]);
+        assert!(table.range_summary(&schema, &bad).is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! Block-size arithmetic.
+
+/// Configuration of the simulated block device.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BlockConfig {
+    /// Size of one disk block in bytes. The paper's node capacities are
+    /// expressed in multiples of this "standard block size".
+    pub block_size: usize,
+}
+
+impl BlockConfig {
+    /// A typical 4 KiB block.
+    pub const DEFAULT: BlockConfig = BlockConfig { block_size: 4096 };
+
+    /// Creates a configuration with the given block size.
+    ///
+    /// # Panics
+    /// Panics if `block_size` is zero.
+    pub fn new(block_size: usize) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        BlockConfig { block_size }
+    }
+
+    /// Number of whole blocks needed to store `bytes` (at least 1: even an
+    /// empty node occupies its block).
+    pub fn blocks_for(&self, bytes: usize) -> u32 {
+        (bytes.max(1)).div_ceil(self.block_size) as u32
+    }
+
+    /// Capacity in bytes of a (super)node spanning `blocks` blocks.
+    pub fn bytes_for(&self, blocks: u32) -> usize {
+        self.block_size * blocks as usize
+    }
+}
+
+impl Default for BlockConfig {
+    fn default() -> Self {
+        BlockConfig::DEFAULT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_for_rounds_up() {
+        let c = BlockConfig::new(4096);
+        assert_eq!(c.blocks_for(0), 1);
+        assert_eq!(c.blocks_for(1), 1);
+        assert_eq!(c.blocks_for(4096), 1);
+        assert_eq!(c.blocks_for(4097), 2);
+        assert_eq!(c.blocks_for(3 * 4096), 3);
+    }
+
+    #[test]
+    fn bytes_for_is_inverse_bound() {
+        let c = BlockConfig::new(512);
+        for blocks in 1..5 {
+            let bytes = c.bytes_for(blocks);
+            assert_eq!(c.blocks_for(bytes), blocks);
+            assert_eq!(c.blocks_for(bytes + 1), blocks + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_block_size_panics() {
+        let _ = BlockConfig::new(0);
+    }
+}

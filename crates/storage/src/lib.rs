@@ -1,0 +1,34 @@
+//! # dc-storage
+//!
+//! The simulated block-storage layer shared by the DC-tree and the X-tree.
+//!
+//! The paper's trees are disk-based structures with a "standard block size"
+//! and *supernodes* spanning "a multiple of the standard block size". This
+//! crate supplies the pieces that make those notions concrete without tying
+//! the index structures to a real disk:
+//!
+//! * [`BlockConfig`] — the block size and the byte↔block arithmetic used
+//!   for node capacities and supernode growth;
+//! * [`IoStats`] / [`IoTracker`] — logical page-access counters charged on
+//!   every node touch, so experiments can report page I/O alongside wall
+//!   time (the machine-independent half of the paper's measurements);
+//! * [`codec`] — a small, checked binary reader/writer used to persist
+//!   trees and to compute byte-accurate node sizes;
+//! * [`PagedFile`] — a block-aligned file of fixed-size pages with a free
+//!   list, the on-disk substrate of a production deployment;
+//! * [`BufferPool`] — a pinned, write-back LRU cache of fixed frame count
+//!   over a paged file, with hit/miss accounting.
+
+pub mod block;
+pub mod buffer;
+pub mod cachesim;
+pub mod codec;
+pub mod io;
+pub mod paged;
+
+pub use block::BlockConfig;
+pub use buffer::{BufferPool, PoolStats};
+pub use cachesim::{CacheReport, CacheSim};
+pub use codec::{crc32, ByteReader, ByteWriter};
+pub use io::{IoStats, IoTracker};
+pub use paged::{PageId, PagedFile};

@@ -1,0 +1,283 @@
+//! A block-aligned paged file: the on-disk substrate a production
+//! deployment of the trees would sit on.
+//!
+//! Layout: page 0 is the header (magic, block size, page count, free-list
+//! head); every other page is either live data or a free-list link. Freed
+//! pages form an intrusive singly-linked list threaded through their first
+//! eight bytes, so allocation is O(1) and the file is reused instead of
+//! growing monotonically.
+//!
+//! The paged file itself is deliberately dumb — fixed-size page reads and
+//! writes plus allocation — with all caching delegated to
+//! [`BufferPool`](crate::buffer::BufferPool), mirroring the classic DBMS split.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use dc_common::{DcError, DcResult};
+
+use crate::block::BlockConfig;
+use crate::io::IoTracker;
+
+const MAGIC: u64 = 0x4443_5041_4745_4431; // "DCPAGED1"
+const NO_PAGE: u64 = u64::MAX;
+
+/// Identifier of a page within a [`PagedFile`] (page 0 is the header and
+/// never handed out).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PageId(pub u64);
+
+/// A block-aligned file of fixed-size pages with a free list.
+#[derive(Debug)]
+pub struct PagedFile {
+    file: File,
+    block: BlockConfig,
+    num_pages: u64,
+    free_head: u64,
+    io: IoTracker,
+}
+
+impl PagedFile {
+    /// Creates a new paged file (truncating any existing one).
+    pub fn create(path: impl AsRef<Path>, block: BlockConfig) -> DcResult<Self> {
+        assert!(block.block_size >= 32, "pages must hold at least the header");
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut pf =
+            PagedFile { file, block, num_pages: 1, free_head: NO_PAGE, io: IoTracker::new() };
+        pf.write_header()?;
+        Ok(pf)
+    }
+
+    /// Opens an existing paged file, validating its header.
+    pub fn open(path: impl AsRef<Path>, block: BlockConfig) -> DcResult<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut pf =
+            PagedFile { file, block, num_pages: 0, free_head: NO_PAGE, io: IoTracker::new() };
+        let header = pf.read_page_raw(0)?;
+        let magic = u64::from_le_bytes(header[0..8].try_into().expect("8 bytes"));
+        if magic != MAGIC {
+            return Err(DcError::Corrupt("not a DC paged file".into()));
+        }
+        let stored_block =
+            u64::from_le_bytes(header[8..16].try_into().expect("8 bytes")) as usize;
+        if stored_block != block.block_size {
+            return Err(DcError::Corrupt(format!(
+                "file uses {stored_block}-byte pages, opened with {}",
+                block.block_size
+            )));
+        }
+        pf.num_pages = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
+        pf.free_head = u64::from_le_bytes(header[24..32].try_into().expect("8 bytes"));
+        Ok(pf)
+    }
+
+    /// The page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.block.block_size
+    }
+
+    /// Total pages in the file, header included.
+    pub fn num_pages(&self) -> u64 {
+        self.num_pages
+    }
+
+    /// Physical I/O counters (header maintenance included).
+    pub fn io_stats(&self) -> crate::io::IoStats {
+        self.io.stats()
+    }
+
+    fn write_header(&mut self) -> DcResult<()> {
+        let mut page = vec![0u8; self.block.block_size];
+        page[0..8].copy_from_slice(&MAGIC.to_le_bytes());
+        page[8..16].copy_from_slice(&(self.block.block_size as u64).to_le_bytes());
+        page[16..24].copy_from_slice(&self.num_pages.to_le_bytes());
+        page[24..32].copy_from_slice(&self.free_head.to_le_bytes());
+        self.write_page_raw(0, &page)
+    }
+
+    fn read_page_raw(&mut self, page: u64) -> DcResult<Vec<u8>> {
+        let mut buf = vec![0u8; self.block.block_size];
+        self.file
+            .seek(SeekFrom::Start(page * self.block.block_size as u64))?;
+        self.file.read_exact(&mut buf)?;
+        self.io.read(1);
+        Ok(buf)
+    }
+
+    fn write_page_raw(&mut self, page: u64, data: &[u8]) -> DcResult<()> {
+        debug_assert_eq!(data.len(), self.block.block_size);
+        self.file
+            .seek(SeekFrom::Start(page * self.block.block_size as u64))?;
+        self.file.write_all(data)?;
+        self.io.write(1);
+        Ok(())
+    }
+
+    /// Allocates a page: reuses the free list if possible, otherwise grows
+    /// the file.
+    pub fn alloc(&mut self) -> DcResult<PageId> {
+        let id = if self.free_head != NO_PAGE {
+            let head = self.free_head;
+            let page = self.read_page_raw(head)?;
+            self.free_head = u64::from_le_bytes(page[0..8].try_into().expect("8 bytes"));
+            // Zero the recycled page so stale free-list links (or old
+            // content) never leak to the new owner.
+            self.write_page_raw(head, &vec![0u8; self.block.block_size])?;
+            head
+        } else {
+            let id = self.num_pages;
+            self.num_pages += 1;
+            // Materialize the page so reads within the file length succeed.
+            self.write_page_raw(id, &vec![0u8; self.block.block_size])?;
+            id
+        };
+        self.write_header()?;
+        Ok(PageId(id))
+    }
+
+    /// Returns a page to the free list.
+    ///
+    /// # Panics
+    /// Panics on an attempt to free the header page.
+    pub fn free(&mut self, id: PageId) -> DcResult<()> {
+        assert_ne!(id.0, 0, "cannot free the header page");
+        let mut page = vec![0u8; self.block.block_size];
+        page[0..8].copy_from_slice(&self.free_head.to_le_bytes());
+        self.write_page_raw(id.0, &page)?;
+        self.free_head = id.0;
+        self.write_header()
+    }
+
+    /// Reads a full page.
+    pub fn read(&mut self, id: PageId) -> DcResult<Vec<u8>> {
+        if id.0 == 0 || id.0 >= self.num_pages {
+            return Err(DcError::Corrupt(format!("page {} out of bounds", id.0)));
+        }
+        self.read_page_raw(id.0)
+    }
+
+    /// Writes a full page (must be exactly `page_size` bytes).
+    pub fn write(&mut self, id: PageId, data: &[u8]) -> DcResult<()> {
+        if id.0 == 0 || id.0 >= self.num_pages {
+            return Err(DcError::Corrupt(format!("page {} out of bounds", id.0)));
+        }
+        if data.len() != self.block.block_size {
+            return Err(DcError::Corrupt(format!(
+                "page write of {} bytes into {}-byte pages",
+                data.len(),
+                self.block.block_size
+            )));
+        }
+        self.write_page_raw(id.0, data)
+    }
+
+    /// Flushes OS buffers to durable storage.
+    pub fn sync(&mut self) -> DcResult<()> {
+        self.file.sync_all()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("dc-storage-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn create_alloc_write_read_roundtrip() {
+        let path = tmp("roundtrip");
+        let mut f = PagedFile::create(&path, BlockConfig::new(256)).unwrap();
+        let a = f.alloc().unwrap();
+        let b = f.alloc().unwrap();
+        assert_ne!(a, b);
+        let data_a = vec![0xAB; 256];
+        let data_b = vec![0xCD; 256];
+        f.write(a, &data_a).unwrap();
+        f.write(b, &data_b).unwrap();
+        assert_eq!(f.read(a).unwrap(), data_a);
+        assert_eq!(f.read(b).unwrap(), data_b);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reopen_preserves_contents_and_freelist() {
+        let path = tmp("reopen");
+        let (a, b);
+        {
+            let mut f = PagedFile::create(&path, BlockConfig::new(128)).unwrap();
+            a = f.alloc().unwrap();
+            b = f.alloc().unwrap();
+            f.write(a, &[7u8; 128]).unwrap();
+            f.free(b).unwrap();
+            f.sync().unwrap();
+        }
+        let mut f = PagedFile::open(&path, BlockConfig::new(128)).unwrap();
+        assert_eq!(f.read(a).unwrap(), vec![7u8; 128]);
+        // The freed page is recycled before the file grows.
+        let c = f.alloc().unwrap();
+        assert_eq!(c, b);
+        let d = f.alloc().unwrap();
+        assert!(d.0 > c.0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_block_size_rejected_on_open() {
+        let path = tmp("blocksize");
+        PagedFile::create(&path, BlockConfig::new(128)).unwrap();
+        // Larger pages may fail with an I/O error (file shorter than one
+        // page) or Corrupt (header mismatch) — either way it must not open.
+        assert!(PagedFile::open(&path, BlockConfig::new(256)).is_err());
+        assert!(matches!(
+            PagedFile::open(&path, BlockConfig::new(64)),
+            Err(DcError::Corrupt(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn out_of_bounds_and_bad_sizes_are_errors() {
+        let path = tmp("bounds");
+        let mut f = PagedFile::create(&path, BlockConfig::new(128)).unwrap();
+        let a = f.alloc().unwrap();
+        assert!(f.read(PageId(0)).is_err(), "header is not readable as data");
+        assert!(f.read(PageId(99)).is_err());
+        assert!(f.write(a, &[0u8; 64]).is_err(), "short writes rejected");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn free_list_is_lifo_and_reusable() {
+        let path = tmp("freelist");
+        let mut f = PagedFile::create(&path, BlockConfig::new(128)).unwrap();
+        let pages: Vec<PageId> = (0..5).map(|_| f.alloc().unwrap()).collect();
+        for &p in &pages {
+            f.free(p).unwrap();
+        }
+        // LIFO reuse.
+        for &p in pages.iter().rev() {
+            assert_eq!(f.alloc().unwrap(), p);
+        }
+        assert_eq!(f.num_pages(), 6); // header + 5, never grew past that
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbage_file_rejected() {
+        let path = tmp("garbage");
+        std::fs::write(&path, vec![0u8; 512]).unwrap();
+        assert!(PagedFile::open(&path, BlockConfig::new(128)).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

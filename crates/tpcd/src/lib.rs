@@ -1,0 +1,432 @@
+//! # dc-tpcd
+//!
+//! A deterministic, seeded generator for the data cube of the DC-tree
+//! evaluation (§5.1).
+//!
+//! The paper derives its test cube from the TPC Benchmark D database by SQL
+//! selection into a flat insert file. This crate generates the *same star
+//! schema* (Fig. 8) with the *same hierarchy schemata* (Fig. 9) directly:
+//!
+//! | Dimension | Hierarchy (top → leaf)              |
+//! |-----------|--------------------------------------|
+//! | Customer  | Region → Nation → MktSegment → Customer |
+//! | Supplier  | Region → Nation → Supplier           |
+//! | Part      | Brand → Type → Part                  |
+//! | Time      | Year → Month → Day                   |
+//!
+//! Four dimensions, 13 functional attributes, and the measure
+//! *Extended Price* — the 14 attributes of the paper's records. Regions,
+//! nations and market segments use the actual TPC-D vocabulary; cardinality
+//! ratios follow the TPC-D scale-factor proportions (see
+//! [`TpcdConfig::scaled`]).
+//!
+//! The substitution (real TPC-D data → this generator) is recorded in
+//! `DESIGN.md`: the experiments depend only on hierarchy shapes, per-level
+//! cardinalities and record counts, none of which require TPC's actual
+//! string data.
+
+use dc_common::{DimensionId, Measure};
+use dc_hierarchy::{CubeSchema, HierarchySchema, Record};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// The five TPC-D regions.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// The 25 TPC-D nations with their region index.
+pub const NATIONS: [(&str, usize); 25] = [
+    ("ALGERIA", 0),
+    ("ETHIOPIA", 0),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("PERU", 1),
+    ("UNITED STATES", 1),
+    ("CHINA", 2),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("JAPAN", 2),
+    ("VIETNAM", 2),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("ROMANIA", 3),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("EGYPT", 4),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JORDAN", 4),
+    ("SAUDI ARABIA", 4),
+];
+
+/// The five TPC-D market segments (per nation in the Fig. 9 hierarchy).
+pub const SEGMENTS: [&str; 5] =
+    ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+
+/// Part types nested below each brand (six per brand, 150 brand–type pairs,
+/// matching TPC-D's 150 part types in shape).
+pub const PART_TYPES: [&str; 6] = [
+    "STANDARD ANODIZED TIN",
+    "SMALL PLATED COPPER",
+    "MEDIUM BURNISHED NICKEL",
+    "LARGE POLISHED STEEL",
+    "ECONOMY BRUSHED BRASS",
+    "PROMO COATED PEWTER",
+];
+
+const MONTH_DAYS: [u8; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+/// Generator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TpcdConfig {
+    /// Number of fact records (lineitems) to generate.
+    pub lineitems: usize,
+    /// Number of distinct customers.
+    pub customers: usize,
+    /// Number of distinct suppliers.
+    pub suppliers: usize,
+    /// Number of distinct parts.
+    pub parts: usize,
+    /// First year of the Time dimension.
+    pub first_year: u16,
+    /// Number of years.
+    pub num_years: u16,
+    /// Zipf exponent for entity popularity. `0.0` (the default and the
+    /// TPC-D setting) draws customers/suppliers/parts uniformly; realistic
+    /// warehouses are closer to `0.8`–`1.2`, where a few entities dominate
+    /// the fact table. Time stays uniform.
+    pub skew: f64,
+    /// RNG seed — equal seeds generate identical data.
+    pub seed: u64,
+}
+
+impl TpcdConfig {
+    /// Scales the dimension cardinalities from the fact count with TPC-D's
+    /// SF-1 proportions (6 M lineitems : 150 k customers : 10 k suppliers :
+    /// 200 k parts), clamped to sensible minima for small runs.
+    pub fn scaled(lineitems: usize, seed: u64) -> Self {
+        TpcdConfig {
+            lineitems,
+            customers: (lineitems / 40).max(50),
+            suppliers: (lineitems / 600).max(10),
+            parts: (lineitems / 30).max(50),
+            first_year: 1992,
+            num_years: 7,
+            skew: 0.0,
+            seed,
+        }
+    }
+
+    /// Same cardinalities with a Zipf popularity skew.
+    pub fn scaled_with_skew(lineitems: usize, seed: u64, skew: f64) -> Self {
+        TpcdConfig { skew, ..Self::scaled(lineitems, seed) }
+    }
+}
+
+/// Inverse-CDF Zipf sampler over ranks `0..n` with exponent `s`
+/// (`s == 0` degenerates to uniform). Precomputes the cumulative mass once;
+/// sampling is a binary search.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with exponent `s ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over an empty domain");
+        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and non-negative");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += 1.0 / (rank as f64).powf(s);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        ZipfSampler { cumulative }
+    }
+
+    /// Draws a rank in `0..n` (rank 0 is the most popular).
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+    }
+}
+
+/// The generated cube: a fully interned schema plus the fact records.
+#[derive(Clone, Debug)]
+pub struct TpcdData {
+    /// Cube schema with every attribute value interned.
+    pub schema: CubeSchema,
+    /// The fact records, in generation (insert-file) order.
+    pub records: Vec<Record>,
+}
+
+impl TpcdData {
+    /// Reconstructs the raw top→leaf attribute paths of a record — the form
+    /// consumed by the fully dynamic `DcTree::insert_raw`.
+    pub fn paths_for(&self, record: &Record) -> Vec<Vec<String>> {
+        (0..self.schema.num_dims())
+            .map(|d| {
+                let h = self.schema.dim(DimensionId(d as u16));
+                let leaf = record.dims[d];
+                (0..h.top_level())
+                    .rev()
+                    .map(|level| h.name(h.ancestor_at(leaf, level).unwrap()).unwrap().to_string())
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// The cube schema of Fig. 9 (no values interned yet).
+pub fn cube_schema() -> CubeSchema {
+    CubeSchema::new(
+        vec![
+            HierarchySchema::new(
+                "Customer",
+                vec!["Region".into(), "Nation".into(), "MktSegment".into(), "Customer".into()],
+            ),
+            HierarchySchema::new(
+                "Supplier",
+                vec!["Region".into(), "Nation".into(), "Supplier".into()],
+            ),
+            HierarchySchema::new("Part", vec!["Brand".into(), "Type".into(), "Part".into()]),
+            HierarchySchema::new("Time", vec!["Year".into(), "Month".into(), "Day".into()]),
+        ],
+        "ExtendedPrice",
+    )
+}
+
+/// Generates the cube deterministically from `config`.
+pub fn generate(config: &TpcdConfig) -> TpcdData {
+    let mut schema = cube_schema();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Dimension members. Each entity's hierarchy position is fixed by its
+    // key (TPC-D assigns nation/segment/brand per key).
+    let customer_paths: Vec<[String; 4]> = (0..config.customers)
+        .map(|i| {
+            let (nation, region) = NATIONS[i % NATIONS.len()];
+            let segment = SEGMENTS[(i / NATIONS.len()) % SEGMENTS.len()];
+            [
+                REGIONS[region].to_string(),
+                nation.to_string(),
+                segment.to_string(),
+                format!("Customer#{:09}", i + 1),
+            ]
+        })
+        .collect();
+    let supplier_paths: Vec<[String; 3]> = (0..config.suppliers)
+        .map(|i| {
+            let (nation, region) = NATIONS[i % NATIONS.len()];
+            [
+                REGIONS[region].to_string(),
+                nation.to_string(),
+                format!("Supplier#{:09}", i + 1),
+            ]
+        })
+        .collect();
+    let part_paths: Vec<[String; 3]> = (0..config.parts)
+        .map(|i| {
+            let brand = format!("Brand#{}{}", i % 5 + 1, (i / 5) % 5 + 1);
+            let ptype = PART_TYPES[(i / 25) % PART_TYPES.len()];
+            [brand, ptype.to_string(), format!("Part#{:09}", i + 1)]
+        })
+        .collect();
+
+    let zipf_c = ZipfSampler::new(customer_paths.len(), config.skew);
+    let zipf_s = ZipfSampler::new(supplier_paths.len(), config.skew);
+    let zipf_p = ZipfSampler::new(part_paths.len(), config.skew);
+
+    let mut records = Vec::with_capacity(config.lineitems);
+    for _ in 0..config.lineitems {
+        let c = &customer_paths[zipf_c.sample(&mut rng)];
+        let s = &supplier_paths[zipf_s.sample(&mut rng)];
+        let p = &part_paths[zipf_p.sample(&mut rng)];
+        let year = config.first_year + rng.gen_range(0..config.num_years);
+        let month = rng.gen_range(1..=12u8);
+        let day = rng.gen_range(1..=MONTH_DAYS[(month - 1) as usize]);
+        let t = [
+            format!("{year}"),
+            format!("{year}-{month:02}"),
+            format!("{year}-{month:02}-{day:02}"),
+        ];
+
+        // Extended price = quantity × unit price, in cents (TPC-D's
+        // l_extendedprice is l_quantity × p_retailprice).
+        let quantity = rng.gen_range(1..=50i64);
+        let unit_price_cents = rng.gen_range(90_000..=190_000i64) / 100;
+        let measure: Measure = quantity * unit_price_cents;
+
+        let record = schema
+            .intern_record(
+                &[c.to_vec(), s.to_vec(), p.to_vec(), t.to_vec()],
+                measure,
+            )
+            .expect("generated paths are well-formed");
+        records.push(record);
+    }
+
+    TpcdData { schema, records }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let a = generate(&TpcdConfig::scaled(500, 7));
+        let b = generate(&TpcdConfig::scaled(500, 7));
+        assert_eq!(a.records, b.records);
+        let c = generate(&TpcdConfig::scaled(500, 8));
+        assert_ne!(a.records, c.records);
+    }
+
+    #[test]
+    fn schema_matches_figure_9() {
+        let s = cube_schema();
+        assert_eq!(s.num_dims(), 4);
+        // 4 + 3 + 3 + 3 = 13 functional attributes (the X-tree's axes).
+        assert_eq!(s.num_flat_axes(), 13);
+        assert_eq!(s.measure_name(), "ExtendedPrice");
+        let cust = s.dim(DimensionId(0));
+        assert_eq!(cust.schema().attribute_name(3), Some("Region"));
+        assert_eq!(cust.schema().attribute_name(0), Some("Customer"));
+    }
+
+    #[test]
+    fn hierarchies_have_tpcd_shape() {
+        let data = generate(&TpcdConfig::scaled(2000, 1));
+        let cust = data.schema.dim(DimensionId(0));
+        assert_eq!(cust.num_values_at(3), 5, "5 regions");
+        assert_eq!(cust.num_values_at(2), 25, "25 nations");
+        // Segments hang below nations: at most 5 per nation.
+        assert!(cust.num_values_at(1) <= 25 * 5);
+        let time = data.schema.dim(DimensionId(3));
+        assert_eq!(time.num_values_at(2), 7, "7 years");
+        assert!(time.num_values_at(1) <= 7 * 12);
+    }
+
+    #[test]
+    fn every_nation_sits_under_its_region() {
+        let data = generate(&TpcdConfig::scaled(1000, 2));
+        let cust = data.schema.dim(DimensionId(0));
+        for nation in cust.values_at(2) {
+            let nation_name = cust.name(nation).unwrap().to_string();
+            let region = cust.parent(nation).unwrap().unwrap();
+            let region_name = cust.name(region).unwrap();
+            let expected = NATIONS
+                .iter()
+                .find(|(n, _)| *n == nation_name)
+                .map(|&(_, r)| REGIONS[r])
+                .unwrap();
+            assert_eq!(region_name, expected);
+        }
+    }
+
+    #[test]
+    fn records_have_valid_leaves_and_positive_measure() {
+        let data = generate(&TpcdConfig::scaled(800, 3));
+        assert_eq!(data.records.len(), 800);
+        for r in &data.records {
+            data.schema.validate_record(r).unwrap();
+            assert!(r.measure > 0);
+            // quantity ≤ 50, unit price ≤ 1900 cents
+            assert!(r.measure <= 50 * 1900);
+        }
+    }
+
+    #[test]
+    fn paths_roundtrip_through_intern() {
+        let data = generate(&TpcdConfig::scaled(50, 4));
+        let mut schema = cube_schema();
+        for r in &data.records {
+            let paths = data.paths_for(r);
+            let again = schema.intern_record(&paths, r.measure).unwrap();
+            // Leaf names must agree (IDs may differ in the fresh schema).
+            for d in 0..4 {
+                let orig =
+                    data.schema.dim(DimensionId(d)).name(r.dims[d as usize]).unwrap();
+                let new = schema.dim(DimensionId(d)).name(again.dims[d as usize]).unwrap();
+                assert_eq!(orig, new);
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_sampler_is_uniform_at_zero_and_head_heavy_at_one() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let uniform = ZipfSampler::new(100, 0.0);
+        let mut head = 0usize;
+        for _ in 0..10_000 {
+            if uniform.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // Top 10% of ranks gets ≈10% of draws under uniformity.
+        assert!((800..1200).contains(&head), "uniform head share {head}");
+
+        let skewed = ZipfSampler::new(100, 1.0);
+        let mut head = 0usize;
+        for _ in 0..10_000 {
+            if skewed.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // Under Zipf(1) over 100 ranks the top 10% carries ≈56% of mass.
+        assert!(head > 4500, "skewed head share {head}");
+    }
+
+    #[test]
+    fn skewed_generation_is_deterministic_and_valid() {
+        let a = generate(&TpcdConfig::scaled_with_skew(800, 9, 1.0));
+        let b = generate(&TpcdConfig::scaled_with_skew(800, 9, 1.0));
+        assert_eq!(a.records, b.records);
+        for r in &a.records {
+            a.schema.validate_record(r).unwrap();
+        }
+        // The most popular customer dominates relative to uniform.
+        let mut counts = std::collections::HashMap::new();
+        for r in &a.records {
+            *counts.entry(r.dims[0]).or_insert(0usize) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        assert!(
+            max > a.records.len() / 50,
+            "Zipf(1) hot customer should carry well over 2% of facts, got {max}"
+        );
+    }
+
+    #[test]
+    fn cardinalities_scale_with_tpcd_ratios() {
+        let c = TpcdConfig::scaled(300_000, 0);
+        assert_eq!(c.customers, 7_500);
+        assert_eq!(c.suppliers, 500);
+        assert_eq!(c.parts, 10_000);
+        let tiny = TpcdConfig::scaled(100, 0);
+        assert!(tiny.customers >= 50 && tiny.suppliers >= 10 && tiny.parts >= 50);
+    }
+
+    #[test]
+    fn day_leaves_respect_month_lengths() {
+        let data = generate(&TpcdConfig::scaled(3000, 5));
+        let time = data.schema.dim(DimensionId(3));
+        for day in time.values_at(0) {
+            let name = time.name(day).unwrap();
+            let d: u8 = name[8..10].parse().unwrap();
+            let m: usize = name[5..7].parse::<usize>().unwrap() - 1;
+            assert!(d >= 1 && d <= MONTH_DAYS[m]);
+        }
+    }
+}

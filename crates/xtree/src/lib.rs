@@ -1,0 +1,27 @@
+//! # dc-xtree
+//!
+//! The **X-tree** (Berchtold, Keim, Kriegel; VLDB 1996) — the baseline the
+//! DC-tree paper compares against in every experiment.
+//!
+//! The X-tree extends the R\*-tree for high-dimensional data with two ideas:
+//!
+//! * an **overlap-minimal split** driven by the *split history*: when the
+//!   standard topological (R\*-style) split would produce highly overlapping
+//!   MBRs, the tree retries along a dimension that previous splits already
+//!   partitioned, which guarantees little to no overlap;
+//! * **supernodes**: if even the overlap-minimal split would be too
+//!   unbalanced, the node is extended to a multiple of the standard block
+//!   size instead of being split.
+//!
+//! In the DC-tree evaluation the X-tree indexes the data cube through an
+//! artificial total order: every hierarchy level of every dimension becomes
+//! one integer axis (13 axes for the TPC-D cube, Fig. 10) carrying the raw
+//! attribute IDs. Crucially the X-tree materializes **no aggregates** — a
+//! range query must descend to the data pages — which is precisely the
+//! asymmetry the DC-tree exploits.
+
+pub mod mbr;
+pub mod tree;
+
+pub use mbr::Mbr;
+pub use tree::{XTree, XTreeConfig};

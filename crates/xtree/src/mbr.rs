@@ -1,0 +1,197 @@
+//! Minimum bounding rectangles over `u32` axes.
+//!
+//! Areas and margins are computed in `f64`: with up to 13 axes of 2³²-wide
+//! extents the products exceed `u128`, and the split heuristics only ever
+//! *compare* these quantities.
+
+/// An axis-aligned MBR with inclusive bounds.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Mbr {
+    lo: Vec<u32>,
+    hi: Vec<u32>,
+}
+
+impl Mbr {
+    /// A degenerate MBR around one point.
+    pub fn point(coords: &[u32]) -> Self {
+        Mbr { lo: coords.to_vec(), hi: coords.to_vec() }
+    }
+
+    /// Builds an MBR from inclusive per-axis ranges.
+    ///
+    /// # Panics
+    /// Panics if any range is empty (`lo > hi`).
+    pub fn from_ranges(ranges: &[(u32, u32)]) -> Self {
+        assert!(ranges.iter().all(|&(l, h)| l <= h), "empty range");
+        Mbr {
+            lo: ranges.iter().map(|r| r.0).collect(),
+            hi: ranges.iter().map(|r| r.1).collect(),
+        }
+    }
+
+    /// The MBR covering the whole space in `dims` axes.
+    pub fn universe(dims: usize) -> Self {
+        Mbr { lo: vec![0; dims], hi: vec![u32::MAX; dims] }
+    }
+
+    /// Number of axes.
+    pub fn dims(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Lower bound of one axis.
+    pub fn lo(&self, axis: usize) -> u32 {
+        self.lo[axis]
+    }
+
+    /// Upper bound of one axis.
+    pub fn hi(&self, axis: usize) -> u32 {
+        self.hi[axis]
+    }
+
+    /// Extent of one axis (inclusive width).
+    pub fn extent(&self, axis: usize) -> f64 {
+        (self.hi[axis] as f64) - (self.lo[axis] as f64) + 1.0
+    }
+
+    /// Center of one axis (used for split-history ordering).
+    pub fn center(&self, axis: usize) -> f64 {
+        (self.lo[axis] as f64 + self.hi[axis] as f64) / 2.0
+    }
+
+    /// The product of all extents.
+    pub fn area(&self) -> f64 {
+        (0..self.dims()).map(|a| self.extent(a)).product()
+    }
+
+    /// The sum of all extents (the R\*-tree's margin).
+    pub fn margin(&self) -> f64 {
+        (0..self.dims()).map(|a| self.extent(a)).sum()
+    }
+
+    /// `true` iff the two MBRs intersect in every axis.
+    pub fn intersects(&self, other: &Mbr) -> bool {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .zip(other.lo.iter().zip(&other.hi))
+            .all(|((&alo, &ahi), (&blo, &bhi))| alo <= bhi && blo <= ahi)
+    }
+
+    /// `true` iff `other` lies fully inside `self`.
+    pub fn contains(&self, other: &Mbr) -> bool {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .zip(other.lo.iter().zip(&other.hi))
+            .all(|((&alo, &ahi), (&blo, &bhi))| alo <= blo && bhi <= ahi)
+    }
+
+    /// `true` iff the point lies inside.
+    pub fn contains_point(&self, coords: &[u32]) -> bool {
+        coords
+            .iter()
+            .enumerate()
+            .all(|(a, &c)| self.lo[a] <= c && c <= self.hi[a])
+    }
+
+    /// Area of the intersection; 0 when disjoint.
+    pub fn overlap_area(&self, other: &Mbr) -> f64 {
+        let mut area = 1.0;
+        for a in 0..self.dims() {
+            let lo = self.lo[a].max(other.lo[a]);
+            let hi = self.hi[a].min(other.hi[a]);
+            if lo > hi {
+                return 0.0;
+            }
+            area *= (hi as f64) - (lo as f64) + 1.0;
+        }
+        area
+    }
+
+    /// The smallest MBR covering both.
+    pub fn union(&self, other: &Mbr) -> Mbr {
+        Mbr {
+            lo: self.lo.iter().zip(&other.lo).map(|(&a, &b)| a.min(b)).collect(),
+            hi: self.hi.iter().zip(&other.hi).map(|(&a, &b)| a.max(b)).collect(),
+        }
+    }
+
+    /// Grows this MBR in place to cover `coords`.
+    pub fn extend_point(&mut self, coords: &[u32]) {
+        for (a, &c) in coords.iter().enumerate() {
+            self.lo[a] = self.lo[a].min(c);
+            self.hi[a] = self.hi[a].max(c);
+        }
+    }
+
+    /// Area increase required to cover `other`.
+    pub fn enlargement(&self, other: &Mbr) -> f64 {
+        self.union(other).area() - self.area()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_mbr_has_unit_extents() {
+        let m = Mbr::point(&[3, 7]);
+        assert_eq!(m.area(), 1.0);
+        assert_eq!(m.margin(), 2.0);
+        assert!(m.contains_point(&[3, 7]));
+        assert!(!m.contains_point(&[3, 8]));
+    }
+
+    #[test]
+    fn union_and_enlargement() {
+        let a = Mbr::from_ranges(&[(0, 1), (0, 1)]);
+        let b = Mbr::from_ranges(&[(3, 3), (0, 0)]);
+        let u = a.union(&b);
+        assert_eq!(u, Mbr::from_ranges(&[(0, 3), (0, 1)]));
+        assert_eq!(u.area(), 8.0);
+        assert_eq!(a.enlargement(&b), 8.0 - 4.0);
+    }
+
+    #[test]
+    fn overlap_area_of_disjoint_is_zero() {
+        let a = Mbr::from_ranges(&[(0, 1), (0, 1)]);
+        let b = Mbr::from_ranges(&[(2, 3), (0, 1)]);
+        assert_eq!(a.overlap_area(&b), 0.0);
+        assert!(!a.intersects(&b));
+        let c = Mbr::from_ranges(&[(1, 2), (1, 2)]);
+        assert!(a.intersects(&c));
+        assert_eq!(a.overlap_area(&c), 1.0);
+    }
+
+    #[test]
+    fn containment() {
+        let outer = Mbr::from_ranges(&[(0, 10), (0, 10)]);
+        let inner = Mbr::from_ranges(&[(2, 5), (3, 3)]);
+        assert!(outer.contains(&inner));
+        assert!(!inner.contains(&outer));
+        assert!(outer.contains(&outer));
+    }
+
+    #[test]
+    fn extend_point_grows_minimally() {
+        let mut m = Mbr::point(&[5, 5]);
+        m.extend_point(&[2, 9]);
+        assert_eq!(m, Mbr::from_ranges(&[(2, 5), (5, 9)]));
+    }
+
+    #[test]
+    fn universe_contains_everything() {
+        let u = Mbr::universe(3);
+        assert!(u.contains_point(&[0, u32::MAX, 12345]));
+    }
+
+    #[test]
+    fn huge_dimensionality_area_does_not_overflow() {
+        // 13 axes of full u32 extent: representable in f64, not u128.
+        let u = Mbr::universe(13);
+        assert!(u.area().is_finite());
+        assert!(u.area() > 1e100);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests of the X-tree against a brute-force oracle.
+
+use dc_common::MeasureSummary;
+use dc_xtree::{Mbr, XTree, XTreeConfig};
+use proptest::prelude::*;
+
+fn points(dims: usize, n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<(Vec<u32>, i64)>> {
+    prop::collection::vec(
+        (prop::collection::vec(0u32..100, dims..=dims), -1000i64..1000),
+        n,
+    )
+}
+
+fn ranges(dims: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0u32..100, 0u32..100), dims..=dims)
+        .prop_map(|v| v.into_iter().map(|(a, b)| (a.min(b), a.max(b))).collect())
+}
+
+fn brute(points: &[(Vec<u32>, i64)], q: &Mbr) -> MeasureSummary {
+    points
+        .iter()
+        .filter(|(c, _)| q.contains_point(c))
+        .map(|&(_, m)| m)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random points, random boxes: tree answers equal brute force, and the
+    /// structure stays valid under split-heavy capacities.
+    #[test]
+    fn queries_match_brute_force(
+        pts in points(3, 1..300),
+        qs in prop::collection::vec(ranges(3), 1..12),
+    ) {
+        let config = XTreeConfig { dir_capacity: 3, data_capacity: 3, ..Default::default() };
+        let mut tree = XTree::new(3, config);
+        for (c, m) in &pts {
+            tree.insert(c.clone(), *m);
+        }
+        tree.check_invariants().unwrap();
+        prop_assert_eq!(tree.len() as usize, pts.len());
+        for q in qs {
+            let q = Mbr::from_ranges(&q);
+            prop_assert_eq!(tree.range_summary(&q), brute(&pts, &q));
+        }
+    }
+
+    /// Duplicates and degenerate distributions (all points on a line /
+    /// point) never break the tree — they exercise supernodes.
+    #[test]
+    fn degenerate_distributions(
+        reps in 1usize..60,
+        coord in prop::collection::vec(0u32..10, 4..=4),
+        ms in prop::collection::vec(-100i64..100, 1..60),
+    ) {
+        let config = XTreeConfig { dir_capacity: 3, data_capacity: 3, ..Default::default() };
+        let mut tree = XTree::new(4, config);
+        let mut all = Vec::new();
+        for (i, &m) in ms.iter().enumerate().take(reps.max(1)) {
+            let mut c = coord.clone();
+            c[0] = c[0].wrapping_add((i % 3) as u32); // a thin line
+            tree.insert(c.clone(), m);
+            all.push((c, m));
+        }
+        tree.check_invariants().unwrap();
+        let q = Mbr::universe(4);
+        prop_assert_eq!(tree.range_summary(&q), brute(&all, &q));
+    }
+
+    /// The high-dimensional case of the paper's evaluation (13 axes).
+    #[test]
+    fn high_dimensional_correctness(
+        pts in points(13, 1..120),
+        qs in prop::collection::vec(ranges(13), 1..6),
+    ) {
+        let mut tree = XTree::new(13, XTreeConfig::default());
+        for (c, m) in &pts {
+            tree.insert(c.clone(), *m);
+        }
+        tree.check_invariants().unwrap();
+        for q in qs {
+            let q = Mbr::from_ranges(&q);
+            prop_assert_eq!(tree.range_summary(&q), brute(&pts, &q));
+        }
+    }
+}

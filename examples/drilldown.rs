@@ -1,0 +1,81 @@
+//! Roll-up / drill-down navigation along concept hierarchies — the OLAP
+//! interaction pattern the DC-tree's partial ordering is built for (the
+//! paper's Fig. 2 argument against artificial total orderings).
+//!
+//! Starting from `ALL`, the example walks down the Customer hierarchy level
+//! by level, at each step querying the children of the currently selected
+//! value and following the biggest contributor.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example drilldown [num_records]
+//! ```
+
+use dctree::tpcd::{generate, TpcdConfig};
+use dctree::{AggregateOp, DcTree, DcTreeConfig, DimSet, DimensionId, Mds, ValueId};
+
+fn main() -> dctree::DcResult<()> {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(20_000);
+    let data = generate(&TpcdConfig::scaled(n, 3));
+    let mut tree = DcTree::new(data.schema.clone(), DcTreeConfig::default());
+    for r in &data.records {
+        tree.insert(r.clone())?;
+    }
+    println!("cube loaded: {n} records\n");
+
+    let customer_dim = DimensionId(0);
+    let query_for = |tree: &DcTree, value: ValueId| -> Mds {
+        let dims = (0..tree.schema().num_dims())
+            .map(|d| {
+                if d == customer_dim.as_usize() {
+                    DimSet::singleton(value)
+                } else {
+                    DimSet::singleton(tree.schema().dim(DimensionId(d as u16)).all())
+                }
+            })
+            .collect();
+        Mds::new(dims)
+    };
+
+    // Walk: ALL → Region → Nation → MktSegment → Customer, always following
+    // the child with the largest revenue.
+    let customer = tree.schema().dim(customer_dim);
+    let mut current = customer.all();
+    loop {
+        let name = customer.name(current)?.to_string();
+        let level = current.level();
+        let attribute = customer
+            .schema()
+            .attribute_name(level)
+            .unwrap_or("ALL")
+            .to_string();
+        let total = tree
+            .range_query(&query_for(&tree, current), AggregateOp::Sum)?
+            .unwrap_or(0.0);
+        println!("{attribute:<12} {name:<24} revenue {:>14.2} $", total / 100.0);
+
+        let children = customer.children(current)?.to_vec();
+        if children.is_empty() {
+            break;
+        }
+        println!("  └─ drilling into {} children:", children.len());
+        let mut best: Option<(f64, ValueId)> = None;
+        for child in children {
+            let sum = tree
+                .range_query(&query_for(&tree, child), AggregateOp::Sum)?
+                .unwrap_or(0.0);
+            if best.is_none_or(|(b, _)| sum > b) {
+                best = Some((sum, child));
+            }
+        }
+        let (sum, child) = best.expect("non-empty children");
+        println!(
+            "     biggest contributor: {} ({:.2} $)\n",
+            customer.name(child)?,
+            sum / 100.0
+        );
+        current = child;
+    }
+    println!("\nreached the leaf level — drill-down complete.");
+    Ok(())
+}

@@ -1,0 +1,100 @@
+//! An interactive warehouse console: type aggregate queries in the small
+//! query language, answered live by the DC-tree while you could keep
+//! inserting — no batch window, the paper's pitch made tangible.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example repl [num_records]
+//! # or non-interactively:
+//! echo "SUM WHERE Customer.Region = 'EUROPE'" | cargo run --release --example repl
+//! ```
+
+use std::io::{BufRead, Write};
+use std::time::Instant;
+
+use dctree::ql::parse_query;
+use dctree::tpcd::{generate, TpcdConfig};
+use dctree::{DcTree, DcTreeConfig};
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(50_000);
+    eprintln!("loading {n} TPC-D style records…");
+    let data = generate(&TpcdConfig::scaled(n, 7));
+    let mut tree = DcTree::new(data.schema.clone(), DcTreeConfig::default());
+    let t0 = Instant::now();
+    for r in &data.records {
+        tree.insert(r.clone()).expect("insert");
+    }
+    eprintln!("ready in {:?}. Dimensions and attributes:", t0.elapsed());
+    for h in tree.schema().dims() {
+        let attrs: Vec<&str> = (0..h.top_level())
+            .rev()
+            .filter_map(|l| h.schema().attribute_name(l))
+            .collect();
+        eprintln!("  {} ({})", h.schema().name(), attrs.join(" → "));
+    }
+    eprintln!(
+        "\nexamples:\n  SUM WHERE Customer.Region = 'EUROPE' AND Time.Year = '1996'\n  \
+         AVG WHERE Part.Brand = 'Brand#11'\n  \
+         COUNT WHERE Supplier.Nation IN ('GERMANY', 'FRANCE')\n  \
+         SUM GROUP BY Customer.Region TOP 3\nquit with ctrl-d.\n"
+    );
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        eprint!("dc> ");
+        let _ = std::io::stderr().flush();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.eq_ignore_ascii_case("quit") || line.eq_ignore_ascii_case("exit") {
+            break;
+        }
+        match parse_query(tree.schema(), line) {
+            Err(e) => eprintln!("error: {e}"),
+            Ok(parsed) => {
+                let t0 = Instant::now();
+                match parsed.group_by {
+                    None => match tree.range_query(&parsed.filter, parsed.op) {
+                        Ok(Some(v)) => {
+                            writeln!(out, "{v:.2}    [{:?}]", t0.elapsed()).ok();
+                        }
+                        Ok(None) => {
+                            writeln!(out, "NULL (empty selection)    [{:?}]", t0.elapsed()).ok();
+                        }
+                        Err(e) => eprintln!("error: {e}"),
+                    },
+                    Some((dim, level)) => match tree.group_by(dim, level, &parsed.filter) {
+                        Ok(mut groups) => {
+                            if let Some(k) = parsed.top {
+                                groups.sort_by(|a, b| {
+                                    let av = a.1.eval(parsed.op).unwrap_or(f64::MIN);
+                                    let bv = b.1.eval(parsed.op).unwrap_or(f64::MIN);
+                                    bv.partial_cmp(&av).unwrap_or(std::cmp::Ordering::Equal)
+                                });
+                                groups.truncate(k);
+                            }
+                            let h = tree.schema().dim(dim);
+                            for (value, summary) in groups {
+                                let name = h.name(value).unwrap_or("?");
+                                match summary.eval(parsed.op) {
+                                    Some(v) => writeln!(out, "{name:<28} {v:.2}").ok(),
+                                    None => writeln!(out, "{name:<28} NULL").ok(),
+                                };
+                            }
+                            writeln!(out, "    [{:?}]", t0.elapsed()).ok();
+                        }
+                        Err(e) => eprintln!("error: {e}"),
+                    },
+                }
+            }
+        }
+    }
+    eprintln!("bye.");
+}

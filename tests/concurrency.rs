@@ -1,0 +1,109 @@
+//! Concurrency smoke tests for the always-online scenario: writers stream
+//! records in while readers run analytical queries — the deployment the
+//! paper designs the DC-tree for (no nightly batch window).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use dctree::tpcd::{generate, TpcdConfig};
+use dctree::{AggregateOp, ConcurrentDcTree, DcTree, DcTreeConfig, Mds};
+
+#[test]
+fn concurrent_reads_and_writes_never_observe_torn_state() {
+    let data = generate(&TpcdConfig::scaled(2000, 1));
+    let tree = Arc::new(ConcurrentDcTree::new(DcTree::new(
+        data.schema.clone(),
+        DcTreeConfig { dir_capacity: 8, data_capacity: 16, ..DcTreeConfig::default() },
+    )));
+    let stop = Arc::new(AtomicBool::new(false));
+    let schema = Arc::new(data.schema.clone());
+
+    let writer = {
+        let tree = Arc::clone(&tree);
+        let records = data.records.clone();
+        std::thread::spawn(move || {
+            for r in records {
+                tree.insert(r).unwrap();
+            }
+        })
+    };
+
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let tree = Arc::clone(&tree);
+            let stop = Arc::clone(&stop);
+            let schema = Arc::clone(&schema);
+            std::thread::spawn(move || {
+                let q = Mds::all(&schema);
+                let mut observations = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let summary = tree.range_summary(&q).unwrap();
+                    // COUNT over everything must equal the record count the
+                    // same snapshot reports — a torn read would break this.
+                    let len = tree.len();
+                    assert!(summary.count <= len || summary.count >= len.saturating_sub(1),
+                        "count {} vs len {len}", summary.count);
+                    observations += 1;
+                }
+                observations
+            })
+        })
+        .collect();
+
+    writer.join().unwrap();
+    stop.store(true, Ordering::Relaxed);
+    let total_reads: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+    assert!(total_reads > 0, "readers must have made progress");
+
+    // Final state is complete and consistent.
+    assert_eq!(tree.len() as usize, data.records.len());
+    tree.with_read(|t| t.check_invariants()).unwrap();
+    let q = Mds::all(&data.schema);
+    assert_eq!(
+        tree.range_query(&q, AggregateOp::Count).unwrap(),
+        Some(data.records.len() as f64)
+    );
+}
+
+#[test]
+fn crossbeam_scoped_mixed_workload() {
+    let data = generate(&TpcdConfig::scaled(1200, 2));
+    let tree = ConcurrentDcTree::new(DcTree::new(
+        data.schema.clone(),
+        DcTreeConfig::default(),
+    ));
+    let (first_half, second_half) = data.records.split_at(data.records.len() / 2);
+    for r in first_half {
+        tree.insert(r.clone()).unwrap();
+    }
+
+    crossbeam::scope(|s| {
+        // One writer inserts the second half…
+        s.spawn(|_| {
+            for r in second_half {
+                tree.insert(r.clone()).unwrap();
+            }
+        });
+        // …one writer deletes some of the first half…
+        s.spawn(|_| {
+            for r in first_half.iter().step_by(5) {
+                assert!(tree.delete(r).unwrap());
+            }
+        });
+        // …while readers hammer queries.
+        for _ in 0..2 {
+            s.spawn(|_| {
+                let q = Mds::all(&data.schema);
+                for _ in 0..200 {
+                    let _ = tree.range_summary(&q).unwrap();
+                }
+            });
+        }
+    })
+    .unwrap();
+
+    let expected =
+        first_half.len() - first_half.iter().step_by(5).count() + second_half.len();
+    assert_eq!(tree.len() as usize, expected);
+    tree.with_read(|t| t.check_invariants()).unwrap();
+}
