@@ -38,7 +38,8 @@ fn bench_bitmap_index(c: &mut Criterion) {
         g.bench_function(format!("query/{:.0}%", sel * 100.0), |bch| {
             bch.iter(|| {
                 i += 1;
-                idx.range_summary(&data.schema, &queries[i % queries.len()]).unwrap()
+                idx.range_summary(&data.schema, &queries[i % queries.len()])
+                    .unwrap()
             })
         });
     }
@@ -83,7 +84,10 @@ fn bench_storage(c: &mut Criterion) {
         bch.iter(|| pool.with_page(hot, |d| d[0]).unwrap())
     });
     g.bench_function("pool_write/hot", |bch| {
-        bch.iter(|| pool.with_page_mut(hot, |d| d[1] = d[1].wrapping_add(1)).unwrap())
+        bch.iter(|| {
+            pool.with_page_mut(hot, |d| d[1] = d[1].wrapping_add(1))
+                .unwrap()
+        })
     });
     g.finish();
     std::fs::remove_file(&path).ok();

@@ -13,7 +13,12 @@ fn mds_of_width(data: &dc_tpcd::TpcdData, width: usize, offset: usize) -> Mds {
             let count = h.num_values_at(0);
             let take = width.min(count);
             let start = offset.min(count - take) as u32;
-            DimSet::new(0, (start..start + take as u32).map(|i| ValueId::new(0, i)).collect())
+            DimSet::new(
+                0,
+                (start..start + take as u32)
+                    .map(|i| ValueId::new(0, i))
+                    .collect(),
+            )
         })
         .collect();
     Mds::new(dims)
@@ -29,15 +34,18 @@ fn bench_mds_ops(c: &mut Criterion) {
     let mut g = c.benchmark_group("mds");
     g.bench_function("overlap/small", |b| b.iter(|| small_a.overlap(&small_b)));
     g.bench_function("overlap/large", |b| b.iter(|| large_a.overlap(&large_b)));
-    g.bench_function("extension/large", |b| b.iter(|| large_a.extension(&large_b)));
-    g.bench_function("union_aligned/large", |b| b.iter(|| large_a.union_aligned(&large_b)));
+    g.bench_function("extension/large", |b| {
+        b.iter(|| large_a.extension(&large_b))
+    });
+    g.bench_function("union_aligned/large", |b| {
+        b.iter(|| large_a.union_aligned(&large_b))
+    });
     g.bench_function("volume/large", |b| b.iter(|| large_a.volume()));
     g.bench_function("contained_in/large", |b| {
         b.iter(|| large_a.contained_in(&large_b, &data.schema).unwrap())
     });
     g.bench_function("adapt_to_levels/leaf_to_top", |b| {
-        let levels: Vec<u8> =
-            data.schema.dims().map(|h| h.top_level()).collect();
+        let levels: Vec<u8> = data.schema.dims().map(|h| h.top_level()).collect();
         b.iter(|| large_a.adapt_to_levels(&data.schema, &levels).unwrap())
     });
     g.bench_function("cover/mixed_levels", |b| {

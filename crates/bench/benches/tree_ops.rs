@@ -55,7 +55,10 @@ fn bench_tree_ops(c: &mut Criterion) {
     for sel in [0.01, 0.05, 0.25] {
         let mut gen = RangeQueryGen::new(sel, ValuePick::ContiguousRun, 7);
         let queries: Vec<_> = (0..64).map(|_| gen.generate(&data.schema)).collect();
-        let mbrs: Vec<_> = queries.iter().map(|q| mds_to_mbr(&data.schema, q)).collect();
+        let mbrs: Vec<_> = queries
+            .iter()
+            .map(|q| mds_to_mbr(&data.schema, q))
+            .collect();
         let mut i = 0usize;
         g.bench_function(format!("dc_tree/{:.0}%", sel * 100.0), |b| {
             b.iter(|| {
@@ -74,7 +77,8 @@ fn bench_tree_ops(c: &mut Criterion) {
         g.bench_function(format!("seq_scan/{:.0}%", sel * 100.0), |b| {
             b.iter(|| {
                 i += 1;
-                scan.range_summary(&data.schema, &queries[i % queries.len()]).unwrap()
+                scan.range_summary(&data.schema, &queries[i % queries.len()])
+                    .unwrap()
             })
         });
     }
@@ -87,7 +91,10 @@ fn bench_tree_ops(c: &mut Criterion) {
         b.iter_batched(
             || {
                 i += 1;
-                (mut_dc.clone(), mut_data.records[i % mut_data.records.len()].clone())
+                (
+                    mut_dc.clone(),
+                    mut_data.records[i % mut_data.records.len()].clone(),
+                )
             },
             |(mut tree, victim)| assert!(tree.delete(&victim).unwrap()),
             BatchSize::LargeInput,

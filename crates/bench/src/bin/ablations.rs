@@ -45,23 +45,41 @@ fn query_batch(data: &TpcdData, dc: &DcTree, sel: f64, n: usize) -> (std::time::
     for q in &queries {
         let _ = dc.range_summary(q).expect("query");
     }
-    (t0.elapsed() / n as u32, dc.io_stats().reads as f64 / n as f64)
+    (
+        t0.elapsed() / n as u32,
+        dc.io_stats().reads as f64 / n as f64,
+    )
 }
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(50_000);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(50_000);
     let queries = 100;
     let data = generate(&TpcdConfig::scaled(n, 42));
     let base = DcTreeConfig::default();
 
     println!("A1 — materialized aggregates ({n} records, {queries} queries/point)");
-    println!("{:>22} {:>7} {:>14} {:>10} {:>10}", "config", "sel", "time/query", "reads", "shortcuts");
+    println!(
+        "{:>22} {:>7} {:>14} {:>10} {:>10}",
+        "config", "sel", "time/query", "reads", "shortcuts"
+    );
     for (label, config) in [
         ("sound containment", base),
-        ("descend-to-leaves", DcTreeConfig { use_materialized_aggregates: false, ..base }),
+        (
+            "descend-to-leaves",
+            DcTreeConfig {
+                use_materialized_aggregates: false,
+                ..base
+            },
+        ),
         (
             "paper Fig.7 (UNSOUND)",
-            DcTreeConfig { use_paper_fig7_containment: true, ..base },
+            DcTreeConfig {
+                use_paper_fig7_containment: true,
+                ..base
+            },
         ),
     ] {
         let (dc, _) = load(&data, config);
@@ -69,7 +87,10 @@ fn main() {
             let before = dc.metrics().shortcut_hits;
             let (t, reads) = query_batch(&data, &dc, sel, queries);
             let hits = dc.metrics().shortcut_hits - before;
-            println!("{label:>22} {:>6.0}% {t:>14?} {reads:>10.0} {hits:>10}", sel * 100.0);
+            println!(
+                "{label:>22} {:>6.0}% {t:>14?} {reads:>10.0} {hits:>10}",
+                sel * 100.0
+            );
         }
     }
     println!(
@@ -77,7 +98,10 @@ fn main() {
     );
 
     println!("A1b — roll-up workload (one dimension at a coarse level, rest ALL)");
-    println!("{:>22} {:>14} {:>10} {:>10}", "config", "time/query", "reads", "shortcuts");
+    println!(
+        "{:>22} {:>14} {:>10} {:>10}",
+        "config", "time/query", "reads", "shortcuts"
+    );
     {
         use dc_common::DimensionId;
         use dc_mds::{DimSet, Mds};
@@ -102,7 +126,13 @@ fn main() {
         rollups.truncate(300);
         for (label, config) in [
             ("sound containment", base),
-            ("descend-to-leaves", DcTreeConfig { use_materialized_aggregates: false, ..base }),
+            (
+                "descend-to-leaves",
+                DcTreeConfig {
+                    use_materialized_aggregates: false,
+                    ..base
+                },
+            ),
         ] {
             let (dc, _) = load(&data, config);
             dc.reset_io();
@@ -125,7 +155,13 @@ fn main() {
     );
     for (label, config) in [
         ("supernodes (paper)", base),
-        ("forced splits", DcTreeConfig { allow_supernodes: false, ..base }),
+        (
+            "forced splits",
+            DcTreeConfig {
+                allow_supernodes: false,
+                ..base
+            },
+        ),
     ] {
         let (dc, ins) = load(&data, config);
         let stats = dc.stats();
@@ -144,7 +180,11 @@ fn main() {
     );
     for max_overlap in [0.0, 0.05, 0.20] {
         for min_fill in [0.20, 0.35] {
-            let config = DcTreeConfig { max_overlap, min_fill, ..base };
+            let config = DcTreeConfig {
+                max_overlap,
+                min_fill,
+                ..base
+            };
             let (dc, ins) = load(&data, config);
             let stats = dc.stats();
             let (t5, r5) = query_batch(&data, &dc, 0.05, queries);
@@ -192,7 +232,10 @@ fn main() {
         }
         let mut gen = RangeQueryGen::new(0.05, ValuePick::ContiguousRun, 7);
         let queries: Vec<_> = (0..queries).map(|_| gen.generate(&data.schema)).collect();
-        let mbrs: Vec<_> = queries.iter().map(|q| mds_to_mbr(&data.schema, q)).collect();
+        let mbrs: Vec<_> = queries
+            .iter()
+            .map(|q| mds_to_mbr(&data.schema, q))
+            .collect();
 
         dc.begin_trace();
         for q in &queries {

@@ -18,10 +18,14 @@
 use dc_bench::harness::{build_engines, run_queries};
 
 fn main() {
-    let max_n: usize =
-        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(100_000);
-    let queries: usize =
-        std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(100);
+    let max_n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(100_000);
+    let queries: usize = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(100);
     let mut sizes = Vec::new();
     let mut n = 12_500;
     while n <= max_n {

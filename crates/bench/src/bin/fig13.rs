@@ -14,8 +14,10 @@
 use dc_bench::harness::build_engines;
 
 fn main() {
-    let max_n: usize =
-        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(100_000);
+    let max_n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(100_000);
     let mut sizes = Vec::new();
     let mut n = 12_500;
     while n <= max_n {

@@ -1,23 +1,34 @@
 //! Internal performance probe (not part of the figure harness).
-use std::time::Instant;
 use dc_common::DimensionId;
 use dc_mds::{DimSet, Mds};
 use dc_query::{RangeQueryGen, ValuePick};
 use dc_tpcd::{generate, TpcdConfig};
 use dc_tree::{DcTree, DcTreeConfig};
+use std::time::Instant;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(50_000);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(50_000);
     let data = generate(&TpcdConfig::scaled(n, 42));
     let mut dc = DcTree::new(data.schema.clone(), DcTreeConfig::default());
     let t0 = Instant::now();
-    for r in &data.records { dc.insert(r.clone()).unwrap(); }
+    for r in &data.records {
+        dc.insert(r.clone()).unwrap();
+    }
     println!("insert {:?}", t0.elapsed());
     for sel in [0.01, 0.05, 0.25] {
         let mut g = RangeQueryGen::new(sel, ValuePick::ContiguousRun, 7);
-        for _ in 0..50 { let q = g.generate(&data.schema); let _ = dc.range_summary(&q).unwrap(); }
+        for _ in 0..50 {
+            let q = g.generate(&data.schema);
+            let _ = dc.range_summary(&q).unwrap();
+        }
         let m = dc.metrics();
-        println!("sel {sel}: shortcut_hits={} descents={}", m.shortcut_hits, m.descents);
+        println!(
+            "sel {sel}: shortcut_hits={} descents={}",
+            m.shortcut_hits, m.descents
+        );
     }
     // Roll-up workload: one dim constrained at a coarse level, others ALL.
     let mut rollups = Vec::new();
@@ -25,20 +36,29 @@ fn main() {
         let h = data.schema.dim(DimensionId(d));
         for level in 1..=h.top_level() - 1 {
             for v in h.values_at(level) {
-                let dims = (0..4u16).map(|dd| {
-                    if dd == d { DimSet::singleton(v) } else {
-                        DimSet::singleton(data.schema.dim(DimensionId(dd)).all())
-                    }
-                }).collect();
+                let dims = (0..4u16)
+                    .map(|dd| {
+                        if dd == d {
+                            DimSet::singleton(v)
+                        } else {
+                            DimSet::singleton(data.schema.dim(DimensionId(dd)).all())
+                        }
+                    })
+                    .collect();
                 rollups.push(Mds::new(dims));
             }
         }
     }
     let before = dc.metrics();
     let t0 = Instant::now();
-    for q in rollups.iter().take(500) { let _ = dc.range_summary(q).unwrap(); }
+    for q in rollups.iter().take(500) {
+        let _ = dc.range_summary(q).unwrap();
+    }
     let el = t0.elapsed() / 500u32.min(rollups.len() as u32);
     let m = dc.metrics();
-    println!("rollups: {el:?}/query shortcut_hits={} descents={}",
-        m.shortcut_hits - before.shortcut_hits, m.descents - before.descents);
+    println!(
+        "rollups: {el:?}/query shortcut_hits={} descents={}",
+        m.shortcut_hits - before.shortcut_hits,
+        m.descents - before.descents
+    );
 }

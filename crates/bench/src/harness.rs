@@ -40,8 +40,11 @@ pub fn build_engines(lineitems: usize, seed: u64) -> Engines {
     let mut scan = FlatTable::for_schema(BlockConfig::DEFAULT, &data.schema);
     let mut bitmap = BitmapIndex::new(&data.schema, BlockConfig::DEFAULT);
 
-    let flat: Vec<Vec<u32>> =
-        data.records.iter().map(|r| data.schema.flatten_record(r).unwrap()).collect();
+    let flat: Vec<Vec<u32>> = data
+        .records
+        .iter()
+        .map(|r| data.schema.flatten_record(r).unwrap())
+        .collect();
 
     let t0 = Instant::now();
     for r in &data.records {
@@ -65,7 +68,16 @@ pub fn build_engines(lineitems: usize, seed: u64) -> Engines {
     }
     let bitmap_insert_time = t0.elapsed();
 
-    Engines { data, dc, x, scan, bitmap, dc_insert_time, x_insert_time, bitmap_insert_time }
+    Engines {
+        data,
+        dc,
+        x,
+        scan,
+        bitmap,
+        dc_insert_time,
+        x_insert_time,
+        bitmap_insert_time,
+    }
 }
 
 /// Result of one engine's query batch.
@@ -95,12 +107,17 @@ pub struct BatchResults {
 pub fn run_queries(e: &Engines, selectivity: f64, n: usize, seed: u64) -> BatchResults {
     let mut gen = RangeQueryGen::new(selectivity, ValuePick::ContiguousRun, seed);
     let queries: Vec<_> = (0..n).map(|_| gen.generate(&e.data.schema)).collect();
-    let mbrs: Vec<_> = queries.iter().map(|q| mds_to_mbr(&e.data.schema, q)).collect();
+    let mbrs: Vec<_> = queries
+        .iter()
+        .map(|q| mds_to_mbr(&e.data.schema, q))
+        .collect();
 
     e.dc.reset_io();
     let t0 = Instant::now();
-    let dc_answers: Vec<MeasureSummary> =
-        queries.iter().map(|q| e.dc.range_summary(q).unwrap()).collect();
+    let dc_answers: Vec<MeasureSummary> = queries
+        .iter()
+        .map(|q| e.dc.range_summary(q).unwrap())
+        .collect();
     let dc_time = t0.elapsed();
     let dc_reads = e.dc.io_stats().reads;
 
@@ -112,8 +129,10 @@ pub fn run_queries(e: &Engines, selectivity: f64, n: usize, seed: u64) -> BatchR
 
     e.scan.reset_io();
     let t0 = Instant::now();
-    let scan_answers: Vec<MeasureSummary> =
-        queries.iter().map(|q| e.scan.range_summary(&e.data.schema, q).unwrap()).collect();
+    let scan_answers: Vec<MeasureSummary> = queries
+        .iter()
+        .map(|q| e.scan.range_summary(&e.data.schema, q).unwrap())
+        .collect();
     let scan_time = t0.elapsed();
     let scan_reads = e.scan.io_stats().reads;
 
@@ -128,11 +147,20 @@ pub fn run_queries(e: &Engines, selectivity: f64, n: usize, seed: u64) -> BatchR
 
     assert_eq!(dc_answers, scan_answers, "DC-tree and scan disagree");
     assert_eq!(dc_answers, x_answers, "DC-tree and X-tree disagree");
-    assert_eq!(dc_answers, bitmap_answers, "DC-tree and bitmap index disagree");
+    assert_eq!(
+        dc_answers, bitmap_answers,
+        "DC-tree and bitmap index disagree"
+    );
 
     BatchResults {
-        dc: QueryRun { avg_time: dc_time / n as u32, avg_reads: dc_reads as f64 / n as f64 },
-        x: QueryRun { avg_time: x_time / n as u32, avg_reads: x_reads as f64 / n as f64 },
+        dc: QueryRun {
+            avg_time: dc_time / n as u32,
+            avg_reads: dc_reads as f64 / n as f64,
+        },
+        x: QueryRun {
+            avg_time: x_time / n as u32,
+            avg_reads: x_reads as f64 / n as f64,
+        },
         scan: QueryRun {
             avg_time: scan_time / n as u32,
             avg_reads: scan_reads as f64 / n as f64,

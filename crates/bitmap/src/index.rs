@@ -124,11 +124,12 @@ impl BitmapIndex {
                 Some(a) => a.and(&bm),
             });
         }
-        let Some(candidates) = acc else { return Ok(false) };
+        let Some(candidates) = acc else {
+            return Ok(false);
+        };
         let deleted: Vec<u64> = self.deleted.iter_ones().collect();
         for rid in candidates.iter_ones() {
-            if self.measures[rid as usize] == record.measure
-                && deleted.binary_search(&rid).is_err()
+            if self.measures[rid as usize] == record.measure && deleted.binary_search(&rid).is_err()
             {
                 // Rebuild the deleted mask with the new bit (append-only
                 // bitmaps cannot set an interior bit directly).
@@ -251,7 +252,9 @@ mod tests {
             ("AS", "JP", "1997", "01", 400),
             ("EU", "DE", "1997", "03", 50),
         ] {
-            let rec = schema.intern_record(&[vec![r, n], vec![y, m]], price).unwrap();
+            let rec = schema
+                .intern_record(&[vec![r, n], vec![y, m]], price)
+                .unwrap();
             idx.insert(&schema, &rec).unwrap();
             records.push(rec);
         }
@@ -275,7 +278,10 @@ mod tests {
     #[test]
     fn leaf_level_queries_work() {
         let (schema, idx, _) = setup();
-        let de = schema.dim(DimensionId(0)).lookup_path(&["EU", "DE"]).unwrap();
+        let de = schema
+            .dim(DimensionId(0))
+            .lookup_path(&["EU", "DE"])
+            .unwrap();
         let q = Mds::new(vec![
             DimSet::singleton(de),
             DimSet::singleton(schema.dim(DimensionId(1)).all()),
@@ -305,7 +311,9 @@ mod tests {
         let (schema, _, _) = setup();
         let mut idx = BitmapIndex::new(&schema, BlockConfig::DEFAULT);
         let mut s2 = schema.clone();
-        let rec = s2.intern_record(&[vec!["EU", "DE"], vec!["1996", "01"]], 10).unwrap();
+        let rec = s2
+            .intern_record(&[vec!["EU", "DE"], vec!["1996", "01"]], 10)
+            .unwrap();
         idx.reset_io();
         idx.insert(&s2, &rec).unwrap();
         assert_eq!(idx.io_stats().writes, 4 + 1);
@@ -317,7 +325,9 @@ mod tests {
         // A nation that exists but has no records at this measure level...
         // use a value with no bitmap: query on year 1998 (never inserted).
         let mut s2 = schema.clone();
-        let rec = s2.intern_record(&[vec!["EU", "DE"], vec!["1998", "01"]], 0).unwrap();
+        let rec = s2
+            .intern_record(&[vec!["EU", "DE"], vec!["1998", "01"]], 0)
+            .unwrap();
         let _ = rec;
         let y98 = s2.dim(DimensionId(1)).lookup_path(&["1998"]).unwrap();
         let q = Mds::new(vec![

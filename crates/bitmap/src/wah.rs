@@ -96,7 +96,11 @@ impl CompressedBitmap {
     /// # Panics
     /// Panics if `pos` is not beyond every previously set bit.
     pub fn set(&mut self, pos: u64) {
-        assert!(pos >= self.len, "bits must be set in increasing order ({pos} < {})", self.len);
+        assert!(
+            pos >= self.len,
+            "bits must be set in increasing order ({pos} < {})",
+            self.len
+        );
         let group = pos / GROUP;
         assert!(
             group >= self.groups,
@@ -177,7 +181,13 @@ struct GroupCursor<'a> {
 
 impl<'a> GroupCursor<'a> {
     fn new(bitmap: &'a CompressedBitmap) -> Self {
-        GroupCursor { bitmap, word_idx: 0, fill_left: 0, fill_payload: 0, tail_done: false }
+        GroupCursor {
+            bitmap,
+            word_idx: 0,
+            fill_left: 0,
+            fill_payload: 0,
+            tail_done: false,
+        }
     }
 
     /// Next 63-bit group payload, or `None` past the end (the caller pads
@@ -190,7 +200,11 @@ impl<'a> GroupCursor<'a> {
         if let Some(&w) = self.bitmap.words.get(self.word_idx) {
             self.word_idx += 1;
             if w & FILL_FLAG != 0 {
-                let payload = if w & FILL_BIT != 0 { (1 << GROUP) - 1 } else { 0 };
+                let payload = if w & FILL_BIT != 0 {
+                    (1 << GROUP) - 1
+                } else {
+                    0
+                };
                 let count = w & COUNT_MASK;
                 self.fill_left = count - 1;
                 self.fill_payload = payload;
@@ -297,7 +311,11 @@ mod tests {
         }
         assert_eq!(b.count_ones(), 630);
         // Ten full groups coalesce into one fill word (plus bookkeeping).
-        assert!(b.size_in_bytes() <= 8 * 2 + 24, "{} bytes", b.size_in_bytes());
+        assert!(
+            b.size_in_bytes() <= 8 * 2 + 24,
+            "{} bytes",
+            b.size_in_bytes()
+        );
         assert_eq!(b.iter_ones().count(), 630);
     }
 
@@ -340,7 +358,10 @@ mod tests {
         let b = from_positions(&[64, 129]);
         let c = from_positions(&[0, 129, 10_000]);
         let u = a.or(&b).or(&c);
-        assert_eq!(u.iter_ones().collect::<Vec<_>>(), vec![0, 64, 128, 129, 10_000]);
+        assert_eq!(
+            u.iter_ones().collect::<Vec<_>>(),
+            vec![0, 64, 128, 129, 10_000]
+        );
         let i = a.or(&b).and(&c);
         assert_eq!(i.iter_ones().collect::<Vec<_>>(), vec![0, 129]);
     }

@@ -9,8 +9,7 @@ use proptest::prelude::*;
 
 /// Strategy: a sorted, deduplicated set of bit positions.
 fn positions() -> impl Strategy<Value = Vec<u64>> {
-    prop::collection::btree_set(0u64..5_000, 0..200)
-        .prop_map(|s| s.into_iter().collect())
+    prop::collection::btree_set(0u64..5_000, 0..200).prop_map(|s| s.into_iter().collect())
 }
 
 fn build(pos: &[u64]) -> CompressedBitmap {

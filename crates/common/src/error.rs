@@ -25,9 +25,17 @@ pub enum DcError {
     /// A `ValueId` was used with a hierarchy that never issued it.
     UnknownValue { dim: DimensionId, id: ValueId },
     /// A dimension path (root→leaf attribute chain) had the wrong length.
-    BadPathLength { dim: DimensionId, expected: usize, got: usize },
+    BadPathLength {
+        dim: DimensionId,
+        expected: usize,
+        got: usize,
+    },
     /// Asked for an ancestor above the root or below the value itself.
-    BadLevel { dim: DimensionId, id: ValueId, requested: Level },
+    BadLevel {
+        dim: DimensionId,
+        id: ValueId,
+        requested: Level,
+    },
     /// A hierarchy level overflowed the 4-bit encoding or a level index the
     /// 28-bit encoding.
     IdSpaceExhausted { dim: DimensionId, level: Level },
@@ -46,13 +54,19 @@ impl fmt::Display for DcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DcError::DimensionMismatch { expected, got } => {
-                write!(f, "dimension count mismatch: structure has {expected}, input has {got}")
+                write!(
+                    f,
+                    "dimension count mismatch: structure has {expected}, input has {got}"
+                )
             }
             DcError::UnknownValue { dim, id } => {
                 write!(f, "value {id} was never registered in {dim}")
             }
             DcError::BadPathLength { dim, expected, got } => {
-                write!(f, "{dim}: attribute path must have {expected} entries, got {got}")
+                write!(
+                    f,
+                    "{dim}: attribute path must have {expected} entries, got {got}"
+                )
             }
             DcError::BadLevel { dim, id, requested } => {
                 write!(f, "{dim}: level {requested} is invalid for {id}")
@@ -89,10 +103,16 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = DcError::DimensionMismatch { expected: 4, got: 3 };
+        let e = DcError::DimensionMismatch {
+            expected: 4,
+            got: 3,
+        };
         assert!(e.to_string().contains("4"));
         assert!(e.to_string().contains("3"));
-        let e = DcError::UnknownValue { dim: DimensionId(1), id: ValueId::new(2, 9) };
+        let e = DcError::UnknownValue {
+            dim: DimensionId(1),
+            id: ValueId::new(2, 9),
+        };
         assert!(e.to_string().contains("dim1"));
     }
 

@@ -47,8 +47,14 @@ impl ValueId {
     /// one hierarchy level) — a capacity the paper's 4-byte encoding shares.
     #[inline]
     pub fn new(level: Level, index: u32) -> Self {
-        assert!(level <= MAX_LEVEL, "hierarchy level {level} exceeds 4-bit encoding");
-        assert!(index <= MAX_INDEX, "per-level index {index} exceeds 28-bit encoding");
+        assert!(
+            level <= MAX_LEVEL,
+            "hierarchy level {level} exceeds 4-bit encoding"
+        );
+        assert!(
+            index <= MAX_INDEX,
+            "per-level index {index} exceeds 28-bit encoding"
+        );
         ValueId(((level as u32) << INDEX_BITS) | index)
     }
 

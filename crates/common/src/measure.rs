@@ -79,13 +79,23 @@ impl MeasureSummary {
     /// The identity summary (zero records).
     #[inline]
     pub fn empty() -> Self {
-        MeasureSummary { sum: 0, count: 0, min: i64::MAX, max: i64::MIN }
+        MeasureSummary {
+            sum: 0,
+            count: 0,
+            min: i64::MAX,
+            max: i64::MIN,
+        }
     }
 
     /// Summary of a single measure value.
     #[inline]
     pub fn of(value: Measure) -> Self {
-        MeasureSummary { sum: value, count: 1, min: value, max: value }
+        MeasureSummary {
+            sum: value,
+            count: 1,
+            min: value,
+            max: value,
+        }
     }
 
     /// `true` iff no records are aggregated.

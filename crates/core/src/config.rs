@@ -86,7 +86,10 @@ impl DcTreeConfig {
     /// Validates the configuration, panicking on nonsensical values.
     /// Called by `DcTree::new`.
     pub(crate) fn validate(&self) {
-        assert!(self.dir_capacity >= 2, "directory capacity must be at least 2");
+        assert!(
+            self.dir_capacity >= 2,
+            "directory capacity must be at least 2"
+        );
         assert!(self.data_capacity >= 2, "data capacity must be at least 2");
         assert!(
             (0.0..=0.5).contains(&self.min_fill),
@@ -98,7 +101,10 @@ impl DcTreeConfig {
             "max_overlap must be in [0, 1], got {}",
             self.max_overlap
         );
-        assert!(self.max_supernode_blocks >= 1, "max_supernode_blocks must be at least 1");
+        assert!(
+            self.max_supernode_blocks >= 1,
+            "max_supernode_blocks must be at least 1"
+        );
     }
 
     /// Smallest group size acceptable when splitting `members` entries.
@@ -134,21 +140,35 @@ mod tests {
 
     #[test]
     fn min_group_rounds_up_and_is_positive() {
-        let c = DcTreeConfig { min_fill: 0.35, ..DcTreeConfig::default() };
+        let c = DcTreeConfig {
+            min_fill: 0.35,
+            ..DcTreeConfig::default()
+        };
         assert_eq!(c.min_group(17), 6); // ceil(5.95)
-        let c0 = DcTreeConfig { min_fill: 0.0, ..DcTreeConfig::default() };
+        let c0 = DcTreeConfig {
+            min_fill: 0.0,
+            ..DcTreeConfig::default()
+        };
         assert_eq!(c0.min_group(10), 1);
     }
 
     #[test]
     #[should_panic(expected = "min_fill")]
     fn unbalanced_min_fill_rejected() {
-        DcTreeConfig { min_fill: 0.9, ..DcTreeConfig::default() }.validate();
+        DcTreeConfig {
+            min_fill: 0.9,
+            ..DcTreeConfig::default()
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "capacity")]
     fn tiny_capacity_rejected() {
-        DcTreeConfig { dir_capacity: 1, ..DcTreeConfig::default() }.validate();
+        DcTreeConfig {
+            dir_capacity: 1,
+            ..DcTreeConfig::default()
+        }
+        .validate();
     }
 }

@@ -25,9 +25,7 @@
 
 use std::path::Path;
 
-use dc_common::{
-    AggregateOp, DcError, DcResult, Measure, MeasureSummary, RecordId,
-};
+use dc_common::{AggregateOp, DcError, DcResult, Measure, MeasureSummary, RecordId};
 use dc_hierarchy::{CubeSchema, Record};
 use dc_mds::Mds;
 use dc_storage::{BufferPool, ByteReader, ByteWriter, PageId, PagedFile, PoolStats};
@@ -47,7 +45,10 @@ fn pid(id: NodeId) -> PageId {
 }
 
 fn nid(page: PageId) -> NodeId {
-    debug_assert!(page.0 <= u32::MAX as u64, "page id exceeds node-handle width");
+    debug_assert!(
+        page.0 <= u32::MAX as u64,
+        "page id exceeds node-handle width"
+    );
     NodeId(page.0 as u32)
 }
 
@@ -99,16 +100,15 @@ impl DiskDcTree {
         let file = PagedFile::open(path, config.block)?;
         let mut pool = BufferPool::new(file, frames);
         let meta = PageId(1);
-        let (magic, root, schema_head, next_record_id, len) =
-            pool.with_page(meta, |d| {
-                (
-                    u64::from_le_bytes(d[0..8].try_into().expect("8 bytes")),
-                    u64::from_le_bytes(d[8..16].try_into().expect("8 bytes")),
-                    u64::from_le_bytes(d[16..24].try_into().expect("8 bytes")),
-                    u64::from_le_bytes(d[24..32].try_into().expect("8 bytes")),
-                    u64::from_le_bytes(d[32..40].try_into().expect("8 bytes")),
-                )
-            })?;
+        let (magic, root, schema_head, next_record_id, len) = pool.with_page(meta, |d| {
+            (
+                u64::from_le_bytes(d[0..8].try_into().expect("8 bytes")),
+                u64::from_le_bytes(d[8..16].try_into().expect("8 bytes")),
+                u64::from_le_bytes(d[16..24].try_into().expect("8 bytes")),
+                u64::from_le_bytes(d[24..32].try_into().expect("8 bytes")),
+                u64::from_le_bytes(d[32..40].try_into().expect("8 bytes")),
+            )
+        })?;
         if magic != META_MAGIC {
             return Err(DcError::Corrupt("not a disk DC-tree".into()));
         }
@@ -279,8 +279,16 @@ impl DiskDcTree {
             let new_node = self.load_node(sibling)?;
             let mds = old_root.mds.cover(&new_node.mds, &self.schema)?;
             let entries = vec![
-                DirEntry { mds: old_root.mds.clone(), summary: old_root.summary, child: nid(self.root) },
-                DirEntry { mds: new_node.mds.clone(), summary: new_node.summary, child: nid(sibling) },
+                DirEntry {
+                    mds: old_root.mds.clone(),
+                    summary: old_root.summary,
+                    child: nid(self.root),
+                },
+                DirEntry {
+                    mds: new_node.mds.clone(),
+                    summary: new_node.summary,
+                    child: nid(sibling),
+                },
             ];
             let root = Node::new_dir(mds, entries);
             self.root = self.alloc_node(&root)?;
@@ -294,7 +302,8 @@ impl DiskDcTree {
         match &mut node.kind {
             NodeKind::Data(records) => {
                 node.summary.add(stored.record.measure);
-                node.mds.extend_to_cover_record(&self.schema, &stored.record)?;
+                node.mds
+                    .extend_to_cover_record(&self.schema, &stored.record)?;
                 records.push(stored.clone());
                 let over = records.len() > self.config.data_capacity * node.blocks as usize;
                 self.store_node(page, &node)?;
@@ -306,7 +315,8 @@ impl DiskDcTree {
             NodeKind::Dir(_) => {
                 let choice = choose_subtree(&self.schema, &node, &stored.record)?;
                 node.summary.add(stored.record.measure);
-                node.mds.extend_to_cover_record(&self.schema, &stored.record)?;
+                node.mds
+                    .extend_to_cover_record(&self.schema, &stored.record)?;
                 let child = {
                     let entries = node.entries_mut();
                     entries[choice].summary.add(stored.record.measure);
@@ -335,8 +345,7 @@ impl DiskDcTree {
                             child: nid(sibling),
                         });
                     }
-                    let over =
-                        node.len() > self.config.dir_capacity * node.blocks as usize;
+                    let over = node.len() > self.config.dir_capacity * node.blocks as usize;
                     self.store_node(page, &node)?;
                     if over {
                         return self.split_node(page);
@@ -358,13 +367,17 @@ impl DiskDcTree {
                 Some(entries.iter().map(|e| e.child).collect()),
             ),
             NodeKind::Data(records) => (
-                records.iter().map(|r| Mds::from_record(&r.record)).collect(),
+                records
+                    .iter()
+                    .map(|r| Mds::from_record(&r.record))
+                    .collect(),
                 None,
             ),
         };
         let node_levels = node.mds.levels();
-        let node_dim_lens: Vec<usize> =
-            (0..node.mds.num_dims()).map(|d| node.mds.dim(d).len()).collect();
+        let node_dim_lens: Vec<usize> = (0..node.mds.num_dims())
+            .map(|d| node.mds.dim(d).len())
+            .collect();
         let num_members = member_mds.len();
         let min_group = self.config.min_group(num_members);
 
@@ -409,8 +422,7 @@ impl DiskDcTree {
                     }
                     analysis.push(a);
                 }
-                let Some(outcome) = hierarchy_split(&self.schema, &analysis, d, min_group)?
-                else {
+                let Some(outcome) = hierarchy_split(&self.schema, &analysis, d, min_group)? else {
                     break;
                 };
                 let ratio = outcome.overlap_ratio();
@@ -482,7 +494,12 @@ impl DiskDcTree {
     }
 
     fn apply_split(&mut self, page: PageId, outcome: SplitOutcome) -> DcResult<PageId> {
-        let SplitOutcome { group1, group2, cover1, cover2 } = outcome;
+        let SplitOutcome {
+            group1,
+            group2,
+            cover1,
+            cover2,
+        } = outcome;
         let node = self.load_node(page)?;
         let (mut keep, sibling) = match node.kind {
             NodeKind::Data(records) => {
@@ -528,7 +545,11 @@ impl DiskDcTree {
             }
         };
         let shrink = |n: &Node, cfg: &DcTreeConfig| -> u32 {
-            let cap = if n.is_data() { cfg.data_capacity } else { cfg.dir_capacity };
+            let cap = if n.is_data() {
+                cfg.data_capacity
+            } else {
+                cfg.dir_capacity
+            };
             (n.len().div_ceil(cap)).max(1) as u32
         };
         keep.blocks = shrink(&keep, &self.config);
@@ -539,12 +560,7 @@ impl DiskDcTree {
         Ok(sib_page)
     }
 
-    fn subtree_dimset_at(
-        &mut self,
-        page: PageId,
-        d: usize,
-        level: u8,
-    ) -> DcResult<dc_mds::DimSet> {
+    fn subtree_dimset_at(&mut self, page: PageId, d: usize, level: u8) -> DcResult<dc_mds::DimSet> {
         let node = self.load_node(page)?;
         if node.mds.dim(d).level() <= level {
             let h = self.schema.dims().nth(d).expect("dimension in schema");
@@ -576,8 +592,7 @@ impl DiskDcTree {
                 for (set, descend) in parts {
                     let part = match descend {
                         None => {
-                            let h =
-                                self.schema.dims().nth(d).expect("dimension in schema");
+                            let h = self.schema.dims().nth(d).expect("dimension in schema");
                             set.adapt_to(h, level)?
                         }
                         Some(child) => self.subtree_dimset_at(pid(child), d, level)?,
@@ -613,11 +628,8 @@ impl DiskDcTree {
                 got: range.num_dims(),
             });
         }
-        let prepared = PreparedRange::with_mode(
-            &self.schema,
-            range,
-            self.config.use_paper_fig7_containment,
-        )?;
+        let prepared =
+            PreparedRange::with_mode(&self.schema, range, self.config.use_paper_fig7_containment)?;
         let mut acc = MeasureSummary::empty();
         self.query_rec(self.root, &prepared, &mut acc)?;
         Ok(acc)
@@ -732,12 +744,10 @@ impl DiskDcTree {
                     .entries()
                     .iter()
                     .enumerate()
-                    .filter_map(|(i, e)| {
-                        match e.mds.contains_record(&self.schema, record) {
-                            Ok(true) => Some(Ok((i, e.child))),
-                            Ok(false) => None,
-                            Err(e) => Some(Err(e)),
-                        }
+                    .filter_map(|(i, e)| match e.mds.contains_record(&self.schema, record) {
+                        Ok(true) => Some(Ok((i, e.child))),
+                        Ok(false) => None,
+                        Err(e) => Some(Err(e)),
                     })
                     .collect::<DcResult<_>>()?;
                 for (i, child) in candidates {
@@ -782,11 +792,7 @@ impl DiskDcTree {
         }
     }
 
-    fn collect_subtree(
-        &mut self,
-        page: PageId,
-        out: &mut Vec<StoredRecord>,
-    ) -> DcResult<()> {
+    fn collect_subtree(&mut self, page: PageId, out: &mut Vec<StoredRecord>) -> DcResult<()> {
         let node = self.load_node(page)?;
         match node.kind {
             NodeKind::Data(mut records) => out.append(&mut records),
@@ -837,7 +843,13 @@ fn choose_subtree(schema: &CubeSchema, node: &Node, record: &Record) -> DcResult
             }
         }
         let enlargement = e.mds.enlargement_for_record(schema, record)?;
-        let key = (overlap_penalty, enlargement, e.mds.volume(), e.mds.size(), i);
+        let key = (
+            overlap_penalty,
+            enlargement,
+            e.mds.volume(),
+            e.mds.size(),
+            i,
+        );
         if best.is_none_or(|b| key < b) {
             best = Some(key);
         }
@@ -961,7 +973,11 @@ fn write_chain(
         pool.free(spare)?;
     }
     for (i, chunk) in chunks.iter().enumerate() {
-        let next = if i + 1 < existing.len() { existing[i + 1].0 } else { CHAIN_NONE };
+        let next = if i + 1 < existing.len() {
+            existing[i + 1].0
+        } else {
+            CHAIN_NONE
+        };
         pool.with_page_mut(existing[i], |d| {
             d[0..8].copy_from_slice(&next.to_le_bytes());
             d[8..12].copy_from_slice(&(chunk.len() as u32).to_le_bytes());

@@ -66,7 +66,7 @@ pub mod stats;
 pub mod tree;
 
 pub use config::DcTreeConfig;
-pub use stats::{DeadSpaceReport, LevelStat, TreeStats};
 pub use disk::DiskDcTree;
 pub use persist_paged::PagedTreeStore;
+pub use stats::{DeadSpaceReport, LevelStat, TreeStats};
 pub use tree::{DcTree, TreeMetrics};

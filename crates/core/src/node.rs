@@ -68,7 +68,12 @@ pub struct Node {
 impl Node {
     /// A fresh data node.
     pub fn new_data(mds: Mds) -> Self {
-        Node { mds, summary: MeasureSummary::empty(), blocks: 1, kind: NodeKind::Data(Vec::new()) }
+        Node {
+            mds,
+            summary: MeasureSummary::empty(),
+            blocks: 1,
+            kind: NodeKind::Data(Vec::new()),
+        }
     }
 
     /// A fresh directory node.
@@ -77,7 +82,12 @@ impl Node {
         for e in &entries {
             summary.merge(&e.summary);
         }
-        Node { mds, summary, blocks: 1, kind: NodeKind::Dir(entries) }
+        Node {
+            mds,
+            summary,
+            blocks: 1,
+            kind: NodeKind::Dir(entries),
+        }
     }
 
     /// `true` iff this is a data (leaf) node.
@@ -205,8 +215,8 @@ impl Arena {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dc_mds::DimSet;
     use dc_common::ValueId;
+    use dc_mds::DimSet;
 
     fn dummy_mds() -> Mds {
         Mds::new(vec![DimSet::singleton(ValueId::new(1, 0))])
@@ -233,8 +243,16 @@ mod tests {
         let c1 = a.alloc(Node::new_data(dummy_mds()));
         let c2 = a.alloc(Node::new_data(dummy_mds()));
         let entries = vec![
-            DirEntry { mds: dummy_mds(), summary: MeasureSummary::of(10), child: c1 },
-            DirEntry { mds: dummy_mds(), summary: MeasureSummary::of(-4), child: c2 },
+            DirEntry {
+                mds: dummy_mds(),
+                summary: MeasureSummary::of(10),
+                child: c1,
+            },
+            DirEntry {
+                mds: dummy_mds(),
+                summary: MeasureSummary::of(-4),
+                child: c2,
+            },
         ];
         let dir = Node::new_dir(dummy_mds(), entries);
         assert_eq!(dir.summary.sum, 6);

@@ -91,8 +91,14 @@ impl DcTree {
         let len = r.get_u64()?;
         r.expect_end()?;
 
-        let tree =
-            DcTree::from_parts(schema, config, Arena::from_slots(slots), root, next_record_id, len);
+        let tree = DcTree::from_parts(
+            schema,
+            config,
+            Arena::from_slots(slots),
+            root,
+            next_record_id,
+            len,
+        );
         // A loaded image is untrusted input: validate before use.
         tree.check_invariants()?;
         Ok(tree)
@@ -297,7 +303,11 @@ pub(crate) fn read_node(r: &mut ByteReader, num_dims: usize) -> DcResult<Node> {
                 let mds = read_mds(r, num_dims)?;
                 let summary = read_summary(r)?;
                 let child = NodeId(r.get_u32()?);
-                entries.push(DirEntry { mds, summary, child });
+                entries.push(DirEntry {
+                    mds,
+                    summary,
+                    child,
+                });
             }
             NodeKind::Dir(entries)
         }
@@ -311,11 +321,19 @@ pub(crate) fn read_node(r: &mut ByteReader, num_dims: usize) -> DcResult<Node> {
                     dims.push(ValueId::from_raw(r.get_u32()?));
                 }
                 let measure = r.get_i64()?;
-                records.push(StoredRecord { id, record: Record::new(dims, measure) });
+                records.push(StoredRecord {
+                    id,
+                    record: Record::new(dims, measure),
+                });
             }
             NodeKind::Data(records)
         }
         tag => return Err(DcError::Corrupt(format!("bad node kind tag {tag}"))),
     };
-    Ok(Node { mds, summary, blocks, kind })
+    Ok(Node {
+        mds,
+        summary,
+        blocks,
+        kind,
+    })
 }

@@ -45,7 +45,10 @@ impl PagedTreeStore {
     /// Opens a store whose directory page is `directory` (page 1 for stores
     /// made by [`Self::create`] on a fresh file).
     pub fn open(file: PagedFile, frames: usize, directory: PageId) -> Self {
-        PagedTreeStore { pool: BufferPool::new(file, frames), directory }
+        PagedTreeStore {
+            pool: BufferPool::new(file, frames),
+            directory,
+        }
     }
 
     /// The directory page (persist it alongside the file path).
@@ -68,11 +71,9 @@ impl PagedTreeStore {
 
     fn free_chain(&mut self, mut head: u64) -> DcResult<()> {
         while head != CHAIN_NONE {
-            let next = self
-                .pool
-                .with_page(PageId(head), |d| {
-                    u64::from_le_bytes(d[0..8].try_into().expect("8 bytes"))
-                })?;
+            let next = self.pool.with_page(PageId(head), |d| {
+                u64::from_le_bytes(d[0..8].try_into().expect("8 bytes"))
+            })?;
             self.pool.free(PageId(head))?;
             head = next;
         }
@@ -120,13 +121,17 @@ impl PagedTreeStore {
         while head != CHAIN_NONE {
             let (next, chunk) = self.pool.with_page(PageId(head), |d| {
                 let next = u64::from_le_bytes(d[0..8].try_into().expect("8 bytes"));
-                let clen =
-                    u32::from_le_bytes(d[8..12].try_into().expect("4 bytes")) as usize;
-                (next, d[PAGE_HEADER..PAGE_HEADER + clen.min(d.len() - PAGE_HEADER)].to_vec())
+                let clen = u32::from_le_bytes(d[8..12].try_into().expect("4 bytes")) as usize;
+                (
+                    next,
+                    d[PAGE_HEADER..PAGE_HEADER + clen.min(d.len() - PAGE_HEADER)].to_vec(),
+                )
             })?;
             image.extend_from_slice(&chunk);
             if image.len() as u64 > len {
-                return Err(DcError::Corrupt("page chain longer than recorded image".into()));
+                return Err(DcError::Corrupt(
+                    "page chain longer than recorded image".into(),
+                ));
             }
             head = next;
         }
@@ -163,7 +168,11 @@ mod tests {
         );
         let mut tree = DcTree::new(
             schema,
-            DcTreeConfig { dir_capacity: 4, data_capacity: 4, ..DcTreeConfig::default() },
+            DcTreeConfig {
+                dir_capacity: 4,
+                data_capacity: 4,
+                ..DcTreeConfig::default()
+            },
         );
         for i in 0..n {
             tree.insert_raw(

@@ -87,8 +87,7 @@ impl PreparedRange {
         let mut dims = Vec::with_capacity(range.num_dims());
         for (set, h) in range.dims().zip(schema.dims()) {
             let level = set.level();
-            let mut bits =
-                vec![LevelBits::from_values(set.values(), h.num_values_at(level))];
+            let mut bits = vec![LevelBits::from_values(set.values(), h.num_values_at(level))];
             let mut current = set.values().to_vec();
             for l in level..h.top_level() {
                 let mut up: Vec<ValueId> = current
@@ -102,7 +101,10 @@ impl PreparedRange {
             }
             dims.push(PreparedDim { level, bits });
         }
-        Ok(PreparedRange { dims, paper_containment })
+        Ok(PreparedRange {
+            dims,
+            paper_containment,
+        })
     }
 
     /// `true` iff `entry` overlaps the range in every dimension — the
@@ -180,7 +182,10 @@ pub(crate) fn agrees_with_mds(
 ) -> DcResult<(bool, bool)> {
     let p = PreparedRange::new(schema, range)?;
     let fast = (p.overlaps(schema, entry)?, p.contains_entry(schema, entry)?);
-    let slow = (entry.overlaps(range, schema)?, entry.contained_in(range, schema)?);
+    let slow = (
+        entry.overlaps(range, schema)?,
+        entry.contained_in(range, schema)?,
+    );
     assert_eq!(fast, slow, "prepared query diverges from MDS algebra");
     Ok(fast)
 }
@@ -289,5 +294,4 @@ mod tests {
             }
         }
     }
-
 }

@@ -151,8 +151,7 @@ pub fn hierarchy_split(
     let mut parents1 = parent_sets[s1].clone();
     let mut parents2 = parent_sets[s2].clone();
 
-    let mut remaining: Vec<usize> =
-        (0..members.len()).filter(|&i| i != s1 && i != s2).collect();
+    let mut remaining: Vec<usize> = (0..members.len()).filter(|&i| i != s1 && i != s2).collect();
 
     let total = members.len();
     while !remaining.is_empty() {
@@ -199,10 +198,10 @@ pub fn hierarchy_split(
             let mut pick_key = (-1i64, -1i64);
             for (pos, &idx) in remaining.iter().enumerate() {
                 let m = members[idx].dim(split_dim);
-                let e1 = cover1.dim(split_dim).union_len(m) as i64
-                    - cover1.dim(split_dim).len() as i64;
-                let e2 = cover2.dim(split_dim).union_len(m) as i64
-                    - cover2.dim(split_dim).len() as i64;
+                let e1 =
+                    cover1.dim(split_dim).union_len(m) as i64 - cover1.dim(split_dim).len() as i64;
+                let e2 =
+                    cover2.dim(split_dim).union_len(m) as i64 - cover2.dim(split_dim).len() as i64;
                 let p = &parent_sets[idx];
                 let p1 = parents1.union_len(p) as i64 - parents1.len() as i64;
                 let p2 = parents2.union_len(p) as i64 - parents2.len() as i64;
@@ -252,7 +251,12 @@ pub fn hierarchy_split(
         }
     }
 
-    Ok(Some(SplitOutcome { group1, group2, cover1, cover2 }))
+    Ok(Some(SplitOutcome {
+        group1,
+        group2,
+        cover1,
+        cover2,
+    }))
 }
 
 #[cfg(test)]
@@ -287,7 +291,9 @@ mod tests {
 
     fn nation(s: &CubeSchema, name: &str) -> ValueId {
         let h = s.dim(DimensionId(0));
-        h.values_at(0).find(|&v| h.name(v).unwrap() == name).unwrap()
+        h.values_at(0)
+            .find(|&v| h.name(v).unwrap() == name)
+            .unwrap()
     }
 
     fn year(s: &CubeSchema) -> ValueId {
@@ -316,12 +322,19 @@ mod tests {
         ];
         let out = hierarchy_split(&s, &members, 0, 2).unwrap().unwrap();
         assert_eq!(out.group1.len() + out.group2.len(), 6);
-        assert_eq!(out.cover1.overlap(&out.cover2), 0, "groups must be disjoint");
+        assert_eq!(
+            out.cover1.overlap(&out.cover2),
+            0,
+            "groups must be disjoint"
+        );
         assert_eq!(out.overlap_ratio(), 0.0);
         let europe: Vec<usize> = vec![0, 1, 2];
         let in1 = europe.iter().all(|i| out.group1.contains(i));
         let in2 = europe.iter().all(|i| out.group2.contains(i));
-        assert!(in1 || in2, "the European cluster must stay together: {out:?}");
+        assert!(
+            in1 || in2,
+            "the European cluster must stay together: {out:?}"
+        );
         assert_eq!(out.min_group_len(), 3);
     }
 
@@ -365,7 +378,9 @@ mod tests {
     #[test]
     fn single_member_cannot_split() {
         let s = schema();
-        assert!(hierarchy_split(&s, &[member(&s, &["Germany"])], 0, 1).unwrap().is_none());
+        assert!(hierarchy_split(&s, &[member(&s, &["Germany"])], 0, 1)
+            .unwrap()
+            .is_none());
         assert!(hierarchy_split(&s, &[], 0, 1).unwrap().is_none());
     }
 
@@ -387,7 +402,10 @@ mod tests {
         let europe = h.lookup_path(&["Europe"]).unwrap();
         let asia = h.lookup_path(&["Asia"]).unwrap();
         let mk = |r: ValueId| {
-            Mds::new(vec![DimSet::new(1, vec![r]), DimSet::new(1, vec![year(&s)])])
+            Mds::new(vec![
+                DimSet::new(1, vec![r]),
+                DimSet::new(1, vec![year(&s)]),
+            ])
         };
         let members = vec![mk(europe), mk(asia), mk(europe), mk(asia)];
         let out = hierarchy_split(&s, &members, 0, 2).unwrap().unwrap();

@@ -129,16 +129,21 @@ impl DcTree {
     /// dimension, the distinct leaf IDs its records occupy (MDS view) versus
     /// the enclosing `[min, max]` ID interval (MBR view).
     pub fn dead_space_report(&self) -> DeadSpaceReport {
-        let mut report = DeadSpaceReport { data_nodes: 0, mds_cells: 0, mbr_cells: 0 };
+        let mut report = DeadSpaceReport {
+            data_nodes: 0,
+            mds_cells: 0,
+            mbr_cells: 0,
+        };
         for (_, node) in self.arena.iter() {
-            let NodeKind::Data(records) = &node.kind else { continue };
+            let NodeKind::Data(records) = &node.kind else {
+                continue;
+            };
             if records.is_empty() {
                 continue;
             }
             report.data_nodes += 1;
             for d in 0..node.mds.num_dims() {
-                let mut ids: Vec<u32> =
-                    records.iter().map(|r| r.record.dims[d].index()).collect();
+                let mut ids: Vec<u32> = records.iter().map(|r| r.record.dims[d].index()).collect();
                 ids.sort_unstable();
                 ids.dedup();
                 report.mds_cells += ids.len() as u64;

@@ -211,6 +211,18 @@ impl DcTree {
         self.insert(record)
     }
 
+    /// Interns one top→leaf attribute path per dimension into this tree's
+    /// concept hierarchies **without inserting a record**, returning the
+    /// leaf `ValueId`s. Because hierarchy IDs are assigned in insertion
+    /// order per level, two trees that intern the same path sequence end up
+    /// with identical IDs — the property sharded engines rely on to keep
+    /// one consistent ID space across shard-local schemas (each shard
+    /// replays the global intern log through this method before applying
+    /// the records routed to it).
+    pub fn intern_paths<S: AsRef<str>>(&mut self, paths: &[Vec<S>]) -> DcResult<Vec<ValueId>> {
+        Ok(self.schema.intern_record(paths, 0)?.dims)
+    }
+
     /// Inserts a pre-interned record (its leaf IDs must come from this
     /// tree's schema, e.g. via [`CubeSchema::intern_record`] on a clone the
     /// tree was constructed from).
@@ -263,7 +275,11 @@ impl DcTree {
 
     fn entry_for(&self, child: NodeId) -> DirEntry {
         let node = self.arena.get(child);
-        DirEntry { mds: node.mds.clone(), summary: node.summary, child }
+        DirEntry {
+            mds: node.mds.clone(),
+            summary: node.summary,
+            child,
+        }
     }
 
     /// Recursive insert (Fig. 4). Returns the newly created sibling if this
@@ -273,7 +289,8 @@ impl DcTree {
         if self.arena.get(id).is_data() {
             let node = self.arena.get_mut(id);
             node.summary.add(stored.record.measure);
-            node.mds.extend_to_cover_record(&self.schema, &stored.record)?;
+            node.mds
+                .extend_to_cover_record(&self.schema, &stored.record)?;
             node.records_mut().push(stored.clone());
             self.io.write(self.arena.get(id).blocks);
             let node = self.arena.get(id);
@@ -288,10 +305,13 @@ impl DcTree {
         let child = {
             let node = self.arena.get_mut(id);
             node.summary.add(stored.record.measure);
-            node.mds.extend_to_cover_record(&self.schema, &stored.record)?;
+            node.mds
+                .extend_to_cover_record(&self.schema, &stored.record)?;
             let entry = &mut node.entries_mut()[choice];
             entry.summary.add(stored.record.measure);
-            entry.mds.extend_to_cover_record(&self.schema, &stored.record)?;
+            entry
+                .mds
+                .extend_to_cover_record(&self.schema, &stored.record)?;
             entry.child
         };
         self.io.write(self.arena.get(id).blocks);
@@ -371,7 +391,13 @@ impl DcTree {
                 }
             }
             let enlargement = e.mds.enlargement_for_record(&self.schema, record)?;
-            let key = (overlap_penalty, enlargement, e.mds.volume(), e.mds.size(), i);
+            let key = (
+                overlap_penalty,
+                enlargement,
+                e.mds.volume(),
+                e.mds.size(),
+                i,
+            );
             if best.is_none_or(|b| key < b) {
                 best = Some(key);
             }
@@ -409,12 +435,17 @@ impl DcTree {
                     Some(entries.iter().map(|e| e.child).collect()),
                 ),
                 NodeKind::Data(records) => (
-                    records.iter().map(|r| Mds::from_record(&r.record)).collect(),
+                    records
+                        .iter()
+                        .map(|r| Mds::from_record(&r.record))
+                        .collect(),
                     None,
                 ),
             };
             let levels = node.mds.levels();
-            let lens = (0..node.mds.num_dims()).map(|d| node.mds.dim(d).len()).collect();
+            let lens = (0..node.mds.num_dims())
+                .map(|d| node.mds.dim(d).len())
+                .collect();
             (members, children, levels, lens)
         };
         let num_members = member_mds.len();
@@ -463,16 +494,13 @@ impl DcTree {
                 let mut analysis = Vec::with_capacity(num_members);
                 let mut refinements: Vec<(usize, dc_mds::DimSet)> = Vec::new();
                 for (i, m) in member_mds.iter().enumerate() {
-                    let mut a = m.adapt_to_levels(
-                        &self.schema,
-                        &{
-                            // Adapt non-split dims to the alignment levels;
-                            // the split dim is handled separately below.
-                            let mut t = target.clone();
-                            t[d] = t[d].max(m.dim(d).level());
-                            t
-                        },
-                    )?;
+                    let mut a = m.adapt_to_levels(&self.schema, &{
+                        // Adapt non-split dims to the alignment levels;
+                        // the split dim is handled separately below.
+                        let mut t = target.clone();
+                        t[d] = t[d].max(m.dim(d).level());
+                        t
+                    })?;
                     if m.dim(d).level() > level {
                         // Coarser than the target: refine from the subtree.
                         let refined = match &children {
@@ -484,8 +512,9 @@ impl DcTree {
                     }
                     analysis.push(a);
                 }
-                let Some(outcome) =
-                    hierarchy_split(&self.schema, &analysis, d, min_group)? else { break };
+                let Some(outcome) = hierarchy_split(&self.schema, &analysis, d, min_group)? else {
+                    break;
+                };
                 let ratio = outcome.overlap_ratio();
                 // A split is accepted when its overlap is low enough and it
                 // is either balanced (the X-tree rule) or **disjoint**: a
@@ -513,8 +542,7 @@ impl DcTree {
                 let better = match &best_rejected {
                     None => true,
                     Some((prev, prev_ratio)) => {
-                        (outcome.min_group_len(), -ratio)
-                            > (prev.min_group_len(), -prev_ratio)
+                        (outcome.min_group_len(), -ratio) > (prev.min_group_len(), -prev_ratio)
                     }
                 };
                 if better && outcome.min_group_len() >= 1 {
@@ -580,12 +608,7 @@ impl DcTree {
     /// expressed on `level` — descending past entries whose stored MDS is
     /// coarser than `level`. Used by the split path to refine coarse
     /// members; never stored.
-    fn subtree_dimset_at(
-        &self,
-        id: NodeId,
-        d: usize,
-        level: u8,
-    ) -> DcResult<dc_mds::DimSet> {
+    fn subtree_dimset_at(&self, id: NodeId, d: usize, level: u8) -> DcResult<dc_mds::DimSet> {
         let node = self.arena.get(id);
         let h = self.schema.dims().nth(d).expect("dimension in schema");
         if node.mds.dim(d).level() <= level {
@@ -625,19 +648,20 @@ impl DcTree {
     /// Materializes a split outcome: the node keeps group 1, a fresh sibling
     /// receives group 2. Returns the sibling.
     fn apply_split(&mut self, id: NodeId, outcome: SplitOutcome) -> NodeId {
-        let SplitOutcome { group1, group2, cover1, cover2 } = outcome;
-        let old_kind = std::mem::replace(
-            &mut self.arena.get_mut(id).kind,
-            NodeKind::Data(Vec::new()),
-        );
+        let SplitOutcome {
+            group1,
+            group2,
+            cover1,
+            cover2,
+        } = outcome;
+        let old_kind =
+            std::mem::replace(&mut self.arena.get_mut(id).kind, NodeKind::Data(Vec::new()));
         let mut sibling = match old_kind {
             NodeKind::Data(records) => {
                 let (mut part1, mut part2) = (Vec::new(), Vec::new());
                 partition_by_index(records, &group1, &group2, &mut part1, &mut part2);
-                let summary1: MeasureSummary =
-                    part1.iter().map(|r| r.record.measure).collect();
-                let summary2: MeasureSummary =
-                    part2.iter().map(|r| r.record.measure).collect();
+                let summary1: MeasureSummary = part1.iter().map(|r| r.record.measure).collect();
+                let summary2: MeasureSummary = part2.iter().map(|r| r.record.measure).collect();
                 let node = self.arena.get_mut(id);
                 node.kind = NodeKind::Data(part1);
                 node.summary = summary1;
@@ -700,11 +724,8 @@ impl DcTree {
                 got: range.num_dims(),
             });
         }
-        let prepared = PreparedRange::with_mode(
-            &self.schema,
-            range,
-            self.config.use_paper_fig7_containment,
-        )?;
+        let prepared =
+            PreparedRange::with_mode(&self.schema, range, self.config.use_paper_fig7_containment)?;
         let mut acc = MeasureSummary::empty();
         self.query_rec(self.root, &prepared, &mut acc)?;
         Ok(acc)
@@ -755,11 +776,7 @@ impl DcTree {
     /// integrated into a DBMS (the paper's future work) must also produce
     /// the qualifying rows; selection cannot use the materialized shortcut,
     /// so contained subtrees are descended to their data pages.
-    pub fn for_each_in_range(
-        &self,
-        range: &Mds,
-        mut f: impl FnMut(&StoredRecord),
-    ) -> DcResult<()> {
+    pub fn for_each_in_range(&self, range: &Mds, mut f: impl FnMut(&StoredRecord)) -> DcResult<()> {
         if range.num_dims() != self.schema.num_dims() {
             return Err(DcError::DimensionMismatch {
                 expected: self.schema.num_dims(),
@@ -888,7 +905,8 @@ impl DcTree {
             NodeKind::Data(records) => {
                 for r in records {
                     if filter.contains_record(&self.schema, &r.record)? {
-                        let key = h.ancestor_at(r.record.dims[group_dim.as_usize()], group_level)?;
+                        let key =
+                            h.ancestor_at(r.record.dims[group_dim.as_usize()], group_level)?;
                         groups[key.index() as usize].add(r.record.measure);
                     }
                 }
@@ -966,16 +984,17 @@ impl DcTree {
         for &(dim, level) in [&row, &column] {
             let h = self.schema.dim(dim);
             if level > h.top_level() {
-                return Err(DcError::BadLevel { dim, id: h.all(), requested: level });
+                return Err(DcError::BadLevel {
+                    dim,
+                    id: h.all(),
+                    requested: level,
+                });
             }
         }
         let cols = self.schema.dim(column.0).num_values_at(column.1).max(1);
         let rows = self.schema.dim(row.0).num_values_at(row.1).max(1);
-        let prepared = PreparedRange::with_mode(
-            &self.schema,
-            filter,
-            self.config.use_paper_fig7_containment,
-        )?;
+        let prepared =
+            PreparedRange::with_mode(&self.schema, filter, self.config.use_paper_fig7_containment)?;
         let mut cells = vec![MeasureSummary::empty(); rows * cols];
         self.pivot_rec(self.root, &prepared, row, column, cols, &mut cells)?;
         Ok(cells
@@ -1012,8 +1031,7 @@ impl DcTree {
                 for r in records {
                     if filter.contains_record(&self.schema, &r.record)? {
                         let rk = hr.ancestor_at(r.record.dims[row.0.as_usize()], row.1)?;
-                        let ck =
-                            hc.ancestor_at(r.record.dims[column.0.as_usize()], column.1)?;
+                        let ck = hc.ancestor_at(r.record.dims[column.0.as_usize()], column.1)?;
                         cells[rk.index() as usize * cols + ck.index() as usize]
                             .add(r.record.measure);
                     }
@@ -1046,8 +1064,7 @@ impl DcTree {
     /// compaction after heavy churn (deletes leave recycled arena slots and
     /// per-node slack that a fresh load removes). Record ids are preserved.
     pub fn rebuild(&mut self) -> DcResult<()> {
-        let mut stored: Vec<StoredRecord> =
-            self.iter_records().cloned().collect();
+        let mut stored: Vec<StoredRecord> = self.iter_records().cloned().collect();
         let mut keys: Vec<(Vec<u32>, usize)> = stored
             .iter()
             .enumerate()
@@ -1090,7 +1107,8 @@ impl DcTree {
                 }));
             }
             handles
-                .into_iter().try_for_each(|h| h.join().expect("query worker panicked"))
+                .into_iter()
+                .try_for_each(|h| h.join().expect("query worker panicked"))
         })?;
         Ok(results)
     }

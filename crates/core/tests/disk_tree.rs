@@ -67,7 +67,11 @@ fn random_query(schema: &CubeSchema, rng: &mut StdRng) -> Mds {
 #[test]
 fn disk_tree_matches_in_memory_tree() {
     let path = tmp("differential");
-    let config = DcTreeConfig { dir_capacity: 4, data_capacity: 4, ..DcTreeConfig::default() };
+    let config = DcTreeConfig {
+        dir_capacity: 4,
+        data_capacity: 4,
+        ..DcTreeConfig::default()
+    };
     let mut mem = DcTree::new(schema(), config);
     let mut disk = DiskDcTree::create(&path, schema(), config, 16).unwrap();
 
@@ -103,7 +107,11 @@ fn disk_tree_matches_in_memory_tree() {
 #[test]
 fn disk_tree_survives_reopen() {
     let path = tmp("reopen");
-    let config = DcTreeConfig { dir_capacity: 4, data_capacity: 4, ..DcTreeConfig::default() };
+    let config = DcTreeConfig {
+        dir_capacity: 4,
+        data_capacity: 4,
+        ..DcTreeConfig::default()
+    };
     let mut rng = StdRng::seed_from_u64(3);
     let mut inserted: Vec<([Vec<String>; 3], i64)> = Vec::new();
     {
@@ -139,7 +147,11 @@ fn disk_tree_survives_reopen() {
 #[test]
 fn disk_tree_deletes_like_memory_tree() {
     let path = tmp("deletes");
-    let config = DcTreeConfig { dir_capacity: 4, data_capacity: 4, ..DcTreeConfig::default() };
+    let config = DcTreeConfig {
+        dir_capacity: 4,
+        data_capacity: 4,
+        ..DcTreeConfig::default()
+    };
     let mut mem = DcTree::new(schema(), config);
     let mut disk = DiskDcTree::create(&path, schema(), config, 16).unwrap();
 
@@ -151,7 +163,12 @@ fn disk_tree_deletes_like_memory_tree() {
         mem.insert_raw(&paths, measure).unwrap();
         disk.insert_raw(&paths, measure).unwrap();
         let dims: Vec<ValueId> = (0..3)
-            .map(|d| mem.schema().dim(DimensionId(d as u16)).lookup_path(&paths[d]).unwrap())
+            .map(|d| {
+                mem.schema()
+                    .dim(DimensionId(d as u16))
+                    .lookup_path(&paths[d])
+                    .unwrap()
+            })
             .collect();
         records.push(Record::new(dims, measure));
     }
@@ -169,7 +186,10 @@ fn disk_tree_deletes_like_memory_tree() {
     let mut rng = StdRng::seed_from_u64(6);
     for _ in 0..40 {
         let q = random_query(mem.schema(), &mut rng);
-        assert_eq!(disk.range_summary(&q).unwrap(), mem.range_summary(&q).unwrap());
+        assert_eq!(
+            disk.range_summary(&q).unwrap(),
+            mem.range_summary(&q).unwrap()
+        );
     }
     std::fs::remove_file(&path).ok();
 }
@@ -178,7 +198,11 @@ fn disk_tree_deletes_like_memory_tree() {
 fn buffer_pool_pressure_still_answers_correctly() {
     // A tiny pool (4 frames) forces constant eviction and reload.
     let path = tmp("pressure");
-    let config = DcTreeConfig { dir_capacity: 4, data_capacity: 4, ..DcTreeConfig::default() };
+    let config = DcTreeConfig {
+        dir_capacity: 4,
+        data_capacity: 4,
+        ..DcTreeConfig::default()
+    };
     let mut mem = DcTree::new(schema(), config);
     let mut disk = DiskDcTree::create(&path, schema(), config, 4).unwrap();
     let mut rng = StdRng::seed_from_u64(7);
@@ -194,7 +218,10 @@ fn buffer_pool_pressure_still_answers_correctly() {
     let mut rng = StdRng::seed_from_u64(8);
     for _ in 0..30 {
         let q = random_query(mem.schema(), &mut rng);
-        assert_eq!(disk.range_summary(&q).unwrap(), mem.range_summary(&q).unwrap());
+        assert_eq!(
+            disk.range_summary(&q).unwrap(),
+            mem.range_summary(&q).unwrap()
+        );
     }
     std::fs::remove_file(&path).ok();
 }

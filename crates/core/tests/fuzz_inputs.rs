@@ -2,8 +2,8 @@
 //! panic any decoder — they either parse to a valid structure or fail with
 //! a clean error.
 
-use dc_tree::{DcTree, DcTreeConfig};
 use dc_hierarchy::{CubeSchema, HierarchySchema};
+use dc_tree::{DcTree, DcTreeConfig};
 use proptest::prelude::*;
 
 fn small_tree() -> DcTree {
@@ -16,7 +16,11 @@ fn small_tree() -> DcTree {
     );
     let mut tree = DcTree::new(
         schema,
-        DcTreeConfig { dir_capacity: 3, data_capacity: 3, ..DcTreeConfig::default() },
+        DcTreeConfig {
+            dir_capacity: 3,
+            data_capacity: 3,
+            ..DcTreeConfig::default()
+        },
     );
     for i in 0..40 {
         tree.insert_raw(

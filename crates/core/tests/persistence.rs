@@ -20,7 +20,11 @@ fn build_tree(n: usize, seed: u64) -> DcTree {
         ],
         "Price",
     );
-    let config = DcTreeConfig { dir_capacity: 4, data_capacity: 4, ..DcTreeConfig::default() };
+    let config = DcTreeConfig {
+        dir_capacity: 4,
+        data_capacity: 4,
+        ..DcTreeConfig::default()
+    };
     let mut tree = DcTree::new(schema, config);
     let mut rng = StdRng::seed_from_u64(seed);
     for _ in 0..n {
@@ -31,7 +35,11 @@ fn build_tree(n: usize, seed: u64) -> DcTree {
         let m = rng.gen_range(1..13);
         tree.insert_raw(
             &[
-                vec![format!("R{r}"), format!("N{r}-{nn}"), format!("C{r}-{nn}-{c}")],
+                vec![
+                    format!("R{r}"),
+                    format!("N{r}-{nn}"),
+                    format!("C{r}-{nn}-{c}"),
+                ],
                 vec![format!("{y}"), format!("{y}-{m:02}")],
             ],
             rng.gen_range(0..10_000),
@@ -81,7 +89,11 @@ fn roundtrip_is_deterministic() {
     let tree = build_tree(150, 3);
     let bytes = tree.to_bytes();
     let loaded = DcTree::from_bytes(&bytes).unwrap();
-    assert_eq!(loaded.to_bytes(), bytes, "save → load → save must be a fixpoint");
+    assert_eq!(
+        loaded.to_bytes(),
+        bytes,
+        "save → load → save must be a fixpoint"
+    );
 }
 
 #[test]
@@ -90,13 +102,7 @@ fn loaded_tree_remains_fully_dynamic() {
     let mut loaded = DcTree::from_bytes(&tree.to_bytes()).unwrap();
     // Insert new values including brand-new hierarchy members.
     loaded
-        .insert_raw(
-            &[
-                vec!["R9", "N9-0", "C9-0-0"],
-                vec!["2001", "2001-01"],
-            ],
-            42,
-        )
+        .insert_raw(&[vec!["R9", "N9-0", "C9-0-0"], vec!["2001", "2001-01"]], 42)
         .unwrap();
     assert_eq!(loaded.len(), 121);
     loaded.check_invariants().unwrap();
@@ -149,7 +155,7 @@ fn bit_flips_never_panic() {
     for _ in 0..200 {
         let mut corrupted = bytes.clone();
         let pos = rng.gen_range(0..corrupted.len());
-        corrupted[pos] ^= 1 << rng.gen_range(0..8);
+        corrupted[pos] ^= 1u8 << rng.gen_range(0u32..8);
         let _ = DcTree::from_bytes(&corrupted); // Ok(valid) or Err — no panic
     }
 }

@@ -20,9 +20,16 @@ struct RawRec {
 }
 
 fn raw_rec() -> impl Strategy<Value = RawRec> {
-    (0u8..4, 0u8..4, 0u8..5, 0u8..3, 0u8..6, any::<i16>()).prop_map(
-        |(a, b, c, y, m, measure)| RawRec { a, b, c, y, m, measure },
-    )
+    (0u8..4, 0u8..4, 0u8..5, 0u8..3, 0u8..6, any::<i16>()).prop_map(|(a, b, c, y, m, measure)| {
+        RawRec {
+            a,
+            b,
+            c,
+            y,
+            m,
+            measure,
+        }
+    })
 }
 
 /// A workload step: insert a fresh record or delete a previous one.
@@ -62,7 +69,12 @@ fn insert_raw(tree: &mut DcTree, r: &RawRec) -> Record {
     ];
     tree.insert_raw(&paths, r.measure as i64).unwrap();
     let dims: Vec<ValueId> = (0..2)
-        .map(|d| tree.schema().dim(DimensionId(d)).lookup_path(&paths[d as usize]).unwrap())
+        .map(|d| {
+            tree.schema()
+                .dim(DimensionId(d))
+                .lookup_path(&paths[d as usize])
+                .unwrap()
+        })
         .collect();
     Record::new(dims, r.measure as i64)
 }

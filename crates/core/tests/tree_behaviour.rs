@@ -81,8 +81,7 @@ fn random_query(schema: &CubeSchema, rng: &mut StdRng) -> Mds {
             let level = rng.gen_range(0..=h.top_level());
             let values: Vec<ValueId> = h.values_at(level).collect();
             let take = rng.gen_range(1..=values.len().min(4));
-            let chosen: Vec<ValueId> =
-                values.choose_multiple(rng, take).copied().collect();
+            let chosen: Vec<ValueId> = values.choose_multiple(rng, take).copied().collect();
             DimSet::new(level, chosen)
         })
         .collect();
@@ -124,19 +123,33 @@ fn single_record_roundtrip() {
     .unwrap();
     assert_eq!(tree.len(), 1);
     let all = Mds::all(tree.schema());
-    assert_eq!(tree.range_query(&all, AggregateOp::Sum).unwrap(), Some(1234.0));
-    assert_eq!(tree.range_query(&all, AggregateOp::Count).unwrap(), Some(1.0));
+    assert_eq!(
+        tree.range_query(&all, AggregateOp::Sum).unwrap(),
+        Some(1234.0)
+    );
+    assert_eq!(
+        tree.range_query(&all, AggregateOp::Count).unwrap(),
+        Some(1.0)
+    );
     tree.check_invariants().unwrap();
 }
 
 #[test]
 fn inserts_grow_and_stay_consistent() {
     // Small capacities force plenty of splits.
-    let config = DcTreeConfig { dir_capacity: 4, data_capacity: 4, ..DcTreeConfig::default() };
+    let config = DcTreeConfig {
+        dir_capacity: 4,
+        data_capacity: 4,
+        ..DcTreeConfig::default()
+    };
     let (tree, oracle) = build(500, 42, config);
     assert_eq!(tree.len(), 500);
     tree.check_invariants().unwrap();
-    assert!(tree.height() >= 3, "500 records at capacity 4 must grow, got {}", tree.height());
+    assert!(
+        tree.height() >= 3,
+        "500 records at capacity 4 must grow, got {}",
+        tree.height()
+    );
     // Root summary is the total.
     let expected: MeasureSummary = oracle.iter().map(|r| r.measure).collect();
     assert_eq!(tree.total_summary(), expected);
@@ -144,7 +157,11 @@ fn inserts_grow_and_stay_consistent() {
 
 #[test]
 fn range_queries_match_brute_force() {
-    let config = DcTreeConfig { dir_capacity: 6, data_capacity: 8, ..DcTreeConfig::default() };
+    let config = DcTreeConfig {
+        dir_capacity: 6,
+        data_capacity: 8,
+        ..DcTreeConfig::default()
+    };
     let (tree, oracle) = build(800, 7, config);
     let mut rng = StdRng::seed_from_u64(99);
     for _ in 0..200 {
@@ -157,7 +174,11 @@ fn range_queries_match_brute_force() {
 
 #[test]
 fn all_aggregation_operators_agree_with_oracle() {
-    let config = DcTreeConfig { dir_capacity: 6, data_capacity: 8, ..DcTreeConfig::default() };
+    let config = DcTreeConfig {
+        dir_capacity: 6,
+        data_capacity: 8,
+        ..DcTreeConfig::default()
+    };
     let (tree, oracle) = build(300, 13, config);
     let mut rng = StdRng::seed_from_u64(5);
     for _ in 0..50 {
@@ -172,8 +193,15 @@ fn all_aggregation_operators_agree_with_oracle() {
 
 #[test]
 fn materialization_ablation_gives_identical_answers() {
-    let base = DcTreeConfig { dir_capacity: 6, data_capacity: 8, ..DcTreeConfig::default() };
-    let no_mat = DcTreeConfig { use_materialized_aggregates: false, ..base };
+    let base = DcTreeConfig {
+        dir_capacity: 6,
+        data_capacity: 8,
+        ..DcTreeConfig::default()
+    };
+    let no_mat = DcTreeConfig {
+        use_materialized_aggregates: false,
+        ..base
+    };
     let (tree_mat, _) = build(400, 21, base);
     let (tree_raw, _) = build(400, 21, no_mat);
     let mut rng = StdRng::seed_from_u64(22);
@@ -198,7 +226,11 @@ fn materialization_ablation_gives_identical_answers() {
 #[test]
 fn coarse_queries_do_not_touch_data_pages() {
     // A query covering everything must be answered from the root's entries.
-    let config = DcTreeConfig { dir_capacity: 6, data_capacity: 8, ..DcTreeConfig::default() };
+    let config = DcTreeConfig {
+        dir_capacity: 6,
+        data_capacity: 8,
+        ..DcTreeConfig::default()
+    };
     let (tree, oracle) = build(400, 3, config);
     tree.reset_io();
     let q = Mds::all(tree.schema());
@@ -215,7 +247,11 @@ fn coarse_queries_do_not_touch_data_pages() {
 fn supernodes_appear_under_duplicate_heavy_load() {
     // Insert many records with identical leaf values: the data node cannot
     // be split (all member MDSs equal) and must become a supernode.
-    let config = DcTreeConfig { dir_capacity: 4, data_capacity: 4, ..DcTreeConfig::default() };
+    let config = DcTreeConfig {
+        dir_capacity: 4,
+        data_capacity: 4,
+        ..DcTreeConfig::default()
+    };
     let mut tree = DcTree::new(schema(), config);
     for i in 0..32 {
         tree.insert_raw(
@@ -230,7 +266,10 @@ fn supernodes_appear_under_duplicate_heavy_load() {
     }
     tree.check_invariants().unwrap();
     let stats = tree.stats();
-    assert!(stats.supernodes > 0, "identical records must force supernodes: {stats:?}");
+    assert!(
+        stats.supernodes > 0,
+        "identical records must force supernodes: {stats:?}"
+    );
     let all = Mds::all(tree.schema());
     assert_eq!(
         tree.range_query(&all, AggregateOp::Sum).unwrap(),
@@ -262,13 +301,20 @@ fn forced_splits_when_supernodes_disabled() {
 
 #[test]
 fn delete_removes_exactly_one_match() {
-    let config = DcTreeConfig { dir_capacity: 4, data_capacity: 4, ..DcTreeConfig::default() };
+    let config = DcTreeConfig {
+        dir_capacity: 4,
+        data_capacity: 4,
+        ..DcTreeConfig::default()
+    };
     let (mut tree, mut oracle) = build(250, 31, config);
     let mut rng = StdRng::seed_from_u64(32);
     for _ in 0..150 {
         let victim_idx = rng.gen_range(0..oracle.len());
         let victim = oracle[victim_idx].clone();
-        assert!(tree.delete(&victim).unwrap(), "stored record must be deletable");
+        assert!(
+            tree.delete(&victim).unwrap(),
+            "stored record must be deletable"
+        );
         oracle.swap_remove(victim_idx);
         assert_eq!(tree.len() as usize, oracle.len());
     }
@@ -295,7 +341,11 @@ fn delete_missing_record_returns_false() {
 
 #[test]
 fn delete_everything_returns_to_empty() {
-    let config = DcTreeConfig { dir_capacity: 4, data_capacity: 4, ..DcTreeConfig::default() };
+    let config = DcTreeConfig {
+        dir_capacity: 4,
+        data_capacity: 4,
+        ..DcTreeConfig::default()
+    };
     let (mut tree, oracle) = build(120, 55, config);
     for r in &oracle {
         assert!(tree.delete(r).unwrap());
@@ -319,7 +369,11 @@ fn delete_everything_returns_to_empty() {
 
 #[test]
 fn interleaved_inserts_and_deletes_stay_consistent() {
-    let config = DcTreeConfig { dir_capacity: 5, data_capacity: 6, ..DcTreeConfig::default() };
+    let config = DcTreeConfig {
+        dir_capacity: 5,
+        data_capacity: 6,
+        ..DcTreeConfig::default()
+    };
     let mut rng = StdRng::seed_from_u64(77);
     let mut tree = DcTree::new(schema(), config);
     let mut oracle: Vec<Record> = Vec::new();
@@ -355,7 +409,11 @@ fn interleaved_inserts_and_deletes_stay_consistent() {
 
 #[test]
 fn stats_reflect_structure() {
-    let config = DcTreeConfig { dir_capacity: 4, data_capacity: 4, ..DcTreeConfig::default() };
+    let config = DcTreeConfig {
+        dir_capacity: 4,
+        data_capacity: 4,
+        ..DcTreeConfig::default()
+    };
     let (tree, _) = build(400, 11, config);
     let stats = tree.stats();
     assert_eq!(stats.height, tree.height());
@@ -401,7 +459,11 @@ fn io_counters_track_reads_and_writes() {
 fn duplicate_records_are_individually_deletable() {
     let mut tree = DcTree::new(schema(), DcTreeConfig::default());
     let paths = [
-        vec!["R0".to_string(), "R0-N0".to_string(), "R0-N0-C0".to_string()],
+        vec![
+            "R0".to_string(),
+            "R0-N0".to_string(),
+            "R0-N0-C0".to_string(),
+        ],
         vec!["T0".to_string(), "T0-P0".to_string()],
         vec!["1996".to_string(), "1996-01".to_string()],
     ];
@@ -410,7 +472,12 @@ fn duplicate_records_are_individually_deletable() {
     }
     let rec = {
         let dims: Vec<ValueId> = (0..3)
-            .map(|d| tree.schema().dim(DimensionId(d as u16)).lookup_path(&paths[d]).unwrap())
+            .map(|d| {
+                tree.schema()
+                    .dim(DimensionId(d as u16))
+                    .lookup_path(&paths[d])
+                    .unwrap()
+            })
             .collect();
         Record::new(dims, 500)
     };
@@ -440,7 +507,11 @@ fn count_matching_counts_duplicates() {
 
 #[test]
 fn group_by_matches_per_group_queries() {
-    let config = DcTreeConfig { dir_capacity: 5, data_capacity: 6, ..DcTreeConfig::default() };
+    let config = DcTreeConfig {
+        dir_capacity: 5,
+        data_capacity: 6,
+        ..DcTreeConfig::default()
+    };
     let (tree, oracle) = build(600, 71, config);
     let mut rng = StdRng::seed_from_u64(72);
     for _ in 0..25 {
@@ -481,7 +552,11 @@ fn group_by_rejects_bad_level() {
 
 #[test]
 fn bulk_insert_equals_incremental_semantics() {
-    let config = DcTreeConfig { dir_capacity: 5, data_capacity: 6, ..DcTreeConfig::default() };
+    let config = DcTreeConfig {
+        dir_capacity: 5,
+        data_capacity: 6,
+        ..DcTreeConfig::default()
+    };
     let (incremental, oracle) = build(400, 91, config);
     // Same records via bulk_insert into a fresh tree sharing the schema.
     let mut bulk = DcTree::new(incremental.schema().clone(), config);
@@ -508,8 +583,15 @@ fn bulk_insert_equals_incremental_semantics() {
 fn paper_fig7_containment_overcounts() {
     let mut schema_paper = schema();
     let _ = &mut schema_paper;
-    let sound_cfg = DcTreeConfig { dir_capacity: 4, data_capacity: 4, ..DcTreeConfig::default() };
-    let paper_cfg = DcTreeConfig { use_paper_fig7_containment: true, ..sound_cfg };
+    let sound_cfg = DcTreeConfig {
+        dir_capacity: 4,
+        data_capacity: 4,
+        ..DcTreeConfig::default()
+    };
+    let paper_cfg = DcTreeConfig {
+        use_paper_fig7_containment: true,
+        ..sound_cfg
+    };
     let (sound, oracle) = build(400, 101, sound_cfg);
     let (paper, _) = build(400, 101, paper_cfg);
 
@@ -528,7 +610,11 @@ fn paper_fig7_containment_overcounts() {
             .collect();
         let q = Mds::new(dims);
         let truth = oracle_summary(sound.schema(), &oracle, &q);
-        assert_eq!(sound.range_summary(&q).unwrap(), truth, "sound mode is exact");
+        assert_eq!(
+            sound.range_summary(&q).unwrap(),
+            truth,
+            "sound mode is exact"
+        );
         let paper_answer = paper.range_summary(&q).unwrap();
         if paper_answer.count > truth.count {
             any_overcount = true;
@@ -546,7 +632,11 @@ fn paper_fig7_containment_overcounts() {
 
 #[test]
 fn update_measure_moves_aggregates() {
-    let config = DcTreeConfig { dir_capacity: 4, data_capacity: 4, ..DcTreeConfig::default() };
+    let config = DcTreeConfig {
+        dir_capacity: 4,
+        data_capacity: 4,
+        ..DcTreeConfig::default()
+    };
     let (mut tree, mut oracle) = build(200, 111, config);
     let mut rng = StdRng::seed_from_u64(112);
     for _ in 0..60 {
@@ -568,7 +658,11 @@ fn update_measure_moves_aggregates() {
 
 #[test]
 fn dead_space_report_quantifies_fig3() {
-    let config = DcTreeConfig { dir_capacity: 6, data_capacity: 8, ..DcTreeConfig::default() };
+    let config = DcTreeConfig {
+        dir_capacity: 6,
+        data_capacity: 8,
+        ..DcTreeConfig::default()
+    };
     let (tree, _) = build(500, 121, config);
     let report = tree.dead_space_report();
     assert!(report.data_nodes > 0);
@@ -581,7 +675,11 @@ fn dead_space_report_quantifies_fig3() {
 
 #[test]
 fn metrics_expose_split_activity() {
-    let config = DcTreeConfig { dir_capacity: 4, data_capacity: 4, ..DcTreeConfig::default() };
+    let config = DcTreeConfig {
+        dir_capacity: 4,
+        data_capacity: 4,
+        ..DcTreeConfig::default()
+    };
     let (tree, _) = build(300, 131, config);
     let m = tree.metrics();
     assert!(m.splits > 0, "300 records at capacity 4 must split");
@@ -596,7 +694,11 @@ fn metrics_expose_split_activity() {
 
 #[test]
 fn pivot_matches_nested_group_by() {
-    let config = DcTreeConfig { dir_capacity: 5, data_capacity: 6, ..DcTreeConfig::default() };
+    let config = DcTreeConfig {
+        dir_capacity: 5,
+        data_capacity: 6,
+        ..DcTreeConfig::default()
+    };
     let (tree, oracle) = build(500, 141, config);
     let mut rng = StdRng::seed_from_u64(142);
     for _ in 0..10 {
@@ -624,7 +726,11 @@ fn pivot_matches_nested_group_by() {
 
 #[test]
 fn rebuild_compacts_without_changing_answers() {
-    let config = DcTreeConfig { dir_capacity: 4, data_capacity: 4, ..DcTreeConfig::default() };
+    let config = DcTreeConfig {
+        dir_capacity: 4,
+        data_capacity: 4,
+        ..DcTreeConfig::default()
+    };
     let (mut tree, mut oracle) = build(400, 151, config);
     // Heavy churn: delete two thirds.
     let mut rng = StdRng::seed_from_u64(152);
@@ -660,12 +766,20 @@ fn rebuild_compacts_without_changing_answers() {
 
 #[test]
 fn parallel_queries_match_sequential() {
-    let config = DcTreeConfig { dir_capacity: 6, data_capacity: 8, ..DcTreeConfig::default() };
+    let config = DcTreeConfig {
+        dir_capacity: 6,
+        data_capacity: 8,
+        ..DcTreeConfig::default()
+    };
     let (tree, _) = build(600, 161, config);
     let mut rng = StdRng::seed_from_u64(162);
-    let queries: Vec<Mds> = (0..37).map(|_| random_query(tree.schema(), &mut rng)).collect();
-    let sequential: Vec<MeasureSummary> =
-        queries.iter().map(|q| tree.range_summary(q).unwrap()).collect();
+    let queries: Vec<Mds> = (0..37)
+        .map(|_| random_query(tree.schema(), &mut rng))
+        .collect();
+    let sequential: Vec<MeasureSummary> = queries
+        .iter()
+        .map(|q| tree.range_summary(q).unwrap())
+        .collect();
     for threads in [1, 2, 4, 64] {
         let parallel = tree.range_summaries_parallel(&queries, threads).unwrap();
         assert_eq!(parallel, sequential, "threads = {threads}");
@@ -676,7 +790,11 @@ fn parallel_queries_match_sequential() {
 
 #[test]
 fn range_selection_returns_exactly_the_matching_records() {
-    let config = DcTreeConfig { dir_capacity: 5, data_capacity: 6, ..DcTreeConfig::default() };
+    let config = DcTreeConfig {
+        dir_capacity: 5,
+        data_capacity: 6,
+        ..DcTreeConfig::default()
+    };
     let (tree, oracle) = build(500, 171, config);
     let mut rng = StdRng::seed_from_u64(172);
     for _ in 0..40 {

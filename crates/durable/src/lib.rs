@@ -28,4 +28,3 @@ pub mod wal;
 
 pub use tree::{DurabilityConfig, DurableDcTree, SyncMode};
 pub use wal::{WalEntry, WalReader, WalWriter};
-

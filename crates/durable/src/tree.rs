@@ -29,7 +29,10 @@ pub struct DurabilityConfig {
 
 impl Default for DurabilityConfig {
     fn default() -> Self {
-        DurabilityConfig { sync: SyncMode::Always, checkpoint_every: 0 }
+        DurabilityConfig {
+            sync: SyncMode::Always,
+            checkpoint_every: 0,
+        }
     }
 }
 
@@ -198,7 +201,11 @@ fn apply(tree: &mut DcTree, entry: &WalEntry) -> DcResult<bool> {
             // the original call was a no-op too.
             let mut dims = Vec::with_capacity(paths.len());
             for (d, path) in paths.iter().enumerate() {
-                match tree.schema().dim(dc_common::DimensionId(d as u16)).lookup_path(path) {
+                match tree
+                    .schema()
+                    .dim(dc_common::DimensionId(d as u16))
+                    .lookup_path(path)
+                {
                     Some(id) => dims.push(id),
                     None => return Ok(false),
                 }

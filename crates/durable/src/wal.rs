@@ -86,7 +86,9 @@ impl WalWriter {
     /// Opens (appending) or creates the log at `path`.
     pub fn open(path: impl AsRef<Path>) -> DcResult<Self> {
         let file = OpenOptions::new().create(true).append(true).open(path)?;
-        Ok(WalWriter { file: BufWriter::new(file) })
+        Ok(WalWriter {
+            file: BufWriter::new(file),
+        })
     }
 
     /// Appends one entry (buffered; call [`Self::sync`] for durability).
@@ -130,13 +132,16 @@ impl WalReader {
         let mut pos = 0usize;
         loop {
             if pos == bytes.len() {
-                return Ok(WalReader { entries, clean_len: pos as u64, tail_corrupt: false });
+                return Ok(WalReader {
+                    entries,
+                    clean_len: pos as u64,
+                    tail_corrupt: false,
+                });
             }
             if bytes.len() - pos < 8 {
                 break; // torn frame header
             }
-            let len =
-                u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
             let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
             if bytes.len() - pos - 8 < len {
                 break; // torn payload
@@ -151,7 +156,11 @@ impl WalReader {
             }
             pos += 8 + len;
         }
-        Ok(WalReader { entries, clean_len: pos as u64, tail_corrupt: true })
+        Ok(WalReader {
+            entries,
+            clean_len: pos as u64,
+            tail_corrupt: true,
+        })
     }
 
     /// Truncates the file at `path` to its clean prefix.
@@ -263,7 +272,10 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         let scan = WalReader::scan(&path).unwrap();
         assert!(scan.tail_corrupt);
-        assert!(scan.entries.len() < 8, "entries after the flip are discarded");
+        assert!(
+            scan.entries.len() < 8,
+            "entries after the flip are discarded"
+        );
         std::fs::remove_file(&path).ok();
     }
 

@@ -22,7 +22,11 @@ fn schema() -> CubeSchema {
 fn make_tree() -> DcTree {
     DcTree::new(
         schema(),
-        DcTreeConfig { dir_capacity: 4, data_capacity: 4, ..DcTreeConfig::default() },
+        DcTreeConfig {
+            dir_capacity: 4,
+            data_capacity: 4,
+            ..DcTreeConfig::default()
+        },
     )
 }
 
@@ -37,7 +41,10 @@ fn fresh_dir(name: &str) -> std::path::PathBuf {
 fn paths(i: u64) -> [Vec<String>; 2] {
     [
         vec![format!("R{}", i % 3), format!("R{}-N{}", i % 3, i % 7)],
-        vec![format!("199{}", i % 4), format!("199{}-{:02}", i % 4, i % 12 + 1)],
+        vec![
+            format!("199{}", i % 4),
+            format!("199{}-{:02}", i % 4, i % 12 + 1),
+        ],
     ]
 }
 
@@ -45,8 +52,7 @@ fn paths(i: u64) -> [Vec<String>; 2] {
 fn reopen_without_checkpoint_replays_the_log() {
     let dir = fresh_dir("replay");
     {
-        let mut store =
-            DurableDcTree::open(&dir, make_tree, DurabilityConfig::default()).unwrap();
+        let mut store = DurableDcTree::open(&dir, make_tree, DurabilityConfig::default()).unwrap();
         for i in 0..60 {
             store.insert_raw(&paths(i), i as i64).unwrap();
         }
@@ -55,7 +61,10 @@ fn reopen_without_checkpoint_replays_the_log() {
     let store = DurableDcTree::open(&dir, make_tree, DurabilityConfig::default()).unwrap();
     assert_eq!(store.tree().len(), 60);
     let q = Mds::all(store.tree().schema());
-    assert_eq!(store.tree().range_summary(&q).unwrap().sum, (0..60).sum::<i64>());
+    assert_eq!(
+        store.tree().range_summary(&q).unwrap().sum,
+        (0..60).sum::<i64>()
+    );
     store.tree().check_invariants().unwrap();
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -64,8 +73,7 @@ fn reopen_without_checkpoint_replays_the_log() {
 fn checkpoint_plus_tail_recovers_both_parts() {
     let dir = fresh_dir("mixed");
     {
-        let mut store =
-            DurableDcTree::open(&dir, make_tree, DurabilityConfig::default()).unwrap();
+        let mut store = DurableDcTree::open(&dir, make_tree, DurabilityConfig::default()).unwrap();
         for i in 0..40 {
             store.insert_raw(&paths(i), 1).unwrap();
         }
@@ -87,8 +95,7 @@ fn checkpoint_plus_tail_recovers_both_parts() {
 fn torn_log_tail_is_truncated_on_recovery() {
     let dir = fresh_dir("torn");
     {
-        let mut store =
-            DurableDcTree::open(&dir, make_tree, DurabilityConfig::default()).unwrap();
+        let mut store = DurableDcTree::open(&dir, make_tree, DurabilityConfig::default()).unwrap();
         for i in 0..25 {
             store.insert_raw(&paths(i), 2).unwrap();
         }
@@ -117,8 +124,15 @@ fn recovery_is_equivalent_to_never_crashing() {
     // must match exactly.
     let dir = fresh_dir("equivalence");
     let mut rng = StdRng::seed_from_u64(7);
-    let ops: Vec<(bool, u64, i64)> =
-        (0..200).map(|_| (rng.gen_bool(0.75), rng.gen_range(0..50), rng.gen_range(0..100))).collect();
+    let ops: Vec<(bool, u64, i64)> = (0..200)
+        .map(|_| {
+            (
+                rng.gen_bool(0.75),
+                rng.gen_range(0..50),
+                rng.gen_range(0..100),
+            )
+        })
+        .collect();
 
     let mut continuous = make_tree();
     for &(is_insert, key, measure) in &ops {
@@ -134,13 +148,18 @@ fn recovery_is_equivalent_to_never_crashing() {
                 })
                 .collect();
             if let Some(dims) = dims {
-                let _ = continuous.delete(&dc_hierarchy::Record::new(dims, measure)).unwrap();
+                let _ = continuous
+                    .delete(&dc_hierarchy::Record::new(dims, measure))
+                    .unwrap();
             }
         }
     }
 
     // Crashy version: reopen every 37 operations.
-    let config = DurabilityConfig { sync: SyncMode::Always, checkpoint_every: 0 };
+    let config = DurabilityConfig {
+        sync: SyncMode::Always,
+        checkpoint_every: 0,
+    };
     let mut store = DurableDcTree::open(&dir, make_tree, config).unwrap();
     for (i, &(is_insert, key, measure)) in ops.iter().enumerate() {
         if i % 37 == 36 {
@@ -169,12 +188,18 @@ fn recovery_is_equivalent_to_never_crashing() {
 #[test]
 fn auto_checkpoint_bounds_the_log() {
     let dir = fresh_dir("autockpt");
-    let config = DurabilityConfig { sync: SyncMode::OnCheckpoint, checkpoint_every: 10 };
+    let config = DurabilityConfig {
+        sync: SyncMode::OnCheckpoint,
+        checkpoint_every: 10,
+    };
     let mut store = DurableDcTree::open(&dir, make_tree, config).unwrap();
     for i in 0..35 {
         store.insert_raw(&paths(i), 1).unwrap();
     }
-    assert!(store.log_length() < 10, "auto-checkpoints must reset the log");
+    assert!(
+        store.log_length() < 10,
+        "auto-checkpoints must reset the log"
+    );
     assert!(dir.join("checkpoint.dct").exists());
     drop(store);
     let store = DurableDcTree::open(&dir, make_tree, config).unwrap();
@@ -186,8 +211,7 @@ fn auto_checkpoint_bounds_the_log() {
 fn deleting_unknown_records_is_a_replayable_noop() {
     let dir = fresh_dir("noop");
     {
-        let mut store =
-            DurableDcTree::open(&dir, make_tree, DurabilityConfig::default()).unwrap();
+        let mut store = DurableDcTree::open(&dir, make_tree, DurabilityConfig::default()).unwrap();
         store.insert_raw(&paths(1), 5).unwrap();
         assert!(!store.delete_raw(&paths(2), 5).unwrap(), "never inserted");
         assert!(!store.delete_raw(&paths(1), 999).unwrap(), "wrong measure");

@@ -44,7 +44,10 @@ impl CubeSchema {
             .enumerate()
             .map(|(i, s)| ConceptHierarchy::new(DimensionId(i as u16), s))
             .collect();
-        CubeSchema { dimensions, measure_name: measure_name.into() }
+        CubeSchema {
+            dimensions,
+            measure_name: measure_name.into(),
+        }
     }
 
     /// Number of dimensions `d`.
@@ -81,7 +84,10 @@ impl CubeSchema {
         measure: Measure,
     ) -> DcResult<Record> {
         if paths.len() != self.num_dims() {
-            return Err(DcError::DimensionMismatch { expected: self.num_dims(), got: paths.len() });
+            return Err(DcError::DimensionMismatch {
+                expected: self.num_dims(),
+                got: paths.len(),
+            });
         }
         let mut dims = Vec::with_capacity(paths.len());
         for (h, path) in self.dimensions.iter_mut().zip(paths) {
@@ -100,7 +106,10 @@ impl CubeSchema {
         }
         for (h, &id) in self.dimensions.iter().zip(&record.dims) {
             if id.level() != 0 || !h.contains(id) {
-                return Err(DcError::UnknownValue { dim: h.dimension(), id });
+                return Err(DcError::UnknownValue {
+                    dim: h.dimension(),
+                    id,
+                });
             }
         }
         Ok(())
@@ -166,10 +175,7 @@ mod tests {
     fn intern_record_assigns_leaf_ids() {
         let mut s = schema();
         let r = s
-            .intern_record(
-                &[vec!["Europe", "Germany", "c1"], vec!["1996", "03"]],
-                1500,
-            )
+            .intern_record(&[vec!["Europe", "Germany", "c1"], vec!["1996", "03"]], 1500)
             .unwrap();
         assert_eq!(r.dims.len(), 2);
         assert!(r.dims.iter().all(|d| d.level() == 0));

@@ -23,9 +23,18 @@ impl HierarchySchema {
     /// Panics if `attributes` is empty or has 15 or more entries (the 4-bit
     /// level encoding supports `ALL` + at most 15 functional levels).
     pub fn new(name: impl Into<String>, attributes: Vec<String>) -> Self {
-        assert!(!attributes.is_empty(), "a dimension needs at least one attribute");
-        assert!(attributes.len() < 15, "at most 14 functional levels fit the 4-bit encoding");
-        HierarchySchema { name: name.into(), attributes }
+        assert!(
+            !attributes.is_empty(),
+            "a dimension needs at least one attribute"
+        );
+        assert!(
+            attributes.len() < 15,
+            "at most 14 functional levels fit the 4-bit encoding"
+        );
+        HierarchySchema {
+            name: name.into(),
+            attributes,
+        }
     }
 
     /// Dimension name (e.g. "Customer").
@@ -80,8 +89,17 @@ impl ConceptHierarchy {
         let top = schema.num_attributes(); // level of ALL
         let mut tables: Vec<Vec<ValueInfo>> = (0..=top).map(|_| Vec::new()).collect();
         let all = ValueId::new(top as Level, 0);
-        tables[top].push(ValueInfo { name: "ALL".to_string(), parent: all, children: Vec::new() });
-        ConceptHierarchy { dim, schema, tables, dict: HashMap::new() }
+        tables[top].push(ValueInfo {
+            name: "ALL".to_string(),
+            parent: all,
+            children: Vec::new(),
+        });
+        ConceptHierarchy {
+            dim,
+            schema,
+            tables,
+            dict: HashMap::new(),
+        }
     }
 
     /// The dimension this hierarchy describes.
@@ -153,7 +171,11 @@ impl ConceptHierarchy {
     /// ancestor at `id.level()` is `id` itself.
     pub fn ancestor_at(&self, id: ValueId, level: Level) -> DcResult<ValueId> {
         if level < id.level() || level > self.top_level() {
-            return Err(DcError::BadLevel { dim: self.dim, id, requested: level });
+            return Err(DcError::BadLevel {
+                dim: self.dim,
+                id,
+                requested: level,
+            });
         }
         let mut cur = id;
         while cur.level() < level {
@@ -212,7 +234,11 @@ impl ConceptHierarchy {
         let info_level = self.info(parent)?; // validates parent
         let _ = info_level;
         if parent.level() == 0 {
-            return Err(DcError::BadLevel { dim: self.dim, id: parent, requested: 0 });
+            return Err(DcError::BadLevel {
+                dim: self.dim,
+                id: parent,
+                requested: 0,
+            });
         }
         self.intern_child(parent, parent.level() - 1, name)
     }
@@ -223,11 +249,20 @@ impl ConceptHierarchy {
         }
         let table = &mut self.tables[level as usize];
         if table.len() > dc_common::id::MAX_INDEX as usize {
-            return Err(DcError::IdSpaceExhausted { dim: self.dim, level });
+            return Err(DcError::IdSpaceExhausted {
+                dim: self.dim,
+                level,
+            });
         }
         let id = ValueId::new(level, table.len() as u32);
-        table.push(ValueInfo { name: name.to_string(), parent, children: Vec::new() });
-        self.tables[parent.level() as usize][parent.index() as usize].children.push(id);
+        table.push(ValueInfo {
+            name: name.to_string(),
+            parent,
+            children: Vec::new(),
+        });
+        self.tables[parent.level() as usize][parent.index() as usize]
+            .children
+            .push(id);
         self.dict.insert((parent, name.to_string()), id);
         Ok(id)
     }
@@ -256,7 +291,9 @@ impl fmt::Debug for ConceptHierarchy {
             .field("name", &self.schema.name())
             .field(
                 "values_per_level",
-                &(0..=self.top_level()).map(|l| self.num_values_at(l)).collect::<Vec<_>>(),
+                &(0..=self.top_level())
+                    .map(|l| self.num_values_at(l))
+                    .collect::<Vec<_>>(),
             )
             .finish()
     }
@@ -399,7 +436,10 @@ mod tests {
         // Idempotent.
         assert_eq!(h.insert_child(europe, "Germany").unwrap(), germany);
         // Below a leaf is an error.
-        assert!(matches!(h.insert_child(c1, "x"), Err(DcError::BadLevel { .. })));
+        assert!(matches!(
+            h.insert_child(c1, "x"),
+            Err(DcError::BadLevel { .. })
+        ));
         // Unknown parent is an error.
         assert!(h.insert_child(ValueId::new(2, 99), "y").is_err());
     }

@@ -17,8 +17,12 @@ fn build(paths: &[(u8, u8, u8)]) -> (ConceptHierarchy, Vec<ValueId>) {
     let leaves = paths
         .iter()
         .map(|&(a, b, c)| {
-            h.intern_path(&[format!("a{a}"), format!("a{a}b{b}"), format!("a{a}b{b}c{c}")])
-                .unwrap()
+            h.intern_path(&[
+                format!("a{a}"),
+                format!("a{a}b{b}"),
+                format!("a{a}b{b}c{c}"),
+            ])
+            .unwrap()
         })
         .collect();
     (h, leaves)

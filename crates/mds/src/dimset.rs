@@ -35,7 +35,10 @@ impl DimSet {
 
     /// A singleton set.
     pub fn singleton(value: ValueId) -> Self {
-        DimSet { level: value.level(), values: vec![value] }
+        DimSet {
+            level: value.level(),
+            values: vec![value],
+        }
     }
 
     /// The relevant level `l_i`.
@@ -72,7 +75,11 @@ impl DimSet {
     /// Inserts a value already on this set's level. Returns `true` if it was
     /// new.
     pub fn insert(&mut self, v: ValueId) -> bool {
-        assert_eq!(v.level(), self.level, "inserted value must be on the relevant level");
+        assert_eq!(
+            v.level(),
+            self.level,
+            "inserted value must be on the relevant level"
+        );
         match self.values.binary_search(&v) {
             Ok(_) => false,
             Err(pos) => {
@@ -103,7 +110,10 @@ impl DimSet {
 
     /// `|d_i ∩ e_i|` for two sets on the same level.
     pub fn intersection_len(&self, other: &DimSet) -> usize {
-        debug_assert_eq!(self.level, other.level, "intersection requires equal levels");
+        debug_assert_eq!(
+            self.level, other.level,
+            "intersection requires equal levels"
+        );
         sorted_intersection_len(&self.values, &other.values)
     }
 

@@ -34,7 +34,9 @@ impl Mds {
 
     /// The point MDS of a single data record: singleton leaf-level sets.
     pub fn from_record(record: &Record) -> Self {
-        Mds { dims: record.dims.iter().map(|&v| DimSet::singleton(v)).collect() }
+        Mds {
+            dims: record.dims.iter().map(|&v| DimSet::singleton(v)).collect(),
+        }
     }
 
     /// Number of dimensions `d`.
@@ -87,7 +89,9 @@ impl Mds {
         self.dims
             .iter()
             .zip(&other.dims)
-            .fold(1u128, |acc, (a, b)| acc.saturating_mul(a.intersection_len(b) as u128))
+            .fold(1u128, |acc, (a, b)| {
+                acc.saturating_mul(a.intersection_len(b) as u128)
+            })
     }
 
     /// `extension(M, N) = Π_i |M_i ∪ N_i|` (Definition 4). Same
@@ -96,7 +100,9 @@ impl Mds {
         self.dims
             .iter()
             .zip(&other.dims)
-            .fold(1u128, |acc, (a, b)| acc.saturating_mul(a.union_len(b) as u128))
+            .fold(1u128, |acc, (a, b)| {
+                acc.saturating_mul(a.union_len(b) as u128)
+            })
     }
 
     /// Adapts this MDS to the given target levels (all ≥ current levels).
@@ -120,7 +126,10 @@ impl Mds {
             .zip(&other.dims)
             .map(|(a, b)| a.level().max(b.level()))
             .collect();
-        Ok((self.adapt_to_levels(schema, &levels)?, other.adapt_to_levels(schema, &levels)?))
+        Ok((
+            self.adapt_to_levels(schema, &levels)?,
+            other.adapt_to_levels(schema, &levels)?,
+        ))
     }
 
     /// Containment in the sense of Definition 4: `other` contains `self`
@@ -155,7 +164,11 @@ impl Mds {
     /// common case where both operands were already adapted — the hierarchy
     /// split works exclusively on such aligned operands.
     pub fn union_aligned(&self, other: &Mds) -> Mds {
-        debug_assert_eq!(self.levels(), other.levels(), "union_aligned requires equal levels");
+        debug_assert_eq!(
+            self.levels(),
+            other.levels(),
+            "union_aligned requires equal levels"
+        );
         let mut out = self.clone();
         for (da, db) in out.dims.iter_mut().zip(&other.dims) {
             da.union_with(db);
@@ -207,11 +220,7 @@ impl Mds {
 
     /// The volume enlargement caused by covering `record`: the volume of
     /// this MDS after extension minus before. Drives choose-subtree.
-    pub fn enlargement_for_record(
-        &self,
-        schema: &CubeSchema,
-        record: &Record,
-    ) -> DcResult<u128> {
+    pub fn enlargement_for_record(&self, schema: &CubeSchema, record: &Record) -> DcResult<u128> {
         let before = self.volume();
         let mut after = 1u128;
         for ((d, h), &leaf) in self.dims.iter().zip(schema.dims()).zip(&record.dims) {
@@ -242,16 +251,25 @@ mod tests {
         );
         // Interning happens through records.
         for (c, sup, t) in [
-            (("Europe", "Germany"), ("North America", "USA"), ("1996", "01")),
-            (("Europe", "France"), ("North America", "USA"), ("1997", "02")),
-            (("Europe", "Netherlands"), ("North America", "Canada"), ("1996", "05")),
+            (
+                ("Europe", "Germany"),
+                ("North America", "USA"),
+                ("1996", "01"),
+            ),
+            (
+                ("Europe", "France"),
+                ("North America", "USA"),
+                ("1997", "02"),
+            ),
+            (
+                ("Europe", "Netherlands"),
+                ("North America", "Canada"),
+                ("1996", "05"),
+            ),
             (("Europe", "Switzerland"), ("Asia", "Japan"), ("1998", "07")),
         ] {
-            s.intern_record(
-                &[vec![c.0, c.1], vec![sup.0, sup.1], vec![t.0, t.1]],
-                100,
-            )
-            .unwrap();
+            s.intern_record(&[vec![c.0, c.1], vec![sup.0, sup.1], vec![t.0, t.1]], 100)
+                .unwrap();
         }
         s
     }
@@ -260,12 +278,16 @@ mod tests {
     // Region/Year sit on level 1; ALL is level 2.
     fn nation(s: &CubeSchema, dim: u16, name: &str) -> ValueId {
         let h = s.dim(DimensionId(dim));
-        h.values_at(0).find(|&v| h.name(v).unwrap() == name).unwrap()
+        h.values_at(0)
+            .find(|&v| h.name(v).unwrap() == name)
+            .unwrap()
     }
 
     fn region(s: &CubeSchema, dim: u16, name: &str) -> ValueId {
         let h = s.dim(DimensionId(dim));
-        h.values_at(1).find(|&v| h.name(v).unwrap() == name).unwrap()
+        h.values_at(1)
+            .find(|&v| h.name(v).unwrap() == name)
+            .unwrap()
     }
 
     /// The paper's §3.2 example: records (Germany, North America, 1996) and
@@ -303,7 +325,10 @@ mod tests {
         let m = Mds::new(vec![
             DimSet::new(0, vec![nation(&s, 0, "Germany")]),
             DimSet::new(0, vec![nation(&s, 1, "USA")]),
-            DimSet::new(1, vec![s.dim(DimensionId(2)).lookup_path(&["1996"]).unwrap()]),
+            DimSet::new(
+                1,
+                vec![s.dim(DimensionId(2)).lookup_path(&["1996"]).unwrap()],
+            ),
         ]);
         assert!(m.contained_in(&all, &s).unwrap());
         assert!(!all.contained_in(&m, &s).unwrap());
@@ -343,12 +368,18 @@ mod tests {
         let m = Mds::new(vec![
             DimSet::new(0, vec![nation(&s, 0, "Germany")]),
             DimSet::new(1, vec![region(&s, 1, "North America")]),
-            DimSet::new(1, vec![s.dim(DimensionId(2)).lookup_path(&["1996"]).unwrap()]),
+            DimSet::new(
+                1,
+                vec![s.dim(DimensionId(2)).lookup_path(&["1996"]).unwrap()],
+            ),
         ]);
         let n = Mds::new(vec![
             DimSet::new(1, vec![region(&s, 0, "Europe")]),
             DimSet::new(0, vec![nation(&s, 1, "Japan")]),
-            DimSet::new(1, vec![s.dim(DimensionId(2)).lookup_path(&["1998"]).unwrap()]),
+            DimSet::new(
+                1,
+                vec![s.dim(DimensionId(2)).lookup_path(&["1998"]).unwrap()],
+            ),
         ]);
         let c = m.cover(&n, &s).unwrap();
         assert!(m.contained_in(&c, &s).unwrap());
@@ -364,14 +395,21 @@ mod tests {
         let mut s = schema();
         let r = s
             .intern_record(
-                &[vec!["Europe", "Germany"], vec!["North America", "USA"], vec!["1996", "01"]],
+                &[
+                    vec!["Europe", "Germany"],
+                    vec!["North America", "USA"],
+                    vec!["1996", "01"],
+                ],
                 10,
             )
             .unwrap();
         let mut m = Mds::new(vec![
             DimSet::new(0, vec![nation(&s, 0, "France")]),
             DimSet::new(1, vec![region(&s, 1, "North America")]),
-            DimSet::new(1, vec![s.dim(DimensionId(2)).lookup_path(&["1996"]).unwrap()]),
+            DimSet::new(
+                1,
+                vec![s.dim(DimensionId(2)).lookup_path(&["1996"]).unwrap()],
+            ),
         ]);
         assert!(!m.contains_record(&s, &r).unwrap());
         assert_eq!(m.enlargement_for_record(&s, &r).unwrap(), 1); // 2×1×1 − 1×1×1
@@ -387,7 +425,10 @@ mod tests {
         let fine = Mds::new(vec![
             DimSet::new(0, vec![nation(&s, 0, "Germany"), nation(&s, 0, "France")]),
             DimSet::new(0, vec![nation(&s, 1, "USA")]),
-            DimSet::new(1, vec![s.dim(DimensionId(2)).lookup_path(&["1996"]).unwrap()]),
+            DimSet::new(
+                1,
+                vec![s.dim(DimensionId(2)).lookup_path(&["1996"]).unwrap()],
+            ),
         ]);
         let coarse = Mds::new(vec![
             DimSet::new(1, vec![region(&s, 0, "Europe")]),
@@ -405,7 +446,11 @@ mod tests {
         let mut s = schema();
         let r = s
             .intern_record(
-                &[vec!["Europe", "Germany"], vec!["North America", "USA"], vec!["1996", "01"]],
+                &[
+                    vec!["Europe", "Germany"],
+                    vec!["North America", "USA"],
+                    vec!["1996", "01"],
+                ],
                 10,
             )
             .unwrap();

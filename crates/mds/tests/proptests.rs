@@ -21,8 +21,15 @@ fn schema() -> CubeSchema {
             for c in 0..3 {
                 s.intern_record(
                     &[
-                        vec![format!("a{a}"), format!("a{a}b{b}"), format!("a{a}b{b}c{c}")],
-                        vec![format!("p{}", (a + b) % 3), format!("p{}q{}", (a + b) % 3, c)],
+                        vec![
+                            format!("a{a}"),
+                            format!("a{a}b{b}"),
+                            format!("a{a}b{b}c{c}"),
+                        ],
+                        vec![
+                            format!("p{}", (a + b) % 3),
+                            format!("p{}q{}", (a + b) % 3, c),
+                        ],
                     ],
                     0,
                 )
@@ -56,8 +63,10 @@ fn mds(schema: &CubeSchema) -> impl Strategy<Value = Mds> {
                 .enumerate()
                 .map(|(d, (level, picks))| {
                     let count = counts[d][level as usize] as u32;
-                    let values: Vec<ValueId> =
-                        picks.into_iter().map(|p| ValueId::new(level, p % count)).collect();
+                    let values: Vec<ValueId> = picks
+                        .into_iter()
+                        .map(|p| ValueId::new(level, p % count))
+                        .collect();
                     DimSet::new(level, values)
                 })
                 .collect(),
@@ -67,8 +76,7 @@ fn mds(schema: &CubeSchema) -> impl Strategy<Value = Mds> {
 
 /// Strategy: a random record of the fixed schema.
 fn record(schema: &CubeSchema) -> impl Strategy<Value = Record> {
-    let leaf_counts: Vec<u32> =
-        schema.dims().map(|h| h.num_values_at(0) as u32).collect();
+    let leaf_counts: Vec<u32> = schema.dims().map(|h| h.num_values_at(0) as u32).collect();
     (0u32..1024, 0u32..1024).prop_map(move |(x, y)| {
         Record::new(
             vec![

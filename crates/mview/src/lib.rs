@@ -54,7 +54,11 @@ impl ViewSpec {
         }
         for (h, &level) in schema.dims().zip(&self.levels) {
             if level > h.top_level() {
-                return Err(DcError::BadLevel { dim: h.dimension(), id: h.all(), requested: level });
+                return Err(DcError::BadLevel {
+                    dim: h.dimension(),
+                    id: h.all(),
+                    requested: level,
+                });
             }
         }
         Ok(())
@@ -79,7 +83,10 @@ pub struct MaterializedView {
 impl MaterializedView {
     /// An empty view for `spec`.
     pub fn new(spec: ViewSpec) -> Self {
-        MaterializedView { spec, cells: HashMap::new() }
+        MaterializedView {
+            spec,
+            cells: HashMap::new(),
+        }
     }
 
     /// The spec this view materializes.
@@ -141,11 +148,7 @@ pub struct ViewSet {
 
 impl ViewSet {
     /// Builds the views over an initial load (one pass, all views).
-    pub fn build(
-        schema: CubeSchema,
-        specs: Vec<ViewSpec>,
-        records: &[Record],
-    ) -> DcResult<Self> {
+    pub fn build(schema: CubeSchema, specs: Vec<ViewSpec>, records: &[Record]) -> DcResult<Self> {
         for spec in &specs {
             spec.validate(&schema)?;
         }
@@ -285,7 +288,11 @@ mod tests {
             ("AS", "JP", "1997", "01", 400),
             ("EU", "DE", "1997", "03", 50),
         ] {
-            records.push(schema.intern_record(&[vec![r, n], vec![y, m]], price).unwrap());
+            records.push(
+                schema
+                    .intern_record(&[vec![r, n], vec![y, m]], price)
+                    .unwrap(),
+            );
         }
         (schema, records)
     }
@@ -301,7 +308,10 @@ mod tests {
             DimSet::singleton(eu),
             DimSet::singleton(schema.dim(DimensionId(1)).all()),
         ]);
-        let s = set.answer(&q).unwrap().expect("region roll-up is in the lattice");
+        let s = set
+            .answer(&q)
+            .unwrap()
+            .expect("region roll-up is in the lattice");
         assert_eq!(s.sum, 400);
         assert_eq!(s.count, 3);
         // Grand total.
@@ -312,23 +322,27 @@ mod tests {
     #[test]
     fn lattice_misses_unanticipated_shapes() {
         let (schema, records) = setup();
-        let set =
-            ViewSet::build(schema.clone(), rollup_lattice(&schema), &records).unwrap();
+        let set = ViewSet::build(schema.clone(), rollup_lattice(&schema), &records).unwrap();
         // A two-dimensional constraint needs a view finer than any
         // single-dimension roll-up: the lattice misses.
         let eu = schema.dim(DimensionId(0)).lookup_path(&["EU"]).unwrap();
         let y96 = schema.dim(DimensionId(1)).lookup_path(&["1996"]).unwrap();
         let q = Mds::new(vec![DimSet::singleton(eu), DimSet::singleton(y96)]);
-        assert_eq!(set.answer(&q).unwrap(), None, "the static lattice cannot serve this");
+        assert_eq!(
+            set.answer(&q).unwrap(),
+            None,
+            "the static lattice cannot serve this"
+        );
     }
 
     #[test]
     fn inserts_touch_every_view_and_stay_correct() {
         let (mut schema, records) = setup();
-        let extra = schema.intern_record(&[vec!["EU", "DE"], vec!["1996", "04"]], 75).unwrap();
+        let extra = schema
+            .intern_record(&[vec!["EU", "DE"], vec!["1996", "04"]], 75)
+            .unwrap();
         // Build against the fully interned schema, then insert dynamically.
-        let mut set =
-            ViewSet::build(schema.clone(), rollup_lattice(&schema), &records).unwrap();
+        let mut set = ViewSet::build(schema.clone(), rollup_lattice(&schema), &records).unwrap();
         set.insert(&extra).unwrap();
         let eu = schema.dim(DimensionId(0)).lookup_path(&["EU"]).unwrap();
         let q = Mds::new(vec![
@@ -341,11 +355,13 @@ mod tests {
     #[test]
     fn deletes_invalidate_until_rebuild() {
         let (schema, records) = setup();
-        let mut set =
-            ViewSet::build(schema.clone(), rollup_lattice(&schema), &records).unwrap();
+        let mut set = ViewSet::build(schema.clone(), rollup_lattice(&schema), &records).unwrap();
         set.delete(&records[0]);
         assert!(set.needs_rebuild());
-        assert!(set.answer(&Mds::all(&schema)).is_err(), "stale views must refuse");
+        assert!(
+            set.answer(&Mds::all(&schema)).is_err(),
+            "stale views must refuse"
+        );
         let remaining = &records[1..];
         set.rebuild(remaining).unwrap();
         assert_eq!(set.answer(&Mds::all(&schema)).unwrap().unwrap().count, 3);

@@ -15,9 +15,12 @@ fn views_and_tree_agree_on_anticipated_rollups() {
     for r in &data.records {
         tree.insert(r.clone()).unwrap();
     }
-    let views =
-        ViewSet::build(data.schema.clone(), rollup_lattice(&data.schema), &data.records)
-            .unwrap();
+    let views = ViewSet::build(
+        data.schema.clone(),
+        rollup_lattice(&data.schema),
+        &data.records,
+    )
+    .unwrap();
 
     // Every single-dimension roll-up at every level: both engines agree.
     use dc_common::DimensionId;
@@ -32,9 +35,7 @@ fn views_and_tree_agree_on_anticipated_rollups() {
                         if dd == d {
                             DimSet::singleton(v)
                         } else {
-                            DimSet::singleton(
-                                data.schema.dim(DimensionId(dd as u16)).all(),
-                            )
+                            DimSet::singleton(data.schema.dim(DimensionId(dd as u16)).all())
                         }
                     })
                     .collect();
@@ -46,7 +47,10 @@ fn views_and_tree_agree_on_anticipated_rollups() {
             }
         }
     }
-    assert!(hits > 30, "the sweep must actually exercise queries ({hits})");
+    assert!(
+        hits > 30,
+        "the sweep must actually exercise queries ({hits})"
+    );
 }
 
 #[test]
@@ -56,9 +60,12 @@ fn unanticipated_queries_miss_the_lattice_but_not_the_tree() {
     for r in &data.records {
         tree.insert(r.clone()).unwrap();
     }
-    let views =
-        ViewSet::build(data.schema.clone(), rollup_lattice(&data.schema), &data.records)
-            .unwrap();
+    let views = ViewSet::build(
+        data.schema.clone(),
+        rollup_lattice(&data.schema),
+        &data.records,
+    )
+    .unwrap();
 
     // §5.2-style conjunctive queries constrain several dimensions at once —
     // never anticipated by the per-dimension roll-up lattice.
@@ -85,9 +92,12 @@ fn dynamism_gap_deletion() {
     for r in &data.records {
         tree.insert(r.clone()).unwrap();
     }
-    let mut views =
-        ViewSet::build(data.schema.clone(), rollup_lattice(&data.schema), &data.records)
-            .unwrap();
+    let mut views = ViewSet::build(
+        data.schema.clone(),
+        rollup_lattice(&data.schema),
+        &data.records,
+    )
+    .unwrap();
 
     // One delete: the DC-tree absorbs it; the views go stale until a full
     // rebuild over the remaining records.

@@ -28,9 +28,16 @@ pub enum QlError {
     /// The query referenced an unknown dimension.
     UnknownDimension(String),
     /// The query referenced an attribute the dimension does not have.
-    UnknownAttribute { dimension: String, attribute: String },
+    UnknownAttribute {
+        dimension: String,
+        attribute: String,
+    },
     /// No value with this name exists on the referenced level.
-    UnknownValue { dimension: String, attribute: String, value: String },
+    UnknownValue {
+        dimension: String,
+        attribute: String,
+        value: String,
+    },
     /// Two conditions constrained the same dimension.
     DuplicateCondition(String),
 }
@@ -43,15 +50,25 @@ impl fmt::Display for QlError {
             }
             QlError::Parse { near, message } => write!(f, "parse error near `{near}`: {message}"),
             QlError::UnknownDimension(d) => write!(f, "unknown dimension `{d}`"),
-            QlError::UnknownAttribute { dimension, attribute } => {
+            QlError::UnknownAttribute {
+                dimension,
+                attribute,
+            } => {
                 write!(f, "dimension `{dimension}` has no attribute `{attribute}`")
             }
-            QlError::UnknownValue { dimension, attribute, value } => write!(
+            QlError::UnknownValue {
+                dimension,
+                attribute,
+                value,
+            } => write!(
                 f,
                 "no value named '{value}' on level {attribute} of dimension {dimension}"
             ),
             QlError::DuplicateCondition(d) => {
-                write!(f, "dimension `{d}` is constrained twice (combine the values with IN)")
+                write!(
+                    f,
+                    "dimension `{d}` is constrained twice (combine the values with IN)"
+                )
             }
         }
     }

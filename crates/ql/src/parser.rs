@@ -29,7 +29,11 @@ struct Parser<'a> {
 /// Parses and resolves one query against `schema`.
 pub fn parse_query(schema: &CubeSchema, input: &str) -> Result<ParsedQuery, QlError> {
     let tokens = tokenize(input)?;
-    let mut p = Parser { tokens, pos: 0, schema };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        schema,
+    };
     let q = p.query()?;
     if p.pos != p.tokens.len() {
         return Err(p.err("expected end of query"));
@@ -139,7 +143,12 @@ impl<'a> Parser<'a> {
                 })
             })
             .collect();
-        Ok(ParsedQuery { op, filter: Mds::new(dims), group_by, top })
+        Ok(ParsedQuery {
+            op,
+            filter: Mds::new(dims),
+            group_by,
+            top,
+        })
     }
 
     fn aggregate(&mut self) -> Result<AggregateOp, QlError> {
@@ -224,11 +233,7 @@ impl<'a> Parser<'a> {
             if matches.is_empty() {
                 return Err(QlError::UnknownValue {
                     dimension: h.schema().name().to_string(),
-                    attribute: h
-                        .schema()
-                        .attribute_name(level)
-                        .unwrap_or("?")
-                        .to_string(),
+                    attribute: h.schema().attribute_name(level).unwrap_or("?").to_string(),
                     value: name.clone(),
                 });
             }
@@ -247,10 +252,7 @@ mod tests {
     fn schema() -> CubeSchema {
         let mut s = CubeSchema::new(
             vec![
-                HierarchySchema::new(
-                    "Customer",
-                    vec!["Region".into(), "Nation".into()],
-                ),
+                HierarchySchema::new("Customer", vec!["Region".into(), "Nation".into()]),
                 HierarchySchema::new("Time", vec!["Year".into(), "Month".into()]),
             ],
             "Revenue",
@@ -281,7 +283,7 @@ mod tests {
     }
 
     #[test]
-    fn bare_aggregate_is_unconstrained(){
+    fn bare_aggregate_is_unconstrained() {
         let s = schema();
         let q = parse_query(&s, "COUNT").unwrap();
         assert_eq!(q.op, AggregateOp::Count);
@@ -314,7 +316,10 @@ mod tests {
         let q = parse_query(&s, "SUM GROUP BY Customer.Region TOP 3").unwrap();
         assert_eq!(q.top, Some(3));
         assert!(q.group_by.is_some());
-        assert!(parse_query(&s, "SUM TOP 3").is_err(), "TOP without GROUP BY");
+        assert!(
+            parse_query(&s, "SUM TOP 3").is_err(),
+            "TOP without GROUP BY"
+        );
         assert!(parse_query(&s, "SUM GROUP BY Customer.Region TOP 0").is_err());
         assert!(parse_query(&s, "SUM GROUP BY Customer.Region TOP x").is_err());
     }

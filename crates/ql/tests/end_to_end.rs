@@ -22,7 +22,7 @@ fn language_queries_match_brute_force() {
         "SUM WHERE Customer.Region = 'EUROPE'",
         "COUNT WHERE Customer.Region IN ('EUROPE', 'ASIA') AND Time.Year = '1996'",
         "AVG WHERE Part.Brand = 'Brand#11'",
-        "MIN WHERE Supplier.Nation = 'CANADA'",  // small cubes only intern the first few supplier nations
+        "MIN WHERE Supplier.Nation = 'CANADA'", // small cubes only intern the first few supplier nations
         "MAX WHERE Time.Month = '1996-07'",
         "SUM",
     ];
@@ -55,17 +55,19 @@ fn group_by_queries_execute_through_the_single_pass_plan() {
     for (value, summary) in &groups {
         // Cross-check each group against an equality query in the language.
         let name = h.name(*value).unwrap();
-        let q = format!(
-            "SUM WHERE Customer.Region = '{name}' AND Time.Year = '1996'"
-        );
+        let q = format!("SUM WHERE Customer.Region = '{name}' AND Time.Year = '1996'");
         let parsed = parse_query(&data.schema, &q).unwrap();
-        let direct = tree.range_query(&parsed.filter, AggregateOp::Sum).unwrap().unwrap();
+        let direct = tree
+            .range_query(&parsed.filter, AggregateOp::Sum)
+            .unwrap()
+            .unwrap();
         assert_eq!(direct, summary.sum as f64, "group {name}");
         total += direct;
     }
     let all_1996 = parse_query(&data.schema, "SUM WHERE Time.Year = '1996'").unwrap();
     assert_eq!(
-        tree.range_query(&all_1996.filter, AggregateOp::Sum).unwrap(),
+        tree.range_query(&all_1996.filter, AggregateOp::Sum)
+            .unwrap(),
         Some(total)
     );
 }

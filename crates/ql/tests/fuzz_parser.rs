@@ -13,7 +13,8 @@ fn schema() -> CubeSchema {
         ],
         "Revenue",
     );
-    s.intern_record(&[vec!["EU", "DE"], vec!["1996", "01"]], 1).unwrap();
+    s.intern_record(&[vec!["EU", "DE"], vec!["1996", "01"]], 1)
+        .unwrap();
     s
 }
 
@@ -46,7 +47,7 @@ proptest! {
         if let Ok(q) = parse_query(&s, &input) {
             prop_assert_eq!(q.filter.num_dims(), s.num_dims());
             for set in q.filter.dims() {
-                prop_assert!(set.len() >= 1);
+                prop_assert!(!set.is_empty());
             }
         }
     }

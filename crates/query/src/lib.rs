@@ -53,7 +53,11 @@ impl RangeQueryGen {
             selectivity > 0.0 && selectivity <= 1.0,
             "selectivity must be in (0, 1], got {selectivity}"
         );
-        RangeQueryGen { selectivity, pick, rng: StdRng::seed_from_u64(seed) }
+        RangeQueryGen {
+            selectivity,
+            pick,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The generator's selectivity.
@@ -71,8 +75,7 @@ impl RangeQueryGen {
                 let level: Level = self.rng.gen_range(0..h.top_level());
                 let count = h.num_values_at(level);
                 debug_assert!(count > 0, "level {level} of {d} has no values");
-                let take = ((count as f64 * self.selectivity).floor() as usize)
-                    .clamp(1, count);
+                let take = ((count as f64 * self.selectivity).floor() as usize).clamp(1, count);
                 let values: Vec<ValueId> = match self.pick {
                     ValuePick::ContiguousRun => {
                         let start = self.rng.gen_range(0..=(count - take)) as u32;
@@ -121,9 +124,8 @@ pub fn mds_to_mbr(schema: &CubeSchema, range: &Mds) -> Mbr {
 pub fn is_contiguous(range: &Mds) -> bool {
     range.dims().all(|set| {
         let v = set.values();
-        v.last().is_none_or(|last| {
-            (last.index() - v[0].index()) as usize == v.len() - 1
-        })
+        v.last()
+            .is_none_or(|last| (last.index() - v[0].index()) as usize == v.len() - 1)
     })
 }
 

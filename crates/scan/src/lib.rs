@@ -28,7 +28,11 @@ impl FlatTable {
     /// record (dimension IDs + measure), used to derive records per block.
     pub fn new(block: BlockConfig, record_bytes: usize) -> Self {
         let records_per_block = (block.block_size / record_bytes.max(1)).max(1);
-        FlatTable { records: Vec::new(), records_per_block, io: IoTracker::new() }
+        FlatTable {
+            records: Vec::new(),
+            records_per_block,
+            io: IoTracker::new(),
+        }
     }
 
     /// Creates a table sized for records of `num_dims` dimensions
@@ -148,7 +152,10 @@ mod tests {
     #[test]
     fn scan_matches_predicate() {
         let (schema, table) = setup();
-        let europe = schema.dim(dc_common::DimensionId(0)).lookup_path(&["Europe"]).unwrap();
+        let europe = schema
+            .dim(dc_common::DimensionId(0))
+            .lookup_path(&["Europe"])
+            .unwrap();
         let q = Mds::new(vec![
             DimSet::singleton(europe),
             DimSet::singleton(schema.dim(dc_common::DimensionId(1)).all()),
@@ -170,13 +177,20 @@ mod tests {
         let _ = table.range_summary(&schema, &all).unwrap();
         let full = table.io_stats().reads;
         table.reset_io();
-        let europe = schema.dim(dc_common::DimensionId(0)).lookup_path(&["Europe"]).unwrap();
+        let europe = schema
+            .dim(dc_common::DimensionId(0))
+            .lookup_path(&["Europe"])
+            .unwrap();
         let narrow = Mds::new(vec![
             DimSet::singleton(europe),
             DimSet::singleton(schema.dim(dc_common::DimensionId(1)).all()),
         ]);
         let _ = table.range_summary(&schema, &narrow).unwrap();
-        assert_eq!(table.io_stats().reads, full, "a scan always reads everything");
+        assert_eq!(
+            table.io_stats().reads,
+            full,
+            "a scan always reads everything"
+        );
     }
 
     #[test]
@@ -190,7 +204,9 @@ mod tests {
     #[test]
     fn dimension_mismatch_is_rejected() {
         let (schema, table) = setup();
-        let bad = Mds::new(vec![DimSet::singleton(schema.dim(dc_common::DimensionId(0)).all())]);
+        let bad = Mds::new(vec![DimSet::singleton(
+            schema.dim(dc_common::DimensionId(0)).all(),
+        )]);
         assert!(table.range_summary(&schema, &bad).is_err());
     }
 }

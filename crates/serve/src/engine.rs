@@ -1,0 +1,768 @@
+//! The sharded engine: hash- or dimension-partitioned `DcTree` shards, one
+//! writer thread per shard fed by an MPSC queue, epoch-published snapshots
+//! for lock-free reads, and scatter-gather query merging.
+
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use dc_common::{
+    AggregateOp, DcError, DcResult, DimensionId, Level, Measure, MeasureSummary, ValueId,
+};
+use dc_durable::{WalEntry, WalReader, WalWriter};
+use dc_hierarchy::{ConceptHierarchy, CubeSchema, Record};
+use dc_mds::{DimSet, Mds};
+use dc_tree::{DcTree, DcTreeConfig};
+use parking_lot::{Mutex, RwLock};
+
+use crate::catalog::SchemaCatalog;
+use crate::metrics::EngineMetrics;
+
+/// How records map to shards.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PartitionPolicy {
+    /// Stable hash over the record's attribute paths. Balanced, but every
+    /// query must visit every shard.
+    Hash,
+    /// Route by the record's ancestor value at `(dim, level)` — e.g. all of
+    /// one customer region on one shard. Queries constraining that
+    /// dimension prune to the shards owning the matching ancestors, which
+    /// is where the sharded engine's query speedup comes from (the same
+    /// idea as partitioning a warehouse by its hottest roll-up attribute).
+    ByDimension {
+        /// The routing dimension.
+        dim: DimensionId,
+        /// The hierarchy level whose values are distributed over shards.
+        level: Level,
+    },
+}
+
+/// Write-ahead-log options for a durable engine.
+#[derive(Clone, Debug)]
+pub struct WalOptions {
+    /// Directory holding `serve.wal`.
+    pub dir: PathBuf,
+    /// `true` fsyncs after every append (nothing acknowledged is lost);
+    /// `false` leaves intermediate durability to the OS.
+    pub sync_every_append: bool,
+}
+
+/// Engine construction knobs.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Number of shards (writer threads).
+    pub num_shards: usize,
+    /// Record → shard mapping.
+    pub policy: PartitionPolicy,
+    /// Configuration of each shard's `DcTree`.
+    pub tree: DcTreeConfig,
+    /// Maximum commands a writer applies before publishing a snapshot.
+    pub batch_size: usize,
+    /// `Some` makes ingest durable via a shared write-ahead log (reusing
+    /// `dc-durable`'s framed WAL); recovery replays it on construction.
+    pub wal: Option<WalOptions>,
+    /// Evaluate multi-shard queries on scoped threads (one per visited
+    /// shard) instead of sequentially. Snapshots are immutable, so the two
+    /// paths return identical answers; the parallel one wins wall-clock
+    /// only when spare cores exist, which is why the default follows
+    /// [`std::thread::available_parallelism`].
+    pub parallel_queries: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            num_shards: 4,
+            policy: PartitionPolicy::Hash,
+            tree: DcTreeConfig::default(),
+            batch_size: 128,
+            wal: None,
+            parallel_queries: std::thread::available_parallelism()
+                .map(|p| p.get() > 1)
+                .unwrap_or(false),
+        }
+    }
+}
+
+/// One command on a shard's ingest queue.
+enum Cmd {
+    /// Apply a pre-interned record once the shard has replayed the catalog
+    /// log through `epoch`.
+    Insert { record: Record, epoch: u64 },
+    /// Delete one matching record (same epoch contract).
+    Delete { record: Record, epoch: u64 },
+    /// Acknowledge once everything enqueued before this command is applied
+    /// and visible in a published snapshot.
+    Flush(Sender<()>),
+    /// Drain the queue, publish, exit.
+    Shutdown,
+}
+
+struct Shard {
+    tx: Mutex<Option<Sender<Cmd>>>,
+    snapshot: Arc<RwLock<Arc<DcTree>>>,
+    writer: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// A sharded, concurrent DC-tree serving engine.
+///
+/// Records are partitioned over `N` shards, each an owned [`DcTree`]
+/// mutated only by its writer thread; ingest is an MPSC queue per shard.
+/// Writers publish `Arc<DcTree>` snapshots after each applied batch, so
+/// queries never block on writers: they scatter over the relevant shards'
+/// snapshots and merge the per-shard [`MeasureSummary`]s (see the
+/// [crate docs](crate) for why that merge is exact).
+pub struct ShardedDcTree {
+    catalog: Arc<SchemaCatalog>,
+    shards: Vec<Shard>,
+    metrics: Arc<EngineMetrics>,
+    policy: PartitionPolicy,
+    parallel_queries: bool,
+    wal: Option<Mutex<WalWriter>>,
+    wal_sync: bool,
+}
+
+impl ShardedDcTree {
+    /// Builds the engine over `schema` and starts one writer thread per
+    /// shard. With [`EngineConfig::wal`] set, any existing log is replayed
+    /// (and its torn tail truncated) before the engine accepts traffic.
+    pub fn new(schema: CubeSchema, config: EngineConfig) -> DcResult<Self> {
+        assert!(config.num_shards > 0, "need at least one shard");
+        assert!(config.batch_size > 0, "batch_size must be positive");
+        if let PartitionPolicy::ByDimension { dim, level } = config.policy {
+            let h = schema.dim(dim);
+            assert!(
+                level <= h.top_level(),
+                "partition level {level} above the hierarchy"
+            );
+        }
+        let catalog = Arc::new(SchemaCatalog::new(schema.clone()));
+        let metrics = Arc::new(EngineMetrics::new(config.num_shards));
+        let mut shards = Vec::with_capacity(config.num_shards);
+        for shard_id in 0..config.num_shards {
+            let tree = DcTree::new(schema.clone(), config.tree);
+            let snapshot = Arc::new(RwLock::new(Arc::new(tree.clone())));
+            let (tx, rx) = channel();
+            let writer = spawn_writer(
+                shard_id,
+                tree,
+                rx,
+                Arc::clone(&snapshot),
+                Arc::clone(&catalog),
+                Arc::clone(&metrics),
+                config.batch_size,
+            );
+            shards.push(Shard {
+                tx: Mutex::new(Some(tx)),
+                snapshot,
+                writer: Mutex::new(Some(writer)),
+            });
+        }
+        let mut engine = ShardedDcTree {
+            catalog,
+            shards,
+            metrics,
+            policy: config.policy,
+            parallel_queries: config.parallel_queries,
+            wal: None,
+            wal_sync: false,
+        };
+        if let Some(wal) = &config.wal {
+            std::fs::create_dir_all(&wal.dir)?;
+            let path = wal.dir.join("serve.wal");
+            let scan = WalReader::scan(&path)?;
+            for entry in &scan.entries {
+                match entry {
+                    WalEntry::Insert { paths, measure } => {
+                        engine.ingest(paths, *measure, false)?;
+                    }
+                    WalEntry::Delete { paths, measure } => {
+                        engine.remove(paths, *measure, false)?;
+                    }
+                }
+            }
+            if path.exists() {
+                scan.truncate_tail(&path)?;
+            }
+            if !scan.entries.is_empty() {
+                engine.flush();
+            }
+            engine.wal = Some(Mutex::new(WalWriter::open(&path)?));
+            engine.wal_sync = wal.sync_every_append;
+        }
+        Ok(engine)
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The engine's metric registry.
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    /// A clone of the current master schema (for parsing dc-ql against).
+    pub fn schema(&self) -> CubeSchema {
+        self.catalog.schema()
+    }
+
+    /// Runs `f` against the master schema without cloning it.
+    pub fn with_schema<R>(&self, f: impl FnOnce(&CubeSchema) -> R) -> R {
+        self.catalog.with_schema(f)
+    }
+
+    // ------------------------------------------------------------------
+    // Ingest
+    // ------------------------------------------------------------------
+
+    /// Asynchronously inserts a raw record (one top→leaf attribute path per
+    /// dimension plus the measure). Returns once the record is durably
+    /// logged (if a WAL is configured) and enqueued on its shard; call
+    /// [`flush`](Self::flush) to wait for visibility.
+    pub fn insert_raw<S: AsRef<str>>(&self, paths: &[Vec<S>], measure: Measure) -> DcResult<()> {
+        self.ingest(paths, measure, true)
+    }
+
+    /// Asynchronously deletes one record matching the paths and measure.
+    /// A miss is a silent no-op, matching `dc-durable`'s replay contract.
+    pub fn delete_raw<S: AsRef<str>>(&self, paths: &[Vec<S>], measure: Measure) -> DcResult<()> {
+        self.remove(paths, measure, true)
+    }
+
+    fn ingest<S: AsRef<str>>(
+        &self,
+        paths: &[Vec<S>],
+        measure: Measure,
+        log_to_wal: bool,
+    ) -> DcResult<()> {
+        if log_to_wal {
+            self.append_wal(paths, measure, false)?;
+        }
+        let (record, epoch) = self.catalog.intern(paths, measure)?;
+        let shard = self.route(paths, &record)?;
+        self.metrics.inserts.fetch_add(1, Relaxed);
+        self.metrics.shards[shard].queue_depth.fetch_add(1, Relaxed);
+        self.send(shard, Cmd::Insert { record, epoch })
+    }
+
+    fn remove<S: AsRef<str>>(
+        &self,
+        paths: &[Vec<S>],
+        measure: Measure,
+        log_to_wal: bool,
+    ) -> DcResult<()> {
+        if log_to_wal {
+            self.append_wal(paths, measure, true)?;
+        }
+        let (record, epoch) = self.catalog.intern(paths, measure)?;
+        let shard = self.route(paths, &record)?;
+        self.metrics.deletes.fetch_add(1, Relaxed);
+        self.metrics.shards[shard].queue_depth.fetch_add(1, Relaxed);
+        self.send(shard, Cmd::Delete { record, epoch })
+    }
+
+    fn append_wal<S: AsRef<str>>(
+        &self,
+        paths: &[Vec<S>],
+        measure: Measure,
+        delete: bool,
+    ) -> DcResult<()> {
+        let Some(wal) = &self.wal else { return Ok(()) };
+        let owned: Vec<Vec<String>> = paths
+            .iter()
+            .map(|d| d.iter().map(|s| s.as_ref().to_string()).collect())
+            .collect();
+        let entry = if delete {
+            WalEntry::Delete {
+                paths: owned,
+                measure,
+            }
+        } else {
+            WalEntry::Insert {
+                paths: owned,
+                measure,
+            }
+        };
+        let mut w = wal.lock();
+        w.append(&entry)?;
+        if self.wal_sync {
+            w.sync()?;
+        }
+        Ok(())
+    }
+
+    fn send(&self, shard: usize, cmd: Cmd) -> DcResult<()> {
+        let guard = self.shards[shard].tx.lock();
+        let Some(tx) = guard.as_ref() else {
+            return Err(DcError::Corrupt("engine is shut down".into()));
+        };
+        tx.send(cmd)
+            .map_err(|_| DcError::Corrupt(format!("shard {shard} writer died")))
+    }
+
+    /// The shard a record routes to.
+    fn route<S: AsRef<str>>(&self, paths: &[Vec<S>], record: &Record) -> DcResult<usize> {
+        let n = self.shards.len();
+        match self.policy {
+            PartitionPolicy::Hash => {
+                // FNV-1a over the path strings: stable across runs, so a
+                // WAL replay routes every record back to some shard
+                // deterministically.
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                for dim in paths {
+                    for name in dim {
+                        for b in name.as_ref().bytes() {
+                            h ^= u64::from(b);
+                            h = h.wrapping_mul(0x1000_0000_01b3);
+                        }
+                        h ^= 0xff;
+                        h = h.wrapping_mul(0x1000_0000_01b3);
+                    }
+                }
+                Ok((h % n as u64) as usize)
+            }
+            PartitionPolicy::ByDimension { dim, level } => {
+                let leaf = record.dims[dim.as_usize()];
+                let anchor = self
+                    .catalog
+                    .with_schema(|s| s.dim(dim).ancestor_at(leaf, level))?;
+                Ok(anchor.index() as usize % n)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Visibility control
+    // ------------------------------------------------------------------
+
+    /// Blocks until everything enqueued before this call is applied and
+    /// visible in published snapshots, on every shard.
+    pub fn flush(&self) {
+        let mut acks = Vec::with_capacity(self.shards.len());
+        for i in 0..self.shards.len() {
+            let (tx, rx) = channel();
+            if self.send(i, Cmd::Flush(tx)).is_ok() {
+                acks.push(rx);
+            }
+        }
+        for rx in acks {
+            let _ = rx.recv();
+        }
+    }
+
+    /// Stops the engine: writers drain their queues, publish a final
+    /// snapshot, and exit; their threads are joined. Queries keep working
+    /// against the final snapshots; further ingest fails.
+    pub fn shutdown(&self) {
+        for shard in &self.shards {
+            let tx = shard.tx.lock().take();
+            if let Some(tx) = tx {
+                let _ = tx.send(Cmd::Shutdown);
+                // Sender drops here; the writer drains what's left.
+            }
+            let writer = shard.writer.lock().take();
+            if let Some(writer) = writer {
+                let _ = writer.join();
+            }
+        }
+        if let Some(wal) = &self.wal {
+            let _ = wal.lock().sync();
+        }
+    }
+
+    /// The published snapshot of one shard (primarily for tests and tools).
+    pub fn shard_snapshot(&self, shard: usize) -> Arc<DcTree> {
+        Arc::clone(&self.shards[shard].snapshot.read())
+    }
+
+    /// Total records across the published shard snapshots.
+    pub fn len(&self) -> u64 {
+        (0..self.shards.len())
+            .map(|i| self.shard_snapshot(i).len())
+            .sum()
+    }
+
+    /// `true` when no published snapshot holds any record.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    // ------------------------------------------------------------------
+    // Queries (scatter-gather over snapshots)
+    // ------------------------------------------------------------------
+
+    /// The merged summary of all records inside `range`, across shards.
+    pub fn range_summary(&self, range: &Mds) -> DcResult<MeasureSummary> {
+        let t0 = Instant::now();
+        let parts = self.eval_shards(range, |snap, q| snap.range_summary(q))?;
+        let mut total = MeasureSummary::empty();
+        for part in &parts {
+            total.merge(part);
+        }
+        self.metrics.queries.fetch_add(1, Relaxed);
+        self.metrics.query_latency.record(t0.elapsed());
+        Ok(total)
+    }
+
+    /// Evaluates `eval` against every relevant shard's snapshot — on scoped
+    /// threads when [`EngineConfig::parallel_queries`] is set and more than
+    /// one shard is visited, sequentially otherwise. Shards whose schema
+    /// clips the query to empty are skipped.
+    fn eval_shards<R: Send>(
+        &self,
+        range: &Mds,
+        eval: impl Fn(&DcTree, &Mds) -> DcResult<R> + Sync,
+    ) -> DcResult<Vec<R>> {
+        let catalog_values = self.catalog.with_schema(schema_total_values);
+        let snaps: Vec<Arc<DcTree>> = self
+            .relevant_shards(range)?
+            .into_iter()
+            .map(|s| {
+                self.metrics.shard_visits.fetch_add(1, Relaxed);
+                self.shard_snapshot(s)
+            })
+            .collect();
+        let work = |snap: &DcTree| -> DcResult<Option<R>> {
+            match clip_for_shard(range, snap.schema(), catalog_values) {
+                Some(clipped) => eval(snap, &clipped).map(Some),
+                None => Ok(None),
+            }
+        };
+        let results: Vec<DcResult<Option<R>>> = if self.parallel_queries && snaps.len() > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = snaps[1..]
+                    .iter()
+                    .map(|snap| scope.spawn(move || work(snap)))
+                    .collect();
+                // The calling thread takes the first shard instead of idling.
+                let first = work(&snaps[0]);
+                std::iter::once(first)
+                    .chain(
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("query worker panicked")),
+                    )
+                    .collect()
+            })
+        } else {
+            snaps.iter().map(|snap| work(snap)).collect()
+        };
+        let mut out = Vec::with_capacity(results.len());
+        for r in results {
+            if let Some(v) = r? {
+                out.push(v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// One aggregate over `range` (`None` when the op is undefined on an
+    /// empty selection, e.g. `AVG`).
+    pub fn range_query(&self, range: &Mds, op: AggregateOp) -> DcResult<Option<f64>> {
+        Ok(self.range_summary(range)?.eval(op))
+    }
+
+    /// Grouped summaries at `(dim, level)` under `filter`, merged across
+    /// shards. Groups are keyed by `ValueId`, which the catalog keeps
+    /// consistent across all shards, so same-key merging is sound.
+    pub fn group_by(
+        &self,
+        dim: DimensionId,
+        level: Level,
+        filter: &Mds,
+    ) -> DcResult<Vec<(ValueId, MeasureSummary)>> {
+        let t0 = Instant::now();
+        let parts = self.eval_shards(filter, |snap, q| snap.group_by(dim, level, q))?;
+        let mut merged: BTreeMap<ValueId, MeasureSummary> = BTreeMap::new();
+        for groups in parts {
+            for (value, summary) in groups {
+                merged
+                    .entry(value)
+                    .or_insert_with(MeasureSummary::empty)
+                    .merge(&summary);
+            }
+        }
+        self.metrics.queries.fetch_add(1, Relaxed);
+        self.metrics.query_latency.record(t0.elapsed());
+        Ok(merged.into_iter().collect())
+    }
+
+    /// The summary of the whole cube (merged shard totals).
+    pub fn total_summary(&self) -> MeasureSummary {
+        let mut total = MeasureSummary::empty();
+        for i in 0..self.shards.len() {
+            total.merge(&self.shard_snapshot(i).total_summary());
+        }
+        total
+    }
+
+    /// The shards a query must visit. Under `Hash` that is all of them;
+    /// under `ByDimension` the query's constraint on the routing dimension
+    /// prunes to the shards owning the matching partition-level ancestors.
+    fn relevant_shards(&self, range: &Mds) -> DcResult<Vec<usize>> {
+        let n = self.shards.len();
+        let all = || (0..n).collect::<Vec<_>>();
+        let PartitionPolicy::ByDimension { dim, level } = self.policy else {
+            return Ok(all());
+        };
+        if range.num_dims() <= dim.as_usize() {
+            return Ok(all());
+        }
+        let set = range.dim(dim.as_usize());
+        self.catalog.with_schema(|schema| {
+            let h = schema.dim(dim);
+            if set.level() >= h.top_level() {
+                return Ok(all()); // unconstrained (ALL)
+            }
+            let mut mask = vec![false; n];
+            if set.level() <= level {
+                // Query at or below the partition level: each value has one
+                // owning ancestor.
+                for &v in set.values() {
+                    mask[h.ancestor_at(v, level)?.index() as usize % n] = true;
+                }
+            } else {
+                // Query coarser than the partition level: a value owns every
+                // partition-level descendant shard.
+                for v in h.values_at(level) {
+                    if set.contains_value(h.ancestor_at(v, set.level())?) {
+                        mask[v.index() as usize % n] = true;
+                    }
+                }
+            }
+            Ok(mask
+                .into_iter()
+                .enumerate()
+                .filter_map(|(i, hit)| hit.then_some(i))
+                .collect())
+        })
+    }
+}
+
+impl Drop for ShardedDcTree {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for ShardedDcTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedDcTree")
+            .field("shards", &self.shards.len())
+            .field("policy", &self.policy)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// Total interned values across all dimensions of a schema. Shard schemas
+/// replay the catalog's intern log in order, so a shard schema is always a
+/// *prefix* of the catalog's — equal totals mean the schemas are identical.
+fn schema_total_values(schema: &CubeSchema) -> usize {
+    (0..schema.num_dims())
+        .map(|d| schema.dim(DimensionId(d as u16)).num_values())
+        .sum()
+}
+
+/// Clips `range` for one shard, with a fast path: when the shard's schema is
+/// complete (same value total as the catalog), every query value is known and
+/// the original MDS is borrowed as-is — no per-value checks, no clone. This
+/// matters because queries fan out to every relevant shard; paying a full
+/// clip per shard would make the scatter overhead scale with both shard
+/// count and query width.
+fn clip_for_shard<'a>(
+    range: &'a Mds,
+    schema: &CubeSchema,
+    catalog_values: usize,
+) -> Option<Cow<'a, Mds>> {
+    if schema_total_values(schema) == catalog_values {
+        return Some(Cow::Borrowed(range));
+    }
+    clip_to_schema(range, schema).map(Cow::Owned)
+}
+
+/// Restricts a query MDS to the values a shard's schema knows. A shard that
+/// lags the catalog may not have interned a query value yet — but then it
+/// cannot hold any record under that value either, so dropping the value
+/// changes nothing about the shard's answer. Returns `None` when a
+/// dimension clips to empty (the shard contributes nothing at all).
+fn clip_to_schema(range: &Mds, schema: &CubeSchema) -> Option<Mds> {
+    let mut dims = Vec::with_capacity(range.num_dims());
+    for (d, set) in range.dims().enumerate() {
+        let h: &ConceptHierarchy = schema.dim(DimensionId(d as u16));
+        if set.values().iter().all(|&v| h.contains(v)) {
+            dims.push(set.clone());
+            continue;
+        }
+        let kept: Vec<ValueId> = set
+            .values()
+            .iter()
+            .copied()
+            .filter(|&v| h.contains(v))
+            .collect();
+        if kept.is_empty() {
+            return None;
+        }
+        dims.push(DimSet::new(set.level(), kept));
+    }
+    Some(Mds::new(dims))
+}
+
+/// Starts a shard's writer thread: drains its queue in batches, replays the
+/// catalog intern log up to each command's epoch, applies, then publishes a
+/// fresh snapshot.
+fn spawn_writer(
+    shard_id: usize,
+    mut tree: DcTree,
+    rx: Receiver<Cmd>,
+    snapshot: Arc<RwLock<Arc<DcTree>>>,
+    catalog: Arc<SchemaCatalog>,
+    metrics: Arc<EngineMetrics>,
+    batch_size: usize,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("dc-shard-{shard_id}"))
+        .spawn(move || {
+            let shard_metrics = &metrics.shards[shard_id];
+            let mut replayed: u64 = 0;
+            let mut pending_flushes: Vec<Sender<()>> = Vec::new();
+            let mut shutting_down = false;
+            'outer: loop {
+                // Block for the first command, then opportunistically drain
+                // up to a batch.
+                let first = match rx.recv() {
+                    Ok(cmd) => cmd,
+                    Err(_) => break 'outer, // all senders gone
+                };
+                let mut batch = vec![first];
+                while batch.len() < batch_size {
+                    match rx.try_recv() {
+                        Ok(cmd) => batch.push(cmd),
+                        Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+                    }
+                }
+                let mut mutated = false;
+                for cmd in batch {
+                    apply(
+                        cmd,
+                        &mut tree,
+                        &catalog,
+                        &metrics,
+                        shard_id,
+                        &mut replayed,
+                        &mut mutated,
+                        &mut pending_flushes,
+                        &mut shutting_down,
+                    );
+                }
+                if shutting_down {
+                    // Drain whatever is still queued before exiting.
+                    while let Ok(cmd) = rx.try_recv() {
+                        apply(
+                            cmd,
+                            &mut tree,
+                            &catalog,
+                            &metrics,
+                            shard_id,
+                            &mut replayed,
+                            &mut mutated,
+                            &mut pending_flushes,
+                            &mut shutting_down,
+                        );
+                    }
+                }
+                if mutated || !pending_flushes.is_empty() {
+                    publish(&tree, &snapshot, &metrics, shard_id);
+                }
+                for ack in pending_flushes.drain(..) {
+                    let _ = ack.send(());
+                }
+                if shutting_down {
+                    break 'outer;
+                }
+            }
+            shard_metrics.queue_depth.store(0, Relaxed);
+        })
+        .expect("spawn shard writer")
+}
+
+/// Applies one command inside a writer thread.
+#[allow(clippy::too_many_arguments)]
+fn apply(
+    cmd: Cmd,
+    tree: &mut DcTree,
+    catalog: &SchemaCatalog,
+    metrics: &EngineMetrics,
+    shard_id: usize,
+    replayed: &mut u64,
+    mutated: &mut bool,
+    pending_flushes: &mut Vec<Sender<()>>,
+    shutting_down: &mut bool,
+) {
+    let shard_metrics = &metrics.shards[shard_id];
+    match cmd {
+        Cmd::Insert { record, epoch } => {
+            let t0 = Instant::now();
+            replay_catalog(tree, catalog, replayed, epoch);
+            tree.insert(record)
+                .expect("catalog-backed insert cannot fail");
+            metrics.apply_latency.record(t0.elapsed());
+            shard_metrics.queue_depth.fetch_sub(1, Relaxed);
+            shard_metrics.applied.fetch_add(1, Relaxed);
+            *mutated = true;
+        }
+        Cmd::Delete { record, epoch } => {
+            let t0 = Instant::now();
+            replay_catalog(tree, catalog, replayed, epoch);
+            // A miss means the record never existed on this shard — the
+            // documented no-op.
+            let _ = tree.delete(&record);
+            metrics.apply_latency.record(t0.elapsed());
+            shard_metrics.queue_depth.fetch_sub(1, Relaxed);
+            shard_metrics.applied.fetch_add(1, Relaxed);
+            *mutated = true;
+        }
+        Cmd::Flush(ack) => pending_flushes.push(ack),
+        Cmd::Shutdown => *shutting_down = true,
+    }
+}
+
+/// Brings a shard tree's schema up to `epoch` by replaying the catalog's
+/// intern log. Interning is idempotent and IDs are assigned in insertion
+/// order, so the shard's schema stays an exact prefix of the catalog's.
+fn replay_catalog(tree: &mut DcTree, catalog: &SchemaCatalog, replayed: &mut u64, epoch: u64) {
+    if *replayed >= epoch {
+        return;
+    }
+    for entry in catalog.entries(*replayed, epoch) {
+        tree.intern_paths(&entry)
+            .expect("catalog replay cannot fail");
+    }
+    *replayed = epoch;
+}
+
+/// Publishes a fresh snapshot of the shard tree and updates its gauges.
+fn publish(
+    tree: &DcTree,
+    snapshot: &RwLock<Arc<DcTree>>,
+    metrics: &EngineMetrics,
+    shard_id: usize,
+) {
+    let snap = Arc::new(tree.clone());
+    let io = snap.io_stats();
+    let shard_metrics = &metrics.shards[shard_id];
+    shard_metrics.snapshot_records.store(snap.len(), Relaxed);
+    shard_metrics.io_reads.store(io.reads, Relaxed);
+    shard_metrics.io_writes.store(io.writes, Relaxed);
+    shard_metrics
+        .snapshot_published_at
+        .store(metrics.now_nanos().max(1), Relaxed);
+    *snapshot.write() = snap;
+}

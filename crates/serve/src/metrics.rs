@@ -1,0 +1,284 @@
+//! Engine observability: lock-free counters, per-shard gauges, and
+//! log-scaled latency histograms, rendered as one JSON object for the
+//! `STATS` verb.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::{Duration, Instant};
+
+/// A log₂-bucketed latency histogram. Bucket `i` holds samples whose
+/// nanosecond count has its highest set bit at position `i`, so the range
+/// covers 1 ns .. ~584 years in 64 buckets with bounded (< 2×) relative
+/// error on reported percentiles — plenty for serving-latency telemetry.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; 64],
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, d: Duration) {
+        let nanos = d.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let bucket = 63 - nanos.max(1).leading_zeros() as usize;
+        self.buckets[bucket].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum_nanos.fetch_add(nanos, Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Mean latency, or zero when empty.
+    pub fn mean(&self) -> Duration {
+        let n = self.count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.sum_nanos.load(Relaxed) / n)
+    }
+
+    /// The latency at quantile `q` in `[0, 1]` (upper bucket bound), or
+    /// zero when empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let total = self.count();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((total as f64 * q).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Relaxed);
+            if seen >= rank {
+                // Upper bound of bucket i: 2^(i+1) - 1 nanos.
+                let bound = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return Duration::from_nanos(bound);
+            }
+        }
+        Duration::from_nanos(u64::MAX)
+    }
+}
+
+/// Per-shard gauges, updated by that shard's writer thread (and the ingest
+/// path for queue depth).
+#[derive(Default)]
+pub struct ShardMetrics {
+    /// Commands currently queued and not yet applied.
+    pub queue_depth: AtomicU64,
+    /// Records applied (inserts + deletes) since start.
+    pub applied: AtomicU64,
+    /// Records in the published snapshot.
+    pub snapshot_records: AtomicU64,
+    /// Nanoseconds since engine start at which the current snapshot was
+    /// published (0 = never).
+    pub snapshot_published_at: AtomicU64,
+    /// Logical page reads of the shard tree since start.
+    pub io_reads: AtomicU64,
+    /// Logical page writes of the shard tree since start.
+    pub io_writes: AtomicU64,
+}
+
+/// Engine-wide metrics: totals, rates, latency histograms, per-shard
+/// gauges.
+pub struct EngineMetrics {
+    start: Instant,
+    /// Records accepted by `insert_raw` since start.
+    pub inserts: AtomicU64,
+    /// Deletes accepted since start.
+    pub deletes: AtomicU64,
+    /// Queries answered since start.
+    pub queries: AtomicU64,
+    /// Shard snapshots visited by queries (`shard_visits / queries` is the
+    /// average fan-out; below `num_shards` means partition pruning works).
+    pub shard_visits: AtomicU64,
+    /// Time from a query's arrival to its merged answer.
+    pub query_latency: LatencyHistogram,
+    /// Time spent applying one record inside a writer thread.
+    pub apply_latency: LatencyHistogram,
+    /// One gauge block per shard.
+    pub shards: Vec<ShardMetrics>,
+}
+
+impl EngineMetrics {
+    pub fn new(num_shards: usize) -> Self {
+        EngineMetrics {
+            start: Instant::now(),
+            inserts: AtomicU64::new(0),
+            deletes: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            shard_visits: AtomicU64::new(0),
+            query_latency: LatencyHistogram::new(),
+            apply_latency: LatencyHistogram::new(),
+            shards: (0..num_shards).map(|_| ShardMetrics::default()).collect(),
+        }
+    }
+
+    /// Nanoseconds since engine start (the clock snapshot gauges use).
+    pub fn now_nanos(&self) -> u64 {
+        self.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Engine uptime.
+    pub fn uptime(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Age of shard `i`'s published snapshot (time since last publish).
+    pub fn snapshot_age(&self, shard: usize) -> Duration {
+        let published = self.shards[shard].snapshot_published_at.load(Relaxed);
+        if published == 0 {
+            return self.uptime();
+        }
+        Duration::from_nanos(self.now_nanos().saturating_sub(published))
+    }
+
+    /// Renders the metrics as one JSON object (the `STATS` payload).
+    pub fn to_json(&self) -> String {
+        let uptime = self.uptime().as_secs_f64().max(1e-9);
+        let inserts = self.inserts.load(Relaxed);
+        let deletes = self.deletes.load(Relaxed);
+        let queries = self.queries.load(Relaxed);
+        let mut s = String::with_capacity(512);
+        s.push('{');
+        push_kv(&mut s, "uptime_secs", &format!("{uptime:.3}"));
+        push_kv(&mut s, "inserts_total", &inserts.to_string());
+        push_kv(&mut s, "deletes_total", &deletes.to_string());
+        push_kv(&mut s, "queries_total", &queries.to_string());
+        push_kv(
+            &mut s,
+            "inserts_per_sec",
+            &format!("{:.1}", inserts as f64 / uptime),
+        );
+        push_kv(
+            &mut s,
+            "queries_per_sec",
+            &format!("{:.1}", queries as f64 / uptime),
+        );
+        push_kv(
+            &mut s,
+            "avg_shards_per_query",
+            &format!(
+                "{:.2}",
+                self.shard_visits.load(Relaxed) as f64 / (queries.max(1)) as f64
+            ),
+        );
+        push_kv(
+            &mut s,
+            "query_latency_us",
+            &latency_json(&self.query_latency),
+        );
+        push_kv(
+            &mut s,
+            "apply_latency_us",
+            &latency_json(&self.apply_latency),
+        );
+        s.push_str("\"shards\":[");
+        for (i, sh) in self.shards.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('{');
+            push_kv(
+                &mut s,
+                "queue_depth",
+                &sh.queue_depth.load(Relaxed).to_string(),
+            );
+            push_kv(&mut s, "applied", &sh.applied.load(Relaxed).to_string());
+            push_kv(
+                &mut s,
+                "snapshot_records",
+                &sh.snapshot_records.load(Relaxed).to_string(),
+            );
+            push_kv(
+                &mut s,
+                "snapshot_age_ms",
+                &format!("{:.1}", self.snapshot_age(i).as_secs_f64() * 1e3),
+            );
+            push_kv(&mut s, "io_reads", &sh.io_reads.load(Relaxed).to_string());
+            s.push_str("\"io_writes\":");
+            s.push_str(&sh.io_writes.load(Relaxed).to_string());
+            s.push('}');
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+fn latency_json(h: &LatencyHistogram) -> String {
+    format!(
+        "{{\"count\":{},\"mean\":{:.1},\"p50\":{:.1},\"p99\":{:.1}}}",
+        h.count(),
+        h.mean().as_secs_f64() * 1e6,
+        h.quantile(0.50).as_secs_f64() * 1e6,
+        h.quantile(0.99).as_secs_f64() * 1e6,
+    )
+}
+
+/// Appends `"key":value,` — `value` must already be valid JSON.
+fn push_kv(s: &mut String, key: &str, value: &str) {
+    s.push('"');
+    s.push_str(key);
+    s.push_str("\":");
+    s.push_str(value);
+    s.push(',');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_bracket_samples() {
+        let h = LatencyHistogram::new();
+        for micros in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 1000] {
+            h.record(Duration::from_micros(micros));
+        }
+        assert_eq!(h.count(), 10);
+        let p50 = h.quantile(0.5);
+        assert!(p50 >= Duration::from_micros(30) && p50 <= Duration::from_micros(128));
+        let p99 = h.quantile(0.99);
+        assert!(p99 >= Duration::from_micros(1000));
+        assert!(h.quantile(1.0) >= p50);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.99), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn stats_json_is_well_formed_enough() {
+        let m = EngineMetrics::new(2);
+        m.inserts.fetch_add(5, Relaxed);
+        m.query_latency.record(Duration::from_micros(100));
+        let json = m.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"inserts_total\":5"));
+        assert!(json.contains("\"shards\":[{"));
+        assert_eq!(json.matches("\"queue_depth\"").count(), 2);
+        // Balanced braces/brackets (no JSON parser in the workspace).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

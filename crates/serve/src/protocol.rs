@@ -1,0 +1,164 @@
+//! The newline-delimited wire protocol: dc-ql query lines plus a few
+//! engine verbs, one request line → one response line.
+//!
+//! ```text
+//! PING                                   → OK PONG
+//! STATS                                  → OK {"uptime_secs":…}
+//! FLUSH                                  → OK FLUSHED
+//! SHUTDOWN                               → OK BYE            (server stops)
+//! INSERT <measure> <p>/<p>|<p>/<p>|…     → OK INSERTED       (async; FLUSH for visibility)
+//! DELETE <measure> <p>/<p>|<p>/<p>|…     → OK DELETED
+//! SUM WHERE Customer.Region = 'EUROPE'   → OK 1234.00
+//! AVG WHERE … GROUP BY Time.Year TOP 3   → OK 1996=12.50,1995=11.00,…
+//! ```
+//!
+//! `INSERT`/`DELETE` paths are one `/`-separated top→leaf chain per
+//! dimension, dimensions separated by `|` (names must not contain either
+//! character). Anything else is parsed as a dc-ql aggregate query against
+//! the engine's live schema. Errors come back as `ERR <message>`.
+
+use dc_ql::parse_query;
+
+use crate::engine::ShardedDcTree;
+
+/// What the connection loop should do after answering.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Control {
+    /// Keep serving this connection.
+    Continue,
+    /// Stop the whole server (a `SHUTDOWN` request).
+    StopServer,
+}
+
+/// Handles one request line; returns the response line (without the
+/// trailing newline) and the control action.
+pub fn handle_line(engine: &ShardedDcTree, line: &str) -> (String, Control) {
+    let line = line.trim();
+    if line.is_empty() {
+        return ("ERR empty request".into(), Control::Continue);
+    }
+    let verb = line.split_whitespace().next().unwrap_or("");
+    match verb.to_ascii_uppercase().as_str() {
+        "PING" => ("OK PONG".into(), Control::Continue),
+        "STATS" => (
+            format!("OK {}", engine.metrics().to_json()),
+            Control::Continue,
+        ),
+        "FLUSH" => {
+            engine.flush();
+            ("OK FLUSHED".into(), Control::Continue)
+        }
+        "SHUTDOWN" => ("OK BYE".into(), Control::StopServer),
+        "INSERT" | "DELETE" => (handle_mutation(engine, line), Control::Continue),
+        _ => (handle_query(engine, line), Control::Continue),
+    }
+}
+
+fn handle_mutation(engine: &ShardedDcTree, line: &str) -> String {
+    match parse_mutation(line) {
+        Err(msg) => format!("ERR {msg}"),
+        Ok((delete, measure, paths)) => {
+            let result = if delete {
+                engine.delete_raw(&paths, measure)
+            } else {
+                engine.insert_raw(&paths, measure)
+            };
+            match result {
+                Ok(()) if delete => "OK DELETED".into(),
+                Ok(()) => "OK INSERTED".into(),
+                Err(e) => format!("ERR {e}"),
+            }
+        }
+    }
+}
+
+/// Parses `INSERT|DELETE <measure> <p>/<p>|<p>/<p>|…`.
+#[allow(clippy::type_complexity)]
+fn parse_mutation(line: &str) -> Result<(bool, i64, Vec<Vec<String>>), String> {
+    let mut parts = line.splitn(3, char::is_whitespace);
+    let verb = parts.next().unwrap_or("");
+    let delete = verb.eq_ignore_ascii_case("DELETE");
+    let measure: i64 = parts
+        .next()
+        .ok_or("missing measure")?
+        .parse()
+        .map_err(|_| "measure must be an integer".to_string())?;
+    let spec = parts.next().ok_or("missing attribute paths")?.trim();
+    if spec.is_empty() {
+        return Err("missing attribute paths".into());
+    }
+    let paths: Vec<Vec<String>> = spec
+        .split('|')
+        .map(|dim| dim.split('/').map(|s| s.trim().to_string()).collect())
+        .collect();
+    for (d, dim) in paths.iter().enumerate() {
+        if dim.iter().any(|s| s.is_empty()) {
+            return Err(format!("dimension {d} has an empty path component"));
+        }
+    }
+    Ok((delete, measure, paths))
+}
+
+fn handle_query(engine: &ShardedDcTree, line: &str) -> String {
+    let parsed = match engine.with_schema(|schema| parse_query(schema, line)) {
+        Ok(p) => p,
+        Err(e) => return format!("ERR {e}"),
+    };
+    match parsed.group_by {
+        None => match engine.range_query(&parsed.filter, parsed.op) {
+            Ok(Some(v)) => format!("OK {v:.2}"),
+            Ok(None) => "OK NULL".into(),
+            Err(e) => format!("ERR {e}"),
+        },
+        Some((dim, level)) => match engine.group_by(dim, level, &parsed.filter) {
+            Err(e) => format!("ERR {e}"),
+            Ok(mut groups) => {
+                if let Some(k) = parsed.top {
+                    groups.sort_by(|a, b| {
+                        let av = a.1.eval(parsed.op).unwrap_or(f64::MIN);
+                        let bv = b.1.eval(parsed.op).unwrap_or(f64::MIN);
+                        bv.partial_cmp(&av).unwrap_or(std::cmp::Ordering::Equal)
+                    });
+                    groups.truncate(k);
+                }
+                let rendered: Vec<String> = engine.with_schema(|schema| {
+                    let h = schema.dim(dim);
+                    groups
+                        .iter()
+                        .map(|(value, summary)| {
+                            let name = h.name(*value).unwrap_or("?");
+                            match summary.eval(parsed.op) {
+                                Some(v) => format!("{name}={v:.2}"),
+                                None => format!("{name}=NULL"),
+                            }
+                        })
+                        .collect()
+                });
+                format!("OK {}", rendered.join(","))
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutation_lines_parse() {
+        let (del, m, paths) = parse_mutation("INSERT 150 EUROPE/GERMANY|1996/Jan").unwrap();
+        assert!(!del);
+        assert_eq!(m, 150);
+        assert_eq!(
+            paths,
+            vec![
+                vec!["EUROPE".to_string(), "GERMANY".to_string()],
+                vec!["1996".to_string(), "Jan".to_string()]
+            ]
+        );
+        assert!(parse_mutation("INSERT x a/b").is_err());
+        assert!(parse_mutation("INSERT 5").is_err());
+        assert!(parse_mutation("DELETE -3 a//b").is_err());
+        assert!(parse_mutation("DELETE -3 a/b").unwrap().0);
+    }
+}

@@ -1,0 +1,177 @@
+//! The threaded TCP front-end: one accept loop, one thread per connection,
+//! newline-delimited requests answered by [`crate::protocol`].
+
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::engine::ShardedDcTree;
+use crate::protocol::{handle_line, Control};
+
+/// Server knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// A connection idle longer than this is closed.
+    pub read_timeout: Duration,
+    /// Granularity at which blocked reads and the accept loop re-check the
+    /// stop flag (bounds shutdown latency).
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            read_timeout: Duration::from_secs(30),
+            poll_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+/// A running server. Dropping the handle without calling
+/// [`stop`](Self::stop) leaves the server running detached.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `true` once the server has been asked to stop (by [`stop`](Self::stop)
+    /// or a client's `SHUTDOWN`).
+    pub fn is_stopped(&self) -> bool {
+        self.stop.load(SeqCst)
+    }
+
+    /// Stops accepting, waits for the accept loop and every connection
+    /// thread to exit.
+    pub fn stop(mut self) {
+        self.stop.store(true, SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Blocks until the server stops on its own (e.g. a client sent
+    /// `SHUTDOWN`), joining all threads.
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:0"`) and serves the engine until stopped.
+pub fn serve(
+    engine: Arc<ShardedDcTree>,
+    addr: &str,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = Arc::clone(&stop);
+    let accept_thread = std::thread::Builder::new()
+        .name("dc-serve-accept".into())
+        .spawn(move || accept_loop(listener, engine, accept_stop, config))?;
+    Ok(ServerHandle {
+        addr: local,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    engine: Arc<ShardedDcTree>,
+    stop: Arc<AtomicBool>,
+    config: ServerConfig,
+) {
+    let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    while !stop.load(SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let engine = Arc::clone(&engine);
+                let stop = Arc::clone(&stop);
+                let handle = std::thread::Builder::new()
+                    .name("dc-serve-conn".into())
+                    .spawn(move || {
+                        let _ = serve_connection(stream, &engine, &stop, config);
+                    });
+                match handle {
+                    Ok(h) => {
+                        let mut conns = connections.lock();
+                        // Opportunistically reap finished threads so the
+                        // vector doesn't grow with connection churn.
+                        conns.retain(|c| !c.is_finished());
+                        conns.push(h);
+                    }
+                    Err(_) => continue,
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(config.poll_interval);
+            }
+            Err(_) => break,
+        }
+    }
+    stop.store(true, SeqCst);
+    for c in connections.lock().drain(..) {
+        let _ = c.join();
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    engine: &ShardedDcTree,
+    stop: &AtomicBool,
+    config: ServerConfig,
+) -> std::io::Result<()> {
+    // Short socket timeouts act as the poll interval; `read_timeout` is
+    // enforced on top via `last_activity`.
+    stream.set_read_timeout(Some(config.poll_interval))?;
+    stream.set_write_timeout(Some(config.read_timeout))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut last_activity = Instant::now();
+    loop {
+        if stop.load(SeqCst) {
+            return Ok(());
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // client closed
+            Ok(_) => {
+                last_activity = Instant::now();
+                let (response, control) = handle_line(engine, &line);
+                line.clear();
+                writer.write_all(response.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                if control == Control::StopServer {
+                    stop.store(true, SeqCst);
+                    return Ok(());
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                // Idle poll tick; a partial line may sit in `line` and is
+                // completed by the next successful read.
+                if last_activity.elapsed() >= config.read_timeout {
+                    return Ok(()); // per-connection idle timeout
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Differential tests: the sharded engine must answer every query exactly
+//! like one monolithic `DcTree` over the same records — under concurrent
+//! ingest, both partition policies, dynamic interning, deletes, and WAL
+//! recovery.
+
+use std::sync::Arc;
+
+use dc_common::{AggregateOp, DimensionId, MeasureSummary, ValueId};
+use dc_query::{RangeQueryGen, ValuePick};
+use dc_serve::{EngineConfig, PartitionPolicy, ShardedDcTree, WalOptions};
+use dc_tpcd::{generate, TpcdConfig, TpcdData};
+use dc_tree::{DcTree, DcTreeConfig};
+
+const RECORDS: usize = 4_000;
+
+fn tpcd() -> TpcdData {
+    generate(&TpcdConfig::scaled(RECORDS, 11))
+}
+
+fn monolith(data: &TpcdData) -> DcTree {
+    let mut tree = DcTree::new(data.schema.clone(), DcTreeConfig::default());
+    for r in &data.records {
+        tree.insert(r.clone()).unwrap();
+    }
+    tree
+}
+
+/// TPC-D partitions naturally by customer region: dimension 0, whose top
+/// functional level (Region) sits just below ALL.
+fn region_policy(data: &TpcdData) -> PartitionPolicy {
+    let dim = DimensionId(0);
+    PartitionPolicy::ByDimension {
+        dim,
+        level: data.schema.dim(dim).top_level() - 1,
+    }
+}
+
+fn engine_config(policy: PartitionPolicy) -> EngineConfig {
+    EngineConfig {
+        num_shards: 4,
+        policy,
+        ..EngineConfig::default()
+    }
+}
+
+/// Concurrently ingests the cube from four producer threads.
+fn ingest_concurrently(engine: &ShardedDcTree, data: &TpcdData, producers: usize) {
+    std::thread::scope(|s| {
+        for p in 0..producers {
+            s.spawn(move || {
+                for r in data.records.iter().skip(p).step_by(producers) {
+                    engine.insert_raw(&data.paths_for(r), r.measure).unwrap();
+                }
+            });
+        }
+    });
+    engine.flush();
+}
+
+/// 100 random §5.2 queries across the paper's three selectivities.
+fn queries(data: &TpcdData) -> Vec<dc_mds::Mds> {
+    let mut out = Vec::new();
+    for (sel, seed) in [(0.01, 3), (0.05, 4), (0.25, 5)] {
+        let mut gen = RangeQueryGen::new(sel, ValuePick::Scattered, seed);
+        for _ in 0..34 {
+            out.push(gen.generate(&data.schema));
+        }
+    }
+    assert!(out.len() >= 100);
+    out
+}
+
+fn assert_engine_matches_monolith(engine: &ShardedDcTree, mono: &DcTree, data: &TpcdData) {
+    assert_eq!(engine.len(), mono.len());
+    assert_eq!(engine.total_summary(), mono.total_summary());
+    for q in queries(data) {
+        assert_eq!(
+            engine.range_summary(&q).unwrap(),
+            mono.range_summary(&q).unwrap(),
+            "summary mismatch for {q:?}"
+        );
+        for op in AggregateOp::ALL {
+            assert_eq!(
+                engine.range_query(&q, op).unwrap(),
+                mono.range_query(&q, op).unwrap(),
+                "{op} mismatch for {q:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_ingest_matches_monolith_hash_partitioning() {
+    let data = tpcd();
+    let mono = monolith(&data);
+    let engine =
+        ShardedDcTree::new(data.schema.clone(), engine_config(PartitionPolicy::Hash)).unwrap();
+    ingest_concurrently(&engine, &data, 4);
+    assert_engine_matches_monolith(&engine, &mono, &data);
+    engine.shutdown();
+}
+
+#[test]
+fn concurrent_ingest_matches_monolith_dimension_partitioning() {
+    let data = tpcd();
+    let mono = monolith(&data);
+    let engine =
+        ShardedDcTree::new(data.schema.clone(), engine_config(region_policy(&data))).unwrap();
+    ingest_concurrently(&engine, &data, 4);
+    // Dimension partitioning must actually spread the records.
+    let populated = (0..engine.num_shards())
+        .filter(|&s| !engine.shard_snapshot(s).is_empty())
+        .count();
+    assert!(populated >= 2, "regions all hashed to one shard?");
+    assert_engine_matches_monolith(&engine, &mono, &data);
+}
+
+#[test]
+fn group_by_merges_across_shards() {
+    let data = tpcd();
+    let mono = monolith(&data);
+    let engine =
+        ShardedDcTree::new(data.schema.clone(), engine_config(region_policy(&data))).unwrap();
+    ingest_concurrently(&engine, &data, 4);
+    let mut gen = RangeQueryGen::new(0.25, ValuePick::Scattered, 9);
+    for case in 0..20 {
+        let filter = gen.generate(&data.schema);
+        let dim = DimensionId((case % data.schema.num_dims()) as u16);
+        let level = (case as u8 / 4) % data.schema.dim(dim).top_level();
+        let mut got: Vec<(ValueId, MeasureSummary)> = engine.group_by(dim, level, &filter).unwrap();
+        let mut want = mono.group_by(dim, level, &filter).unwrap();
+        got.sort_by_key(|(v, _)| *v);
+        want.sort_by_key(|(v, _)| *v);
+        // Shards report groups only for values they interned; the merged
+        // result may omit empty groups the monolith reports (or vice
+        // versa) — compare the non-empty rows.
+        got.retain(|(_, s)| s.count > 0);
+        want.retain(|(_, s)| s.count > 0);
+        assert_eq!(got, want, "group_by({dim:?}, {level}) under {filter:?}");
+    }
+}
+
+#[test]
+fn parallel_scatter_gather_matches_monolith() {
+    // Same assertions as the sequential tests, but with the per-query
+    // worker threads force-enabled (the default only turns them on when
+    // spare cores exist — correctness must not depend on that).
+    let data = tpcd();
+    let mono = monolith(&data);
+    let engine = ShardedDcTree::new(
+        data.schema.clone(),
+        EngineConfig {
+            parallel_queries: true,
+            ..engine_config(region_policy(&data))
+        },
+    )
+    .unwrap();
+    ingest_concurrently(&engine, &data, 4);
+    assert_engine_matches_monolith(&engine, &mono, &data);
+}
+
+#[test]
+fn dynamic_interning_from_empty_schema_matches_monolith() {
+    // Sequential ingest starting from an empty (value-free) schema: the
+    // catalog log and shard replay carry every value. Sequential, so the
+    // monolith's intern order matches the catalog's and IDs are comparable.
+    let data = tpcd();
+    let schema = dc_tpcd::cube_schema();
+    let mut mono = DcTree::new(schema.clone(), DcTreeConfig::default());
+    let engine = ShardedDcTree::new(
+        schema,
+        EngineConfig {
+            num_shards: 4,
+            policy: PartitionPolicy::Hash,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    for r in &data.records {
+        let paths = data.paths_for(r);
+        mono.insert_raw(&paths, r.measure).unwrap();
+        engine.insert_raw(&paths, r.measure).unwrap();
+    }
+    engine.flush();
+    // Queries must be generated against the *engine's* schema (same IDs as
+    // the monolith's, since both interned the identical sequence).
+    let engine_schema = engine.schema();
+    let mut gen = RangeQueryGen::new(0.05, ValuePick::Scattered, 6);
+    assert_eq!(engine.len(), mono.len());
+    for _ in 0..50 {
+        let q = gen.generate(&engine_schema);
+        assert_eq!(
+            engine.range_summary(&q).unwrap(),
+            mono.range_summary(&q).unwrap()
+        );
+    }
+}
+
+#[test]
+fn deletes_flow_through_shards() {
+    let data = tpcd();
+    let mut mono = monolith(&data);
+    let engine =
+        ShardedDcTree::new(data.schema.clone(), engine_config(region_policy(&data))).unwrap();
+    ingest_concurrently(&engine, &data, 2);
+    // Delete every third record.
+    for r in data.records.iter().step_by(3) {
+        assert!(mono.delete(r).unwrap());
+        engine.delete_raw(&data.paths_for(r), r.measure).unwrap();
+    }
+    engine.flush();
+    assert_eq!(engine.len(), mono.len());
+    assert_eq!(engine.total_summary(), mono.total_summary());
+    let mut gen = RangeQueryGen::new(0.25, ValuePick::Scattered, 13);
+    for _ in 0..30 {
+        let q = gen.generate(&data.schema);
+        assert_eq!(
+            engine.range_summary(&q).unwrap(),
+            mono.range_summary(&q).unwrap()
+        );
+    }
+}
+
+#[test]
+fn wal_recovery_restores_the_engine() {
+    let data = tpcd();
+    let dir = std::env::temp_dir().join(format!("dc-serve-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = EngineConfig {
+        num_shards: 4,
+        policy: PartitionPolicy::Hash,
+        wal: Some(WalOptions {
+            dir: dir.clone(),
+            sync_every_append: false,
+        }),
+        ..Default::default()
+    };
+    let cut = data.records.len() / 2;
+    {
+        let engine = ShardedDcTree::new(data.schema.clone(), config.clone()).unwrap();
+        for r in &data.records[..cut] {
+            engine.insert_raw(&data.paths_for(r), r.measure).unwrap();
+        }
+        engine.flush();
+        engine.shutdown();
+    }
+    // Reopen: the WAL replays the first half; then ingest the second half.
+    let engine = Arc::new(ShardedDcTree::new(data.schema.clone(), config).unwrap());
+    assert_eq!(engine.len(), cut as u64);
+    for r in &data.records[cut..] {
+        engine.insert_raw(&data.paths_for(r), r.measure).unwrap();
+    }
+    engine.flush();
+    let mono = monolith(&data);
+    assert_eq!(engine.len(), mono.len());
+    assert_eq!(engine.total_summary(), mono.total_summary());
+    let mut gen = RangeQueryGen::new(0.05, ValuePick::Scattered, 17);
+    for _ in 0..30 {
+        let q = gen.generate(&data.schema);
+        assert_eq!(
+            engine.range_summary(&q).unwrap(),
+            mono.range_summary(&q).unwrap()
+        );
+    }
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn queued_inserts_are_drained_on_shutdown() {
+    let data = tpcd();
+    let engine =
+        ShardedDcTree::new(data.schema.clone(), engine_config(PartitionPolicy::Hash)).unwrap();
+    for r in &data.records {
+        engine.insert_raw(&data.paths_for(r), r.measure).unwrap();
+    }
+    // No flush: shutdown itself must drain the queues into the final
+    // snapshots.
+    engine.shutdown();
+    assert_eq!(engine.len(), data.records.len() as u64);
+    // Ingest after shutdown fails instead of silently dropping.
+    assert!(engine
+        .insert_raw(&data.paths_for(&data.records[0]), 1)
+        .is_err());
+}

@@ -111,7 +111,13 @@ impl BufferPool {
         }
         let data = self.file.read(page)?;
         let idx = self.frames.len();
-        self.frames.push(Frame { page, data, dirty: false, pins: 0, last_used: 0 });
+        self.frames.push(Frame {
+            page,
+            data,
+            dirty: false,
+            pins: 0,
+            last_used: 0,
+        });
         self.map.insert(page, idx);
         self.touch(idx);
         Ok(idx)
@@ -250,7 +256,8 @@ mod tests {
             let file = PagedFile::create(&path, BlockConfig::new(128)).unwrap();
             let mut p = BufferPool::new(file, 8);
             a = p.alloc().unwrap();
-            p.with_page_mut(a, |d| d[..4].copy_from_slice(b"DCDC")).unwrap();
+            p.with_page_mut(a, |d| d[..4].copy_from_slice(b"DCDC"))
+                .unwrap();
             p.flush().unwrap();
         }
         let mut reopened = PagedFile::open(&path, BlockConfig::new(128)).unwrap();

@@ -49,7 +49,11 @@ impl CacheSim {
     /// Panics if `frames` is zero.
     pub fn new(frames: usize) -> Self {
         assert!(frames > 0, "a cache needs at least one frame");
-        CacheSim { frames, resident: HashMap::new(), clock: 0 }
+        CacheSim {
+            frames,
+            resident: HashMap::new(),
+            clock: 0,
+        }
     }
 
     /// Touches one block; returns `true` on a hit.
@@ -85,7 +89,11 @@ impl CacheSim {
                 physical += 1;
             }
         }
-        CacheReport { logical, physical, frames }
+        CacheReport {
+            logical,
+            physical,
+            frames,
+        }
     }
 }
 
@@ -127,7 +135,11 @@ mod tests {
             trace.push(100 + i);
         }
         let r = CacheSim::replay(2, trace);
-        assert_eq!(r.physical, 1 + 20, "one miss for block 0, one per scan block");
+        assert_eq!(
+            r.physical,
+            1 + 20,
+            "one miss for block 0, one per scan block"
+        );
     }
 
     #[test]

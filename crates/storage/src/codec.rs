@@ -27,7 +27,9 @@ impl ByteWriter {
 
     /// Writer with pre-reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        ByteWriter { buf: BytesMut::with_capacity(cap) }
+        ByteWriter {
+            buf: BytesMut::with_capacity(cap),
+        }
     }
 
     /// Bytes written so far.
@@ -99,7 +101,10 @@ impl<'a> ByteReader<'a> {
         if self.buf.is_empty() {
             Ok(())
         } else {
-            Err(DcError::Corrupt(format!("{} trailing bytes", self.buf.len())))
+            Err(DcError::Corrupt(format!(
+                "{} trailing bytes",
+                self.buf.len()
+            )))
         }
     }
 
@@ -258,7 +263,11 @@ pub fn crc32(bytes: &[u8]) -> u32 {
         for (i, slot) in table.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *slot = c;
         }

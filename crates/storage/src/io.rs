@@ -27,7 +27,10 @@ impl IoStats {
 
     /// Component-wise difference (`self` must be the later snapshot).
     pub fn since(&self, earlier: &IoStats) -> IoStats {
-        IoStats { reads: self.reads - earlier.reads, writes: self.writes - earlier.writes }
+        IoStats {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+        }
     }
 }
 
@@ -93,7 +96,11 @@ impl IoTracker {
 
     /// Stops recording and returns the trace (empty if tracing was off).
     pub fn end_trace(&self) -> Vec<u64> {
-        self.trace.lock().expect("trace mutex").take().unwrap_or_default()
+        self.trace
+            .lock()
+            .expect("trace mutex")
+            .take()
+            .unwrap_or_default()
     }
 
     /// Current counter values.
@@ -132,7 +139,13 @@ mod tests {
         t.read(1);
         t.read(3);
         t.write(2);
-        assert_eq!(t.stats(), IoStats { reads: 4, writes: 2 });
+        assert_eq!(
+            t.stats(),
+            IoStats {
+                reads: 4,
+                writes: 2
+            }
+        );
         assert_eq!(t.stats().total(), 6);
     }
 
@@ -144,7 +157,13 @@ mod tests {
         t.read(5);
         t.write(1);
         let delta = t.stats().since(&before);
-        assert_eq!(delta, IoStats { reads: 5, writes: 1 });
+        assert_eq!(
+            delta,
+            IoStats {
+                reads: 5,
+                writes: 1
+            }
+        );
     }
 
     #[test]

@@ -41,15 +41,23 @@ pub struct PagedFile {
 impl PagedFile {
     /// Creates a new paged file (truncating any existing one).
     pub fn create(path: impl AsRef<Path>, block: BlockConfig) -> DcResult<Self> {
-        assert!(block.block_size >= 32, "pages must hold at least the header");
+        assert!(
+            block.block_size >= 32,
+            "pages must hold at least the header"
+        );
         let file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(true)
             .open(path)?;
-        let mut pf =
-            PagedFile { file, block, num_pages: 1, free_head: NO_PAGE, io: IoTracker::new() };
+        let mut pf = PagedFile {
+            file,
+            block,
+            num_pages: 1,
+            free_head: NO_PAGE,
+            io: IoTracker::new(),
+        };
         pf.write_header()?;
         Ok(pf)
     }
@@ -57,15 +65,19 @@ impl PagedFile {
     /// Opens an existing paged file, validating its header.
     pub fn open(path: impl AsRef<Path>, block: BlockConfig) -> DcResult<Self> {
         let file = OpenOptions::new().read(true).write(true).open(path)?;
-        let mut pf =
-            PagedFile { file, block, num_pages: 0, free_head: NO_PAGE, io: IoTracker::new() };
+        let mut pf = PagedFile {
+            file,
+            block,
+            num_pages: 0,
+            free_head: NO_PAGE,
+            io: IoTracker::new(),
+        };
         let header = pf.read_page_raw(0)?;
         let magic = u64::from_le_bytes(header[0..8].try_into().expect("8 bytes"));
         if magic != MAGIC {
             return Err(DcError::Corrupt("not a DC paged file".into()));
         }
-        let stored_block =
-            u64::from_le_bytes(header[8..16].try_into().expect("8 bytes")) as usize;
+        let stored_block = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes")) as usize;
         if stored_block != block.block_size {
             return Err(DcError::Corrupt(format!(
                 "file uses {stored_block}-byte pages, opened with {}",

@@ -63,8 +63,13 @@ pub const NATIONS: [(&str, usize); 25] = [
 ];
 
 /// The five TPC-D market segments (per nation in the Fig. 9 hierarchy).
-pub const SEGMENTS: [&str; 5] =
-    ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 
 /// Part types nested below each brand (six per brand, 150 brand–type pairs,
 /// matching TPC-D's 150 part types in shape).
@@ -122,7 +127,10 @@ impl TpcdConfig {
 
     /// Same cardinalities with a Zipf popularity skew.
     pub fn scaled_with_skew(lineitems: usize, seed: u64, skew: f64) -> Self {
-        TpcdConfig { skew, ..Self::scaled(lineitems, seed) }
+        TpcdConfig {
+            skew,
+            ..Self::scaled(lineitems, seed)
+        }
     }
 }
 
@@ -141,7 +149,10 @@ impl ZipfSampler {
     /// Panics if `n == 0` or `s` is negative/non-finite.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "Zipf over an empty domain");
-        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and non-negative");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "exponent must be finite and non-negative"
+        );
         let mut cumulative = Vec::with_capacity(n);
         let mut total = 0.0;
         for rank in 1..=n {
@@ -157,7 +168,9 @@ impl ZipfSampler {
     /// Draws a rank in `0..n` (rank 0 is the most popular).
     pub fn sample(&self, rng: &mut impl Rng) -> usize {
         let u: f64 = rng.gen();
-        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.cumulative.len() - 1)
     }
 }
 
@@ -180,7 +193,11 @@ impl TpcdData {
                 let leaf = record.dims[d];
                 (0..h.top_level())
                     .rev()
-                    .map(|level| h.name(h.ancestor_at(leaf, level).unwrap()).unwrap().to_string())
+                    .map(|level| {
+                        h.name(h.ancestor_at(leaf, level).unwrap())
+                            .unwrap()
+                            .to_string()
+                    })
                     .collect()
             })
             .collect()
@@ -193,7 +210,12 @@ pub fn cube_schema() -> CubeSchema {
         vec![
             HierarchySchema::new(
                 "Customer",
-                vec!["Region".into(), "Nation".into(), "MktSegment".into(), "Customer".into()],
+                vec![
+                    "Region".into(),
+                    "Nation".into(),
+                    "MktSegment".into(),
+                    "Customer".into(),
+                ],
             ),
             HierarchySchema::new(
                 "Supplier",
@@ -268,10 +290,7 @@ pub fn generate(config: &TpcdConfig) -> TpcdData {
         let measure: Measure = quantity * unit_price_cents;
 
         let record = schema
-            .intern_record(
-                &[c.to_vec(), s.to_vec(), p.to_vec(), t.to_vec()],
-                measure,
-            )
+            .intern_record(&[c.to_vec(), s.to_vec(), p.to_vec(), t.to_vec()], measure)
             .expect("generated paths are well-formed");
         records.push(record);
     }
@@ -355,9 +374,15 @@ mod tests {
             let again = schema.intern_record(&paths, r.measure).unwrap();
             // Leaf names must agree (IDs may differ in the fresh schema).
             for d in 0..4 {
-                let orig =
-                    data.schema.dim(DimensionId(d)).name(r.dims[d as usize]).unwrap();
-                let new = schema.dim(DimensionId(d)).name(again.dims[d as usize]).unwrap();
+                let orig = data
+                    .schema
+                    .dim(DimensionId(d))
+                    .name(r.dims[d as usize])
+                    .unwrap();
+                let new = schema
+                    .dim(DimensionId(d))
+                    .name(again.dims[d as usize])
+                    .unwrap();
                 assert_eq!(orig, new);
             }
         }

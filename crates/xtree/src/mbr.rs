@@ -14,7 +14,10 @@ pub struct Mbr {
 impl Mbr {
     /// A degenerate MBR around one point.
     pub fn point(coords: &[u32]) -> Self {
-        Mbr { lo: coords.to_vec(), hi: coords.to_vec() }
+        Mbr {
+            lo: coords.to_vec(),
+            hi: coords.to_vec(),
+        }
     }
 
     /// Builds an MBR from inclusive per-axis ranges.
@@ -31,7 +34,10 @@ impl Mbr {
 
     /// The MBR covering the whole space in `dims` axes.
     pub fn universe(dims: usize) -> Self {
-        Mbr { lo: vec![0; dims], hi: vec![u32::MAX; dims] }
+        Mbr {
+            lo: vec![0; dims],
+            hi: vec![u32::MAX; dims],
+        }
     }
 
     /// Number of axes.
@@ -112,8 +118,18 @@ impl Mbr {
     /// The smallest MBR covering both.
     pub fn union(&self, other: &Mbr) -> Mbr {
         Mbr {
-            lo: self.lo.iter().zip(&other.lo).map(|(&a, &b)| a.min(b)).collect(),
-            hi: self.hi.iter().zip(&other.hi).map(|(&a, &b)| a.max(b)).collect(),
+            lo: self
+                .lo
+                .iter()
+                .zip(&other.lo)
+                .map(|(&a, &b)| a.min(b))
+                .collect(),
+            hi: self
+                .hi
+                .iter()
+                .zip(&other.hi)
+                .map(|(&a, &b)| a.max(b))
+                .collect(),
         }
     }
 

@@ -109,9 +109,20 @@ impl XTree {
     pub fn new(dims: usize, config: XTreeConfig) -> Self {
         assert!(dims > 0, "at least one axis");
         assert!(config.dir_capacity >= 2 && config.data_capacity >= 2);
-        let root_node =
-            Node { mbr: Mbr::point(&vec![0; dims]), blocks: 1, history: 0, kind: Kind::Data(Vec::new()) };
-        XTree { dims, config, nodes: vec![root_node], root: NodeId(0), io: IoTracker::new(), len: 0 }
+        let root_node = Node {
+            mbr: Mbr::point(&vec![0; dims]),
+            blocks: 1,
+            history: 0,
+            kind: Kind::Data(Vec::new()),
+        };
+        XTree {
+            dims,
+            config,
+            nodes: vec![root_node],
+            root: NodeId(0),
+            io: IoTracker::new(),
+            len: 0,
+        }
     }
 
     /// Number of axes.
@@ -205,10 +216,21 @@ impl XTree {
             let history = self.node(old_root).history;
             let union = old_mbr.union(&sibling_mbr);
             let entries = vec![
-                Entry { mbr: old_mbr, child: old_root },
-                Entry { mbr: sibling_mbr, child: sibling },
+                Entry {
+                    mbr: old_mbr,
+                    child: old_root,
+                },
+                Entry {
+                    mbr: sibling_mbr,
+                    child: sibling,
+                },
             ];
-            let new_root = self.alloc(Node { mbr: union, blocks: 1, history, kind: Kind::Dir(entries) });
+            let new_root = self.alloc(Node {
+                mbr: union,
+                blocks: 1,
+                history,
+                kind: Kind::Dir(entries),
+            });
             self.io.write(1);
             self.root = new_root;
         }
@@ -248,9 +270,15 @@ impl XTree {
             let child_mbr = self.node(child).mbr.clone();
             let node = self.node_mut(id);
             if let Kind::Dir(entries) = &mut node.kind {
-                let e = entries.iter_mut().find(|e| e.child == child).expect("child entry");
+                let e = entries
+                    .iter_mut()
+                    .find(|e| e.child == child)
+                    .expect("child entry");
                 e.mbr = child_mbr;
-                entries.push(Entry { mbr: sibling_mbr, child: sibling });
+                entries.push(Entry {
+                    mbr: sibling_mbr,
+                    child: sibling,
+                });
             }
             self.io.write(self.node(id).blocks);
             if self.node(id).len() > self.config.dir_capacity * self.node(id).blocks as usize {
@@ -268,7 +296,9 @@ impl XTree {
         // count, which explodes inside large supernodes; beyond 32 entries
         // it degrades to the plain area criterion.
         const OVERLAP_SCAN_LIMIT: usize = 32;
-        let Kind::Dir(entries) = &self.node(id).kind else { unreachable!() };
+        let Kind::Dir(entries) = &self.node(id).kind else {
+            unreachable!()
+        };
         let children_are_leaves =
             self.node(entries[0].child).is_data() && entries.len() <= OVERLAP_SCAN_LIMIT;
         let pm = Mbr::point(&point.coords);
@@ -388,7 +418,12 @@ impl XTree {
             }
         };
         node.mbr = mbr1;
-        let sibling = Node { mbr: mbr2.clone(), blocks: 1, history, kind: sibling_kind };
+        let sibling = Node {
+            mbr: mbr2.clone(),
+            blocks: 1,
+            history,
+            kind: sibling_kind,
+        };
         // Shrink supernodes back to the blocks each part needs.
         let (data_cap, dir_cap) = (self.config.data_capacity, self.config.dir_capacity);
         let shrink = |n: &Node| -> u32 {
@@ -444,12 +479,20 @@ impl XTree {
         let mut count = 0u64;
         self.check_rec(self.root, None, &mut count)?;
         if count != self.len {
-            return Err(format!("stored {count} points but len() reports {}", self.len));
+            return Err(format!(
+                "stored {count} points but len() reports {}",
+                self.len
+            ));
         }
         Ok(())
     }
 
-    fn check_rec(&self, id: NodeId, parent_mbr: Option<&Mbr>, count: &mut u64) -> Result<(), String> {
+    fn check_rec(
+        &self,
+        id: NodeId,
+        parent_mbr: Option<&Mbr>,
+        count: &mut u64,
+    ) -> Result<(), String> {
         let node = self.node(id);
         if let Some(pm) = parent_mbr {
             if pm != &node.mbr {
@@ -499,7 +542,10 @@ fn group_mbrs(members: &[Mbr], group1: &[bool]) -> (Mbr, Mbr) {
             Some(acc) => acc.union(m),
         });
     }
-    (m1.expect("group 1 non-empty"), m2.expect("group 2 non-empty"))
+    (
+        m1.expect("group 1 non-empty"),
+        m2.expect("group 2 non-empty"),
+    )
 }
 
 fn overlap_ratio(a: &Mbr, b: &Mbr) -> f64 {
@@ -652,7 +698,11 @@ mod tests {
 
     #[test]
     fn insert_and_query_matches_brute_force() {
-        let config = XTreeConfig { dir_capacity: 4, data_capacity: 4, ..Default::default() };
+        let config = XTreeConfig {
+            dir_capacity: 4,
+            data_capacity: 4,
+            ..Default::default()
+        };
         let points = random_points(600, 3, 1);
         let mut tree = XTree::new(3, config);
         for p in &points {
@@ -665,8 +715,8 @@ mod tests {
         for _ in 0..100 {
             let ranges: Vec<(u32, u32)> = (0..3)
                 .map(|_| {
-                    let a = rng.gen_range(0..1000);
-                    let b = rng.gen_range(0..1000);
+                    let a = rng.gen_range(0u32..1000);
+                    let b = rng.gen_range(0u32..1000);
                     (a.min(b), a.max(b))
                 })
                 .collect();
@@ -688,7 +738,11 @@ mod tests {
 
     #[test]
     fn supernodes_form_on_identical_points() {
-        let config = XTreeConfig { dir_capacity: 4, data_capacity: 4, ..Default::default() };
+        let config = XTreeConfig {
+            dir_capacity: 4,
+            data_capacity: 4,
+            ..Default::default()
+        };
         let mut tree = XTree::new(2, config);
         for i in 0..40 {
             tree.insert(vec![7, 7], i);
@@ -704,7 +758,11 @@ mod tests {
     #[test]
     fn high_dimensional_insert_stays_correct() {
         // 13 axes, the dimensionality of the paper's X-tree (Fig. 10).
-        let config = XTreeConfig { dir_capacity: 8, data_capacity: 16, ..Default::default() };
+        let config = XTreeConfig {
+            dir_capacity: 8,
+            data_capacity: 16,
+            ..Default::default()
+        };
         let points = random_points(500, 13, 4);
         let mut tree = XTree::new(13, config);
         for p in &points {
@@ -717,9 +775,9 @@ mod tests {
             // shape of converted MDS queries.
             let mut ranges = vec![(0u32, u32::MAX); 13];
             for _ in 0..rng.gen_range(1..4) {
-                let axis = rng.gen_range(0..13);
-                let a = rng.gen_range(0..1000);
-                let b = rng.gen_range(0..1000);
+                let axis = rng.gen_range(0usize..13);
+                let a = rng.gen_range(0u32..1000);
+                let b = rng.gen_range(0u32..1000);
                 ranges[axis] = (a.min(b), a.max(b));
             }
             let q = Mbr::from_ranges(&ranges);
@@ -729,7 +787,11 @@ mod tests {
 
     #[test]
     fn query_io_grows_with_selectivity() {
-        let config = XTreeConfig { dir_capacity: 8, data_capacity: 8, ..Default::default() };
+        let config = XTreeConfig {
+            dir_capacity: 8,
+            data_capacity: 8,
+            ..Default::default()
+        };
         let points = random_points(2000, 2, 6);
         let mut tree = XTree::new(2, config);
         for p in &points {
@@ -741,7 +803,10 @@ mod tests {
         tree.reset_io();
         let _ = tree.range_summary(&Mbr::universe(2));
         let full = tree.io_stats().reads;
-        assert!(small < full, "selective query must read fewer pages ({small} vs {full})");
+        assert!(
+            small < full,
+            "selective query must read fewer pages ({small} vs {full})"
+        );
     }
 
     #[test]

@@ -6,7 +6,10 @@ use proptest::prelude::*;
 
 fn points(dims: usize, n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<(Vec<u32>, i64)>> {
     prop::collection::vec(
-        (prop::collection::vec(0u32..100, dims..=dims), -1000i64..1000),
+        (
+            prop::collection::vec(0u32..100, dims..=dims),
+            -1000i64..1000,
+        ),
         n,
     )
 }

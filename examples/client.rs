@@ -1,0 +1,78 @@
+//! A dc-ql network client: connects to a running `dc-serve` server (pass
+//! its address), or — with no argument — starts one in-process over a small
+//! TPC-D warehouse and talks to it over a real TCP socket.
+//!
+//! ```sh
+//! cargo run --release --example client                 # self-hosted demo
+//! cargo run --release --example client 127.0.0.1:4711  # external server
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use dctree::serve::{serve, EngineConfig, ServerConfig, ShardedDcTree};
+use dctree::tpcd::{generate, TpcdConfig};
+
+fn main() -> std::io::Result<()> {
+    // Either connect to the given server, or host one ourselves.
+    let (addr, hosted) = match std::env::args().nth(1) {
+        Some(addr) => (addr, None),
+        None => {
+            println!("no address given — starting an in-process server…");
+            let data = generate(&TpcdConfig::scaled(10_000, 42));
+            let engine = Arc::new(
+                ShardedDcTree::new(data.schema.clone(), EngineConfig::default()).expect("engine"),
+            );
+            for r in &data.records {
+                engine
+                    .insert_raw(&data.paths_for(r), r.measure)
+                    .expect("load");
+            }
+            engine.flush();
+            let handle = serve(Arc::clone(&engine), "127.0.0.1:0", ServerConfig::default())?;
+            println!("serving 10 000 TPC-D lineitems on {}", handle.local_addr());
+            (handle.local_addr().to_string(), Some((engine, handle)))
+        }
+    };
+
+    let stream = TcpStream::connect(&addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut request = |line: &str| -> std::io::Result<String> {
+        writer.write_all(line.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        let mut response = String::new();
+        reader.read_line(&mut response)?;
+        let response = response.trim_end().to_string();
+        println!("> {line}\n  {response}");
+        Ok(response)
+    };
+
+    request("PING")?;
+    request("COUNT")?;
+    request("SUM WHERE Customer.Region = 'EUROPE'")?;
+    request("AVG WHERE Customer.Region IN ('EUROPE', 'ASIA') AND Time.Year = '1996'")?;
+    request("SUM GROUP BY Customer.Region TOP 3")?;
+    request("COUNT WHERE Time.Year = '1999'")?;
+    request(
+        "INSERT 500 EUROPE/GERMANY/BUILDING/Customer#000000001\
+         |ASIA/JAPAN/Supplier#000000002\
+         |Brand#11/ECONOMY ANODIZED/Part#000000003\
+         |1999/1999-01/1999-01-15",
+    )?;
+    request("FLUSH")?;
+    request("COUNT WHERE Time.Year = '1999'")?;
+    request("STATS")?;
+
+    if let Some((engine, handle)) = hosted {
+        request("SHUTDOWN")?;
+        handle.join();
+        engine.shutdown();
+        println!("server stopped cleanly.");
+    }
+    Ok(())
+}

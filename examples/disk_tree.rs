@@ -14,7 +14,10 @@ use dctree::tree::DiskDcTree;
 use dctree::{AggregateOp, DcTreeConfig, DimSet, DimensionId, Mds};
 
 fn main() -> dctree::DcResult<()> {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(20_000);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20_000);
     let dir = std::env::temp_dir().join("dctree-disk-example");
     std::fs::create_dir_all(&dir)?;
     let path = dir.join("warehouse.dcdisk");
@@ -44,9 +47,7 @@ fn main() -> dctree::DcResult<()> {
                             if d == 0 {
                                 DimSet::singleton(region)
                             } else {
-                                DimSet::singleton(
-                                    data.schema.dim(DimensionId(d as u16)).all(),
-                                )
+                                DimSet::singleton(data.schema.dim(DimensionId(d as u16)).all())
                             }
                         })
                         .collect(),

@@ -15,7 +15,10 @@ use dctree::tpcd::{generate, TpcdConfig};
 use dctree::{AggregateOp, DcTree, DcTreeConfig, DimSet, DimensionId, Mds, ValueId};
 
 fn main() -> dctree::DcResult<()> {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(20_000);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20_000);
     let data = generate(&TpcdConfig::scaled(n, 3));
     let mut tree = DcTree::new(data.schema.clone(), DcTreeConfig::default());
     for r in &data.records {
@@ -52,7 +55,10 @@ fn main() -> dctree::DcResult<()> {
         let total = tree
             .range_query(&query_for(&tree, current), AggregateOp::Sum)?
             .unwrap_or(0.0);
-        println!("{attribute:<12} {name:<24} revenue {:>14.2} $", total / 100.0);
+        println!(
+            "{attribute:<12} {name:<24} revenue {:>14.2} $",
+            total / 100.0
+        );
 
         let children = customer.children(current)?.to_vec();
         if children.is_empty() {

@@ -13,7 +13,10 @@ use dctree::tree::PagedTreeStore;
 use dctree::{AggregateOp, DcTree, DcTreeConfig, Mds};
 
 fn main() -> dctree::DcResult<()> {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(20_000);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20_000);
     let dir = std::env::temp_dir().join("dctree-persistence-example");
     std::fs::create_dir_all(&dir)?;
 
@@ -43,10 +46,7 @@ fn main() -> dctree::DcResult<()> {
     let pages = store.pool_mut().file_mut().num_pages();
     println!("\npaged store: {paged_path:?} ({pages} × 4 KiB pages)");
     let mut reloaded = store.load()?;
-    println!(
-        "  buffer pool after load: {:?}",
-        store.pool_mut().stats()
-    );
+    println!("  buffer pool after load: {:?}", store.pool_mut().stats());
 
     // 3. The reloaded warehouse stays fully dynamic.
     reloaded.insert_raw(

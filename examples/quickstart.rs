@@ -36,11 +36,18 @@ fn main() -> dctree::DcResult<()> {
     for &(region, nation, year, month, cents) in sales {
         tree.insert_raw(&[vec![region, nation], vec![year, month]], cents)?;
     }
-    println!("inserted {} records, tree height {}", tree.len(), tree.height());
+    println!(
+        "inserted {} records, tree height {}",
+        tree.len(),
+        tree.height()
+    );
 
     // The root materializes the total: no traversal needed.
     let total = tree.total_summary();
-    println!("total revenue: {} cents over {} sales", total.sum, total.count);
+    println!(
+        "total revenue: {} cents over {} sales",
+        total.sum, total.count
+    );
 
     // Range query: European revenue in 1996. A range is an MDS — one set of
     // attribute values per dimension, each on a chosen hierarchy level.
@@ -51,12 +58,20 @@ fn main() -> dctree::DcResult<()> {
     let query = Mds::new(vec![DimSet::singleton(europe), DimSet::singleton(y1996)]);
 
     for op in AggregateOp::ALL {
-        println!("{op}(revenue | EUROPE, 1996) = {:?}", tree.range_query(&query, op)?);
+        println!(
+            "{op}(revenue | EUROPE, 1996) = {:?}",
+            tree.range_query(&query, op)?
+        );
     }
 
     // Drill down: Germany only, any year.
-    let germany = customer.lookup_path(&["EUROPE", "GERMANY"]).expect("interned above");
-    let query = Mds::new(vec![DimSet::singleton(germany), DimSet::singleton(time.all())]);
+    let germany = customer
+        .lookup_path(&["EUROPE", "GERMANY"])
+        .expect("interned above");
+    let query = Mds::new(vec![
+        DimSet::singleton(germany),
+        DimSet::singleton(time.all()),
+    ]);
     println!(
         "SUM(revenue | GERMANY, any year) = {:?}",
         tree.range_query(&query, AggregateOp::Sum)?

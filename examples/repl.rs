@@ -17,7 +17,10 @@ use dctree::tpcd::{generate, TpcdConfig};
 use dctree::{DcTree, DcTreeConfig};
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(50_000);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(50_000);
     eprintln!("loading {n} TPC-D style records…");
     let data = generate(&TpcdConfig::scaled(n, 7));
     let mut tree = DcTree::new(data.schema.clone(), DcTreeConfig::default());

@@ -24,7 +24,10 @@ const SECTORS: [&str; 5] = ["TECH", "ENERGY", "FINANCE", "HEALTH", "RETAIL"];
 const VENUES: [&str; 3] = ["NYSE", "NASDAQ", "LSE"];
 
 fn main() {
-    let seconds: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(3);
+    let seconds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(3);
 
     // Ticker tape cube: Instrument (Sector → Symbol) × Venue × Time
     // (Hour → Minute), measure = trade value in cents.
@@ -36,7 +39,10 @@ fn main() {
         ],
         "TradeValue",
     );
-    let tree = Arc::new(ConcurrentDcTree::new(DcTree::new(schema, DcTreeConfig::default())));
+    let tree = Arc::new(ConcurrentDcTree::new(DcTree::new(
+        schema,
+        DcTreeConfig::default(),
+    )));
     let stop = Arc::new(AtomicBool::new(false));
     let queries_run = Arc::new(AtomicU64::new(0));
 
@@ -56,7 +62,11 @@ fn main() {
                 let value = rng.gen_range(1_000..5_000_000);
                 let t0 = Instant::now();
                 tree.insert_raw(
-                    &[vec![sector.to_string(), symbol], vec![venue.to_string()], vec![hour, minute]],
+                    &[
+                        vec![sector.to_string(), symbol],
+                        vec![venue.to_string()],
+                        vec![hour, minute],
+                    ],
                     value,
                 )
                 .expect("insert");
@@ -76,10 +86,7 @@ fn main() {
                 while !stop.load(Ordering::Relaxed) {
                     let q = tree.with_read(|t| {
                         let inst = t.schema().dim(DimensionId(0));
-                        let sector = inst
-                            .values_at(1)
-                            .next()
-                            .unwrap_or_else(|| inst.all());
+                        let sector = inst.values_at(1).next().unwrap_or_else(|| inst.all());
                         Mds::new(vec![
                             DimSet::singleton(sector),
                             DimSet::singleton(t.schema().dim(DimensionId(1)).all()),
@@ -102,7 +109,10 @@ fn main() {
 
     latencies.sort_unstable();
     let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
-    println!("streamed {} trades in {seconds}s with 2 concurrent analysts", latencies.len());
+    println!(
+        "streamed {} trades in {seconds}s with 2 concurrent analysts",
+        latencies.len()
+    );
     println!(
         "insert latency   p50 {}µs   p95 {}µs   p99 {}µs   max {}µs",
         pct(0.50),
@@ -116,7 +126,11 @@ fn main() {
         queries_run.load(Ordering::Relaxed) as f64 / seconds as f64
     );
     let total = tree.with_read(|t| t.total_summary());
-    println!("warehouse now holds {} trades worth {} cents", total.count, total.sum);
-    tree.with_read(|t| t.check_invariants()).expect("invariants hold");
+    println!(
+        "warehouse now holds {} trades worth {} cents",
+        total.count, total.sum
+    );
+    tree.with_read(|t| t.check_invariants())
+        .expect("invariants hold");
     println!("invariants verified — the warehouse never went offline.");
 }

@@ -20,7 +20,10 @@ use dctree::tpcd::{generate, TpcdConfig};
 use dctree::{AggregateOp, DcTree, DcTreeConfig, DimSet, DimensionId, Mds};
 
 fn main() -> dctree::DcResult<()> {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(30_000);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(30_000);
     println!("generating {n} TPC-D style records…");
     let data = generate(&TpcdConfig::scaled(n, 13));
 
@@ -31,8 +34,11 @@ fn main() -> dctree::DcResult<()> {
     }
     let tree_load = t0.elapsed();
     let t0 = Instant::now();
-    let mut views =
-        ViewSet::build(data.schema.clone(), rollup_lattice(&data.schema), &data.records)?;
+    let mut views = ViewSet::build(
+        data.schema.clone(),
+        rollup_lattice(&data.schema),
+        &data.records,
+    )?;
     let views_load = t0.elapsed();
     println!(
         "load: DC-tree {tree_load:?} | {} roll-up views {views_load:?} ({} cells)\n",

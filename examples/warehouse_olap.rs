@@ -16,7 +16,10 @@ use dctree::tpcd::{generate, TpcdConfig};
 use dctree::{AggregateOp, DcTree, DcTreeConfig, DimSet, DimensionId, Mds};
 
 fn main() -> dctree::DcResult<()> {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(50_000);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(50_000);
     println!("generating {n} TPC-D style fact records…");
     let data = generate(&TpcdConfig::scaled(n, 7));
 
@@ -70,7 +73,9 @@ fn main() -> dctree::DcResult<()> {
 
     // Dashboard 3: drill-down — European nations in 1996, average order value.
     println!("\n— drill-down: AVG extended price per European nation, 1996 —");
-    let europe = customer.values_at(3).find(|&r| customer.name(r).unwrap() == "EUROPE");
+    let europe = customer
+        .values_at(3)
+        .find(|&r| customer.name(r).unwrap() == "EUROPE");
     let y1996 = time.values_at(2).find(|&y| time.name(y).unwrap() == "1996");
     if let (Some(europe), Some(y1996)) = (europe, y1996) {
         for &nation in customer.children(europe)? {

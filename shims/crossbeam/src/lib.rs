@@ -1,0 +1,88 @@
+//! Offline drop-in replacement for the subset of `crossbeam` this workspace
+//! uses: scoped threads, implemented over `std::thread::scope` (stable since
+//! Rust 1.63, which is why the real crate's scope machinery is no longer
+//! load-bearing here).
+
+use std::any::Any;
+
+/// Scoped-thread error type, mirroring `crossbeam::thread::Result`.
+pub type ScopeResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+/// A handle that lets spawned closures spawn further scoped threads, like
+/// `crossbeam::thread::Scope`. Copyable reference wrapper over std's scope.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope handle so it
+    /// can spawn nested threads (crossbeam's signature).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = *self;
+        self.inner.spawn(move || f(&handle))
+    }
+}
+
+/// Runs `f` with a scope handle; joins all spawned threads before
+/// returning. Returns `Err` if any unjoined spawned thread panicked —
+/// crossbeam's contract — by catching the propagated panic.
+pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+pub mod thread {
+    pub use crate::{scope, Scope, ScopeResult as Result};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_collects() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = std::sync::atomic::AtomicU64::new(0);
+        crate::scope(|s| {
+            for &v in &data {
+                let total = &total;
+                s.spawn(move |_| total.fetch_add(v, std::sync::atomic::Ordering::Relaxed));
+            }
+        })
+        .unwrap();
+        assert_eq!(total.into_inner(), 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_handle() {
+        let hits = std::sync::atomic::AtomicU64::new(0);
+        crate::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert_eq!(hits.into_inner(), 1);
+    }
+
+    #[test]
+    fn child_panic_reports_err() {
+        let r = crate::scope(|s| {
+            s.spawn(|_| panic!("child dies"));
+        });
+        assert!(r.is_err());
+    }
+}

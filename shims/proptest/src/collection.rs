@@ -1,0 +1,105 @@
+//! Collection strategies (`prop::collection` subset).
+
+use std::collections::BTreeSet;
+
+use rand::prelude::*;
+
+use crate::strategy::Strategy;
+
+/// A size specification for collection strategies.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n + 1 }
+    }
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.min..self.max)
+    }
+}
+
+/// `Vec` strategy: `size`-many samples of `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// `BTreeSet` strategy: distinct samples of `element`. If the element
+/// domain is too small to reach the drawn size, the set is returned at the
+/// size reachable within a bounded number of attempts (the real crate
+/// similarly gives up on duplicates).
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn sample(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+        let target = self.size.sample(rng);
+        let mut out = BTreeSet::new();
+        let mut attempts = 0usize;
+        while out.len() < target && attempts < target * 20 + 20 {
+            out.insert(self.element.sample(rng));
+            attempts += 1;
+        }
+        out
+    }
+}

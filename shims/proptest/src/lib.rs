@@ -1,0 +1,213 @@
+//! Offline drop-in replacement for the subset of `proptest` this workspace
+//! uses. The build container has no crates.io access, so the workspace
+//! resolves `proptest` to this shim by path (see the root `Cargo.toml`).
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case reports its case index and seed
+//!   instead of a minimal counterexample;
+//! * strategies are sampled with the workspace `rand` shim, seeded
+//!   deterministically from the test-function name, so failures reproduce
+//!   across runs;
+//! * the string strategy understands only the patterns this workspace uses
+//!   (`.{a,b}`-style length-bounded arbitrary text) rather than full regex.
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+
+pub use strategy::{any, Arbitrary, Just, Strategy};
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Per-`proptest!` block configuration. Only `cases` is honoured.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default is 256; the shim keeps it and lets
+        // PROPTEST_CASES override for quick local runs.
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::prelude::{SeedableRng, StdRng};
+
+    /// Deterministic per-test seed: FNV-1a over the test path.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+
+    /// Runs one sampled case, decorating any panic with enough context to
+    /// reproduce (no shrinking in the shim).
+    pub fn run_case(name: &str, case: u32, seed: u64, body: impl FnOnce()) {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+        if let Err(payload) = result {
+            eprintln!(
+                "proptest shim: property `{name}` failed on case {case} \
+                 (seed {seed:#x}); rerun reproduces it deterministically"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// The `proptest!` block: expands each `fn name(x in strategy, ..) { .. }`
+/// into a plain `#[test]` (the `#[test]` attribute is part of the input and
+/// is re-emitted) that samples and runs `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let __seed = $crate::__rt::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            let mut __rng =
+                <$crate::__rt::StdRng as $crate::__rt::SeedableRng>::seed_from_u64(__seed);
+            for __case in 0..__cfg.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                $crate::__rt::run_case(stringify!($name), __case, __seed, move || $body);
+            }
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+/// Weighted or unweighted choice among same-valued strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(($weight as u32, ::std::boxed::Box::new($strat) as _)),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof!($(1 => $strat),+)
+    };
+}
+
+/// Property assertion; the shim maps it to a plain panic (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Sampled integers stay in range.
+        #[test]
+        fn ranges_respected(a in 3u8..17, b in -5i64..=5, f in 0.0f64..1.0) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-5..=5).contains(&b));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        /// Vec strategy respects the size range and element strategy.
+        #[test]
+        fn vec_strategy(v in prop::collection::vec(0u32..10, 2..8)) {
+            prop_assert!((2..8).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        /// Tuple + map + flat_map compose.
+        #[test]
+        fn combinators(
+            pair in (0u8..4, 10u8..20).prop_map(|(a, b)| (b, a)),
+            dep in (1usize..5).prop_flat_map(|n| prop::collection::vec(Just(7u8), n..n + 1)),
+        ) {
+            prop_assert!(pair.0 >= 10 && pair.1 < 4);
+            prop_assert!(!dep.is_empty() && dep.iter().all(|&x| x == 7));
+        }
+
+        /// Weighted oneof only produces arm values.
+        #[test]
+        fn oneof(v in prop_oneof![3 => Just(1u8), 1 => Just(2u8)]) {
+            prop_assert!(v == 1u8 || v == 2u8);
+        }
+
+        /// String pattern strategy bounds the char length.
+        #[test]
+        fn string_pattern(s in ".{0,12}") {
+            prop_assert!(s.chars().count() <= 12);
+        }
+
+        /// btree_set yields distinct ordered values within the size cap.
+        #[test]
+        fn btree_set(s in prop::collection::btree_set(0u32..100, 1..10)) {
+            prop_assert!(!s.is_empty() && s.len() < 10);
+        }
+
+        /// select picks from the given options.
+        #[test]
+        fn select(v in prop::sample::select(vec!["a", "b", "c"])) {
+            prop_assert!(["a", "b", "c"].contains(&v));
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_across_calls() {
+        assert_eq!(crate::__rt::seed_for("x::y"), crate::__rt::seed_for("x::y"));
+        assert_ne!(crate::__rt::seed_for("x::y"), crate::__rt::seed_for("x::z"));
+    }
+}

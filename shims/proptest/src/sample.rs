@@ -1,0 +1,22 @@
+//! Sampling strategies over explicit option lists (`prop::sample` subset).
+
+use rand::prelude::*;
+
+use crate::strategy::Strategy;
+
+/// Uniformly selects one of the given options.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select over an empty option list");
+    Select { options }
+}
+
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        self.options[rng.gen_range(0..self.options.len())].clone()
+    }
+}

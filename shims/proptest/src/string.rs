@@ -1,0 +1,41 @@
+//! String strategies from pattern literals.
+//!
+//! The real proptest compiles any regex into a generator. The shim
+//! understands the shape this workspace actually uses — `.{min,max}`
+//! (length-bounded arbitrary text) — and degrades to bounded arbitrary
+//! ASCII for any other pattern, which keeps "never panics on arbitrary
+//! input" fuzz properties meaningful.
+
+use rand::prelude::*;
+
+use crate::strategy::Strategy;
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut StdRng) -> String {
+        let (min, max) = parse_dot_repetition(self).unwrap_or((0, 40));
+        let len = rng.gen_range(min..=max);
+        (0..len).map(|_| arbitrary_char(rng)).collect()
+    }
+}
+
+/// Parses exactly `.{min,max}` (the workspace's only pattern shape).
+fn parse_dot_repetition(pattern: &str) -> Option<(usize, usize)> {
+    let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = rest.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+/// A character mix that stresses lexers: mostly printable ASCII, with
+/// whitespace, quotes, and multi-byte Unicode sprinkled in.
+fn arbitrary_char(rng: &mut StdRng) -> char {
+    match rng.gen_range(0u8..10) {
+        0 => *['\'', '"', '(', ')', ',', '.', '=', '{', '}']
+            .choose(rng)
+            .unwrap(),
+        1 => *[' ', '\t', '\n', '\r'].choose(rng).unwrap(),
+        2 => *['é', 'ß', '→', '日', '💥', '\u{0}'].choose(rng).unwrap(),
+        _ => rng.gen_range(0x20u32..0x7f).try_into().unwrap(),
+    }
+}

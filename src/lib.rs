@@ -27,16 +27,18 @@
 //! | [`ql`] | `dc-ql` | the small aggregate-query language (`SUM WHERE … GROUP BY …`) |
 //! | [`mview`] | `dc-mview` | materialized group-by views (the static §2 baseline) |
 //! | [`durable`] | `dc-durable` | write-ahead log, checkpoints, crash recovery |
+//! | [`serve`] | `dc-serve` | sharded concurrent serving engine + dc-ql TCP front-end |
 
 pub use dc_bitmap as bitmap;
 pub use dc_common as common;
+pub use dc_durable as durable;
 pub use dc_hierarchy as hierarchy;
 pub use dc_mds as mds;
-pub use dc_durable as durable;
 pub use dc_mview as mview;
 pub use dc_ql as ql;
 pub use dc_query as query;
 pub use dc_scan as scan;
+pub use dc_serve as serve;
 pub use dc_storage as storage;
 pub use dc_tpcd as tpcd;
 pub use dc_tree as tree;
@@ -48,6 +50,7 @@ pub use dc_common::{
 };
 pub use dc_hierarchy::{ConceptHierarchy, CubeSchema, HierarchySchema, Record};
 pub use dc_mds::{DimSet, Mds};
+pub use dc_serve::{EngineConfig, PartitionPolicy, ShardedDcTree};
 pub use dc_tree::{DcTree, DcTreeConfig};
 
 use parking_lot::RwLock;
@@ -66,7 +69,9 @@ pub struct ConcurrentDcTree {
 impl ConcurrentDcTree {
     /// Wraps a tree.
     pub fn new(tree: DcTree) -> Self {
-        ConcurrentDcTree { inner: RwLock::new(tree) }
+        ConcurrentDcTree {
+            inner: RwLock::new(tree),
+        }
     }
 
     /// Inserts a raw record under the write lock.

@@ -13,7 +13,11 @@ fn concurrent_reads_and_writes_never_observe_torn_state() {
     let data = generate(&TpcdConfig::scaled(2000, 1));
     let tree = Arc::new(ConcurrentDcTree::new(DcTree::new(
         data.schema.clone(),
-        DcTreeConfig { dir_capacity: 8, data_capacity: 16, ..DcTreeConfig::default() },
+        DcTreeConfig {
+            dir_capacity: 8,
+            data_capacity: 16,
+            ..DcTreeConfig::default()
+        },
     )));
     let stop = Arc::new(AtomicBool::new(false));
     let schema = Arc::new(data.schema.clone());
@@ -41,8 +45,11 @@ fn concurrent_reads_and_writes_never_observe_torn_state() {
                     // COUNT over everything must equal the record count the
                     // same snapshot reports — a torn read would break this.
                     let len = tree.len();
-                    assert!(summary.count <= len || summary.count >= len.saturating_sub(1),
-                        "count {} vs len {len}", summary.count);
+                    assert!(
+                        summary.count <= len || summary.count >= len.saturating_sub(1),
+                        "count {} vs len {len}",
+                        summary.count
+                    );
                     observations += 1;
                 }
                 observations
@@ -68,10 +75,7 @@ fn concurrent_reads_and_writes_never_observe_torn_state() {
 #[test]
 fn crossbeam_scoped_mixed_workload() {
     let data = generate(&TpcdConfig::scaled(1200, 2));
-    let tree = ConcurrentDcTree::new(DcTree::new(
-        data.schema.clone(),
-        DcTreeConfig::default(),
-    ));
+    let tree = ConcurrentDcTree::new(DcTree::new(data.schema.clone(), DcTreeConfig::default()));
     let (first_half, second_half) = data.records.split_at(data.records.len() / 2);
     for r in first_half {
         tree.insert(r.clone()).unwrap();
@@ -102,8 +106,7 @@ fn crossbeam_scoped_mixed_workload() {
     })
     .unwrap();
 
-    let expected =
-        first_half.len() - first_half.iter().step_by(5).count() + second_half.len();
+    let expected = first_half.len() - first_half.iter().step_by(5).count() + second_half.len();
     assert_eq!(tree.len() as usize, expected);
     tree.with_read(|t| t.check_invariants()).unwrap();
 }

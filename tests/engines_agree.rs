@@ -21,11 +21,19 @@ fn build_engines(lineitems: usize, seed: u64) -> Engines {
     let data = generate(&TpcdConfig::scaled(lineitems, seed));
     let mut dc = DcTree::new(
         data.schema.clone(),
-        DcTreeConfig { dir_capacity: 8, data_capacity: 16, ..DcTreeConfig::default() },
+        DcTreeConfig {
+            dir_capacity: 8,
+            data_capacity: 16,
+            ..DcTreeConfig::default()
+        },
     );
     let mut x = XTree::new(
         data.schema.num_flat_axes(),
-        XTreeConfig { dir_capacity: 8, data_capacity: 16, ..XTreeConfig::default() },
+        XTreeConfig {
+            dir_capacity: 8,
+            data_capacity: 16,
+            ..XTreeConfig::default()
+        },
     );
     let mut scan = FlatTable::for_schema(BlockConfig::DEFAULT, &data.schema);
     for r in &data.records {
@@ -135,7 +143,10 @@ fn dc_tree_persistence_survives_tpcd_load() {
     let mut gen = RangeQueryGen::new(0.05, ValuePick::ContiguousRun, 10);
     for _ in 0..20 {
         let q = gen.generate(&e.data.schema);
-        assert_eq!(loaded.range_summary(&q).unwrap(), e.dc.range_summary(&q).unwrap());
+        assert_eq!(
+            loaded.range_summary(&q).unwrap(),
+            e.dc.range_summary(&q).unwrap()
+        );
     }
 }
 
@@ -197,13 +208,20 @@ fn bulk_loaded_tree_agrees_with_all_engines() {
     let e = build_engines(1500, 41);
     let mut bulk = DcTree::new(
         e.data.schema.clone(),
-        DcTreeConfig { dir_capacity: 8, data_capacity: 16, ..DcTreeConfig::default() },
+        DcTreeConfig {
+            dir_capacity: 8,
+            data_capacity: 16,
+            ..DcTreeConfig::default()
+        },
     );
     bulk.bulk_insert(e.data.records.clone()).unwrap();
     bulk.check_invariants().unwrap();
     let mut gen = RangeQueryGen::new(0.05, ValuePick::ContiguousRun, 15);
     for _ in 0..30 {
         let q = gen.generate(&e.data.schema);
-        assert_eq!(bulk.range_summary(&q).unwrap(), e.dc.range_summary(&q).unwrap());
+        assert_eq!(
+            bulk.range_summary(&q).unwrap(),
+            e.dc.range_summary(&q).unwrap()
+        );
     }
 }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Runs the test suite under ThreadSanitizer (requires a nightly toolchain
+# with rust-src). The serving engine's writer threads, epoch snapshot
+# publication, and parallel scatter-gather are the interesting targets:
+#
+#   ./tsan.sh -p dc-serve
+#
+# Any extra arguments are forwarded to `cargo test`.
+set -euo pipefail
+
+if [ "$(uname)" == "Darwin" ]; then
+    TARGET=x86_64-apple-darwin
+else
+    TARGET=x86_64-unknown-linux-gnu
+fi
+
+RUSTFLAGS="-Z sanitizer=thread" \
+RUSTDOCFLAGS="-Z sanitizer=thread" \
+RUST_TEST_THREADS=1 \
+    cargo +nightly test -Z build-std --target "$TARGET" "$@"
