@@ -1,0 +1,41 @@
+//! # dc-cache — a hierarchy-aware semantic aggregate cache
+//!
+//! Dashboard-style OLAP workloads hammer a small set of roll-up queries
+//! while trickle loads mutate the cube underneath them. This crate caches
+//! *normalized query MDSs* → materialized
+//! [`MeasureSummary`](dc_common::MeasureSummary) aggregates for the serving
+//! engine, with three properties a plain result-LRU lacks:
+//!
+//! 1. **Semantic reuse.** An exact hit answers immediately; failing that, a
+//!    cached entry whose MDS is *contained* by the query (the sound Fig. 7
+//!    direction — see [`semantic`]) contributes its summary wholesale, and
+//!    only the disjoint remainder descends the tree.
+//! 2. **Write-through delta maintenance.** Inserts and deletes *patch*
+//!    affected entries through a per-(dimension, value) inverted index and
+//!    the concept-hierarchy ancestor mapping, instead of blanket
+//!    invalidation. SUM/COUNT are always exact; MIN/MAX are degraded only
+//!    when a delete removes the extremum itself.
+//! 3. **Cost-aware eviction.** Victims minimize pages-saved × hit-count
+//!    discounted by recency, so an expensive roll-up the dashboard refreshes
+//!    every few seconds outlives a cheap point query from an hour ago.
+//!
+//! ## Consistency with snapshot publication
+//!
+//! The serving engine publishes per-shard snapshots epoch-atomically; the
+//! cache must never serve an answer a bypassing query could not have seen.
+//! [`SharedCache`] therefore couples a publish *version* to the engine's
+//! snapshot swaps: writers call [`SharedCache::publish`], which applies
+//! their [`CacheDelta`] batch **and** swaps the snapshot while holding the
+//! cache lock; query threads that miss record the version at lookup time
+//! and insert via [`SharedCache::insert_if_current`], which discards
+//! summaries computed against superseded snapshots.
+
+#![warn(missing_docs)]
+
+mod cache;
+pub mod semantic;
+
+pub use cache::{
+    AggregateCache, ApplyStats, CacheConfig, CacheDelta, InnerLookup, InsertStats, Lookup,
+    SharedCache,
+};

@@ -1,0 +1,249 @@
+//! Property tests pinning the semantic-reuse identity: for random
+//! (cached entry ⊑ query) MDS pairs, the cached summary plus the summaries
+//! of the remainder terms must equal the full-descent answer — an exact
+//! partition, not a bound. The oracle is a plain scan over the record
+//! multiset, independent of both the cache and the DC-tree.
+
+use dc_cache::semantic::remainder_terms;
+use dc_cache::{AggregateCache, CacheConfig, InnerLookup};
+use dc_common::{DimensionId, Level, MeasureSummary, ValueId};
+use dc_hierarchy::{CubeSchema, HierarchySchema, Record};
+use dc_mds::{DimSet, Mds};
+use proptest::prelude::*;
+
+/// A fixed schema with a 3-level and a 2-level dimension, populated
+/// deterministically so strategies can index into it (same cube as the
+/// dc-mds property suite).
+fn schema() -> CubeSchema {
+    let mut s = CubeSchema::new(
+        vec![
+            HierarchySchema::new("X", vec!["A".into(), "B".into(), "C".into()]),
+            HierarchySchema::new("Y", vec!["P".into(), "Q".into()]),
+        ],
+        "m",
+    );
+    for a in 0..4 {
+        for b in 0..3 {
+            for c in 0..3 {
+                s.intern_record(
+                    &[
+                        vec![
+                            format!("a{a}"),
+                            format!("a{a}b{b}"),
+                            format!("a{a}b{b}c{c}"),
+                        ],
+                        vec![
+                            format!("p{}", (a + b) % 3),
+                            format!("p{}q{}", (a + b) % 3, c),
+                        ],
+                    ],
+                    0,
+                )
+                .unwrap();
+            }
+        }
+    }
+    s
+}
+
+/// Strategy: a random MDS over the fixed schema.
+fn mds(schema: &CubeSchema) -> impl Strategy<Value = Mds> {
+    let per_dim: Vec<_> = schema
+        .dims()
+        .map(|h| {
+            let top = h.top_level();
+            (0..=top as usize).prop_flat_map(move |level| {
+                let level = level as Level;
+                (Just(level), prop::collection::btree_set(0u32..64, 1..6))
+            })
+        })
+        .collect();
+    let counts: Vec<Vec<usize>> = schema
+        .dims()
+        .map(|h| (0..=h.top_level()).map(|l| h.num_values_at(l)).collect())
+        .collect();
+    per_dim.prop_map(move |dims| {
+        Mds::new(
+            dims.into_iter()
+                .enumerate()
+                .map(|(d, (level, picks))| {
+                    let count = counts[d][level as usize] as u32;
+                    let values: Vec<ValueId> = picks
+                        .into_iter()
+                        .map(|p| ValueId::new(level, p % count))
+                        .collect();
+                    DimSet::new(level, values)
+                })
+                .collect(),
+        )
+    })
+}
+
+/// Strategy: a random record multiset of the fixed schema.
+fn records(schema: &CubeSchema) -> impl Strategy<Value = Vec<Record>> {
+    let leaf_counts: Vec<u32> = schema.dims().map(|h| h.num_values_at(0) as u32).collect();
+    prop::collection::vec((any::<u32>(), any::<u32>(), -50i64..50), 0..60).prop_map(move |raw| {
+        raw.into_iter()
+            .map(|(x, y, m)| {
+                Record::new(
+                    vec![
+                        ValueId::new(0, x % leaf_counts[0]),
+                        ValueId::new(0, y % leaf_counts[1]),
+                    ],
+                    m,
+                )
+            })
+            .collect()
+    })
+}
+
+/// Derives an entry MDS *contained in* `query` from per-dimension seeds:
+/// push each dimension down `drop` levels (expanding through the
+/// hierarchy) and keep a seed-chosen non-empty subset of the expansion.
+fn contained_entry(schema: &CubeSchema, query: &Mds, seeds: &[(u8, u64)]) -> Mds {
+    let dims = query
+        .dims()
+        .enumerate()
+        .map(|(d, set)| {
+            let (drop, pick) = seeds[d];
+            let target = set.level().saturating_sub(drop % 3);
+            let h = schema.dim(DimensionId(d as u16));
+            let mut expanded: Vec<ValueId> = Vec::new();
+            for &v in set.values() {
+                expanded.extend(h.descendants_at(v, target).unwrap());
+            }
+            expanded.sort_unstable();
+            expanded.dedup();
+            let mut kept: Vec<ValueId> = expanded
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| pick >> (i % 64) & 1 == 1)
+                .map(|(_, &v)| v)
+                .collect();
+            if kept.is_empty() {
+                kept.push(expanded[pick as usize % expanded.len()]);
+            }
+            DimSet::new(target, kept)
+        })
+        .collect();
+    Mds::new(dims)
+}
+
+/// The scan oracle: the summary of every record the MDS selects.
+fn oracle(schema: &CubeSchema, q: &Mds, records: &[Record]) -> MeasureSummary {
+    let mut total = MeasureSummary::empty();
+    for r in records {
+        if q.contains_record(schema, r).unwrap() {
+            total.add(r.measure);
+        }
+    }
+    total
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// summary(query) == summary(entry) + Σ summary(remainder term): the
+    /// box-difference decomposition partitions the query exactly, for any
+    /// contained entry and any record multiset.
+    #[test]
+    fn semantic_reuse_equals_full_descent(
+        q in mds(&schema()),
+        seeds in prop::collection::vec((any::<u8>(), any::<u64>()), 2),
+        rs in records(&schema()),
+    ) {
+        let s = schema();
+        let entry = contained_entry(&s, &q, &seeds);
+        prop_assert!(entry.contained_in(&q, &s).unwrap(), "construction broke containment");
+        let terms = remainder_terms(&s, &q, &entry, 4096).unwrap()
+            .expect("budget large enough for the fixed schema");
+
+        let mut reused = oracle(&s, &entry, &rs);
+        for t in &terms {
+            // Terms must be disjoint from the entry and from each other —
+            // otherwise the merge double-counts.
+            prop_assert_eq!(t.overlap(&entry.adapt_to_levels(&s, &t.levels()).unwrap()), 0);
+            reused.merge(&oracle(&s, t, &rs));
+        }
+        prop_assert_eq!(reused, oracle(&s, &q, &rs));
+    }
+
+    /// The same identity through the cache itself: insert the entry with
+    /// its true summary, look the query up, and the assembled answer must
+    /// equal the oracle whichever arm the lookup takes.
+    #[test]
+    fn cache_lookup_answers_match_oracle(
+        q in mds(&schema()),
+        seeds in prop::collection::vec((any::<u8>(), any::<u64>()), 2),
+        rs in records(&schema()),
+    ) {
+        let s = schema();
+        let entry = contained_entry(&s, &q, &seeds);
+        let entry_summary = oracle(&s, &entry, &rs);
+        let mut cache = AggregateCache::new(CacheConfig::default());
+        cache.insert(entry.clone(), entry_summary, 1);
+
+        let want = oracle(&s, &q, &rs);
+        match cache.lookup(&s, &q, true).unwrap() {
+            InnerLookup::Hit(got) => prop_assert_eq!(got, want),
+            InnerLookup::Semantic { base, exact_extrema, remainders } => {
+                prop_assert!(exact_extrema);
+                let mut got = base;
+                for t in &remainders {
+                    got.merge(&oracle(&s, t, &rs));
+                }
+                prop_assert_eq!(got, want);
+            }
+            // Only legitimate when the entry covers nothing (the lookup
+            // skips empty entries — nothing to reuse).
+            InnerLookup::Miss => prop_assert!(entry_summary.is_empty()),
+        }
+    }
+
+    /// Write-through patching keeps exact-hit answers equal to a rescan of
+    /// the mutated multiset (while extrema stay valid).
+    #[test]
+    fn patched_entries_match_rescan(
+        q in mds(&schema()),
+        rs in records(&schema()),
+        extra in records(&schema()),
+    ) {
+        use dc_cache::CacheDelta;
+        let s = schema();
+        let mut cache = AggregateCache::new(CacheConfig::default());
+        cache.insert(q.clone(), oracle(&s, &q, &rs), 1);
+
+        let mut live: Vec<Record> = rs.clone();
+        let mut deltas = Vec::new();
+        for (i, r) in extra.iter().enumerate() {
+            if i % 3 == 0 && !live.is_empty() {
+                let victim = live.remove(i % live.len());
+                deltas.push(CacheDelta { record: victim, delete: true });
+            } else {
+                live.push(r.clone());
+                deltas.push(CacheDelta { record: r.clone(), delete: false });
+            }
+        }
+        cache.apply_deltas(&s, &deltas);
+
+        let want = oracle(&s, &q, &live);
+        match cache.lookup(&s, &q, false).unwrap() {
+            InnerLookup::Hit(got) => {
+                // Sum and count are always patched exactly; extrema only
+                // when no delete touched them (then the full summary holds).
+                prop_assert_eq!(got.sum, want.sum);
+                prop_assert_eq!(got.count, want.count);
+            }
+            other => {
+                let kind = match other {
+                    InnerLookup::Semantic { .. } => "semantic",
+                    _ => "miss",
+                };
+                prop_assert!(false, "exact entry disappeared: {}", kind);
+            }
+        }
+        if let InnerLookup::Hit(got) = cache.lookup(&s, &q, true).unwrap() {
+            prop_assert_eq!(got, want, "extrema-valid hit must be the full truth");
+        }
+    }
+}

@@ -267,6 +267,34 @@ impl ConceptHierarchy {
         Ok(id)
     }
 
+    /// All descendants of `id` on `level` (in ID order); `id` itself when
+    /// `level == id.level()`. The downward mate of [`ancestor_at`]
+    /// (Self::ancestor_at): `d ∈ descendants_at(v, l)` iff
+    /// `ancestor_at(d, v.level()) == v`. Used by the aggregate cache to
+    /// expand a coarse query down to a cached entry's relevant level.
+    ///
+    /// Errors when `level > id.level()` (that direction is `ancestor_at`).
+    pub fn descendants_at(&self, id: ValueId, level: Level) -> DcResult<Vec<ValueId>> {
+        if level > id.level() {
+            return Err(DcError::BadLevel {
+                dim: self.dim,
+                id,
+                requested: level,
+            });
+        }
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(v) = stack.pop() {
+            if v.level() == level {
+                out.push(v);
+            } else {
+                stack.extend(self.children(v)?.iter().copied());
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
     /// All leaf-level descendants of `id` (in ID order). `id` itself if it is
     /// a leaf. Used by the sequential-scan baseline and for tests.
     pub fn leaves_under(&self, id: ValueId) -> DcResult<Vec<ValueId>> {

@@ -151,6 +151,36 @@ impl DimSet {
         self.values = merged;
     }
 
+    /// `d_i \ e_i` for two sets on the same level: the values of `self`
+    /// absent from `other`. Linear merge over the sorted value vectors.
+    pub fn difference(&self, other: &DimSet) -> DimSet {
+        debug_assert_eq!(self.level, other.level, "difference requires equal levels");
+        let mut values = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.values.len() {
+            if j >= other.values.len() {
+                values.extend_from_slice(&self.values[i..]);
+                break;
+            }
+            use std::cmp::Ordering::*;
+            match self.values[i].cmp(&other.values[j]) {
+                Less => {
+                    values.push(self.values[i]);
+                    i += 1;
+                }
+                Greater => j += 1,
+                Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        DimSet {
+            level: self.level,
+            values,
+        }
+    }
+
     /// Subset test for two sets on the same level.
     pub fn is_subset_of(&self, other: &DimSet) -> bool {
         debug_assert_eq!(self.level, other.level, "subset requires equal levels");
@@ -310,6 +340,19 @@ mod tests {
         assert!(leaves.overlaps(&japan, &h).unwrap());
         // Symmetric.
         assert!(japan.overlaps(&leaves, &h).unwrap());
+    }
+
+    #[test]
+    fn difference_is_sorted_complement() {
+        let h = hierarchy();
+        let (c0, c1, c2) = (leaf(&h, "c0"), leaf(&h, "c1"), leaf(&h, "c2"));
+        let a = DimSet::new(0, vec![c0, c1, c2]);
+        let b = DimSet::new(0, vec![c1]);
+        assert_eq!(a.difference(&b).values(), &[c0, c2]);
+        assert!(b.difference(&a).is_empty());
+        assert_eq!(a.difference(&a).len(), 0);
+        let empty = a.difference(&a);
+        assert_eq!(a.difference(&empty).values(), a.values());
     }
 
     #[test]

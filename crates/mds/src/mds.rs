@@ -13,7 +13,7 @@ use crate::dimset::DimSet;
 /// * one [`DimSet`] per cube dimension, in dimension order;
 /// * within a dimension all values are on the set's relevant level;
 /// * sets are sorted and deduplicated.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Mds {
     dims: Vec<DimSet>,
 }

@@ -97,6 +97,80 @@ impl RangeQueryGen {
     }
 }
 
+/// A Zipf-skewed *popularity* mix over a fixed pool of query templates —
+/// the dashboard workload shape: a handful of roll-ups asked over and over,
+/// a long tail asked rarely.
+///
+/// The §5.2 generator draws every query fresh, so no two queries repeat and
+/// a result cache can never hit. Real serving workloads are the opposite:
+/// popularity is heavily skewed. This mix draws *which* template to ask
+/// from a Zipf distribution (template at popularity rank `r` has weight
+/// `1/(r+1)^θ`), so `θ = 0` degenerates to uniform choice and `θ ≈ 1` gives
+/// the classic hot-head/long-tail shape. Sampling is inverse-CDF over the
+/// precomputed cumulative weights; draws are deterministic per seed.
+#[derive(Debug)]
+pub struct ZipfQueryMix {
+    templates: Vec<Mds>,
+    cdf: Vec<f64>,
+    rng: StdRng,
+}
+
+impl ZipfQueryMix {
+    /// Builds a mix over `templates` (index = popularity rank: `templates[0]`
+    /// is the hottest) with skew `theta >= 0`.
+    ///
+    /// # Panics
+    /// Panics when `templates` is empty or `theta` is negative/non-finite.
+    pub fn new(templates: Vec<Mds>, theta: f64, seed: u64) -> Self {
+        assert!(!templates.is_empty(), "need at least one query template");
+        assert!(
+            theta >= 0.0 && theta.is_finite(),
+            "theta must be finite and non-negative, got {theta}"
+        );
+        let mut acc = 0.0;
+        let cdf = (0..templates.len())
+            .map(|rank| {
+                acc += 1.0 / ((rank + 1) as f64).powf(theta);
+                acc
+            })
+            .collect();
+        ZipfQueryMix {
+            templates,
+            cdf,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Builds the template pool with `gen` (one fresh §5.2 query per
+    /// template) and wraps it in a Zipf mix.
+    pub fn generate(
+        schema: &CubeSchema,
+        num_templates: usize,
+        theta: f64,
+        gen: &mut RangeQueryGen,
+        seed: u64,
+    ) -> Self {
+        let templates = (0..num_templates).map(|_| gen.generate(schema)).collect();
+        ZipfQueryMix::new(templates, theta, seed)
+    }
+
+    /// Draws the next query by popularity (repeat draws return the *same*
+    /// template MDS — that repetition is what a semantic cache feeds on).
+    /// Not an [`Iterator`]: the borrow is tied to the mix, and draws never end.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> &Mds {
+        let total = *self.cdf.last().expect("non-empty cdf");
+        let x = self.rng.gen::<f64>() * total;
+        let idx = self.cdf.partition_point(|&c| c < x);
+        &self.templates[idx.min(self.templates.len() - 1)]
+    }
+
+    /// The template pool, hottest first.
+    pub fn templates(&self) -> &[Mds] {
+        &self.templates
+    }
+}
+
 /// Converts a range MDS into the enclosing MBR over the flat-axis space the
 /// X-tree indexes (§5.2's range_mds → range_mbr conversion).
 ///
@@ -212,5 +286,63 @@ mod tests {
     #[should_panic(expected = "selectivity")]
     fn zero_selectivity_rejected() {
         let _ = RangeQueryGen::new(0.0, ValuePick::ContiguousRun, 0);
+    }
+
+    #[test]
+    fn zipf_mix_skews_towards_low_ranks() {
+        let data = generate(&TpcdConfig::scaled(1000, 3));
+        let mut g = RangeQueryGen::new(0.05, ValuePick::ContiguousRun, 10);
+        let mut mix = ZipfQueryMix::generate(&data.schema, 32, 1.0, &mut g, 11);
+        let hottest = mix.templates()[0].clone();
+        let mut head = 0usize;
+        let draws = 2000;
+        for _ in 0..draws {
+            if *mix.next() == hottest {
+                head += 1;
+            }
+        }
+        // Rank 0 carries 1/H_32 ≈ 25% of the mass at θ=1; uniform would
+        // give ~3%. Assert well above uniform, well below certainty.
+        assert!(
+            (draws / 8..draws / 2).contains(&head),
+            "hottest template drawn {head}/{draws} times"
+        );
+    }
+
+    #[test]
+    fn zipf_mix_is_deterministic_and_reuses_templates() {
+        let data = generate(&TpcdConfig::scaled(500, 6));
+        let mut g1 = RangeQueryGen::new(0.05, ValuePick::ContiguousRun, 12);
+        let mut g2 = RangeQueryGen::new(0.05, ValuePick::ContiguousRun, 12);
+        let mut a = ZipfQueryMix::generate(&data.schema, 16, 0.9, &mut g1, 13);
+        let mut b = ZipfQueryMix::generate(&data.schema, 16, 0.9, &mut g2, 13);
+        let mut repeats = 0usize;
+        let mut seen: Vec<Mds> = Vec::new();
+        for _ in 0..200 {
+            let qa = a.next().clone();
+            assert_eq!(&qa, b.next());
+            if seen.contains(&qa) {
+                repeats += 1;
+            } else {
+                seen.push(qa);
+            }
+        }
+        assert!(repeats > 100, "only {repeats}/200 draws were repeats");
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_roughly_uniform() {
+        let data = generate(&TpcdConfig::scaled(500, 8));
+        let mut g = RangeQueryGen::new(0.05, ValuePick::ContiguousRun, 14);
+        let mut mix = ZipfQueryMix::generate(&data.schema, 4, 0.0, &mut g, 15);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            let q = mix.next().clone();
+            let idx = mix.templates().iter().position(|t| *t == q).unwrap();
+            counts[idx] += 1;
+        }
+        for c in counts {
+            assert!((600..1400).contains(&c), "uniform draw counts: {counts:?}");
+        }
     }
 }

@@ -11,6 +11,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use dc_cache::{CacheConfig, CacheDelta, Lookup, SharedCache};
 use dc_common::{
     AggregateOp, DcError, DcResult, DimensionId, Level, Measure, MeasureSummary, ValueId,
 };
@@ -72,6 +73,12 @@ pub struct EngineConfig {
     /// only when spare cores exist, which is why the default follows
     /// [`std::thread::available_parallelism`].
     pub parallel_queries: bool,
+    /// `Some` puts a hierarchy-aware aggregate cache (`dc-cache`) in front
+    /// of the scatter-gather path: exact and contained (semantic) hits skip
+    /// some or all shard descents, and shard writers patch cached summaries
+    /// in place as part of snapshot publication. `None` disables caching —
+    /// every query descends the shards (the uncached baseline).
+    pub cache: Option<CacheConfig>,
 }
 
 impl Default for EngineConfig {
@@ -85,6 +92,7 @@ impl Default for EngineConfig {
             parallel_queries: std::thread::available_parallelism()
                 .map(|p| p.get() > 1)
                 .unwrap_or(false),
+            cache: Some(CacheConfig::default()),
         }
     }
 }
@@ -123,6 +131,7 @@ pub struct ShardedDcTree {
     metrics: Arc<EngineMetrics>,
     policy: PartitionPolicy,
     parallel_queries: bool,
+    cache: Option<Arc<SharedCache>>,
     wal: Option<Mutex<WalWriter>>,
     wal_sync: bool,
 }
@@ -143,6 +152,7 @@ impl ShardedDcTree {
         }
         let catalog = Arc::new(SchemaCatalog::new(schema.clone()));
         let metrics = Arc::new(EngineMetrics::new(config.num_shards));
+        let cache = config.cache.map(|c| Arc::new(SharedCache::new(c)));
         let mut shards = Vec::with_capacity(config.num_shards);
         for shard_id in 0..config.num_shards {
             let tree = DcTree::new(schema.clone(), config.tree);
@@ -156,6 +166,7 @@ impl ShardedDcTree {
                 Arc::clone(&catalog),
                 Arc::clone(&metrics),
                 config.batch_size,
+                cache.clone(),
             );
             shards.push(Shard {
                 tx: Mutex::new(Some(tx)),
@@ -169,6 +180,7 @@ impl ShardedDcTree {
             metrics,
             policy: config.policy,
             parallel_queries: config.parallel_queries,
+            cache,
             wal: None,
             wal_sync: false,
         };
@@ -398,17 +410,114 @@ impl ShardedDcTree {
     // Queries (scatter-gather over snapshots)
     // ------------------------------------------------------------------
 
-    /// The merged summary of all records inside `range`, across shards.
+    /// The merged summary of all records inside `range`, across shards —
+    /// answered from the aggregate cache when possible.
     pub fn range_summary(&self, range: &Mds) -> DcResult<MeasureSummary> {
         let t0 = Instant::now();
-        let parts = self.eval_shards(range, |snap, q| snap.range_summary(q))?;
-        let mut total = MeasureSummary::empty();
-        for part in &parts {
-            total.merge(part);
-        }
+        // A full summary exposes MIN/MAX, so delete-degraded cache entries
+        // may not serve it.
+        let total = self.cached_summary(range, true)?;
         self.metrics.queries.fetch_add(1, Relaxed);
         self.metrics.query_latency.record(t0.elapsed());
         Ok(total)
+    }
+
+    /// Answers `range` through the cache: exact hit → no descent; semantic
+    /// hit → descend only the remainder MDSs and merge onto the cached
+    /// base; miss → full descent. Computed summaries are inserted back
+    /// unless a snapshot publish intervened (the version check in
+    /// `dc-cache` — a summary computed from superseded snapshots must not
+    /// be cached).
+    ///
+    /// Lock order is catalog → cache here, and writers never hold the
+    /// catalog lock while publishing to the cache, so the two paths cannot
+    /// deadlock.
+    fn cached_summary(&self, range: &Mds, need_extrema: bool) -> DcResult<MeasureSummary> {
+        let Some(cache) = &self.cache else {
+            return Ok(self.descend(range)?.0);
+        };
+        let t0 = Instant::now();
+        let looked = self.catalog.with_schema(|schema| {
+            // Partial-width MDSs (fewer dims than the schema) bypass the
+            // cache: containment and delta matching assume full width.
+            if range.num_dims() != schema.num_dims() {
+                return Ok(None);
+            }
+            cache.lookup(schema, range, need_extrema).map(Some)
+        })?;
+        let cm = &self.metrics.cache;
+        cm.lookup_latency.record(t0.elapsed());
+        match looked {
+            None => Ok(self.descend(range)?.0),
+            Some(Lookup::Hit(summary)) => {
+                cm.hits.fetch_add(1, Relaxed);
+                Ok(summary)
+            }
+            Some(Lookup::Semantic {
+                base,
+                exact_extrema,
+                remainders,
+                version,
+            }) => {
+                cm.semantic_hits.fetch_add(1, Relaxed);
+                let mut total = base;
+                let mut pages = 0;
+                for term in &remainders {
+                    let (part, p) = self.descend(term)?;
+                    total.merge(&part);
+                    pages += p;
+                }
+                // Only an extrema-exact base yields a summary fit to cache.
+                if exact_extrema {
+                    self.note_insert(cache, version, range, total, pages);
+                }
+                Ok(total)
+            }
+            Some(Lookup::Miss { version }) => {
+                cm.misses.fetch_add(1, Relaxed);
+                let (total, pages) = self.descend(range)?;
+                self.note_insert(cache, version, range, total, pages);
+                Ok(total)
+            }
+        }
+    }
+
+    /// Scatter-gathers `range` over the shard snapshots, returning the
+    /// merged summary and the logical pages read by the descent (the
+    /// benefit a future cache hit reaps; measured from the shared snapshot
+    /// I/O counters, so concurrent queries make it a heuristic, not an
+    /// exact cost).
+    fn descend(&self, range: &Mds) -> DcResult<(MeasureSummary, u64)> {
+        let parts = self.eval_shards(range, |snap, q| {
+            let r0 = snap.io_stats().reads;
+            let summary = snap.range_summary(q)?;
+            Ok((summary, snap.io_stats().reads.saturating_sub(r0)))
+        })?;
+        let mut total = MeasureSummary::empty();
+        let mut pages = 0;
+        for (part, p) in &parts {
+            total.merge(part);
+            pages += p;
+        }
+        Ok((total, pages))
+    }
+
+    /// Inserts a freshly computed summary, updating the cache metrics.
+    fn note_insert(
+        &self,
+        cache: &SharedCache,
+        version: u64,
+        range: &Mds,
+        summary: MeasureSummary,
+        pages: u64,
+    ) {
+        let Some(stats) = cache.insert_if_current(version, range.clone(), summary, pages) else {
+            return;
+        };
+        let cm = &self.metrics.cache;
+        cm.insertions.fetch_add(1, Relaxed);
+        cm.evictions.fetch_add(stats.evictions, Relaxed);
+        cm.entries.store(stats.entries, Relaxed);
     }
 
     /// Evaluates `eval` against every relevant shard's snapshot — on scoped
@@ -464,9 +573,15 @@ impl ShardedDcTree {
     }
 
     /// One aggregate over `range` (`None` when the op is undefined on an
-    /// empty selection, e.g. `AVG`).
+    /// empty selection, e.g. `AVG`). SUM/COUNT/AVG tolerate cache entries
+    /// whose extrema were degraded by deletes; MIN/MAX do not.
     pub fn range_query(&self, range: &Mds, op: AggregateOp) -> DcResult<Option<f64>> {
-        Ok(self.range_summary(range)?.eval(op))
+        let t0 = Instant::now();
+        let need_extrema = matches!(op, AggregateOp::Min | AggregateOp::Max);
+        let total = self.cached_summary(range, need_extrema)?;
+        self.metrics.queries.fetch_add(1, Relaxed);
+        self.metrics.query_latency.record(t0.elapsed());
+        Ok(total.eval(op))
     }
 
     /// Grouped summaries at `(dim, level)` under `filter`, merged across
@@ -616,8 +731,10 @@ fn clip_to_schema(range: &Mds, schema: &CubeSchema) -> Option<Mds> {
 }
 
 /// Starts a shard's writer thread: drains its queue in batches, replays the
-/// catalog intern log up to each command's epoch, applies, then publishes a
-/// fresh snapshot.
+/// catalog intern log up to each command's epoch, applies (collecting cache
+/// deltas), then publishes a fresh snapshot — patching the aggregate cache
+/// atomically with the snapshot swap when a cache is configured.
+#[allow(clippy::too_many_arguments)]
 fn spawn_writer(
     shard_id: usize,
     mut tree: DcTree,
@@ -626,6 +743,7 @@ fn spawn_writer(
     catalog: Arc<SchemaCatalog>,
     metrics: Arc<EngineMetrics>,
     batch_size: usize,
+    cache: Option<Arc<SharedCache>>,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("dc-shard-{shard_id}"))
@@ -633,6 +751,7 @@ fn spawn_writer(
             let shard_metrics = &metrics.shards[shard_id];
             let mut replayed: u64 = 0;
             let mut pending_flushes: Vec<Sender<()>> = Vec::new();
+            let mut deltas: Vec<CacheDelta> = Vec::new();
             let mut shutting_down = false;
             'outer: loop {
                 // Block for the first command, then opportunistically drain
@@ -660,6 +779,7 @@ fn spawn_writer(
                         &mut mutated,
                         &mut pending_flushes,
                         &mut shutting_down,
+                        cache.is_some().then_some(&mut deltas),
                     );
                 }
                 if shutting_down {
@@ -675,11 +795,19 @@ fn spawn_writer(
                             &mut mutated,
                             &mut pending_flushes,
                             &mut shutting_down,
+                            cache.is_some().then_some(&mut deltas),
                         );
                     }
                 }
                 if mutated || !pending_flushes.is_empty() {
-                    publish(&tree, &snapshot, &metrics, shard_id);
+                    publish(
+                        &tree,
+                        &snapshot,
+                        &metrics,
+                        shard_id,
+                        cache.as_deref(),
+                        &mut deltas,
+                    );
                 }
                 for ack in pending_flushes.drain(..) {
                     let _ = ack.send(());
@@ -693,7 +821,10 @@ fn spawn_writer(
         .expect("spawn shard writer")
 }
 
-/// Applies one command inside a writer thread.
+/// Applies one command inside a writer thread. With a cache configured,
+/// `deltas` accumulates the record-level changes this batch made (deletes
+/// only when the shard tree actually held the record — a routed-away or
+/// already-removed record must not be subtracted from cached summaries).
 #[allow(clippy::too_many_arguments)]
 fn apply(
     cmd: Cmd,
@@ -705,12 +836,19 @@ fn apply(
     mutated: &mut bool,
     pending_flushes: &mut Vec<Sender<()>>,
     shutting_down: &mut bool,
+    deltas: Option<&mut Vec<CacheDelta>>,
 ) {
     let shard_metrics = &metrics.shards[shard_id];
     match cmd {
         Cmd::Insert { record, epoch } => {
             let t0 = Instant::now();
             replay_catalog(tree, catalog, replayed, epoch);
+            if let Some(deltas) = deltas {
+                deltas.push(CacheDelta {
+                    record: record.clone(),
+                    delete: false,
+                });
+            }
             tree.insert(record)
                 .expect("catalog-backed insert cannot fail");
             metrics.apply_latency.record(t0.elapsed());
@@ -723,7 +861,15 @@ fn apply(
             replay_catalog(tree, catalog, replayed, epoch);
             // A miss means the record never existed on this shard — the
             // documented no-op.
-            let _ = tree.delete(&record);
+            let removed = tree.delete(&record).unwrap_or(false);
+            if removed {
+                if let Some(deltas) = deltas {
+                    deltas.push(CacheDelta {
+                        record,
+                        delete: true,
+                    });
+                }
+            }
             metrics.apply_latency.record(t0.elapsed());
             shard_metrics.queue_depth.fetch_sub(1, Relaxed);
             shard_metrics.applied.fetch_add(1, Relaxed);
@@ -749,11 +895,17 @@ fn replay_catalog(tree: &mut DcTree, catalog: &SchemaCatalog, replayed: &mut u64
 }
 
 /// Publishes a fresh snapshot of the shard tree and updates its gauges.
+/// With a cache configured, the batch's deltas are applied to cached
+/// summaries and the snapshot is swapped *under the cache lock* (one
+/// version bump covers both), so a cached answer always corresponds to
+/// some published state a bypassing query could have seen.
 fn publish(
     tree: &DcTree,
     snapshot: &RwLock<Arc<DcTree>>,
     metrics: &EngineMetrics,
     shard_id: usize,
+    cache: Option<&SharedCache>,
+    deltas: &mut Vec<CacheDelta>,
 ) {
     let snap = Arc::new(tree.clone());
     let io = snap.io_stats();
@@ -764,5 +916,19 @@ fn publish(
     shard_metrics
         .snapshot_published_at
         .store(metrics.now_nanos().max(1), Relaxed);
-    *snapshot.write() = snap;
+    let swap = move || *snapshot.write() = snap;
+    match cache {
+        Some(cache) => {
+            // The shard tree has replayed the catalog through every epoch
+            // in this batch, so its schema resolves all delta values.
+            let (stats, ()) = cache.publish(tree.schema(), deltas, swap);
+            metrics.cache.patches.fetch_add(stats.patches, Relaxed);
+            metrics
+                .cache
+                .invalidations
+                .fetch_add(stats.invalidations, Relaxed);
+        }
+        None => swap(),
+    }
+    deltas.clear();
 }

@@ -66,6 +66,7 @@ pub mod protocol;
 pub mod server;
 
 pub use catalog::SchemaCatalog;
+pub use dc_cache::CacheConfig;
 pub use engine::{EngineConfig, PartitionPolicy, ShardedDcTree, WalOptions};
-pub use metrics::{EngineMetrics, LatencyHistogram};
+pub use metrics::{CacheMetrics, EngineMetrics, LatencyHistogram};
 pub use server::{serve, ServerConfig, ServerHandle};

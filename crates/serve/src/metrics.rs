@@ -97,6 +97,32 @@ pub struct ShardMetrics {
     pub io_writes: AtomicU64,
 }
 
+/// Aggregate-cache observability (`dc-cache`), updated by the query path
+/// (lookups, insertions) and the shard writers (delta maintenance).
+#[derive(Default)]
+pub struct CacheMetrics {
+    /// Exact cache hits (query answered without touching any shard).
+    pub hits: AtomicU64,
+    /// Semantic hits (a contained entry answered part of the query; only
+    /// the remainder descended the tree).
+    pub semantic_hits: AtomicU64,
+    /// Lookups that found nothing usable.
+    pub misses: AtomicU64,
+    /// Entries patched in place by write-through delta maintenance.
+    pub patches: AtomicU64,
+    /// Entries whose MIN/MAX were degraded (or that were dropped) because a
+    /// delete touched an extremum.
+    pub invalidations: AtomicU64,
+    /// Summaries inserted after a miss or semantic hit.
+    pub insertions: AtomicU64,
+    /// Entries evicted by the cost-aware policy.
+    pub evictions: AtomicU64,
+    /// Resident entries (gauge; updated on insertion).
+    pub entries: AtomicU64,
+    /// Time spent inside cache lookups (lock + probe + containment scan).
+    pub lookup_latency: LatencyHistogram,
+}
+
 /// Engine-wide metrics: totals, rates, latency histograms, per-shard
 /// gauges.
 pub struct EngineMetrics {
@@ -114,6 +140,8 @@ pub struct EngineMetrics {
     pub query_latency: LatencyHistogram,
     /// Time spent applying one record inside a writer thread.
     pub apply_latency: LatencyHistogram,
+    /// Aggregate-cache counters (all zero when the cache is disabled).
+    pub cache: CacheMetrics,
     /// One gauge block per shard.
     pub shards: Vec<ShardMetrics>,
 }
@@ -128,6 +156,7 @@ impl EngineMetrics {
             shard_visits: AtomicU64::new(0),
             query_latency: LatencyHistogram::new(),
             apply_latency: LatencyHistogram::new(),
+            cache: CacheMetrics::default(),
             shards: (0..num_shards).map(|_| ShardMetrics::default()).collect(),
         }
     }
@@ -191,6 +220,7 @@ impl EngineMetrics {
             "apply_latency_us",
             &latency_json(&self.apply_latency),
         );
+        push_kv(&mut s, "cache", &self.cache_json());
         s.push_str("\"shards\":[");
         for (i, sh) in self.shards.iter().enumerate() {
             if i > 0 {
@@ -219,6 +249,42 @@ impl EngineMetrics {
             s.push('}');
         }
         s.push_str("]}");
+        s
+    }
+
+    /// The `"cache"` sub-object of the STATS payload.
+    fn cache_json(&self) -> String {
+        let c = &self.cache;
+        let hits = c.hits.load(Relaxed);
+        let semantic = c.semantic_hits.load(Relaxed);
+        let misses = c.misses.load(Relaxed);
+        let lookups = hits + semantic + misses;
+        let mut s = String::with_capacity(256);
+        s.push('{');
+        push_kv(&mut s, "hits", &hits.to_string());
+        push_kv(&mut s, "semantic_hits", &semantic.to_string());
+        push_kv(&mut s, "misses", &misses.to_string());
+        push_kv(
+            &mut s,
+            "hit_rate",
+            &format!("{:.3}", (hits + semantic) as f64 / lookups.max(1) as f64),
+        );
+        push_kv(&mut s, "patches", &c.patches.load(Relaxed).to_string());
+        push_kv(
+            &mut s,
+            "invalidations",
+            &c.invalidations.load(Relaxed).to_string(),
+        );
+        push_kv(
+            &mut s,
+            "insertions",
+            &c.insertions.load(Relaxed).to_string(),
+        );
+        push_kv(&mut s, "evictions", &c.evictions.load(Relaxed).to_string());
+        push_kv(&mut s, "entries", &c.entries.load(Relaxed).to_string());
+        s.push_str("\"lookup_latency_us\":");
+        s.push_str(&latency_json(&c.lookup_latency));
+        s.push('}');
         s
     }
 }
@@ -265,6 +331,19 @@ mod tests {
         let h = LatencyHistogram::new();
         assert_eq!(h.quantile(0.99), Duration::ZERO);
         assert_eq!(h.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn stats_json_includes_cache_block() {
+        let m = EngineMetrics::new(1);
+        m.cache.hits.fetch_add(3, Relaxed);
+        m.cache.misses.fetch_add(1, Relaxed);
+        m.cache.patches.fetch_add(7, Relaxed);
+        let json = m.to_json();
+        assert!(json.contains("\"cache\":{\"hits\":3"));
+        assert!(json.contains("\"hit_rate\":0.750"));
+        assert!(json.contains("\"patches\":7"));
+        assert!(json.contains("\"lookup_latency_us\""));
     }
 
     #[test]

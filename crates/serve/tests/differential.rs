@@ -266,6 +266,120 @@ fn wal_recovery_restores_the_engine() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The aggregate cache must be answer-invisible: a cached engine, an
+/// uncached engine, and the monolith agree on *repeated* queries (the
+/// second ask is served from the cache) interleaved with concurrent
+/// inserts and deletes, under both partition policies.
+#[test]
+fn cached_engine_matches_uncached_and_monolith_across_writes() {
+    let data = tpcd();
+    for policy in [PartitionPolicy::Hash, region_policy(&data)] {
+        let mut mono = monolith(&data);
+        let cached = ShardedDcTree::new(data.schema.clone(), engine_config(policy)).unwrap();
+        let uncached = ShardedDcTree::new(
+            data.schema.clone(),
+            EngineConfig {
+                cache: None,
+                ..engine_config(policy)
+            },
+        )
+        .unwrap();
+        ingest_concurrently(&cached, &data, 4);
+        ingest_concurrently(&uncached, &data, 4);
+
+        let qs = queries(&data);
+        // First pass populates the cache; nothing to compare yet.
+        for q in &qs {
+            cached.range_summary(q).unwrap();
+        }
+        // Writes: delete every 5th record, re-insert every 7th with a
+        // flipped measure — cached entries must be patched, not stale.
+        for (i, r) in data.records.iter().enumerate() {
+            if i % 5 == 0 {
+                assert!(mono.delete(r).unwrap());
+                cached.delete_raw(&data.paths_for(r), r.measure).unwrap();
+                uncached.delete_raw(&data.paths_for(r), r.measure).unwrap();
+            }
+            if i % 7 == 0 {
+                let paths = data.paths_for(r);
+                mono.insert_raw(&paths, r.measure ^ 1).unwrap();
+                cached.insert_raw(&paths, r.measure ^ 1).unwrap();
+                uncached.insert_raw(&paths, r.measure ^ 1).unwrap();
+            }
+        }
+        cached.flush();
+        uncached.flush();
+
+        // Second pass: repeats served through patched cache entries (or
+        // recomputed after extremum invalidation) must equal both baselines.
+        for q in &qs {
+            let want = mono.range_summary(q).unwrap();
+            assert_eq!(
+                cached.range_summary(q).unwrap(),
+                want,
+                "cached mismatch under {policy:?} for {q:?}"
+            );
+            assert_eq!(
+                uncached.range_summary(q).unwrap(),
+                want,
+                "uncached mismatch under {policy:?} for {q:?}"
+            );
+            for op in AggregateOp::ALL {
+                assert_eq!(
+                    cached.range_query(q, op).unwrap(),
+                    mono.range_query(q, op).unwrap(),
+                    "cached {op} mismatch under {policy:?} for {q:?}"
+                );
+            }
+        }
+        let cm = &cached.metrics().cache;
+        let hits = cm.hits.load(std::sync::atomic::Ordering::Relaxed);
+        assert!(hits > 0, "repeat pass never hit the cache under {policy:?}");
+        cached.shutdown();
+        uncached.shutdown();
+    }
+}
+
+/// Deleting the record that carries a cached range's extremum degrades the
+/// entry's MIN/MAX (an invalidation), but every aggregate stays exact:
+/// SUM/COUNT/AVG keep serving from the patched entry, MIN/MAX recompute.
+#[test]
+fn extremum_deletes_invalidate_minmax_but_stay_exact() {
+    let data = tpcd();
+    let mut mono = monolith(&data);
+    let engine =
+        ShardedDcTree::new(data.schema.clone(), engine_config(PartitionPolicy::Hash)).unwrap();
+    ingest_concurrently(&engine, &data, 2);
+
+    let all = engine.with_schema(dc_mds::Mds::all);
+    engine.range_summary(&all).unwrap(); // cache the whole-cube entry
+
+    // Delete the records holding the global max until the extremum moves.
+    let max = mono.range_summary(&all).unwrap().max;
+    for r in data.records.iter().filter(|r| r.measure == max) {
+        assert!(mono.delete(r).unwrap());
+        engine.delete_raw(&data.paths_for(r), r.measure).unwrap();
+    }
+    engine.flush();
+
+    let want = mono.range_summary(&all).unwrap();
+    assert!(want.max < max, "extremum did not move");
+    for op in AggregateOp::ALL {
+        assert_eq!(
+            engine.range_query(&all, op).unwrap(),
+            mono.range_query(&all, op).unwrap(),
+            "{op} drifted after extremum delete"
+        );
+    }
+    assert_eq!(engine.range_summary(&all).unwrap(), want);
+    let invalidations = engine
+        .metrics()
+        .cache
+        .invalidations
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(invalidations > 0, "extremum delete was not counted");
+}
+
 #[test]
 fn queued_inserts_are_drained_on_shutdown() {
     let data = tpcd();

@@ -58,6 +58,9 @@ fn main() -> std::io::Result<()> {
     request("AVG WHERE Customer.Region IN ('EUROPE', 'ASIA') AND Time.Year = '1996'")?;
     request("SUM GROUP BY Customer.Region TOP 3")?;
     request("COUNT WHERE Time.Year = '1999'")?;
+    // Repeat a query: the second run is answered by the aggregate cache
+    // (see the cache counters printed below).
+    request("SUM WHERE Customer.Region = 'EUROPE'")?;
     request(
         "INSERT 500 EUROPE/GERMANY/BUILDING/Customer#000000001\
          |ASIA/JAPAN/Supplier#000000002\
@@ -66,7 +69,8 @@ fn main() -> std::io::Result<()> {
     )?;
     request("FLUSH")?;
     request("COUNT WHERE Time.Year = '1999'")?;
-    request("STATS")?;
+    let stats = request("STATS")?;
+    print_cache_counters(&stats);
 
     if let Some((engine, handle)) = hosted {
         request("SHUTDOWN")?;
@@ -75,4 +79,33 @@ fn main() -> std::io::Result<()> {
         println!("server stopped cleanly.");
     }
     Ok(())
+}
+
+/// Pulls the aggregate-cache counters out of the STATS JSON and prints
+/// them on their own lines (the full payload is one long line).
+fn print_cache_counters(stats: &str) {
+    println!("aggregate cache:");
+    for key in [
+        "hits",
+        "semantic_hits",
+        "misses",
+        "hit_rate",
+        "patches",
+        "invalidations",
+        "entries",
+    ] {
+        if let Some(v) = json_field(stats, key) {
+            println!("  {key:<14} {v}");
+        }
+    }
+}
+
+/// The raw value of `"key":` in a flat JSON rendering (no parser in the
+/// workspace; the STATS payload is machine-generated and regular).
+fn json_field<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = json.find(&needle)? + needle.len();
+    let rest = &json[start..];
+    let end = rest.find([',', '}', ']']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
 }

@@ -27,9 +27,11 @@
 //! | [`ql`] | `dc-ql` | the small aggregate-query language (`SUM WHERE … GROUP BY …`) |
 //! | [`mview`] | `dc-mview` | materialized group-by views (the static §2 baseline) |
 //! | [`durable`] | `dc-durable` | write-ahead log, checkpoints, crash recovery |
+//! | [`cache`] | `dc-cache` | semantic aggregate cache with write-through delta maintenance |
 //! | [`serve`] | `dc-serve` | sharded concurrent serving engine + dc-ql TCP front-end |
 
 pub use dc_bitmap as bitmap;
+pub use dc_cache as cache;
 pub use dc_common as common;
 pub use dc_durable as durable;
 pub use dc_hierarchy as hierarchy;

@@ -8,7 +8,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use dctree::serve::EngineConfig;
+use dctree::serve::{EngineConfig, PartitionPolicy};
 use dctree::{
     AggregateOp, CubeSchema, DcTree, DcTreeConfig, DimSet, DimensionId, HierarchySchema, Mds,
     ShardedDcTree,
@@ -145,4 +145,180 @@ fn writers_and_readers_race_then_agree_with_sequential_replay() {
             .expect("shard invariants");
     }
     engine.shutdown();
+}
+
+/// The same race with the aggregate cache in the line of fire and deletes
+/// in the stream, under both sharding policies: readers hammer a handful of
+/// sector roll-ups (so the cache serves repeats) while writers insert and
+/// then deleters remove a deterministic subset; the end state must match a
+/// sequential replay, per sector, with every value dynamically interned
+/// during the run.
+#[test]
+fn cached_rollups_race_writers_and_deleters_then_agree() {
+    const WRITERS: usize = 3;
+    const TRADES_PER_WRITER: usize = 1_200;
+
+    for policy in [
+        PartitionPolicy::Hash,
+        // Route by Instrument.Sector (level 1 of dimension 0).
+        PartitionPolicy::ByDimension {
+            dim: DimensionId(0),
+            level: 1,
+        },
+    ] {
+        let engine = Arc::new(
+            ShardedDcTree::new(
+                ticker_schema(),
+                EngineConfig {
+                    policy,
+                    ..EngineConfig::default()
+                },
+            )
+            .unwrap(),
+        );
+        let stop = Arc::new(AtomicBool::new(false));
+        let queries_run = Arc::new(AtomicU64::new(0));
+
+        // Readers: the dashboard shape — a small set of per-sector
+        // roll-ups, asked over and over, so repeats are served (and kept
+        // fresh) by the cache while the write stream mutates the cube.
+        let readers: Vec<_> = (0..2)
+            .map(|r| {
+                let engine = Arc::clone(&engine);
+                let stop = Arc::clone(&stop);
+                let queries_run = Arc::clone(&queries_run);
+                std::thread::spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(2000 + r as u64);
+                    while !stop.load(Ordering::Relaxed) {
+                        let q = {
+                            let schema = engine.schema();
+                            let inst = schema.dim(DimensionId(0));
+                            let sectors: Vec<_> = inst.values_at(1).collect();
+                            let sector = if sectors.is_empty() {
+                                inst.all()
+                            } else {
+                                sectors[rng.gen_range(0usize..sectors.len())]
+                            };
+                            Mds::new(vec![
+                                DimSet::singleton(sector),
+                                DimSet::singleton(schema.dim(DimensionId(1)).all()),
+                                DimSet::singleton(schema.dim(DimensionId(2)).all()),
+                            ])
+                        };
+                        let summary = engine.range_summary(&q).expect("query");
+                        if summary.count > 0 {
+                            assert!(summary.min <= summary.max);
+                            assert!(summary.sum >= summary.count as i64 * 1_000);
+                        }
+                        queries_run.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+
+        // Phase 1: writers race (dynamic interning — the schema starts
+        // with no values at all).
+        std::thread::scope(|s| {
+            for w in 0..WRITERS {
+                let engine = Arc::clone(&engine);
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(w as u64);
+                    for _ in 0..TRADES_PER_WRITER {
+                        let (paths, value) = trade(&mut rng);
+                        engine.insert_raw(&paths, value).expect("insert");
+                    }
+                });
+            }
+        });
+        engine.flush();
+
+        // Phase 2: deleters race the readers, removing every 3rd trade of
+        // each writer's stream (all present after the flush above).
+        std::thread::scope(|s| {
+            for w in 0..WRITERS {
+                let engine = Arc::clone(&engine);
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(w as u64);
+                    for i in 0..TRADES_PER_WRITER {
+                        let (paths, value) = trade(&mut rng);
+                        if i % 3 == 0 {
+                            engine.delete_raw(&paths, value).expect("delete");
+                        }
+                    }
+                });
+            }
+        });
+        engine.flush();
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().expect("reader");
+        }
+        assert!(queries_run.load(Ordering::Relaxed) > 0, "readers never ran");
+
+        // Sequential replay of the same stream.
+        let mut replay = DcTree::new(ticker_schema(), DcTreeConfig::default());
+        for w in 0..WRITERS {
+            let mut rng = StdRng::seed_from_u64(w as u64);
+            for _ in 0..TRADES_PER_WRITER {
+                let (paths, value) = trade(&mut rng);
+                replay.insert_raw(&paths, value).expect("replay insert");
+            }
+        }
+        for w in 0..WRITERS {
+            let mut rng = StdRng::seed_from_u64(w as u64);
+            for i in 0..TRADES_PER_WRITER {
+                let (paths, value) = trade(&mut rng);
+                if i % 3 == 0 {
+                    let record = replay
+                        .schema()
+                        .clone()
+                        .intern_record(&paths, value)
+                        .unwrap();
+                    assert!(replay.delete(&record).expect("replay delete"));
+                }
+            }
+        }
+
+        assert_eq!(engine.len(), replay.len(), "under {policy:?}");
+        assert_eq!(
+            engine.total_summary(),
+            replay.total_summary(),
+            "under {policy:?}"
+        );
+        // Per-sector equality by *name* (IDs may differ: concurrent writers
+        // interleave at the catalog, the replay interns sequentially).
+        let engine_schema = engine.schema();
+        for sector in SECTORS {
+            let per_engine = {
+                let v = engine_schema.dim(DimensionId(0)).lookup_path(&[sector]);
+                Mds::new(vec![
+                    DimSet::singleton(v.expect("sector interned")),
+                    DimSet::singleton(engine_schema.dim(DimensionId(1)).all()),
+                    DimSet::singleton(engine_schema.dim(DimensionId(2)).all()),
+                ])
+            };
+            let per_replay = {
+                let schema = replay.schema();
+                let v = schema.dim(DimensionId(0)).lookup_path(&[sector]);
+                Mds::new(vec![
+                    DimSet::singleton(v.expect("sector interned")),
+                    DimSet::singleton(schema.dim(DimensionId(1)).all()),
+                    DimSet::singleton(schema.dim(DimensionId(2)).all()),
+                ])
+            };
+            assert_eq!(
+                engine.range_summary(&per_engine).unwrap(),
+                replay.range_summary(&per_replay).unwrap(),
+                "sector {sector} drifted under {policy:?}"
+            );
+        }
+        // The cache must have both served repeats and absorbed deltas.
+        let cm = &engine.metrics().cache;
+        assert!(cm.hits.load(Ordering::Relaxed) > 0, "no cache hits");
+        assert!(
+            cm.patches.load(Ordering::Relaxed) + cm.invalidations.load(Ordering::Relaxed) > 0,
+            "writes never reached the cache"
+        );
+        engine.shutdown();
+    }
 }
