@@ -1,0 +1,87 @@
+//! CI bench-regression gate. Compares freshly produced bench reports
+//! against committed baselines and exits non-zero when any watched
+//! mean-latency value regressed past the budget.
+//!
+//! ```sh
+//! bench_gate <baseline-dir> <current-dir>
+//! ```
+//!
+//! The watched (file, key) pairs live in [`dc_bench::gate::GATED_REPORTS`].
+//! The budget defaults to 25% and can be widened for noisy hosts via
+//! `BENCH_GATE_MAX_REGRESSION` (a fraction: `0.25` = 25%). A missing
+//! baseline file is skipped with a note — that is how a brand-new bench
+//! lands before its first baseline is committed — but a missing *current*
+//! report fails: the bench did not run.
+
+use std::path::Path;
+
+use dc_bench::gate::{compare_report, GATED_REPORTS};
+
+fn main() {
+    let baseline_dir = std::env::args().nth(1).unwrap_or_else(usage);
+    let current_dir = std::env::args().nth(2).unwrap_or_else(usage);
+    let max_regression: f64 = std::env::var("BENCH_GATE_MAX_REGRESSION")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.25);
+
+    println!(
+        "bench gate: current `{current_dir}` vs baseline `{baseline_dir}`, \
+         budget +{:.0}%\n",
+        max_regression * 100.0
+    );
+
+    let mut failed = false;
+    let mut compared = 0usize;
+    for spec in GATED_REPORTS {
+        let base_path = Path::new(&baseline_dir).join(spec.file);
+        let cur_path = Path::new(&current_dir).join(spec.file);
+        let Ok(baseline) = std::fs::read_to_string(&base_path) else {
+            println!("SKIP {}: no baseline at {}", spec.file, base_path.display());
+            continue;
+        };
+        let current = match std::fs::read_to_string(&cur_path) {
+            Ok(c) => c,
+            Err(e) => {
+                println!("FAIL {}: current report missing ({e})", spec.file);
+                failed = true;
+                continue;
+            }
+        };
+        match compare_report(&baseline, &current, spec.keys, max_regression) {
+            Err(msg) => {
+                println!("FAIL {}: {msg}", spec.file);
+                failed = true;
+            }
+            Ok(regressions) if regressions.is_empty() => {
+                println!("OK   {}: {:?} within budget", spec.file, spec.keys);
+                compared += 1;
+            }
+            Ok(regressions) => {
+                for r in &regressions {
+                    println!(
+                        "FAIL {}: {}[{}] = {:.2} vs baseline {:.2} ({:+.1}%)",
+                        spec.file,
+                        r.key,
+                        r.index,
+                        r.current,
+                        r.baseline,
+                        (r.ratio() - 1.0) * 100.0
+                    );
+                }
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        println!("\nbench gate: FAILED");
+        std::process::exit(1);
+    }
+    println!("\nbench gate: passed ({compared} report(s) compared)");
+}
+
+fn usage() -> String {
+    eprintln!("usage: bench_gate <baseline-dir> <current-dir>");
+    std::process::exit(2);
+}

@@ -1,0 +1,165 @@
+//! The bench-regression gate: compares freshly produced bench reports
+//! against committed baselines and fails on mean-latency regressions.
+//!
+//! The reports are the flat machine-generated JSON the bench binaries emit
+//! (`results/*.json`); values are extracted textually, in document order, so
+//! a key that appears once per run/config (`mean_query_us`, `avg_query_us`,
+//! `recovery_ms`) is compared position-by-position. Latency semantics:
+//! bigger is worse, and a current value more than `max_regression` above its
+//! baseline fails the gate. Throughput keys are deliberately not gated —
+//! they are noisier on shared CI hosts, and every latency key here is the
+//! inverse signal anyway.
+
+/// Which keys of which report the gate watches.
+pub struct GateSpec {
+    /// Report file name, relative to both the baseline and current dirs.
+    pub file: &'static str,
+    /// Latency keys (µs or ms — unit-agnostic, ratios only).
+    pub keys: &'static [&'static str],
+}
+
+/// The watched reports. Keys may appear multiple times per file (one per
+/// run or config); occurrences are matched by position.
+pub const GATED_REPORTS: &[GateSpec] = &[
+    GateSpec {
+        file: "cache_bench.json",
+        keys: &["mean_query_us"],
+    },
+    GateSpec {
+        file: "serve_bench.json",
+        keys: &["avg_query_us"],
+    },
+    GateSpec {
+        file: "recovery_bench.json",
+        keys: &["recovery_ms"],
+    },
+];
+
+/// One comparison that exceeded the allowed regression.
+#[derive(Debug, PartialEq)]
+pub struct Regression {
+    /// The JSON key.
+    pub key: String,
+    /// Which occurrence of the key (0-based, document order).
+    pub index: usize,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+}
+
+impl Regression {
+    /// `current / baseline`.
+    pub fn ratio(&self) -> f64 {
+        self.current / self.baseline
+    }
+}
+
+/// Every numeric value of `"key":` in document order.
+pub fn extract_all(json: &str, key: &str) -> Vec<f64> {
+    let needle = format!("\"{key}\":");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(at) = rest.find(&needle) {
+        rest = &rest[at + needle.len()..];
+        let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+        if let Ok(v) = rest[..end].trim().parse::<f64>() {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Compares each watched key of one report pair. Returns the regressions;
+/// `Err` when the reports are structurally incomparable (an occurrence-count
+/// mismatch means the bench preset changed and the baseline must be
+/// refreshed, not silently skipped).
+pub fn compare_report(
+    baseline: &str,
+    current: &str,
+    keys: &[&str],
+    max_regression: f64,
+) -> Result<Vec<Regression>, String> {
+    let mut regressions = Vec::new();
+    for key in keys {
+        let base = extract_all(baseline, key);
+        let cur = extract_all(current, key);
+        if base.is_empty() {
+            return Err(format!("baseline has no \"{key}\" values"));
+        }
+        if base.len() != cur.len() {
+            return Err(format!(
+                "\"{key}\": baseline has {} values, current has {} — \
+                 bench shape changed, refresh the baseline",
+                base.len(),
+                cur.len()
+            ));
+        }
+        for (index, (&b, &c)) in base.iter().zip(&cur).enumerate() {
+            if b > 0.0 && c > b * (1.0 + max_regression) {
+                regressions.push(Regression {
+                    key: key.to_string(),
+                    index,
+                    baseline: b,
+                    current: c,
+                });
+            }
+        }
+    }
+    Ok(regressions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{"runs": [
+        {"shards": 1, "avg_query_us": 900.0, "queries_per_sec": 1100.0},
+        {"shards": 4, "avg_query_us": 400.0, "queries_per_sec": 2500.0}
+    ]}"#;
+
+    #[test]
+    fn extracts_every_occurrence_in_order() {
+        assert_eq!(extract_all(BASE, "avg_query_us"), vec![900.0, 400.0]);
+        assert_eq!(extract_all(BASE, "missing"), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn within_budget_passes() {
+        let current = BASE.replace("400.0", "480.0"); // +20% < 25%
+        let r = compare_report(BASE, &current, &["avg_query_us"], 0.25).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn over_budget_fails_with_position() {
+        let current = BASE.replace("400.0", "600.0"); // +50%
+        let r = compare_report(BASE, &current, &["avg_query_us"], 0.25).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].index, 1);
+        assert_eq!(r[0].baseline, 400.0);
+        assert_eq!(r[0].current, 600.0);
+        assert!((r[0].ratio() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn improvements_never_fail() {
+        let current = BASE.replace("900.0", "10.0");
+        let r = compare_report(BASE, &current, &["avg_query_us"], 0.25).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn shape_change_is_an_error_not_a_pass() {
+        let current = r#"{"runs": [{"avg_query_us": 900.0}]}"#;
+        assert!(compare_report(BASE, current, &["avg_query_us"], 0.25).is_err());
+        assert!(compare_report(BASE, current, &["missing"], 0.25).is_err());
+    }
+
+    #[test]
+    fn threshold_is_configurable() {
+        let current = BASE.replace("400.0", "480.0"); // +20%
+        let strict = compare_report(BASE, &current, &["avg_query_us"], 0.10).unwrap();
+        assert_eq!(strict.len(), 1);
+    }
+}

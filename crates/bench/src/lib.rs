@@ -1,2 +1,3 @@
 //! Shared harness utilities for the DC-tree benchmark binaries.
+pub mod gate;
 pub mod harness;

@@ -46,6 +46,13 @@ pub enum DcError {
     RecordNotFound,
     /// A persisted tree image was malformed.
     Corrupt(String),
+    /// A configuration was invalid or inconsistent with persisted state
+    /// (e.g. reopening a checkpoint taken with a different shard count).
+    Config(String),
+    /// A deterministic fault injected by a test harness (`dc-durable`'s
+    /// `FaultFs`): the emulated process is considered crashed and must be
+    /// recovered before further I/O.
+    Fault(String),
     /// Underlying I/O failure while persisting or loading.
     Io(io::Error),
 }
@@ -77,6 +84,8 @@ impl fmt::Display for DcError {
             DcError::IncomparableMds(msg) => write!(f, "incomparable MDS operands: {msg}"),
             DcError::RecordNotFound => f.write_str("record not found"),
             DcError::Corrupt(msg) => write!(f, "corrupt tree image: {msg}"),
+            DcError::Config(msg) => write!(f, "configuration error: {msg}"),
+            DcError::Fault(msg) => write!(f, "injected fault: {msg}"),
             DcError::Io(e) => write!(f, "I/O error: {e}"),
         }
     }
@@ -114,6 +123,14 @@ mod tests {
             id: ValueId::new(2, 9),
         };
         assert!(e.to_string().contains("dim1"));
+    }
+
+    #[test]
+    fn config_and_fault_variants_display() {
+        let e = DcError::Config("2 shards in checkpoint, 4 configured".into());
+        assert!(e.to_string().contains("configuration"));
+        let e = DcError::Fault("crash after 512 WAL bytes".into());
+        assert!(e.to_string().contains("injected fault"));
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! The I/O seam of the durability layer.
+//!
+//! Every byte the WAL machinery reads or writes goes through the
+//! [`WalFs`]/[`WalFile`] traits instead of `std::fs` directly. Production
+//! code uses [`StdFs`] (plain files, `sync_data` for durability); the
+//! `fault-injection` feature adds `FaultFs`, which implements the same
+//! traits but can deterministically tear a write in half, flip a bit, or
+//! fail an fsync — which is how the crash-recovery harness kills the store
+//! at every interesting byte offset without forking processes.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+use dc_common::DcResult;
+
+/// One append-only log file.
+pub trait WalFile: fmt::Debug + Send {
+    /// Appends `buf` in full (or fails).
+    fn write_all(&mut self, buf: &[u8]) -> DcResult<()>;
+    /// Makes everything appended so far durable (flush + fsync).
+    fn sync(&mut self) -> DcResult<()>;
+}
+
+/// The filesystem operations the WAL layer needs. Implementations must be
+/// shareable across the ingest threads and the shard writer threads.
+pub trait WalFs: fmt::Debug + Send + Sync {
+    /// `mkdir -p`.
+    fn create_dir_all(&self, dir: &Path) -> DcResult<()>;
+    /// Opens (creating if needed) `path` for appending.
+    fn create_append(&self, path: &Path) -> DcResult<Box<dyn WalFile>>;
+    /// Reads a whole file; `Ok(None)` when it does not exist.
+    fn read(&self, path: &Path) -> DcResult<Option<Vec<u8>>>;
+    /// Replaces `path` atomically: write a temp file, sync it, rename.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> DcResult<()>;
+    /// Truncates `path` to `len` bytes and syncs.
+    fn set_len(&self, path: &Path, len: u64) -> DcResult<()>;
+    /// Removes a file (missing is an error).
+    fn remove(&self, path: &Path) -> DcResult<()>;
+    /// The file names (not paths) inside `dir`.
+    fn list(&self, dir: &Path) -> DcResult<Vec<String>>;
+}
+
+/// The real filesystem.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StdFs;
+
+#[derive(Debug)]
+struct StdWalFile(File);
+
+impl WalFile for StdWalFile {
+    fn write_all(&mut self, buf: &[u8]) -> DcResult<()> {
+        self.0.write_all(buf)?;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> DcResult<()> {
+        self.0.flush()?;
+        self.0.sync_data()?;
+        Ok(())
+    }
+}
+
+impl WalFs for StdFs {
+    fn create_dir_all(&self, dir: &Path) -> DcResult<()> {
+        std::fs::create_dir_all(dir)?;
+        Ok(())
+    }
+
+    fn create_append(&self, path: &Path) -> DcResult<Box<dyn WalFile>> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Box::new(StdWalFile(file)))
+    }
+
+    fn read(&self, path: &Path) -> DcResult<Option<Vec<u8>>> {
+        match std::fs::read(path) {
+            Ok(b) => Ok(Some(b)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> DcResult<()> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    fn set_len(&self, path: &Path, len: u64) -> DcResult<()> {
+        let f = OpenOptions::new().write(true).open(path)?;
+        f.set_len(len)?;
+        f.sync_data()?;
+        Ok(())
+    }
+
+    fn remove(&self, path: &Path) -> DcResult<()> {
+        std::fs::remove_file(path)?;
+        Ok(())
+    }
+
+    fn list(&self, dir: &Path) -> DcResult<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            if let Some(name) = entry?.file_name().to_str() {
+                names.push(name.to_string());
+            }
+        }
+        Ok(names)
+    }
+}

@@ -1,30 +1,54 @@
 //! # dc-durable
 //!
-//! Durability for the DC-tree: a checksummed **write-ahead log**,
-//! **checkpoints**, and **crash recovery**.
+//! Durability for the DC-tree: a checksummed, **segmented write-ahead
+//! log**, **checkpoints**, **crash recovery**, and a deterministic
+//! **fault-injection** shim to prove all three.
 //!
 //! The paper's pitch is a warehouse that never needs a maintenance window —
 //! which only holds in practice if the index also survives process death
 //! without a nightly rebuild. [`DurableDcTree`] wraps a [`DcTree`] with the
 //! classic recipe:
 //!
-//! 1. every mutation is appended to `wal.log` (length + CRC-32 framed,
-//!    carrying the *raw attribute paths*, so replay re-interns values in the
-//!    original order and reproduces identical IDs) **before** it is applied
-//!    to the in-memory tree;
-//! 2. [`checkpoint`](DurableDcTree::checkpoint) writes the full tree image
-//!    to `checkpoint.dct` atomically (write-temp + rename) and starts a
-//!    fresh log;
-//! 3. [`open`](DurableDcTree::open) recovers by loading the last checkpoint
-//!    and replaying the log tail, stopping cleanly at a torn or corrupted
-//!    entry (the partial write of a crash) and truncating it.
+//! 1. every mutation is appended to the current WAL segment
+//!    (`wal.000017.log`; length + CRC-32 framed, carrying the *raw
+//!    attribute paths*, so replay re-interns values in the original order
+//!    and reproduces identical IDs) **before** it is applied to the
+//!    in-memory tree; segments rotate at a byte budget and frames never
+//!    span a rotation;
+//! 2. [`checkpoint`](DurableDcTree::checkpoint) serializes the tree (with
+//!    its interning state) as an LSN-versioned image, atomically commits
+//!    the `wal.manifest` pointing at it, and deletes the superseded
+//!    segments — two-phase, so a crash in between recovers through the
+//!    *old* checkpoint without double-applying;
+//! 3. [`open`](DurableDcTree::open) recovers by loading the manifest's
+//!    checkpoint image and replaying only the tail segments, stopping
+//!    cleanly at a torn or corrupted frame (the partial write of a crash)
+//!    and repairing the directory.
 //!
-//! Sync behaviour is configurable: [`SyncMode::Always`] fsyncs per
-//! mutation (maximum durability), [`SyncMode::OnCheckpoint`] leaves
-//! intermediate syncing to the OS.
+//! Sync behaviour is a [`SyncPolicy`]: `Always` fsyncs per mutation,
+//! `EveryN` amortizes over batches, `GroupCommitMs` lets batch appliers
+//! issue [`WalWriter::group_commit`] on their own cadence.
+//!
+//! Every byte of I/O goes through the [`WalFs`]/[`WalFile`] traits.
+//! Production uses [`StdFs`]; with the `fault-injection` feature, `FaultFs`
+//! deterministically tears writes, flips bits, or fails fsyncs so the
+//! crash-recovery harnesses can kill the store at every interesting offset.
+//!
+//! [`DcTree`]: dc_tree::DcTree
 
+#[cfg(feature = "fault-injection")]
+pub mod fault;
+pub mod fs;
+pub mod segment;
 pub mod tree;
 pub mod wal;
 
-pub use tree::{DurabilityConfig, DurableDcTree, SyncMode};
-pub use wal::{WalEntry, WalReader, WalWriter};
+#[cfg(feature = "fault-injection")]
+pub use fault::{FaultFs, FaultPlan};
+pub use fs::{StdFs, WalFile, WalFs};
+pub use segment::{
+    checkpoint_file_name, parse_checkpoint_file_name, parse_segment_file_name, segment_file_name,
+    Manifest, MANIFEST_FILE, SEGMENT_HEADER_LEN,
+};
+pub use tree::{apply, DurabilityConfig, DurableDcTree, RecoveryReport};
+pub use wal::{SyncPolicy, WalConfig, WalEntry, WalReader, WalWriter, WalWriterStats};

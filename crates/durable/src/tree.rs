@@ -1,96 +1,137 @@
-//! The durable wrapper: WAL + checkpoints + recovery around a [`DcTree`].
+//! The durable wrapper: segmented WAL + checkpoints + recovery around a
+//! [`DcTree`].
+//!
+//! On disk a durable tree is a WAL directory (see [`crate::segment`]):
+//! numbered segments, a manifest, and LSN-versioned checkpoint images
+//! (`checkpoint.<lsn>.dct`). Recovery loads the image named by the
+//! manifest's checkpoint LSN and replays only the tail segments past it.
+//! Checkpointing is two-phase — write the new image for the prepared LSN,
+//! then commit the manifest and delete superseded segments and images —
+//! so a crash between the phases recovers through the *old* checkpoint
+//! without double-applying anything.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use dc_common::{DcResult, Measure, RecordId};
 use dc_tree::{DcTree, DcTreeConfig};
 
-use crate::wal::{WalEntry, WalReader, WalWriter};
-
-/// When the log is fsynced.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum SyncMode {
-    /// fsync after every mutation — nothing acknowledged is ever lost.
-    Always,
-    /// Leave intermediate durability to the OS; fsync at checkpoints.
-    /// A crash may lose the unsynced suffix, never corrupt the store.
-    OnCheckpoint,
-}
+use crate::fs::{StdFs, WalFs};
+use crate::segment::{checkpoint_file_name, parse_checkpoint_file_name};
+use crate::wal::{SyncPolicy, WalConfig, WalEntry, WalReader, WalWriter};
 
 /// Durability knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct DurabilityConfig {
     /// fsync policy for the log.
-    pub sync: SyncMode,
+    pub sync: SyncPolicy,
     /// Automatically checkpoint after this many logged mutations
     /// (`0` = only on explicit [`DurableDcTree::checkpoint`] calls).
     pub checkpoint_every: u64,
+    /// WAL segment rotation budget in bytes.
+    pub segment_bytes: u64,
 }
 
 impl Default for DurabilityConfig {
     fn default() -> Self {
         DurabilityConfig {
-            sync: SyncMode::Always,
+            sync: SyncPolicy::Always,
             checkpoint_every: 0,
+            segment_bytes: WalConfig::default().segment_bytes,
         }
     }
 }
 
+/// What recovery found and discarded when a durable tree was opened.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct RecoveryReport {
+    /// The checkpoint LSN recovery started from (0 = no checkpoint).
+    pub checkpoint_lsn: u64,
+    /// Tail entries replayed over the checkpoint.
+    pub replayed_entries: u64,
+    /// Bytes discarded as torn or unreadable.
+    pub truncated_bytes: u64,
+    /// Whole segments were dropped, not just a torn tail.
+    pub tail_lost: bool,
+}
+
 /// A crash-safe DC-tree: mutations go to the write-ahead log first, the
-/// in-memory tree second; recovery replays the log over the last
-/// checkpoint. Queries go straight to the wrapped [`DcTree`]
+/// in-memory tree second; recovery replays the tail of the log over the
+/// last checkpoint. Queries go straight to the wrapped [`DcTree`]
 /// ([`Self::tree`]).
 #[derive(Debug)]
 pub struct DurableDcTree {
     tree: DcTree,
     wal: WalWriter,
+    fs: Arc<dyn WalFs>,
     dir: PathBuf,
     durability: DurabilityConfig,
     since_checkpoint: u64,
+    checkpoints: u64,
+    report: RecoveryReport,
 }
 
 impl DurableDcTree {
-    fn checkpoint_path(dir: &Path) -> PathBuf {
-        dir.join("checkpoint.dct")
-    }
-
-    fn wal_path(dir: &Path) -> PathBuf {
-        dir.join("wal.log")
-    }
-
-    /// Opens (or creates) a durable tree in `dir`, recovering any previous
-    /// state: last checkpoint + clean log tail. `make_tree` builds the
-    /// initial tree when no checkpoint exists (supplying schema and
-    /// config); its config also applies to recovered trees' replay.
+    /// Opens (or creates) a durable tree in `dir` on the real filesystem,
+    /// recovering any previous state: last checkpoint + clean log tail.
+    /// `make_tree` builds the initial tree when no checkpoint exists.
     pub fn open(
         dir: impl AsRef<Path>,
         make_tree: impl FnOnce() -> DcTree,
         durability: DurabilityConfig,
     ) -> DcResult<Self> {
+        Self::open_with_fs(Arc::new(StdFs), dir, make_tree, durability)
+    }
+
+    /// [`Self::open`] through an explicit [`WalFs`] — the entry point the
+    /// fault-injection harness uses to crash mid-write.
+    pub fn open_with_fs(
+        fs: Arc<dyn WalFs>,
+        dir: impl AsRef<Path>,
+        make_tree: impl FnOnce() -> DcTree,
+        durability: DurabilityConfig,
+    ) -> DcResult<Self> {
         let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir)?;
-        let checkpoint = Self::checkpoint_path(&dir);
-        let mut tree = if checkpoint.exists() {
-            DcTree::load_from(&checkpoint)?
-        } else {
-            make_tree()
+        fs.create_dir_all(&dir)?;
+        let scan = WalReader::recover(&*fs, &dir)?;
+        let mut tree = match scan.manifest.checkpoint_lsn {
+            0 => make_tree(),
+            lsn => {
+                let name = checkpoint_file_name(lsn, None);
+                let bytes = fs.read(&dir.join(&name))?.ok_or_else(|| {
+                    dc_common::DcError::Corrupt(format!("missing checkpoint image {name}"))
+                })?;
+                DcTree::from_bytes(&bytes)?
+            }
         };
-        // Replay the log tail over the checkpoint, truncating any torn end.
-        let wal_path = Self::wal_path(&dir);
-        let scan = WalReader::scan(&wal_path)?;
         for entry in &scan.entries {
             apply(&mut tree, entry)?;
         }
-        if wal_path.exists() {
-            scan.truncate_tail(&wal_path)?;
-        }
-        let wal = WalWriter::open(&wal_path)?;
+        let report = RecoveryReport {
+            checkpoint_lsn: scan.manifest.checkpoint_lsn,
+            replayed_entries: scan.entries.len() as u64,
+            truncated_bytes: scan.truncated_bytes,
+            tail_lost: scan.tail_lost,
+        };
+        let wal = WalWriter::open(
+            Arc::clone(&fs),
+            &dir,
+            WalConfig {
+                segment_bytes: durability.segment_bytes,
+                sync: durability.sync,
+            },
+            &scan,
+            0,
+        )?;
         Ok(DurableDcTree {
             tree,
             wal,
+            fs,
             dir,
             durability,
-            since_checkpoint: scan.entries.len() as u64,
+            since_checkpoint: report.replayed_entries,
+            checkpoints: 0,
+            report,
         })
     }
 
@@ -109,11 +150,29 @@ impl DurableDcTree {
         self.since_checkpoint
     }
 
+    /// What the opening recovery pass found.
+    pub fn recovery_report(&self) -> RecoveryReport {
+        self.report
+    }
+
+    /// The LSN of the last logged mutation.
+    pub fn last_lsn(&self) -> u64 {
+        self.wal.lsn()
+    }
+
+    /// The highest LSN known durable: a crash now loses nothing at or
+    /// below it.
+    pub fn synced_lsn(&self) -> u64 {
+        self.wal.synced_lsn()
+    }
+
+    /// Checkpoints taken by this handle.
+    pub fn checkpoints(&self) -> u64 {
+        self.checkpoints
+    }
+
     fn log(&mut self, entry: &WalEntry) -> DcResult<()> {
         self.wal.append(entry)?;
-        if self.durability.sync == SyncMode::Always {
-            self.wal.sync()?;
-        }
         self.since_checkpoint += 1;
         Ok(())
     }
@@ -167,30 +226,39 @@ impl DurableDcTree {
         Ok(deleted)
     }
 
-    /// Writes a checkpoint atomically (temp + rename) and starts a fresh
-    /// log. After this, recovery needs only the new files.
+    /// Takes a checkpoint: serializes the tree (with its interning state)
+    /// as the image for the current LSN, commits the manifest, and deletes
+    /// the superseded segments and images. After this, recovery needs only
+    /// the new image plus segments written from now on.
     pub fn checkpoint(&mut self) -> DcResult<()> {
-        self.wal.sync()?;
-        let checkpoint = Self::checkpoint_path(&self.dir);
-        let tmp = self.dir.join("checkpoint.tmp");
-        self.tree.save_to(&tmp)?;
-        std::fs::rename(&tmp, &checkpoint)?;
-        // The image is durable; retire the log.
-        let wal_path = Self::wal_path(&self.dir);
-        std::fs::remove_file(&wal_path).ok();
-        self.wal = WalWriter::open(&wal_path)?;
+        let (lsn, start_seq) = self.wal.prepare_checkpoint()?;
+        self.fs.write_atomic(
+            &self.dir.join(checkpoint_file_name(lsn, None)),
+            &self.tree.to_bytes(),
+        )?;
+        self.wal.commit_checkpoint(lsn, start_seq, 0)?;
+        for name in self.fs.list(&self.dir)? {
+            if let Some((image_lsn, _)) = parse_checkpoint_file_name(&name) {
+                if image_lsn != lsn {
+                    self.fs.remove(&self.dir.join(&name))?;
+                }
+            }
+        }
         self.since_checkpoint = 0;
+        self.checkpoints += 1;
         Ok(())
     }
 
-    /// Syncs the log (meaningful under [`SyncMode::OnCheckpoint`]).
+    /// Durability barrier: everything logged so far survives a crash once
+    /// this returns (meaningful under the deferred [`SyncPolicy`]s).
     pub fn sync(&mut self) -> DcResult<()> {
         self.wal.sync()
     }
 }
 
-/// Applies one WAL entry to a tree (the replay step).
-fn apply(tree: &mut DcTree, entry: &WalEntry) -> DcResult<bool> {
+/// Applies one WAL entry to a tree (the replay step). Public so the
+/// serving engine's recovery path can share the exact same semantics.
+pub fn apply(tree: &mut DcTree, entry: &WalEntry) -> DcResult<bool> {
     match entry {
         WalEntry::Insert { paths, measure } => {
             tree.insert_raw(paths, *measure)?;

@@ -2,7 +2,7 @@
 //! without checkpoint, torn log tails, checkpoint + tail mixes) and verify
 //! the store always reopens to exactly the acknowledged state.
 
-use dc_durable::{DurabilityConfig, DurableDcTree, SyncMode};
+use dc_durable::{segment_file_name, DurabilityConfig, DurableDcTree, SyncPolicy};
 use dc_hierarchy::{CubeSchema, HierarchySchema};
 use dc_mds::Mds;
 use dc_tree::{DcTree, DcTreeConfig};
@@ -48,6 +48,18 @@ fn paths(i: u64) -> [Vec<String>; 2] {
     ]
 }
 
+/// The segment file the writer currently appends to.
+fn live_segment(dir: &std::path::Path) -> std::path::PathBuf {
+    let mut seqs: Vec<u64> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| {
+            dc_durable::parse_segment_file_name(e.unwrap().file_name().to_str().unwrap())
+        })
+        .collect();
+    seqs.sort_unstable();
+    dir.join(segment_file_name(*seqs.last().expect("a live segment")))
+}
+
 #[test]
 fn reopen_without_checkpoint_replays_the_log() {
     let dir = fresh_dir("replay");
@@ -60,6 +72,8 @@ fn reopen_without_checkpoint_replays_the_log() {
     }
     let store = DurableDcTree::open(&dir, make_tree, DurabilityConfig::default()).unwrap();
     assert_eq!(store.tree().len(), 60);
+    assert_eq!(store.recovery_report().replayed_entries, 60);
+    assert_eq!(store.recovery_report().checkpoint_lsn, 0);
     let q = Mds::all(store.tree().schema());
     assert_eq!(
         store.tree().range_summary(&q).unwrap().sum,
@@ -87,6 +101,9 @@ fn checkpoint_plus_tail_recovers_both_parts() {
     }
     let store = DurableDcTree::open(&dir, make_tree, DurabilityConfig::default()).unwrap();
     assert_eq!(store.tree().len(), 69);
+    let report = store.recovery_report();
+    assert_eq!(report.checkpoint_lsn, 40);
+    assert_eq!(report.replayed_entries, 31, "only the tail is replayed");
     store.tree().check_invariants().unwrap();
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -100,8 +117,8 @@ fn torn_log_tail_is_truncated_on_recovery() {
             store.insert_raw(&paths(i), 2).unwrap();
         }
     }
-    // Simulate a crash mid-append: garbage half-frame at the end.
-    let wal = dir.join("wal.log");
+    // Simulate a crash mid-append: garbage half-frame at the segment end.
+    let wal = live_segment(&dir);
     {
         use std::io::Write;
         let mut f = std::fs::OpenOptions::new().append(true).open(&wal).unwrap();
@@ -109,11 +126,13 @@ fn torn_log_tail_is_truncated_on_recovery() {
     }
     let store = DurableDcTree::open(&dir, make_tree, DurabilityConfig::default()).unwrap();
     assert_eq!(store.tree().len(), 25, "clean prefix fully recovered");
+    assert_eq!(store.recovery_report().truncated_bytes, 5);
     drop(store);
     // The truncation made the file clean: a third open sees no corruption
     // and the same state.
     let store = DurableDcTree::open(&dir, make_tree, DurabilityConfig::default()).unwrap();
     assert_eq!(store.tree().len(), 25);
+    assert_eq!(store.recovery_report().truncated_bytes, 0);
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -155,10 +174,12 @@ fn recovery_is_equivalent_to_never_crashing() {
         }
     }
 
-    // Crashy version: reopen every 37 operations.
+    // Crashy version: reopen every 37 operations, with a tiny segment
+    // budget so recovery also crosses rotation boundaries.
     let config = DurabilityConfig {
-        sync: SyncMode::Always,
+        sync: SyncPolicy::Always,
         checkpoint_every: 0,
+        segment_bytes: 512,
     };
     let mut store = DurableDcTree::open(&dir, make_tree, config).unwrap();
     for (i, &(is_insert, key, measure)) in ops.iter().enumerate() {
@@ -189,8 +210,9 @@ fn recovery_is_equivalent_to_never_crashing() {
 fn auto_checkpoint_bounds_the_log() {
     let dir = fresh_dir("autockpt");
     let config = DurabilityConfig {
-        sync: SyncMode::OnCheckpoint,
+        sync: SyncPolicy::EveryN(16),
         checkpoint_every: 10,
+        ..DurabilityConfig::default()
     };
     let mut store = DurableDcTree::open(&dir, make_tree, config).unwrap();
     for i in 0..35 {
@@ -200,10 +222,13 @@ fn auto_checkpoint_bounds_the_log() {
         store.log_length() < 10,
         "auto-checkpoints must reset the log"
     );
-    assert!(dir.join("checkpoint.dct").exists());
+    assert_eq!(store.checkpoints(), 3);
     drop(store);
     let store = DurableDcTree::open(&dir, make_tree, config).unwrap();
     assert_eq!(store.tree().len(), 35);
+    let report = store.recovery_report();
+    assert_eq!(report.checkpoint_lsn, 30);
+    assert_eq!(report.replayed_entries, 5, "checkpoint bounds the replay");
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -218,5 +243,24 @@ fn deleting_unknown_records_is_a_replayable_noop() {
     }
     let store = DurableDcTree::open(&dir, make_tree, DurabilityConfig::default()).unwrap();
     assert_eq!(store.tree().len(), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn group_commit_policy_syncs_on_barrier() {
+    let dir = fresh_dir("groupcommit");
+    let config = DurabilityConfig {
+        // An hour-long cadence: only explicit barriers sync.
+        sync: SyncPolicy::GroupCommitMs(3_600_000),
+        ..DurabilityConfig::default()
+    };
+    let mut store = DurableDcTree::open(&dir, make_tree, config).unwrap();
+    for i in 0..10 {
+        store.insert_raw(&paths(i), 1).unwrap();
+    }
+    assert_eq!(store.last_lsn(), 10);
+    assert!(store.synced_lsn() < 10, "no barrier issued yet");
+    store.sync().unwrap();
+    assert_eq!(store.synced_lsn(), 10);
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -5,7 +5,7 @@
 use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
-use std::sync::atomic::Ordering::Relaxed;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -15,7 +15,10 @@ use dc_cache::{CacheConfig, CacheDelta, Lookup, SharedCache};
 use dc_common::{
     AggregateOp, DcError, DcResult, DimensionId, Level, Measure, MeasureSummary, ValueId,
 };
-use dc_durable::{WalEntry, WalReader, WalWriter};
+use dc_durable::{
+    checkpoint_file_name, parse_checkpoint_file_name, StdFs, SyncPolicy, WalConfig, WalEntry,
+    WalFs, WalReader, WalWriter,
+};
 use dc_hierarchy::{ConceptHierarchy, CubeSchema, Record};
 use dc_mds::{DimSet, Mds};
 use dc_tree::{DcTree, DcTreeConfig};
@@ -46,11 +49,35 @@ pub enum PartitionPolicy {
 /// Write-ahead-log options for a durable engine.
 #[derive(Clone, Debug)]
 pub struct WalOptions {
-    /// Directory holding `serve.wal`.
+    /// Directory holding the WAL segments, manifest, and checkpoint images.
     pub dir: PathBuf,
-    /// `true` fsyncs after every append (nothing acknowledged is lost);
-    /// `false` leaves intermediate durability to the OS.
-    pub sync_every_append: bool,
+    /// When appended entries are fsynced. Under
+    /// [`SyncPolicy::GroupCommitMs`] the shard writer threads issue a group
+    /// commit after each applied batch, so acknowledged `FLUSH`es are
+    /// always durable regardless of the cadence.
+    pub sync: SyncPolicy,
+    /// Segment rotation budget in bytes.
+    pub segment_bytes: u64,
+    /// Checkpoint automatically after this many logged mutations
+    /// (`0` = only on explicit [`ShardedDcTree::checkpoint`] calls).
+    pub checkpoint_every: u64,
+    /// The filesystem the WAL runs on; `None` = the real one. The
+    /// fault-injection harness passes `FaultFs` here.
+    pub fs: Option<Arc<dyn WalFs>>,
+}
+
+impl WalOptions {
+    /// Durable defaults: fsync every append, 4 MiB segments, manual
+    /// checkpoints, the real filesystem.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        WalOptions {
+            dir: dir.into(),
+            sync: SyncPolicy::Always,
+            segment_bytes: WalConfig::default().segment_bytes,
+            checkpoint_every: 0,
+            fs: None,
+        }
+    }
 }
 
 /// Engine construction knobs.
@@ -107,8 +134,30 @@ enum Cmd {
     /// Acknowledge once everything enqueued before this command is applied
     /// and visible in a published snapshot.
     Flush(Sender<()>),
+    /// Replay the catalog intern log through `epoch` and publish, even with
+    /// no record traffic — the checkpoint path uses this to equalize every
+    /// shard's schema with the master catalog before imaging, so any one
+    /// shard image can restore the catalog on recovery.
+    Catchup { epoch: u64 },
     /// Drain the queue, publish, exit.
     Shutdown,
+}
+
+/// The engine side of a configured WAL: the shared writer plus everything
+/// checkpoints need (the filesystem, the directory, the cadence).
+struct DurableWal {
+    writer: Mutex<WalWriter>,
+    fs: Arc<dyn WalFs>,
+    dir: PathBuf,
+    checkpoint_every: u64,
+    /// Writers issue a group commit after each published batch (the
+    /// [`SyncPolicy::GroupCommitMs`] contract).
+    group_commit: bool,
+    /// Mutations logged since the last checkpoint (drives auto-checkpoints).
+    since_checkpoint: AtomicU64,
+    /// Serializes checkpoints; `try_lock` makes concurrent auto-checkpoint
+    /// attempts cheap no-ops.
+    checkpoint_lock: Mutex<()>,
 }
 
 struct Shard {
@@ -132,17 +181,63 @@ pub struct ShardedDcTree {
     policy: PartitionPolicy,
     parallel_queries: bool,
     cache: Option<Arc<SharedCache>>,
-    wal: Option<Mutex<WalWriter>>,
-    wal_sync: bool,
+    wal: Option<Arc<DurableWal>>,
+    /// Ingest holds this for read around {WAL append → enqueue}; the
+    /// checkpoint path holds it for write, so its LSN capture sees no
+    /// half-enqueued mutation.
+    ingest_gate: RwLock<()>,
 }
 
 impl ShardedDcTree {
     /// Builds the engine over `schema` and starts one writer thread per
-    /// shard. With [`EngineConfig::wal`] set, any existing log is replayed
-    /// (and its torn tail truncated) before the engine accepts traffic.
+    /// shard. With [`EngineConfig::wal`] set, the directory is recovered
+    /// first — latest checkpoint images + tail-segment replay (with any
+    /// torn tail truncated) — before the engine accepts traffic.
     pub fn new(schema: CubeSchema, config: EngineConfig) -> DcResult<Self> {
         assert!(config.num_shards > 0, "need at least one shard");
         assert!(config.batch_size > 0, "batch_size must be positive");
+        // Recover the WAL directory before anything is built: checkpoint
+        // images decide the starting state of the catalog and the shards.
+        let recovered = match &config.wal {
+            None => None,
+            Some(opts) => {
+                let fs: Arc<dyn WalFs> = opts.fs.clone().unwrap_or_else(|| Arc::new(StdFs));
+                fs.create_dir_all(&opts.dir)?;
+                let scan = WalReader::recover(&*fs, &opts.dir)?;
+                let images = if scan.manifest.checkpoint_lsn > 0 {
+                    if scan.manifest.shards as usize != config.num_shards {
+                        return Err(DcError::Config(format!(
+                            "checkpoint was taken with {} shards, engine configured with {}",
+                            scan.manifest.shards, config.num_shards
+                        )));
+                    }
+                    let mut trees = Vec::with_capacity(config.num_shards);
+                    for i in 0..config.num_shards {
+                        let name =
+                            checkpoint_file_name(scan.manifest.checkpoint_lsn, Some(i as u32));
+                        let bytes = fs.read(&opts.dir.join(&name))?.ok_or_else(|| {
+                            DcError::Corrupt(format!("missing checkpoint image {name}"))
+                        })?;
+                        trees.push(DcTree::from_bytes(&bytes)?);
+                    }
+                    Some(trees)
+                } else {
+                    None
+                };
+                Some((fs, scan, images))
+            }
+        };
+        let (recovered_fs, recovered_scan, images) = match recovered {
+            Some((fs, scan, images)) => (Some(fs), Some(scan), images),
+            None => (None, None, None),
+        };
+        // Before imaging, the checkpoint path catches every shard up to the
+        // full catalog epoch, so every image carries the complete master
+        // schema — shard 0's restores the catalog exactly.
+        let schema = match &images {
+            Some(images) => images[0].schema().clone(),
+            None => schema,
+        };
         if let PartitionPolicy::ByDimension { dim, level } = config.policy {
             let h = schema.dim(dim);
             assert!(
@@ -153,9 +248,45 @@ impl ShardedDcTree {
         let catalog = Arc::new(SchemaCatalog::new(schema.clone()));
         let metrics = Arc::new(EngineMetrics::new(config.num_shards));
         let cache = config.cache.map(|c| Arc::new(SharedCache::new(c)));
+        let wal = match (&config.wal, &recovered_fs, &recovered_scan) {
+            (Some(opts), Some(fs), Some(scan)) => {
+                let writer = WalWriter::open(
+                    Arc::clone(fs),
+                    &opts.dir,
+                    WalConfig {
+                        segment_bytes: opts.segment_bytes,
+                        sync: opts.sync,
+                    },
+                    scan,
+                    config.num_shards as u32,
+                )?;
+                let d = &metrics.durability;
+                d.recovery_checkpoint_lsn
+                    .store(scan.manifest.checkpoint_lsn, Relaxed);
+                d.recovery_replayed_entries
+                    .store(scan.entries.len() as u64, Relaxed);
+                d.recovery_truncated_bytes
+                    .store(scan.truncated_bytes, Relaxed);
+                Some(Arc::new(DurableWal {
+                    writer: Mutex::new(writer),
+                    fs: Arc::clone(fs),
+                    dir: opts.dir.clone(),
+                    checkpoint_every: opts.checkpoint_every,
+                    group_commit: matches!(opts.sync, SyncPolicy::GroupCommitMs(_)),
+                    since_checkpoint: AtomicU64::new(0),
+                    checkpoint_lock: Mutex::new(()),
+                }))
+            }
+            _ => None,
+        };
+        let mut shard_trees: Vec<DcTree> = match images {
+            Some(images) => images,
+            None => (0..config.num_shards)
+                .map(|_| DcTree::new(schema.clone(), config.tree))
+                .collect(),
+        };
         let mut shards = Vec::with_capacity(config.num_shards);
-        for shard_id in 0..config.num_shards {
-            let tree = DcTree::new(schema.clone(), config.tree);
+        for (shard_id, tree) in shard_trees.drain(..).enumerate() {
             let snapshot = Arc::new(RwLock::new(Arc::new(tree.clone())));
             let (tx, rx) = channel();
             let writer = spawn_writer(
@@ -167,6 +298,7 @@ impl ShardedDcTree {
                 Arc::clone(&metrics),
                 config.batch_size,
                 cache.clone(),
+                wal.clone(),
             );
             shards.push(Shard {
                 tx: Mutex::new(Some(tx)),
@@ -174,20 +306,20 @@ impl ShardedDcTree {
                 writer: Mutex::new(Some(writer)),
             });
         }
-        let mut engine = ShardedDcTree {
+        let engine = ShardedDcTree {
             catalog,
             shards,
             metrics,
             policy: config.policy,
             parallel_queries: config.parallel_queries,
             cache,
-            wal: None,
-            wal_sync: false,
+            wal,
+            ingest_gate: RwLock::new(()),
         };
-        if let Some(wal) = &config.wal {
-            std::fs::create_dir_all(&wal.dir)?;
-            let path = wal.dir.join("serve.wal");
-            let scan = WalReader::scan(&path)?;
+        // Replay the recovered tail over the checkpoint state. The entries
+        // are already durable in their segments, so they are NOT re-logged
+        // (`log_to_wal = false`) — a double-open must not duplicate them.
+        if let Some(scan) = &recovered_scan {
             for entry in &scan.entries {
                 match entry {
                     WalEntry::Insert { paths, measure } => {
@@ -198,14 +330,9 @@ impl ShardedDcTree {
                     }
                 }
             }
-            if path.exists() {
-                scan.truncate_tail(&path)?;
-            }
             if !scan.entries.is_empty() {
                 engine.flush();
             }
-            engine.wal = Some(Mutex::new(WalWriter::open(&path)?));
-            engine.wal_sync = wal.sync_every_append;
         }
         Ok(engine)
     }
@@ -254,14 +381,21 @@ impl ShardedDcTree {
         measure: Measure,
         log_to_wal: bool,
     ) -> DcResult<()> {
-        if log_to_wal {
-            self.append_wal(paths, measure, false)?;
+        {
+            let _gate = self.ingest_gate.read();
+            if log_to_wal {
+                self.append_wal(paths, measure, false)?;
+            }
+            let (record, epoch) = self.catalog.intern(paths, measure)?;
+            let shard = self.route(paths, &record)?;
+            self.metrics.inserts.fetch_add(1, Relaxed);
+            self.metrics.shards[shard].queue_depth.fetch_add(1, Relaxed);
+            self.send(shard, Cmd::Insert { record, epoch })?;
         }
-        let (record, epoch) = self.catalog.intern(paths, measure)?;
-        let shard = self.route(paths, &record)?;
-        self.metrics.inserts.fetch_add(1, Relaxed);
-        self.metrics.shards[shard].queue_depth.fetch_add(1, Relaxed);
-        self.send(shard, Cmd::Insert { record, epoch })
+        if log_to_wal {
+            self.maybe_auto_checkpoint()?;
+        }
+        Ok(())
     }
 
     fn remove<S: AsRef<str>>(
@@ -270,14 +404,21 @@ impl ShardedDcTree {
         measure: Measure,
         log_to_wal: bool,
     ) -> DcResult<()> {
-        if log_to_wal {
-            self.append_wal(paths, measure, true)?;
+        {
+            let _gate = self.ingest_gate.read();
+            if log_to_wal {
+                self.append_wal(paths, measure, true)?;
+            }
+            let (record, epoch) = self.catalog.intern(paths, measure)?;
+            let shard = self.route(paths, &record)?;
+            self.metrics.deletes.fetch_add(1, Relaxed);
+            self.metrics.shards[shard].queue_depth.fetch_add(1, Relaxed);
+            self.send(shard, Cmd::Delete { record, epoch })?;
         }
-        let (record, epoch) = self.catalog.intern(paths, measure)?;
-        let shard = self.route(paths, &record)?;
-        self.metrics.deletes.fetch_add(1, Relaxed);
-        self.metrics.shards[shard].queue_depth.fetch_add(1, Relaxed);
-        self.send(shard, Cmd::Delete { record, epoch })
+        if log_to_wal {
+            self.maybe_auto_checkpoint()?;
+        }
+        Ok(())
     }
 
     fn append_wal<S: AsRef<str>>(
@@ -302,12 +443,103 @@ impl ShardedDcTree {
                 measure,
             }
         };
-        let mut w = wal.lock();
-        w.append(&entry)?;
-        if self.wal_sync {
-            w.sync()?;
+        {
+            let mut w = wal.writer.lock();
+            w.append(&entry)?;
+            self.refresh_wal_gauges(&w);
+        }
+        wal.since_checkpoint.fetch_add(1, Relaxed);
+        Ok(())
+    }
+
+    /// Copies the WAL writer's counters into the STATS gauges (called with
+    /// the writer lock held).
+    fn refresh_wal_gauges(&self, w: &WalWriter) {
+        let stats = w.stats();
+        let d = &self.metrics.durability;
+        d.wal_appends.store(stats.appends, Relaxed);
+        d.wal_syncs.store(stats.syncs, Relaxed);
+        d.wal_rotations.store(stats.rotations, Relaxed);
+        d.wal_segment.store(w.segment_seq(), Relaxed);
+        d.wal_last_lsn.store(w.lsn(), Relaxed);
+        d.wal_synced_lsn.store(w.synced_lsn(), Relaxed);
+    }
+
+    fn maybe_auto_checkpoint(&self) -> DcResult<()> {
+        let Some(wal) = &self.wal else { return Ok(()) };
+        if wal.checkpoint_every == 0 || wal.since_checkpoint.load(Relaxed) < wal.checkpoint_every {
+            return Ok(());
+        }
+        // Someone else checkpointing right now already covers these
+        // mutations; skipping keeps the ingest path non-blocking.
+        if let Some(_one_at_a_time) = wal.checkpoint_lock.try_lock() {
+            self.checkpoint_locked(wal)?;
         }
         Ok(())
+    }
+
+    /// Takes a checkpoint: quiesces ingest, catches every shard up to the
+    /// full catalog epoch, images each shard at the captured LSN, then
+    /// commits the manifest and deletes superseded segments and images.
+    /// Returns the checkpoint LSN. Fails with [`DcError::Config`] when the
+    /// engine has no WAL.
+    pub fn checkpoint(&self) -> DcResult<u64> {
+        let Some(wal) = &self.wal else {
+            return Err(DcError::Config("engine has no WAL configured".into()));
+        };
+        let _one_at_a_time = wal.checkpoint_lock.lock();
+        self.checkpoint_locked(wal)
+    }
+
+    /// The checkpoint body (caller holds [`DurableWal::checkpoint_lock`]).
+    fn checkpoint_locked(&self, wal: &DurableWal) -> DcResult<u64> {
+        // Phase 1 (under the ingest gate): capture an LSN no in-flight
+        // mutation straddles, rotate past it, and snapshot every shard at
+        // exactly that point.
+        let (lsn, start_seq, snaps) = {
+            let _gate = self.ingest_gate.write();
+            let (lsn, start_seq) = {
+                let mut w = wal.writer.lock();
+                let r = w.prepare_checkpoint()?;
+                self.refresh_wal_gauges(&w);
+                r
+            };
+            let epoch = self.catalog.epoch();
+            for i in 0..self.shards.len() {
+                self.send(i, Cmd::Catchup { epoch })?;
+            }
+            self.flush();
+            let snaps: Vec<Arc<DcTree>> = (0..self.shards.len())
+                .map(|i| self.shard_snapshot(i))
+                .collect();
+            (lsn, start_seq, snaps)
+        };
+        // Phase 2 (ingest running again): serialize the images, then commit.
+        // A crash anywhere in here recovers through the *previous*
+        // checkpoint — the old manifest and segments are still intact.
+        for (i, snap) in snaps.iter().enumerate() {
+            wal.fs.write_atomic(
+                &wal.dir.join(checkpoint_file_name(lsn, Some(i as u32))),
+                &snap.to_bytes(),
+            )?;
+        }
+        {
+            let mut w = wal.writer.lock();
+            w.commit_checkpoint(lsn, start_seq, self.shards.len() as u32)?;
+            self.refresh_wal_gauges(&w);
+        }
+        for name in wal.fs.list(&wal.dir)? {
+            if let Some((image_lsn, _)) = parse_checkpoint_file_name(&name) {
+                if image_lsn != lsn {
+                    wal.fs.remove(&wal.dir.join(&name))?;
+                }
+            }
+        }
+        wal.since_checkpoint.store(0, Relaxed);
+        let d = &self.metrics.durability;
+        d.checkpoints.fetch_add(1, Relaxed);
+        d.checkpoint_last_lsn.store(lsn, Relaxed);
+        Ok(lsn)
     }
 
     fn send(&self, shard: usize, cmd: Cmd) -> DcResult<()> {
@@ -355,7 +587,9 @@ impl ShardedDcTree {
     // ------------------------------------------------------------------
 
     /// Blocks until everything enqueued before this call is applied and
-    /// visible in published snapshots, on every shard.
+    /// visible in published snapshots, on every shard. Also a durability
+    /// barrier: with a WAL configured, everything logged before this call
+    /// is synced when it returns.
     pub fn flush(&self) {
         let mut acks = Vec::with_capacity(self.shards.len());
         for i in 0..self.shards.len() {
@@ -366,6 +600,11 @@ impl ShardedDcTree {
         }
         for rx in acks {
             let _ = rx.recv();
+        }
+        if let Some(wal) = &self.wal {
+            let mut w = wal.writer.lock();
+            let _ = w.sync();
+            self.refresh_wal_gauges(&w);
         }
     }
 
@@ -385,7 +624,7 @@ impl ShardedDcTree {
             }
         }
         if let Some(wal) = &self.wal {
-            let _ = wal.lock().sync();
+            let _ = wal.writer.lock().sync();
         }
     }
 
@@ -744,6 +983,7 @@ fn spawn_writer(
     metrics: Arc<EngineMetrics>,
     batch_size: usize,
     cache: Option<Arc<SharedCache>>,
+    wal: Option<Arc<DurableWal>>,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("dc-shard-{shard_id}"))
@@ -808,6 +1048,14 @@ fn spawn_writer(
                         cache.as_deref(),
                         &mut deltas,
                     );
+                }
+                // Group commit: under `GroupCommitMs` this writer syncs the
+                // shared WAL after publishing its batch, before any flush is
+                // acknowledged — an acked FLUSH is both visible and durable.
+                if let Some(wal) = wal.as_ref().filter(|w| w.group_commit) {
+                    if mutated || !pending_flushes.is_empty() {
+                        let _ = wal.writer.lock().group_commit();
+                    }
                 }
                 for ack in pending_flushes.drain(..) {
                     let _ = ack.send(());
@@ -876,6 +1124,12 @@ fn apply(
             *mutated = true;
         }
         Cmd::Flush(ack) => pending_flushes.push(ack),
+        Cmd::Catchup { epoch } => {
+            replay_catalog(tree, catalog, replayed, epoch);
+            // Force a publish: the checkpoint path images the *published*
+            // snapshot, which must carry the caught-up schema.
+            *mutated = true;
+        }
         Cmd::Shutdown => *shutting_down = true,
     }
 }

@@ -67,6 +67,7 @@ pub mod server;
 
 pub use catalog::SchemaCatalog;
 pub use dc_cache::CacheConfig;
+pub use dc_durable::{StdFs, SyncPolicy, WalFs};
 pub use engine::{EngineConfig, PartitionPolicy, ShardedDcTree, WalOptions};
-pub use metrics::{CacheMetrics, EngineMetrics, LatencyHistogram};
+pub use metrics::{CacheMetrics, DurabilityMetrics, EngineMetrics, LatencyHistogram};
 pub use server::{serve, ServerConfig, ServerHandle};

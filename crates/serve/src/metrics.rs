@@ -123,6 +123,35 @@ pub struct CacheMetrics {
     pub lookup_latency: LatencyHistogram,
 }
 
+/// Durability observability: WAL writer counters, checkpoint counters, and
+/// what the opening recovery pass found. All zero when no WAL is
+/// configured.
+#[derive(Default)]
+pub struct DurabilityMetrics {
+    /// Entries appended to the WAL since start.
+    pub wal_appends: AtomicU64,
+    /// Successful WAL fsyncs since start.
+    pub wal_syncs: AtomicU64,
+    /// Segment rotations since start.
+    pub wal_rotations: AtomicU64,
+    /// Sequence number of the segment currently appended to.
+    pub wal_segment: AtomicU64,
+    /// LSN of the last appended entry.
+    pub wal_last_lsn: AtomicU64,
+    /// Highest LSN known durable (`<= wal_last_lsn`).
+    pub wal_synced_lsn: AtomicU64,
+    /// Checkpoints taken since start.
+    pub checkpoints: AtomicU64,
+    /// LSN of the newest committed checkpoint.
+    pub checkpoint_last_lsn: AtomicU64,
+    /// Checkpoint LSN recovery started from at engine construction.
+    pub recovery_checkpoint_lsn: AtomicU64,
+    /// WAL tail entries replayed at engine construction.
+    pub recovery_replayed_entries: AtomicU64,
+    /// Bytes discarded (torn tails, unreadable segments) at construction.
+    pub recovery_truncated_bytes: AtomicU64,
+}
+
 /// Engine-wide metrics: totals, rates, latency histograms, per-shard
 /// gauges.
 pub struct EngineMetrics {
@@ -142,6 +171,9 @@ pub struct EngineMetrics {
     pub apply_latency: LatencyHistogram,
     /// Aggregate-cache counters (all zero when the cache is disabled).
     pub cache: CacheMetrics,
+    /// WAL/checkpoint/recovery counters (all zero when no WAL is
+    /// configured).
+    pub durability: DurabilityMetrics,
     /// One gauge block per shard.
     pub shards: Vec<ShardMetrics>,
 }
@@ -157,6 +189,7 @@ impl EngineMetrics {
             query_latency: LatencyHistogram::new(),
             apply_latency: LatencyHistogram::new(),
             cache: CacheMetrics::default(),
+            durability: DurabilityMetrics::default(),
             shards: (0..num_shards).map(|_| ShardMetrics::default()).collect(),
         }
     }
@@ -221,6 +254,7 @@ impl EngineMetrics {
             &latency_json(&self.apply_latency),
         );
         push_kv(&mut s, "cache", &self.cache_json());
+        push_kv(&mut s, "durability", &self.durability_json());
         s.push_str("\"shards\":[");
         for (i, sh) in self.shards.iter().enumerate() {
             if i > 0 {
@@ -287,6 +321,63 @@ impl EngineMetrics {
         s.push('}');
         s
     }
+
+    /// The `"durability"` sub-object of the STATS payload.
+    fn durability_json(&self) -> String {
+        let d = &self.durability;
+        let mut s = String::with_capacity(256);
+        s.push('{');
+        push_kv(
+            &mut s,
+            "wal_appends",
+            &d.wal_appends.load(Relaxed).to_string(),
+        );
+        push_kv(&mut s, "wal_syncs", &d.wal_syncs.load(Relaxed).to_string());
+        push_kv(
+            &mut s,
+            "wal_rotations",
+            &d.wal_rotations.load(Relaxed).to_string(),
+        );
+        push_kv(
+            &mut s,
+            "wal_segment",
+            &d.wal_segment.load(Relaxed).to_string(),
+        );
+        push_kv(
+            &mut s,
+            "wal_last_lsn",
+            &d.wal_last_lsn.load(Relaxed).to_string(),
+        );
+        push_kv(
+            &mut s,
+            "wal_synced_lsn",
+            &d.wal_synced_lsn.load(Relaxed).to_string(),
+        );
+        push_kv(
+            &mut s,
+            "checkpoints",
+            &d.checkpoints.load(Relaxed).to_string(),
+        );
+        push_kv(
+            &mut s,
+            "checkpoint_last_lsn",
+            &d.checkpoint_last_lsn.load(Relaxed).to_string(),
+        );
+        push_kv(
+            &mut s,
+            "recovery_checkpoint_lsn",
+            &d.recovery_checkpoint_lsn.load(Relaxed).to_string(),
+        );
+        push_kv(
+            &mut s,
+            "recovery_replayed_entries",
+            &d.recovery_replayed_entries.load(Relaxed).to_string(),
+        );
+        s.push_str("\"recovery_truncated_bytes\":");
+        s.push_str(&d.recovery_truncated_bytes.load(Relaxed).to_string());
+        s.push('}');
+        s
+    }
 }
 
 fn latency_json(h: &LatencyHistogram) -> String {
@@ -344,6 +435,19 @@ mod tests {
         assert!(json.contains("\"hit_rate\":0.750"));
         assert!(json.contains("\"patches\":7"));
         assert!(json.contains("\"lookup_latency_us\""));
+    }
+
+    #[test]
+    fn stats_json_includes_durability_block() {
+        let m = EngineMetrics::new(1);
+        m.durability.wal_appends.store(11, Relaxed);
+        m.durability.checkpoints.store(2, Relaxed);
+        m.durability.recovery_replayed_entries.store(4, Relaxed);
+        let json = m.to_json();
+        assert!(json.contains("\"durability\":{\"wal_appends\":11"));
+        assert!(json.contains("\"checkpoints\":2"));
+        assert!(json.contains("\"recovery_replayed_entries\":4"));
+        assert!(json.contains("\"recovery_truncated_bytes\":0"));
     }
 
     #[test]

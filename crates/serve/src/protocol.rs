@@ -5,6 +5,7 @@
 //! PING                                   → OK PONG
 //! STATS                                  → OK {"uptime_secs":…}
 //! FLUSH                                  → OK FLUSHED
+//! CHECKPOINT                             → OK CHECKPOINTED <lsn>
 //! SHUTDOWN                               → OK BYE            (server stops)
 //! INSERT <measure> <p>/<p>|<p>/<p>|…     → OK INSERTED       (async; FLUSH for visibility)
 //! DELETE <measure> <p>/<p>|<p>/<p>|…     → OK DELETED
@@ -48,6 +49,13 @@ pub fn handle_line(engine: &ShardedDcTree, line: &str) -> (String, Control) {
             engine.flush();
             ("OK FLUSHED".into(), Control::Continue)
         }
+        "CHECKPOINT" => (
+            match engine.checkpoint() {
+                Ok(lsn) => format!("OK CHECKPOINTED {lsn}"),
+                Err(e) => format!("ERR {e}"),
+            },
+            Control::Continue,
+        ),
         "SHUTDOWN" => ("OK BYE".into(), Control::StopServer),
         "INSERT" | "DELETE" => (handle_mutation(engine, line), Control::Continue),
         _ => (handle_query(engine, line), Control::Continue),

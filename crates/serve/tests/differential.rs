@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use dc_common::{AggregateOp, DimensionId, MeasureSummary, ValueId};
 use dc_query::{RangeQueryGen, ValuePick};
-use dc_serve::{EngineConfig, PartitionPolicy, ShardedDcTree, WalOptions};
+use dc_serve::{EngineConfig, PartitionPolicy, ShardedDcTree, SyncPolicy, WalOptions};
 use dc_tpcd::{generate, TpcdConfig, TpcdData};
 use dc_tree::{DcTree, DcTreeConfig};
 
@@ -230,8 +230,8 @@ fn wal_recovery_restores_the_engine() {
         num_shards: 4,
         policy: PartitionPolicy::Hash,
         wal: Some(WalOptions {
-            dir: dir.clone(),
-            sync_every_append: false,
+            sync: SyncPolicy::EveryN(64),
+            ..WalOptions::new(&dir)
         }),
         ..Default::default()
     };
@@ -262,6 +262,145 @@ fn wal_recovery_restores_the_engine() {
             mono.range_summary(&q).unwrap()
         );
     }
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Regression: reopening an engine (even repeatedly, even with a flush
+/// before any new ingest) must not re-log the replayed entries — every
+/// open sees exactly the original records, never duplicates.
+#[test]
+fn double_open_does_not_duplicate_records() {
+    let data = tpcd();
+    let dir = std::env::temp_dir().join(format!("dc-serve-dblopen-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = EngineConfig {
+        num_shards: 2,
+        wal: Some(WalOptions::new(&dir)),
+        ..Default::default()
+    };
+    let n = 300;
+    let expected = {
+        let engine = ShardedDcTree::new(data.schema.clone(), config.clone()).unwrap();
+        for r in &data.records[..n] {
+            engine.insert_raw(&data.paths_for(r), r.measure).unwrap();
+        }
+        engine.flush();
+        let total = engine.total_summary();
+        engine.shutdown();
+        total
+    };
+    for reopen in 0..3 {
+        let engine = ShardedDcTree::new(data.schema.clone(), config.clone()).unwrap();
+        // The flush-before-first-insert path must not re-log the replay.
+        engine.flush();
+        assert_eq!(
+            engine.len(),
+            n as u64,
+            "reopen #{reopen} duplicated records"
+        );
+        assert_eq!(engine.total_summary(), expected);
+        engine.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Checkpoints bound recovery: after a CHECKPOINT, reopening replays only
+/// the tail (asserted via `recovery_replayed_entries`), and the recovered
+/// engine still answers exactly like a never-restarted monolith.
+#[test]
+fn checkpoint_bounds_replay_on_recovery() {
+    let data = tpcd();
+    let dir = std::env::temp_dir().join(format!("dc-serve-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = EngineConfig {
+        num_shards: 4,
+        policy: PartitionPolicy::Hash,
+        wal: Some(WalOptions::new(&dir)),
+        ..Default::default()
+    };
+    let total = 1_000;
+    let cut = 700;
+    {
+        let engine = ShardedDcTree::new(data.schema.clone(), config.clone()).unwrap();
+        assert!(
+            engine.checkpoint().unwrap() == 0,
+            "empty engine checkpoints at LSN 0"
+        );
+        for r in &data.records[..cut] {
+            engine.insert_raw(&data.paths_for(r), r.measure).unwrap();
+        }
+        let lsn = engine.checkpoint().unwrap();
+        assert_eq!(lsn, cut as u64);
+        for r in &data.records[cut..total] {
+            engine.insert_raw(&data.paths_for(r), r.measure).unwrap();
+        }
+        engine.flush();
+        let m = engine.metrics();
+        use std::sync::atomic::Ordering::Relaxed;
+        assert_eq!(m.durability.checkpoints.load(Relaxed), 2);
+        assert_eq!(m.durability.checkpoint_last_lsn.load(Relaxed), cut as u64);
+        engine.shutdown();
+    }
+    let engine = ShardedDcTree::new(data.schema.clone(), config).unwrap();
+    use std::sync::atomic::Ordering::Relaxed;
+    let d = &engine.metrics().durability;
+    assert_eq!(d.recovery_checkpoint_lsn.load(Relaxed), cut as u64);
+    assert_eq!(
+        d.recovery_replayed_entries.load(Relaxed),
+        (total - cut) as u64,
+        "recovery must replay only the post-checkpoint tail"
+    );
+    let mut mono = DcTree::new(data.schema.clone(), DcTreeConfig::default());
+    for r in &data.records[..total] {
+        mono.insert_raw(&data.paths_for(r), r.measure).unwrap();
+    }
+    assert_eq!(engine.len(), mono.len());
+    assert_eq!(engine.total_summary(), mono.total_summary());
+    let mut gen = RangeQueryGen::new(0.05, ValuePick::Scattered, 23);
+    for _ in 0..30 {
+        let q = gen.generate(&data.schema);
+        assert_eq!(
+            engine.range_summary(&q).unwrap(),
+            mono.range_summary(&q).unwrap()
+        );
+    }
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Auto-checkpoints fire from the ingest path and bound the replay too.
+#[test]
+fn auto_checkpoint_from_ingest_path() {
+    let data = tpcd();
+    let dir = std::env::temp_dir().join(format!("dc-serve-autockpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = EngineConfig {
+        num_shards: 2,
+        wal: Some(WalOptions {
+            checkpoint_every: 100,
+            sync: SyncPolicy::GroupCommitMs(5),
+            ..WalOptions::new(&dir)
+        }),
+        ..Default::default()
+    };
+    let n = 450;
+    {
+        let engine = ShardedDcTree::new(data.schema.clone(), config.clone()).unwrap();
+        for r in &data.records[..n] {
+            engine.insert_raw(&data.paths_for(r), r.measure).unwrap();
+        }
+        engine.flush();
+        use std::sync::atomic::Ordering::Relaxed;
+        assert!(engine.metrics().durability.checkpoints.load(Relaxed) >= 4);
+        engine.shutdown();
+    }
+    let engine = ShardedDcTree::new(data.schema.clone(), config).unwrap();
+    use std::sync::atomic::Ordering::Relaxed;
+    let d = &engine.metrics().durability;
+    assert!(d.recovery_checkpoint_lsn.load(Relaxed) >= 400);
+    assert!(d.recovery_replayed_entries.load(Relaxed) < 100);
+    assert_eq!(engine.len(), n as u64);
     drop(engine);
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -52,7 +52,7 @@ pub use dc_common::{
 };
 pub use dc_hierarchy::{ConceptHierarchy, CubeSchema, HierarchySchema, Record};
 pub use dc_mds::{DimSet, Mds};
-pub use dc_serve::{EngineConfig, PartitionPolicy, ShardedDcTree};
+pub use dc_serve::{EngineConfig, PartitionPolicy, ShardedDcTree, SyncPolicy, WalOptions};
 pub use dc_tree::{DcTree, DcTreeConfig};
 
 use parking_lot::RwLock;

@@ -1,17 +1,27 @@
 #!/usr/bin/env bash
-# Runs the test suite under ThreadSanitizer (requires a nightly toolchain
-# with rust-src). The serving engine's writer threads, epoch snapshot
-# publication, and parallel scatter-gather are the interesting targets:
+# Runs tests under ThreadSanitizer (requires a nightly toolchain with the
+# rust-src component: `rustup component add rust-src --toolchain nightly`).
+# The serving engine's writer threads, epoch snapshot publication, group
+# commit, and parallel scatter-gather are the interesting targets:
 #
 #   ./tsan.sh -p dc-serve
+#   ./tsan.sh -p dc-durable --features fault-injection
+#   ./tsan.sh --test crash_recovery          # engine-level fault harness
+#   ./tsan.sh                                # whole workspace
 #
-# Any extra arguments are forwarded to `cargo test`.
+# Any arguments are forwarded to `cargo test`; with none, the whole
+# workspace is tested. `-Z build-std` needs an explicit --target, which is
+# detected from the nightly toolchain itself so this works on any host.
 set -euo pipefail
 
-if [ "$(uname)" == "Darwin" ]; then
-    TARGET=x86_64-apple-darwin
-else
-    TARGET=x86_64-unknown-linux-gnu
+TARGET=$(rustc +nightly -vV | sed -n 's/^host: //p')
+if [ -z "$TARGET" ]; then
+    echo "error: could not detect the nightly host target triple" >&2
+    exit 1
+fi
+
+if [ "$#" -eq 0 ]; then
+    set -- --workspace
 fi
 
 RUSTFLAGS="-Z sanitizer=thread" \
