@@ -156,6 +156,16 @@ fn main() {
     let cores = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
+    // Report the executor configuration the runs actually used (the engine
+    // default): whether the work-stealing query pool was on, and how many
+    // workers it resolves to. `cores > 1` is *not* assumed to imply the
+    // pool ran — the config decides.
+    let cfg = EngineConfig::default();
+    let pool_workers = if cfg.parallel_queries {
+        cfg.pool_workers.unwrap_or(cores)
+    } else {
+        0
+    };
     let base = runs.iter().find(|r| r.shards == 1).unwrap();
     let four = runs.iter().find(|r| r.shards == 4).unwrap();
     let query_speedup = four.queries_per_sec / base.queries_per_sec;
@@ -167,11 +177,11 @@ fn main() {
               logical reads/query: {reads_ratio:.2}x fewer"
     );
     println!(
-        "({cores} core(s); parallel scatter-gather {})",
-        if cores > 1 {
-            "on"
+        "({cores} core(s); query pool {})",
+        if pool_workers > 0 {
+            format!("on, {pool_workers} worker(s)")
         } else {
-            "off — query speedup needs spare cores"
+            "off — query speedup needs spare cores".to_string()
         }
     );
 
@@ -185,7 +195,11 @@ fn main() {
     json.push_str("  \"selectivities\": [0.01, 0.05, 0.25],\n");
     json.push_str("  \"partitioning\": \"ByDimension(Customer.Region)\",\n");
     json.push_str(&format!("  \"cores\": {},\n", cores));
-    json.push_str(&format!("  \"parallel_queries\": {},\n", cores > 1));
+    json.push_str(&format!(
+        "  \"parallel_queries\": {},\n",
+        cfg.parallel_queries
+    ));
+    json.push_str(&format!("  \"pool_workers\": {},\n", pool_workers));
     json.push_str("  \"runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
         json.push_str(&format!(
@@ -224,7 +238,7 @@ fn main() {
     if query_speedup < 1.5 && cores == 1 {
         eprintln!(
             "NOTE: single-core host — the >1.5x query-throughput target needs the \
-             parallel scatter-gather path, which only pays off with spare cores. \
+             work-stealing query pool, which only pays off with spare cores. \
              Shard pruning alone gives ~{reads_ratio:.2}x in logical reads here \
              because the DC-tree's own MDS pruning already clusters the partition \
              dimension well (ingest still gains {ingest_speedup:.2}x from smaller \

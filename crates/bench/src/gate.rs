@@ -30,6 +30,10 @@ pub const GATED_REPORTS: &[GateSpec] = &[
         keys: &["avg_query_us"],
     },
     GateSpec {
+        file: "query_bench.json",
+        keys: &["mean_query_us"],
+    },
+    GateSpec {
         file: "recovery_bench.json",
         keys: &["recovery_ms"],
     },

@@ -310,7 +310,7 @@ mod tests {
         // (dimension, level) — 4 here — plus the measure column.
         let (schema, _, _) = setup();
         let mut idx = BitmapIndex::new(&schema, BlockConfig::DEFAULT);
-        let mut s2 = schema.clone();
+        let mut s2 = schema;
         let rec = s2
             .intern_record(&[vec!["EU", "DE"], vec!["1996", "01"]], 10)
             .unwrap();
@@ -324,7 +324,7 @@ mod tests {
         let (schema, idx, _) = setup();
         // A nation that exists but has no records at this measure level...
         // use a value with no bitmap: query on year 1998 (never inserted).
-        let mut s2 = schema.clone();
+        let mut s2 = schema;
         let rec = s2
             .intern_record(&[vec!["EU", "DE"], vec!["1998", "01"]], 0)
             .unwrap();

@@ -27,7 +27,7 @@ proptest! {
     #[test]
     fn roundtrip(pos in positions()) {
         let b = build(&pos);
-        prop_assert_eq!(b.iter_ones().collect::<Vec<_>>(), pos.clone());
+        prop_assert_eq!(b.iter_ones().collect::<Vec<_>>(), pos);
         prop_assert_eq!(b.count_ones() as usize, pos.len());
     }
 

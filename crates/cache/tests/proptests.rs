@@ -181,7 +181,7 @@ proptest! {
         let entry = contained_entry(&s, &q, &seeds);
         let entry_summary = oracle(&s, &entry, &rs);
         let mut cache = AggregateCache::new(CacheConfig::default());
-        cache.insert(entry.clone(), entry_summary, 1);
+        cache.insert(entry, entry_summary, 1);
 
         let want = oracle(&s, &q, &rs);
         match cache.lookup(&s, &q, true).unwrap() {

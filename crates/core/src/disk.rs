@@ -772,7 +772,7 @@ impl DiskDcTree {
                         };
                         let needed = (child_node.len().div_ceil(cap)).max(1) as u32;
                         if needed < child_node.blocks {
-                            let mut shrunk = child_node.clone();
+                            let mut shrunk = child_node;
                             shrunk.blocks = needed;
                             self.store_node(pid(child), &shrunk)?;
                         }

@@ -68,5 +68,6 @@ pub mod tree;
 pub use config::DcTreeConfig;
 pub use disk::DiskDcTree;
 pub use persist_paged::PagedTreeStore;
+pub use query::PreparedRange;
 pub use stats::{DeadSpaceReport, LevelStat, TreeStats};
 pub use tree::{DcTree, TreeMetrics};

@@ -13,9 +13,35 @@
 //! or above the query level. Each entry test then degenerates to
 //! parent-pointer walks and O(1) bitset probes against the precomputed sets.
 
+use std::cell::RefCell;
+
 use dc_common::{DcResult, Level, ValueId};
 use dc_hierarchy::{CubeSchema, Record};
 use dc_mds::Mds;
+
+/// Upper bound on recycled bitset backing stores kept per thread. Generous
+/// for any realistic query shape (dims × levels) while bounding the pool if
+/// a pathological workload churns huge prepared ranges.
+const WORD_POOL_CAP: usize = 256;
+
+/// Per-thread scratch for [`PreparedRange`] construction: recycled bitset
+/// word vectors and the ping/pong buffers used by the up-adaptation loop.
+/// Steady-state preparation on a warm thread reuses these instead of
+/// allocating, which is what keeps the serving engine's query path free of
+/// per-query heap churn once the pool threads have warmed up.
+#[derive(Default)]
+struct PrepScratch {
+    /// Recycled `LevelBits` backing stores, returned on `PreparedRange` drop.
+    words: Vec<Vec<u64>>,
+    /// Up-adaptation ping buffer (the set at the current level).
+    current: Vec<ValueId>,
+    /// Up-adaptation pong buffer (the set lifted one level).
+    up: Vec<ValueId>,
+}
+
+thread_local! {
+    static PREP_SCRATCH: RefCell<PrepScratch> = RefCell::new(PrepScratch::default());
+}
 
 /// A dense bitset over the per-level index space of one hierarchy level.
 #[derive(Clone, Debug)]
@@ -24,8 +50,13 @@ struct LevelBits {
 }
 
 impl LevelBits {
-    fn from_values(values: &[ValueId], universe: usize) -> Self {
-        let mut words = vec![0u64; universe.div_ceil(64).max(1)];
+    /// Builds the bitset backed by a recycled word vector when the pool has
+    /// one, a fresh allocation otherwise.
+    fn from_values_pooled(values: &[ValueId], universe: usize, pool: &mut Vec<Vec<u64>>) -> Self {
+        let n = universe.div_ceil(64).max(1);
+        let mut words = pool.pop().unwrap_or_default();
+        words.clear();
+        words.resize(n, 0);
         for v in values {
             let idx = v.index() as usize;
             words[idx / 64] |= 1 << (idx % 64);
@@ -45,7 +76,7 @@ impl LevelBits {
 /// One dimension of a prepared range: the query's set, pre-adapted to every
 /// level from the query level up to `ALL`, as O(1)-membership bitsets.
 #[derive(Clone, Debug)]
-pub(crate) struct PreparedDim {
+struct PreparedDim {
     /// The query's own relevant level.
     level: Level,
     /// `bits[l - level]` = the query set adapted to level `l`.
@@ -62,8 +93,23 @@ impl PreparedDim {
 
 /// A range MDS preprocessed for fast entry tests: every per-entry and
 /// per-record test reduces to parent-pointer walks plus O(1) bit probes.
-#[derive(Clone, Debug)]
-pub(crate) struct PreparedRange {
+///
+/// # Shared preparation across shards
+///
+/// Preparation only consults the hierarchy of the **query's own values**
+/// (their parents, and per-level universe sizes for bitset width). In the
+/// sharded engine every shard schema is a strict prefix of the global
+/// catalog schema — same `ValueId`s, same parents — so a range prepared once
+/// against the catalog is valid for evaluation against *any* shard: the
+/// traversal only probes shard-known values, whose bits are where the
+/// catalog put them. This is what lets `ShardedDcTree` prepare a query once
+/// instead of once per shard.
+///
+/// Dropping a `PreparedRange` returns its bitset backing stores to the
+/// dropping thread's scratch pool, so a warm query thread re-prepares
+/// without touching the allocator.
+#[derive(Debug)]
+pub struct PreparedRange {
     dims: Vec<PreparedDim>,
     /// Reproduce the paper's literal (unsound) Fig. 7 adaptation: when the
     /// entry is coarser than the query, lift the *query* to the entry's
@@ -71,33 +117,77 @@ pub(crate) struct PreparedRange {
     paper_containment: bool,
 }
 
+impl Clone for PreparedRange {
+    fn clone(&self) -> Self {
+        PreparedRange {
+            dims: self.dims.clone(),
+            paper_containment: self.paper_containment,
+        }
+    }
+}
+
+impl Drop for PreparedRange {
+    fn drop(&mut self) {
+        // Recycle the word vectors into the dropping thread's pool. `try_with`
+        // because TLS may already be torn down during thread exit.
+        let _ = PREP_SCRATCH.try_with(|s| {
+            let pool = &mut s.borrow_mut().words;
+            for d in &mut self.dims {
+                for b in &mut d.bits {
+                    if pool.len() >= WORD_POOL_CAP {
+                        return;
+                    }
+                    pool.push(std::mem::take(&mut b.words));
+                }
+            }
+        });
+    }
+}
+
 impl PreparedRange {
     /// Prepares `range` against `schema`: O(size × levels) once, instead of
     /// per directory entry.
-    pub(crate) fn new(schema: &CubeSchema, range: &Mds) -> DcResult<Self> {
+    pub fn new(schema: &CubeSchema, range: &Mds) -> DcResult<Self> {
         Self::with_mode(schema, range, false)
     }
 
-    /// Prepares `range` with an explicit containment mode.
-    pub(crate) fn with_mode(
+    /// Prepares `range` with an explicit containment mode, reusing the
+    /// calling thread's scratch buffers.
+    pub fn with_mode(schema: &CubeSchema, range: &Mds, paper_containment: bool) -> DcResult<Self> {
+        PREP_SCRATCH.with(|s| {
+            Self::with_mode_scratch(schema, range, paper_containment, &mut s.borrow_mut())
+        })
+    }
+
+    fn with_mode_scratch(
         schema: &CubeSchema,
         range: &Mds,
         paper_containment: bool,
+        scratch: &mut PrepScratch,
     ) -> DcResult<Self> {
         let mut dims = Vec::with_capacity(range.num_dims());
         for (set, h) in range.dims().zip(schema.dims()) {
             let level = set.level();
-            let mut bits = vec![LevelBits::from_values(set.values(), h.num_values_at(level))];
-            let mut current = set.values().to_vec();
+            let mut bits = vec![LevelBits::from_values_pooled(
+                set.values(),
+                h.num_values_at(level),
+                &mut scratch.words,
+            )];
+            scratch.current.clear();
+            scratch.current.extend_from_slice(set.values());
             for l in level..h.top_level() {
-                let mut up: Vec<ValueId> = current
-                    .iter()
-                    .map(|&v| h.parent(v).map(|p| p.expect("below ALL")))
-                    .collect::<DcResult<_>>()?;
-                up.sort_unstable();
-                up.dedup();
-                bits.push(LevelBits::from_values(&up, h.num_values_at(l + 1)));
-                current = up;
+                scratch.up.clear();
+                for &v in &scratch.current {
+                    scratch.up.push(h.parent(v)?.expect("below ALL"));
+                }
+                scratch.up.sort_unstable();
+                scratch.up.dedup();
+                bits.push(LevelBits::from_values_pooled(
+                    &scratch.up,
+                    h.num_values_at(l + 1),
+                    &mut scratch.words,
+                ));
+                std::mem::swap(&mut scratch.current, &mut scratch.up);
             }
             dims.push(PreparedDim { level, bits });
         }
@@ -107,9 +197,20 @@ impl PreparedRange {
         })
     }
 
+    /// Number of dimensions the range was prepared over.
+    pub fn num_dims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Whether this range was prepared in the paper's literal Fig. 7
+    /// containment mode (the documented-unsound ablation).
+    pub fn paper_containment(&self) -> bool {
+        self.paper_containment
+    }
+
     /// `true` iff `entry` overlaps the range in every dimension — the
     /// pruning test of Fig. 7, with the query side precomputed.
-    pub(crate) fn overlaps(&self, schema: &CubeSchema, entry: &Mds) -> DcResult<bool> {
+    pub fn overlaps(&self, schema: &CubeSchema, entry: &Mds) -> DcResult<bool> {
         for ((p, e), h) in self.dims.iter().zip(entry.dims()).zip(schema.dims()) {
             let le = e.level();
             let hit = if le >= p.level {
@@ -136,7 +237,7 @@ impl PreparedRange {
 
     /// `true` iff `entry` is fully contained in the range (Definition 4
     /// domination) — the materialized-measure shortcut of Fig. 7.
-    pub(crate) fn contains_entry(&self, schema: &CubeSchema, entry: &Mds) -> DcResult<bool> {
+    pub fn contains_entry(&self, schema: &CubeSchema, entry: &Mds) -> DcResult<bool> {
         for ((p, e), h) in self.dims.iter().zip(entry.dims()).zip(schema.dims()) {
             if e.level() > p.level {
                 if !self.paper_containment {
@@ -161,7 +262,7 @@ impl PreparedRange {
     }
 
     /// `true` iff the record is selected by the range.
-    pub(crate) fn contains_record(&self, schema: &CubeSchema, record: &Record) -> DcResult<bool> {
+    pub fn contains_record(&self, schema: &CubeSchema, record: &Record) -> DcResult<bool> {
         for ((p, &leaf), h) in self.dims.iter().zip(&record.dims).zip(schema.dims()) {
             let anc = h.ancestor_at(leaf, p.level)?;
             if !p.contains_at(p.level, anc) {

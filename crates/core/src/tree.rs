@@ -724,10 +724,35 @@ impl DcTree {
                 got: range.num_dims(),
             });
         }
-        let prepared =
-            PreparedRange::with_mode(&self.schema, range, self.config.use_paper_fig7_containment)?;
+        let prepared = self.prepare_range(range)?;
+        self.range_summary_prepared(&prepared)
+    }
+
+    /// Prepares `range` for repeated evaluation against this tree, honouring
+    /// the tree's containment-mode configuration. Pair with
+    /// [`Self::range_summary_prepared`] / [`Self::group_by_prepared`].
+    pub fn prepare_range(&self, range: &Mds) -> DcResult<PreparedRange> {
+        PreparedRange::with_mode(&self.schema, range, self.config.use_paper_fig7_containment)
+    }
+
+    /// Runs a range query from an already-[prepared](Self::prepare_range)
+    /// range, skipping per-call preparation.
+    ///
+    /// The range may have been prepared against a *different* schema as long
+    /// as that schema assigns the same `ValueId`s as this tree's (the
+    /// sharded engine prepares once against its global catalog, of which
+    /// every shard schema is a prefix) — the traversal only probes values
+    /// this tree knows, and their bits are where the preparing schema put
+    /// them. The steady-state traversal performs no heap allocation.
+    pub fn range_summary_prepared(&self, prepared: &PreparedRange) -> DcResult<MeasureSummary> {
+        if prepared.num_dims() != self.schema.num_dims() {
+            return Err(DcError::DimensionMismatch {
+                expected: self.schema.num_dims(),
+                got: prepared.num_dims(),
+            });
+        }
         let mut acc = MeasureSummary::empty();
-        self.query_rec(self.root, &prepared, &mut acc)?;
+        self.query_rec(self.root, prepared, &mut acc)?;
         Ok(acc)
     }
 
@@ -879,9 +904,35 @@ impl DcTree {
             });
         }
         let prepared = PreparedRange::new(&self.schema, filter)?;
+        self.group_by_prepared(group_dim, group_level, &prepared)
+    }
+
+    /// [`Self::group_by`] from an already-[prepared](Self::prepare_range)
+    /// filter; same cross-schema contract as
+    /// [`Self::range_summary_prepared`].
+    pub fn group_by_prepared(
+        &self,
+        group_dim: DimensionId,
+        group_level: dc_common::Level,
+        prepared: &PreparedRange,
+    ) -> DcResult<Vec<(ValueId, MeasureSummary)>> {
+        if prepared.num_dims() != self.schema.num_dims() {
+            return Err(DcError::DimensionMismatch {
+                expected: self.schema.num_dims(),
+                got: prepared.num_dims(),
+            });
+        }
+        let h = self.schema.dim(group_dim);
+        if group_level > h.top_level() {
+            return Err(DcError::BadLevel {
+                dim: group_dim,
+                id: h.all(),
+                requested: group_level,
+            });
+        }
         let mut groups: Vec<MeasureSummary> =
             vec![MeasureSummary::empty(); h.num_values_at(group_level)];
-        self.group_rec(self.root, &prepared, group_dim, group_level, &mut groups)?;
+        self.group_rec(self.root, prepared, group_dim, group_level, &mut groups)?;
         Ok(groups
             .into_iter()
             .enumerate()

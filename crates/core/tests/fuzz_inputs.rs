@@ -53,8 +53,7 @@ proptest! {
         len in 1usize..64,
         xor in 1u8..=255,
     ) {
-        let image = small_tree().to_bytes();
-        let mut corrupt = image.clone();
+        let mut corrupt = small_tree().to_bytes();
         let start = ((corrupt.len() - 1) as f64 * offset_frac) as usize;
         let end = (start + len).min(corrupt.len());
         for b in &mut corrupt[start..end] {

@@ -81,6 +81,15 @@ pub struct ConceptHierarchy {
     /// father for each ID in one concept hierarchy"; we additionally keep the
     /// reverse map so that insertions of already-known values are O(1).
     dict: HashMap<(ValueId, String), ValueId>,
+    /// Flat ancestor tables: `anc[l]` is row-major with one row per value at
+    /// level `l`, holding the value's ancestor *indices* at levels
+    /// `l+1 ..= top_level` (row width `top_level - l`). Maintained
+    /// incrementally on intern — a child's row is its parent's index followed
+    /// by the parent's row — so [`Self::ancestor_at`] is a single array load
+    /// instead of a parent-pointer walk. This sits in the innermost loops of
+    /// every range query (each entry/record test lifts values to the query
+    /// level), where the walk used to dominate.
+    anc: Vec<Vec<u32>>,
 }
 
 impl ConceptHierarchy {
@@ -99,6 +108,7 @@ impl ConceptHierarchy {
             schema,
             tables,
             dict: HashMap::new(),
+            anc: (0..=top).map(|_| Vec::new()).collect(),
         }
     }
 
@@ -165,11 +175,43 @@ impl ConceptHierarchy {
         Ok(&self.info(id)?.children)
     }
 
-    /// The ancestor of `id` at `level`.
+    /// The ancestor of `id` at `level` — one bounds check plus one array
+    /// load against the incrementally maintained ancestor tables.
     ///
     /// `level` must satisfy `id.level() <= level <= top_level()`; the
     /// ancestor at `id.level()` is `id` itself.
     pub fn ancestor_at(&self, id: ValueId, level: Level) -> DcResult<ValueId> {
+        let from = id.level();
+        if level < from || level > self.top_level() {
+            return Err(DcError::BadLevel {
+                dim: self.dim,
+                id,
+                requested: level,
+            });
+        }
+        if level == from {
+            // Still validate the id — callers rely on the error contract.
+            self.info(id)?;
+            return Ok(id);
+        }
+        let width = (self.top_level() - from) as usize;
+        let base = id.index() as usize * width;
+        let offset = (level - from) as usize - 1;
+        match self
+            .anc
+            .get(from as usize)
+            .and_then(|t| t.get(base + offset))
+        {
+            Some(&idx) => Ok(ValueId::new(level, idx)),
+            None => Err(DcError::UnknownValue { dim: self.dim, id }),
+        }
+    }
+
+    /// The ancestor of `id` at `level`, computed by the original
+    /// parent-pointer walk. Semantically identical to
+    /// [`Self::ancestor_at`]; kept as the independent oracle the
+    /// property tests compare the O(1) tables against.
+    pub fn ancestor_at_walk(&self, id: ValueId, level: Level) -> DcResult<ValueId> {
         if level < id.level() || level > self.top_level() {
             return Err(DcError::BadLevel {
                 dim: self.dim,
@@ -181,6 +223,9 @@ impl ConceptHierarchy {
         while cur.level() < level {
             cur = self.info(cur)?.parent;
         }
+        // Validate `cur == id` lookups too (the walk only touches `info`
+        // when it moves).
+        self.info(cur)?;
         Ok(cur)
     }
 
@@ -264,6 +309,17 @@ impl ConceptHierarchy {
             .children
             .push(id);
         self.dict.insert((parent, name.to_string()), id);
+        // Extend the ancestor table: the child's row is its parent's index
+        // followed by the parent's own row (ancestors at parent.level()+1
+        // and up). O(levels) per *new* value, O(1) per lookup forever after.
+        let parent_width = (self.top_level() - parent.level()) as usize;
+        let parent_row_base = parent.index() as usize * parent_width;
+        let (row, parent_rows) = {
+            let (lo, hi) = self.anc.split_at_mut(parent.level() as usize);
+            (&mut lo[level as usize], &hi[0])
+        };
+        row.push(parent.index());
+        row.extend_from_slice(&parent_rows[parent_row_base..parent_row_base + parent_width]);
         Ok(id)
     }
 

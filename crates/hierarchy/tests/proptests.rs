@@ -100,6 +100,50 @@ proptest! {
         }
     }
 
+    /// The flat ancestor tables agree with the parent-pointer walk for
+    /// *every* interned value and *every* requested level — including the
+    /// error cases — after an arbitrary interleaving of interns. This pins
+    /// the O(1) `ancestor_at` fast path to its original-walk oracle.
+    #[test]
+    fn ancestor_tables_match_walk(ps in paths(), extra in paths()) {
+        // Interleave two batches so table rows are appended in a
+        // non-monotone order across levels.
+        let mut h = ConceptHierarchy::new(
+            DimensionId(0),
+            HierarchySchema::new("D", vec!["A".into(), "B".into(), "C".into()]),
+        );
+        let mut it1 = ps.iter();
+        let mut it2 = extra.iter();
+        loop {
+            let a = it1.next();
+            let b = it2.next();
+            if a.is_none() && b.is_none() {
+                break;
+            }
+            for &(a, b, c) in a.into_iter().chain(b) {
+                h.intern_path(&[
+                    format!("a{a}"),
+                    format!("a{a}b{b}"),
+                    format!("a{a}b{b}c{c}"),
+                ])
+                .unwrap();
+            }
+        }
+        for level in 0..=h.top_level() {
+            for v in h.values_at(level) {
+                for target in 0..=(h.top_level() + 1) {
+                    let fast = h.ancestor_at(v, target);
+                    let walk = h.ancestor_at_walk(v, target);
+                    match (fast, walk) {
+                        (Ok(f), Ok(w)) => prop_assert_eq!(f, w),
+                        (Err(_), Err(_)) => {}
+                        (f, w) => prop_assert!(false, "fast={f:?} walk={w:?}"),
+                    }
+                }
+            }
+        }
+    }
+
     /// `leaves_under(ALL)` enumerates every leaf exactly once, and
     /// `leaves_under(v)` are exactly the leaves whose ancestor is `v`.
     #[test]

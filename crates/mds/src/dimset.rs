@@ -308,7 +308,7 @@ mod tests {
         assert_eq!(a.union_len(&b), 3);
         assert!(!a.is_subset_of(&b));
         assert!(DimSet::new(0, vec![c1]).is_subset_of(&a));
-        let mut u = a.clone();
+        let mut u = a;
         u.union_with(&b);
         assert_eq!(u.values(), &[c0, c1, c2]);
     }

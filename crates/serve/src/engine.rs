@@ -2,7 +2,6 @@
 //! writer thread per shard fed by an MPSC queue, epoch-published snapshots
 //! for lock-free reads, and scatter-gather query merging.
 
-use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
@@ -20,12 +19,13 @@ use dc_durable::{
     WalFs, WalReader, WalWriter,
 };
 use dc_hierarchy::{ConceptHierarchy, CubeSchema, Record};
-use dc_mds::{DimSet, Mds};
-use dc_tree::{DcTree, DcTreeConfig};
+use dc_mds::Mds;
+use dc_tree::{DcTree, DcTreeConfig, PreparedRange};
 use parking_lot::{Mutex, RwLock};
 
 use crate::catalog::SchemaCatalog;
 use crate::metrics::EngineMetrics;
+use crate::pool::QueryPool;
 
 /// How records map to shards.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -94,12 +94,17 @@ pub struct EngineConfig {
     /// `Some` makes ingest durable via a shared write-ahead log (reusing
     /// `dc-durable`'s framed WAL); recovery replays it on construction.
     pub wal: Option<WalOptions>,
-    /// Evaluate multi-shard queries on scoped threads (one per visited
-    /// shard) instead of sequentially. Snapshots are immutable, so the two
-    /// paths return identical answers; the parallel one wins wall-clock
-    /// only when spare cores exist, which is why the default follows
-    /// [`std::thread::available_parallelism`].
+    /// Evaluate multi-shard queries on the persistent work-stealing query
+    /// pool instead of sequentially on the calling thread. Snapshots are
+    /// immutable, so the two paths return identical answers; the pooled one
+    /// wins wall-clock only when spare cores exist, which is why the
+    /// default follows [`std::thread::available_parallelism`].
     pub parallel_queries: bool,
+    /// Worker threads in the query pool (`None` = size by
+    /// [`std::thread::available_parallelism`]). `Some(0)` disables the pool
+    /// outright, like `parallel_queries = false`. The submitting thread
+    /// always participates in its own query on top of these workers.
+    pub pool_workers: Option<usize>,
     /// `Some` puts a hierarchy-aware aggregate cache (`dc-cache`) in front
     /// of the scatter-gather path: exact and contained (semantic) hits skip
     /// some or all shard descents, and shard writers patch cached summaries
@@ -119,6 +124,7 @@ impl Default for EngineConfig {
             parallel_queries: std::thread::available_parallelism()
                 .map(|p| p.get() > 1)
                 .unwrap_or(false),
+            pool_workers: None,
             cache: Some(CacheConfig::default()),
         }
     }
@@ -179,7 +185,15 @@ pub struct ShardedDcTree {
     shards: Vec<Shard>,
     metrics: Arc<EngineMetrics>,
     policy: PartitionPolicy,
-    parallel_queries: bool,
+    /// The persistent work-stealing executor (`None` = evaluate multi-shard
+    /// queries sequentially on the calling thread). Outlives `shutdown` —
+    /// queries keep working against the final snapshots — and is joined
+    /// when the engine drops.
+    pool: Option<QueryPool>,
+    /// `DcTreeConfig::use_paper_fig7_containment`, hoisted so the engine
+    /// can prepare ranges once against the catalog with the same
+    /// containment mode every shard tree would use.
+    paper_mode: bool,
     cache: Option<Arc<SharedCache>>,
     wal: Option<Arc<DurableWal>>,
     /// Ingest holds this for read around {WAL append → enqueue}; the
@@ -306,12 +320,23 @@ impl ShardedDcTree {
                 writer: Mutex::new(Some(writer)),
             });
         }
+        let pool = if config.parallel_queries && config.num_shards > 1 {
+            let workers = config.pool_workers.unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            });
+            (workers >= 1).then(|| QueryPool::new(workers, Arc::clone(&metrics)))
+        } else {
+            None
+        };
         let engine = ShardedDcTree {
             catalog,
             shards,
             metrics,
             policy: config.policy,
-            parallel_queries: config.parallel_queries,
+            pool,
+            paper_mode: config.tree.use_paper_fig7_containment,
             cache,
             wal,
             ingest_gate: RwLock::new(()),
@@ -727,9 +752,9 @@ impl ShardedDcTree {
     /// I/O counters, so concurrent queries make it a heuristic, not an
     /// exact cost).
     fn descend(&self, range: &Mds) -> DcResult<(MeasureSummary, u64)> {
-        let parts = self.eval_shards(range, |snap, q| {
+        let parts = self.eval_shards(range, self.paper_mode, |snap, q| {
             let r0 = snap.io_stats().reads;
-            let summary = snap.range_summary(q)?;
+            let summary = snap.range_summary_prepared(q)?;
             Ok((summary, snap.io_stats().reads.saturating_sub(r0)))
         })?;
         let mut total = MeasureSummary::empty();
@@ -759,56 +784,51 @@ impl ShardedDcTree {
         cm.entries.store(stats.entries, Relaxed);
     }
 
-    /// Evaluates `eval` against every relevant shard's snapshot — on scoped
-    /// threads when [`EngineConfig::parallel_queries`] is set and more than
-    /// one shard is visited, sequentially otherwise. Shards whose schema
-    /// clips the query to empty are skipped.
-    fn eval_shards<R: Send>(
+    /// Evaluates `eval` against every relevant shard's snapshot — on the
+    /// persistent query pool when one is configured and more than one shard
+    /// is visited, sequentially on the calling thread otherwise.
+    ///
+    /// The range is prepared **once** against the global catalog (with the
+    /// given containment mode) and shared by every shard evaluation: shard
+    /// schemas replay the catalog's intern log, so they are prefixes of the
+    /// catalog schema — same `ValueId`s, same parents — and the traversal
+    /// only ever probes shard-known values against the prepared bitsets.
+    /// Shards that cannot contribute (no query value interned in some
+    /// dimension) are skipped *before* counting a visit.
+    fn eval_shards<R: Send + 'static>(
         &self,
         range: &Mds,
-        eval: impl Fn(&DcTree, &Mds) -> DcResult<R> + Sync,
+        paper_mode: bool,
+        eval: impl Fn(&DcTree, &PreparedRange) -> DcResult<R> + Send + Sync + 'static,
     ) -> DcResult<Vec<R>> {
+        let prepared = self
+            .catalog
+            .with_schema(|schema| PreparedRange::with_mode(schema, range, paper_mode))?;
         let catalog_values = self.catalog.with_schema(schema_total_values);
-        let snaps: Vec<Arc<DcTree>> = self
-            .relevant_shards(range)?
-            .into_iter()
-            .map(|s| {
-                self.metrics.shard_visits.fetch_add(1, Relaxed);
-                self.shard_snapshot(s)
-            })
-            .collect();
-        let work = |snap: &DcTree| -> DcResult<Option<R>> {
-            match clip_for_shard(range, snap.schema(), catalog_values) {
-                Some(clipped) => eval(snap, &clipped).map(Some),
-                None => Ok(None),
+        // Pre-sized once: per-query allocation count must not grow with the
+        // number of visited shards (asserted by `query_bench`).
+        let mut snaps: Vec<(usize, Arc<DcTree>)> = Vec::with_capacity(self.shards.len());
+        for s in self.relevant_shards(range)? {
+            let snap = self.shard_snapshot(s);
+            if !shard_covers(range, snap.schema(), catalog_values) {
+                continue;
             }
-        };
-        let results: Vec<DcResult<Option<R>>> = if self.parallel_queries && snaps.len() > 1 {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = snaps[1..]
-                    .iter()
-                    .map(|snap| scope.spawn(move || work(snap)))
-                    .collect();
-                // The calling thread takes the first shard instead of idling.
-                let first = work(&snaps[0]);
-                std::iter::once(first)
-                    .chain(
-                        handles
-                            .into_iter()
-                            .map(|h| h.join().expect("query worker panicked")),
-                    )
-                    .collect()
-            })
-        } else {
-            snaps.iter().map(|snap| work(snap)).collect()
-        };
-        let mut out = Vec::with_capacity(results.len());
-        for r in results {
-            if let Some(v) = r? {
-                out.push(v);
+            self.metrics.shard_visits.fetch_add(1, Relaxed);
+            snaps.push((s, snap));
+        }
+        match &self.pool {
+            Some(pool) if snaps.len() > 1 => pool.scatter_eval(snaps, prepared, eval),
+            _ => {
+                // Explicit loop rather than `collect::<DcResult<Vec<_>>>`:
+                // the Result shunt drops the exact size hint, and the
+                // resulting growth reallocations would scale with visits.
+                let mut out = Vec::with_capacity(snaps.len());
+                for (_, snap) in &snaps {
+                    out.push(eval(snap, &prepared)?);
+                }
+                Ok(out)
             }
         }
-        Ok(out)
     }
 
     /// One aggregate over `range` (`None` when the op is undefined on an
@@ -833,7 +853,11 @@ impl ShardedDcTree {
         filter: &Mds,
     ) -> DcResult<Vec<(ValueId, MeasureSummary)>> {
         let t0 = Instant::now();
-        let parts = self.eval_shards(filter, |snap, q| snap.group_by(dim, level, q))?;
+        // `DcTree::group_by` always prepares in the sound containment mode,
+        // so the shared preparation does too.
+        let parts = self.eval_shards(filter, false, move |snap, q| {
+            snap.group_by_prepared(dim, level, q)
+        })?;
         let mut merged: BTreeMap<ValueId, MeasureSummary> = BTreeMap::new();
         for groups in parts {
             for (value, summary) in groups {
@@ -891,11 +915,13 @@ impl ShardedDcTree {
                     }
                 }
             }
-            Ok(mask
-                .into_iter()
-                .enumerate()
-                .filter_map(|(i, hit)| hit.then_some(i))
-                .collect())
+            let mut hits = Vec::with_capacity(n);
+            hits.extend(
+                mask.into_iter()
+                    .enumerate()
+                    .filter_map(|(i, hit)| hit.then_some(i)),
+            );
+            Ok(hits)
         })
     }
 }
@@ -925,48 +951,24 @@ fn schema_total_values(schema: &CubeSchema) -> usize {
         .sum()
 }
 
-/// Clips `range` for one shard, with a fast path: when the shard's schema is
-/// complete (same value total as the catalog), every query value is known and
-/// the original MDS is borrowed as-is — no per-value checks, no clone. This
-/// matters because queries fan out to every relevant shard; paying a full
-/// clip per shard would make the scatter overhead scale with both shard
-/// count and query width.
-fn clip_for_shard<'a>(
-    range: &'a Mds,
-    schema: &CubeSchema,
-    catalog_values: usize,
-) -> Option<Cow<'a, Mds>> {
+/// `true` iff the shard can contribute anything to `range`: in every
+/// dimension, at least one query value is interned in the shard's schema.
+/// A shard that lags the catalog cannot hold records under values it never
+/// interned, so a dimension with no known value proves the shard's answer
+/// empty — the query skips it without a snapshot descent (and without a
+/// `shard_visits` tick).
+///
+/// Fast path: a shard whose schema is complete (same value total as the
+/// catalog — shard schemas are catalog prefixes) covers every valid query
+/// by construction, with no per-value checks.
+fn shard_covers(range: &Mds, schema: &CubeSchema, catalog_values: usize) -> bool {
     if schema_total_values(schema) == catalog_values {
-        return Some(Cow::Borrowed(range));
+        return true;
     }
-    clip_to_schema(range, schema).map(Cow::Owned)
-}
-
-/// Restricts a query MDS to the values a shard's schema knows. A shard that
-/// lags the catalog may not have interned a query value yet — but then it
-/// cannot hold any record under that value either, so dropping the value
-/// changes nothing about the shard's answer. Returns `None` when a
-/// dimension clips to empty (the shard contributes nothing at all).
-fn clip_to_schema(range: &Mds, schema: &CubeSchema) -> Option<Mds> {
-    let mut dims = Vec::with_capacity(range.num_dims());
-    for (d, set) in range.dims().enumerate() {
+    range.dims().enumerate().all(|(d, set)| {
         let h: &ConceptHierarchy = schema.dim(DimensionId(d as u16));
-        if set.values().iter().all(|&v| h.contains(v)) {
-            dims.push(set.clone());
-            continue;
-        }
-        let kept: Vec<ValueId> = set
-            .values()
-            .iter()
-            .copied()
-            .filter(|&v| h.contains(v))
-            .collect();
-        if kept.is_empty() {
-            return None;
-        }
-        dims.push(DimSet::new(set.level(), kept));
-    }
-    Some(Mds::new(dims))
+        set.values().iter().any(|&v| h.contains(v))
+    })
 }
 
 /// Starts a shard's writer thread: drains its queue in batches, replays the

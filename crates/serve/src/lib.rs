@@ -43,11 +43,26 @@
 //!   before applying a record routed to it. A `ValueId` therefore denotes
 //!   the same attribute value in every shard — which is what makes merging
 //!   `GROUP BY` rows by key sound.
-//! * **Query clipping.** A shard snapshot may lag the catalog and not know
-//!   a query value yet. Such a value is dropped from the query for that
-//!   shard ([`engine`]'s `clip_to_schema`): the shard cannot hold records
-//!   under a value it never interned, so the clipped answer equals the
-//!   unclipped one.
+//! * **Shared range preparation.** The query's level-bitsets are adapted
+//!   **once** against the catalog schema ([`dc_tree::PreparedRange`]) and
+//!   shared by every shard evaluation: a shard schema is a prefix of the
+//!   catalog's (same `ValueId`s, same parents), and the traversal only
+//!   probes shard-known values against the prepared bitsets, so the shared
+//!   preparation answers exactly like a per-shard one. A shard that lags
+//!   the catalog and knows *none* of a dimension's query values cannot
+//!   hold a matching record, so it is skipped outright ([`engine`]'s
+//!   `shard_covers`) — before it costs a descent or a `shard_visits` tick.
+//!
+//! ## The query executor
+//!
+//! Multi-shard queries run on a persistent work-stealing pool (sized by
+//! `available_parallelism`, see [`EngineConfig::pool_workers`]): per-shard
+//! tasks carry a shard-affinity hint, idle workers steal the oldest queued
+//! task, the submitting thread executes unclaimed tasks of its own query
+//! inline, and independent connections pipeline their scatters through the
+//! same workers instead of spawning threads per query. Pool gauges (queue
+//! depth, busy workers, steals, task latency) are served under `"pool"` in
+//! `STATS`.
 //!
 //! ## Where the speedup comes from
 //!
@@ -62,6 +77,7 @@
 pub mod catalog;
 pub mod engine;
 pub mod metrics;
+mod pool;
 pub mod protocol;
 pub mod server;
 
@@ -69,5 +85,5 @@ pub use catalog::SchemaCatalog;
 pub use dc_cache::CacheConfig;
 pub use dc_durable::{StdFs, SyncPolicy, WalFs};
 pub use engine::{EngineConfig, PartitionPolicy, ShardedDcTree, WalOptions};
-pub use metrics::{CacheMetrics, DurabilityMetrics, EngineMetrics, LatencyHistogram};
+pub use metrics::{CacheMetrics, DurabilityMetrics, EngineMetrics, LatencyHistogram, PoolMetrics};
 pub use server::{serve, ServerConfig, ServerHandle};

@@ -123,6 +123,29 @@ pub struct CacheMetrics {
     pub lookup_latency: LatencyHistogram,
 }
 
+/// Query-pool observability: the persistent work-stealing executor behind
+/// scatter-gather queries. All zero when the pool is disabled
+/// (`parallel_queries = false` or a single worker makes no sense).
+#[derive(Default)]
+pub struct PoolMetrics {
+    /// Configured worker threads (gauge; 0 = pool disabled, queries run on
+    /// the calling thread).
+    pub workers: AtomicU64,
+    /// Per-shard tasks currently waiting in the injector queue (gauge).
+    pub queued_tasks: AtomicU64,
+    /// Workers currently executing a task (gauge).
+    pub busy_workers: AtomicU64,
+    /// Tasks executed by pool workers since start.
+    pub tasks: AtomicU64,
+    /// Tasks executed inline by the submitting thread (it participates
+    /// instead of idling while its query's tasks are queued).
+    pub inline_tasks: AtomicU64,
+    /// Tasks a worker claimed outside its shard affinity.
+    pub steals: AtomicU64,
+    /// Wall-clock time of one per-shard task (claim to completion).
+    pub task_latency: LatencyHistogram,
+}
+
 /// Durability observability: WAL writer counters, checkpoint counters, and
 /// what the opening recovery pass found. All zero when no WAL is
 /// configured.
@@ -171,6 +194,8 @@ pub struct EngineMetrics {
     pub apply_latency: LatencyHistogram,
     /// Aggregate-cache counters (all zero when the cache is disabled).
     pub cache: CacheMetrics,
+    /// Query-pool counters (all zero when the pool is disabled).
+    pub pool: PoolMetrics,
     /// WAL/checkpoint/recovery counters (all zero when no WAL is
     /// configured).
     pub durability: DurabilityMetrics,
@@ -189,6 +214,7 @@ impl EngineMetrics {
             query_latency: LatencyHistogram::new(),
             apply_latency: LatencyHistogram::new(),
             cache: CacheMetrics::default(),
+            pool: PoolMetrics::default(),
             durability: DurabilityMetrics::default(),
             shards: (0..num_shards).map(|_| ShardMetrics::default()).collect(),
         }
@@ -254,6 +280,7 @@ impl EngineMetrics {
             &latency_json(&self.apply_latency),
         );
         push_kv(&mut s, "cache", &self.cache_json());
+        push_kv(&mut s, "pool", &self.pool_json());
         push_kv(&mut s, "durability", &self.durability_json());
         s.push_str("\"shards\":[");
         for (i, sh) in self.shards.iter().enumerate() {
@@ -318,6 +345,35 @@ impl EngineMetrics {
         push_kv(&mut s, "entries", &c.entries.load(Relaxed).to_string());
         s.push_str("\"lookup_latency_us\":");
         s.push_str(&latency_json(&c.lookup_latency));
+        s.push('}');
+        s
+    }
+
+    /// The `"pool"` sub-object of the STATS payload.
+    fn pool_json(&self) -> String {
+        let p = &self.pool;
+        let mut s = String::with_capacity(192);
+        s.push('{');
+        push_kv(&mut s, "workers", &p.workers.load(Relaxed).to_string());
+        push_kv(
+            &mut s,
+            "queued_tasks",
+            &p.queued_tasks.load(Relaxed).to_string(),
+        );
+        push_kv(
+            &mut s,
+            "busy_workers",
+            &p.busy_workers.load(Relaxed).to_string(),
+        );
+        push_kv(&mut s, "tasks", &p.tasks.load(Relaxed).to_string());
+        push_kv(
+            &mut s,
+            "inline_tasks",
+            &p.inline_tasks.load(Relaxed).to_string(),
+        );
+        push_kv(&mut s, "steals", &p.steals.load(Relaxed).to_string());
+        s.push_str("\"task_latency_us\":");
+        s.push_str(&latency_json(&p.task_latency));
         s.push('}');
         s
     }
@@ -435,6 +491,20 @@ mod tests {
         assert!(json.contains("\"hit_rate\":0.750"));
         assert!(json.contains("\"patches\":7"));
         assert!(json.contains("\"lookup_latency_us\""));
+    }
+
+    #[test]
+    fn stats_json_includes_pool_block() {
+        let m = EngineMetrics::new(1);
+        m.pool.workers.store(4, Relaxed);
+        m.pool.tasks.store(12, Relaxed);
+        m.pool.steals.store(3, Relaxed);
+        m.pool.task_latency.record(Duration::from_micros(42));
+        let json = m.to_json();
+        assert!(json.contains("\"pool\":{\"workers\":4"));
+        assert!(json.contains("\"tasks\":12"));
+        assert!(json.contains("\"steals\":3"));
+        assert!(json.contains("\"task_latency_us\""));
     }
 
     #[test]

@@ -159,6 +159,162 @@ fn parallel_scatter_gather_matches_monolith() {
     assert_engine_matches_monolith(&engine, &mono, &data);
 }
 
+/// The persistent query pool must be answer-invisible: a pool-enabled
+/// engine and a sequential engine, both churned by concurrent inserts and
+/// then deletes (with queries issued *during* the ingest to exercise
+/// catalog-prepared ranges against lagging shard schemas), end up agreeing
+/// with each other and with a monolith over the same final records.
+#[test]
+fn pooled_executor_matches_sequential_and_monolith_under_churn() {
+    let data = tpcd();
+    for policy in [PartitionPolicy::Hash, region_policy(&data)] {
+        let pooled = ShardedDcTree::new(
+            data.schema.clone(),
+            EngineConfig {
+                parallel_queries: true,
+                pool_workers: Some(3),
+                cache: None,
+                ..engine_config(policy)
+            },
+        )
+        .unwrap();
+        let sequential = ShardedDcTree::new(
+            data.schema.clone(),
+            EngineConfig {
+                parallel_queries: false,
+                cache: None,
+                ..engine_config(policy)
+            },
+        )
+        .unwrap();
+        let qs = queries(&data);
+        std::thread::scope(|scope| {
+            for p in 0..2 {
+                let pooled = &pooled;
+                let data = &data;
+                scope.spawn(move || {
+                    for r in data.records.iter().skip(p).step_by(2) {
+                        pooled.insert_raw(&data.paths_for(r), r.measure).unwrap();
+                    }
+                });
+            }
+            let sequential = &sequential;
+            let data = &data;
+            scope.spawn(move || {
+                for r in &data.records {
+                    sequential
+                        .insert_raw(&data.paths_for(r), r.measure)
+                        .unwrap();
+                }
+            });
+            // Two query threads race the ingest: each answer reflects *some*
+            // set of published snapshots, so it must simply succeed — the
+            // exact comparison happens after the flush below.
+            for t in 0..2 {
+                let pooled = &pooled;
+                let qs = &qs;
+                scope.spawn(move || {
+                    for q in qs.iter().skip(t).step_by(2) {
+                        pooled.range_summary(q).unwrap();
+                    }
+                });
+            }
+        });
+        // Deletes flow through both engines identically.
+        for r in data.records.iter().step_by(4) {
+            pooled.delete_raw(&data.paths_for(r), r.measure).unwrap();
+            sequential
+                .delete_raw(&data.paths_for(r), r.measure)
+                .unwrap();
+        }
+        pooled.flush();
+        sequential.flush();
+        let mut mono = monolith(&data);
+        for r in data.records.iter().step_by(4) {
+            assert!(mono.delete(r).unwrap());
+        }
+        assert_eq!(pooled.len(), mono.len());
+        assert_eq!(sequential.len(), mono.len());
+        for q in &qs {
+            let want = mono.range_summary(q).unwrap();
+            assert_eq!(
+                pooled.range_summary(q).unwrap(),
+                want,
+                "pooled mismatch under {policy:?} for {q:?}"
+            );
+            assert_eq!(
+                sequential.range_summary(q).unwrap(),
+                want,
+                "sequential mismatch under {policy:?} for {q:?}"
+            );
+        }
+        // The pooled run must actually have exercised the executor.
+        use std::sync::atomic::Ordering::Relaxed;
+        let pm = &pooled.metrics().pool;
+        assert_eq!(pm.workers.load(Relaxed), 3);
+        assert!(
+            pm.tasks.load(Relaxed) + pm.inline_tasks.load(Relaxed) > 0,
+            "no query ever ran on the pool under {policy:?}"
+        );
+        pooled.shutdown();
+        sequential.shutdown();
+    }
+}
+
+/// Regression for snapshot over-acquisition: a shard whose schema cannot
+/// match the query (it never interned any of the query's values) must be
+/// skipped *before* the `shard_visits` counter ticks, not after.
+#[test]
+fn schema_empty_shards_are_skipped_without_visits() {
+    let data = tpcd();
+    let engine = ShardedDcTree::new(
+        dc_tpcd::cube_schema(),
+        EngineConfig {
+            num_shards: 2,
+            policy: PartitionPolicy::Hash,
+            cache: None,
+            parallel_queries: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    // One record: it routes to exactly one shard; the other shard never
+    // receives a command, so its snapshot keeps the value-free construction
+    // schema.
+    let r = &data.records[0];
+    engine.insert_raw(&data.paths_for(r), r.measure).unwrap();
+    engine.flush();
+    let populated = (0..2)
+        .filter(|&s| !engine.shard_snapshot(s).is_empty())
+        .count();
+    assert_eq!(populated, 1);
+    // Query the record's own leaf in dimension 0, unconstrained elsewhere.
+    let s = engine.schema();
+    let q = dc_mds::Mds::new(
+        (0..s.num_dims())
+            .map(|d| {
+                let h = s.dim(DimensionId(d as u16));
+                if d == 0 {
+                    dc_mds::DimSet::new(0, vec![h.values_at(0).next().unwrap()])
+                } else {
+                    dc_mds::DimSet::new(h.top_level(), vec![h.all()])
+                }
+            })
+            .collect(),
+    );
+    use std::sync::atomic::Ordering::Relaxed;
+    for _ in 0..3 {
+        let before = engine.metrics().shard_visits.load(Relaxed);
+        let sum = engine.range_summary(&q).unwrap();
+        assert_eq!(sum.count, 1);
+        assert_eq!(
+            engine.metrics().shard_visits.load(Relaxed) - before,
+            1,
+            "schema-empty shard counted as a visit"
+        );
+    }
+}
+
 #[test]
 fn dynamic_interning_from_empty_schema_matches_monolith() {
     // Sequential ingest starting from an empty (value-free) schema: the
@@ -395,7 +551,7 @@ fn auto_checkpoint_from_ingest_path() {
         assert!(engine.metrics().durability.checkpoints.load(Relaxed) >= 4);
         engine.shutdown();
     }
-    let engine = ShardedDcTree::new(data.schema.clone(), config).unwrap();
+    let engine = ShardedDcTree::new(data.schema, config).unwrap();
     use std::sync::atomic::Ordering::Relaxed;
     let d = &engine.metrics().durability;
     assert!(d.recovery_checkpoint_lsn.load(Relaxed) >= 400);

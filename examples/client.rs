@@ -71,6 +71,7 @@ fn main() -> std::io::Result<()> {
     request("COUNT WHERE Time.Year = '1999'")?;
     let stats = request("STATS")?;
     print_cache_counters(&stats);
+    print_pool_gauges(&stats);
 
     if let Some((engine, handle)) = hosted {
         request("SHUTDOWN")?;
@@ -93,6 +94,26 @@ fn print_cache_counters(stats: &str) {
         "patches",
         "invalidations",
         "entries",
+    ] {
+        if let Some(v) = json_field(stats, key) {
+            println!("  {key:<14} {v}");
+        }
+    }
+}
+
+/// The work-stealing query pool's gauges (`"pool"` block of STATS):
+/// worker count, queue depth, how many units ran on workers vs inline on
+/// the submitting connection, and how many were stolen cross-affinity.
+/// All zeros when the pool is off (single shard or no spare cores).
+fn print_pool_gauges(stats: &str) {
+    println!("query pool:");
+    for key in [
+        "workers",
+        "queued_tasks",
+        "busy_workers",
+        "tasks",
+        "inline_tasks",
+        "steals",
     ] {
         if let Some(v) = json_field(stats, key) {
             println!("  {key:<14} {v}");

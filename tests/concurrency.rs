@@ -32,6 +32,9 @@ fn concurrent_reads_and_writes_never_observe_torn_state() {
         })
     };
 
+    // The collect is the point: every reader must be spawned *before* the
+    // writer is joined, or they would not run concurrently with ingest.
+    #[allow(clippy::needless_collect)]
     let readers: Vec<_> = (0..3)
         .map(|_| {
             let tree = Arc::clone(&tree);
