@@ -37,6 +37,10 @@ pub const GATED_REPORTS: &[GateSpec] = &[
         file: "recovery_bench.json",
         keys: &["recovery_ms"],
     },
+    GateSpec {
+        file: "plan_bench.json",
+        keys: &["planner_mean_us"],
+    },
 ];
 
 /// One comparison that exceeded the allowed regression.

@@ -23,7 +23,7 @@ use crate::wah::CompressedBitmap;
 
 /// A compressed bitmap index over the cube's dimensions and hierarchy
 /// levels, with a measure column.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct BitmapIndex {
     /// `bitmaps[dim][level]` maps a value's per-level index to its bitmap.
     bitmaps: Vec<Vec<HashMap<u32, CompressedBitmap>>>,
@@ -211,6 +211,81 @@ impl BitmapIndex {
         Ok(summary)
     }
 
+    /// Groups the records selected by `range` on `(dim, level)` with pure
+    /// set algebra: the filter bitmap is built once (OR within dimensions,
+    /// AND across), then ANDed with every value bitmap of the grouping
+    /// level; only non-empty groups are returned, sorted by value id.
+    pub fn group_by(
+        &self,
+        schema: &CubeSchema,
+        dim: DimensionId,
+        level: u8,
+        range: &Mds,
+    ) -> DcResult<Vec<(ValueId, MeasureSummary)>> {
+        if range.num_dims() != schema.num_dims() {
+            return Err(DcError::DimensionMismatch {
+                expected: schema.num_dims(),
+                got: range.num_dims(),
+            });
+        }
+        let h = schema.dim(dim);
+        if level >= h.top_level() {
+            return Err(DcError::BadLevel {
+                dim,
+                id: h.all(),
+                requested: level,
+            });
+        }
+        let mut acc: Option<CompressedBitmap> = None;
+        for ((d, set), h) in range.dims().enumerate().zip(schema.dims()) {
+            if set.level() >= h.top_level() {
+                continue; // ALL — unconstrained
+            }
+            let per_value = &self.bitmaps[d][set.level() as usize];
+            let mut dim_or = CompressedBitmap::new();
+            for &v in set.values() {
+                if let Some(bm) = per_value.get(&v.index()) {
+                    self.charge_bitmap_read(bm);
+                    dim_or = dim_or.or(bm);
+                }
+            }
+            acc = Some(match acc {
+                None => dim_or,
+                Some(a) => a.and(&dim_or),
+            });
+        }
+        let deleted: Vec<u64> = self.deleted.iter_ones().collect();
+        let level_bitmaps = &self.bitmaps[dim.as_usize()][level as usize];
+        let mut keys: Vec<u32> = level_bitmaps.keys().copied().collect();
+        keys.sort_unstable();
+        let mut groups = Vec::new();
+        for key in keys {
+            let bm = &level_bitmaps[&key];
+            self.charge_bitmap_read(bm);
+            let selected = match &acc {
+                None => bm.clone(),
+                Some(a) => a.and(bm),
+            };
+            let mut summary = MeasureSummary::empty();
+            let mut last_block = u64::MAX;
+            for rid in selected.iter_ones() {
+                if deleted.binary_search(&rid).is_ok() {
+                    continue;
+                }
+                let block = rid / self.records_per_block as u64;
+                if block != last_block {
+                    self.io.read(1);
+                    last_block = block;
+                }
+                summary.add(self.measures[rid as usize]);
+            }
+            if summary.count > 0 {
+                groups.push((ValueId::new(level, key), summary));
+            }
+        }
+        Ok(groups)
+    }
+
     /// Evaluates a range query with one aggregation operator.
     pub fn range_query(
         &self,
@@ -302,6 +377,42 @@ mod tests {
         assert_eq!(s.sum, 700);
         // Deleting again finds nothing equal (measure included).
         assert!(!idx.delete(&schema, &records[0]).unwrap());
+    }
+
+    #[test]
+    fn group_by_matches_manual_grouping() {
+        let (schema, mut idx, records) = setup();
+        // Group by Customer.Region over everything.
+        let all = Mds::all(&schema);
+        let groups = idx.group_by(&schema, DimensionId(0), 1, &all).unwrap();
+        let h = schema.dim(DimensionId(0));
+        let by_name: Vec<(&str, u64, i64)> = groups
+            .iter()
+            .map(|(v, s)| (h.name(*v).unwrap(), s.count, s.sum))
+            .collect();
+        assert!(by_name.contains(&("EU", 3, 400)));
+        assert!(by_name.contains(&("AS", 1, 400)));
+        // Deletion is honoured.
+        assert!(idx.delete(&schema, &records[0]).unwrap());
+        let groups = idx.group_by(&schema, DimensionId(0), 1, &all).unwrap();
+        let eu = groups
+            .iter()
+            .find(|(v, _)| h.name(*v).unwrap() == "EU")
+            .unwrap();
+        assert_eq!(eu.1.count, 2);
+        // A filtered group-by: only 1996 records.
+        let y96 = schema.dim(DimensionId(1)).lookup_path(&["1996"]).unwrap();
+        let q = Mds::new(vec![
+            DimSet::singleton(schema.dim(DimensionId(0)).all()),
+            DimSet::singleton(y96),
+        ]);
+        let groups = idx.group_by(&schema, DimensionId(0), 1, &q).unwrap();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].1.sum, 250);
+        // Grouping on the ALL pseudo-level is rejected.
+        assert!(idx
+            .group_by(&schema, DimensionId(0), h.top_level(), &all)
+            .is_err());
     }
 
     #[test]

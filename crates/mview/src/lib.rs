@@ -26,7 +26,7 @@
 
 use std::collections::HashMap;
 
-use dc_common::{DcError, DcResult, Level, MeasureSummary, ValueId};
+use dc_common::{DcError, DcResult, DimensionId, Level, MeasureSummary, ValueId};
 use dc_hierarchy::{CubeSchema, Record};
 use dc_mds::Mds;
 
@@ -113,6 +113,50 @@ impl MaterializedView {
         let key = self.key_for(schema, record)?;
         self.cells.entry(key).or_default().add(record.measure);
         Ok(())
+    }
+
+    /// `true` iff the view can serve `GROUP BY (dim, level)` over a query
+    /// whose relevant levels are `query_levels`: it must answer the filter
+    /// *and* be at least as fine as the grouping level in that dimension
+    /// (a coarser cell could not be attributed to one group).
+    pub fn answers_group_by(&self, query_levels: &[Level], dim: DimensionId, level: Level) -> bool {
+        self.spec.answers(query_levels)
+            && self
+                .spec
+                .levels
+                .get(dim.as_usize())
+                .is_some_and(|&v| v <= level)
+    }
+
+    /// Groups the cells selected by `range` on `(dim, level)`, rolling each
+    /// cell up to its group key. Errors if the view is too coarse for the
+    /// filter or the grouping level; groups come back sorted by value id.
+    pub fn group_by(
+        &self,
+        schema: &CubeSchema,
+        dim: DimensionId,
+        level: Level,
+        range: &Mds,
+    ) -> DcResult<Vec<(ValueId, MeasureSummary)>> {
+        let query_levels = range.levels();
+        if !self.answers_group_by(&query_levels, dim, level) {
+            return Err(DcError::IncomparableMds(
+                "view is coarser than the group-by in some dimension".into(),
+            ));
+        }
+        let group_dim = schema.dim(dim);
+        let mut groups: std::collections::BTreeMap<ValueId, MeasureSummary> = Default::default();
+        'cells: for (key, summary) in &self.cells {
+            for ((h, &cell_value), set) in schema.dims().zip(key).zip(range.dims()) {
+                let lifted = h.ancestor_at(cell_value, set.level())?;
+                if !set.contains_value(lifted) {
+                    continue 'cells;
+                }
+            }
+            let group = group_dim.ancestor_at(key[dim.as_usize()], level)?;
+            groups.entry(group).or_default().merge(summary);
+        }
+        Ok(groups.into_iter().collect())
     }
 
     /// Answers `range` from the cells, or errors if the view is too coarse.
@@ -365,6 +409,33 @@ mod tests {
         let remaining = &records[1..];
         set.rebuild(remaining).unwrap();
         assert_eq!(set.answer(&Mds::all(&schema)).unwrap().unwrap().count, 3);
+    }
+
+    #[test]
+    fn view_group_by_rolls_cells_up_to_groups() {
+        let (schema, records) = setup();
+        // Nation-level view answers GROUP BY Region by rolling cells up.
+        let mut view = MaterializedView::new(ViewSpec::new(vec![0, 2]));
+        for r in &records {
+            view.apply(&schema, r).unwrap();
+        }
+        let all = Mds::all(&schema);
+        assert!(view.answers_group_by(&all.levels(), DimensionId(0), 1));
+        let groups = view.group_by(&schema, DimensionId(0), 1, &all).unwrap();
+        let h = schema.dim(DimensionId(0));
+        let by_name: Vec<(&str, u64, i64)> = groups
+            .iter()
+            .map(|(v, s)| (h.name(*v).unwrap(), s.count, s.sum))
+            .collect();
+        assert!(by_name.contains(&("EU", 3, 400)));
+        assert!(by_name.contains(&("AS", 1, 400)));
+        // A region-level view cannot serve GROUP BY Nation.
+        let mut coarse = MaterializedView::new(ViewSpec::new(vec![1, 2]));
+        for r in &records {
+            coarse.apply(&schema, r).unwrap();
+        }
+        assert!(!coarse.answers_group_by(&all.levels(), DimensionId(0), 0));
+        assert!(coarse.group_by(&schema, DimensionId(0), 0, &all).is_err());
     }
 
     #[test]

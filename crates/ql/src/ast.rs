@@ -1,11 +1,163 @@
-//! The compiled query and the error type.
+//! The statement AST (syntactic and resolved forms) and the error type.
+//!
+//! Parsing is two-phase. [`crate::parse_statement`] produces a purely
+//! syntactic [`Statement`] — names are strings, nothing touches a schema —
+//! which pretty-prints back to canonical text via [`std::fmt::Display`]
+//! (the round-trip the property tests pin). [`crate::resolve`] then binds a
+//! statement against a [`CubeSchema`](dc_hierarchy::CubeSchema), merging
+//! per-dimension predicates through the dimension tables (the star-schema
+//! semi-join) into the executable [`ParsedStatement`].
 
 use std::fmt;
 
 use dc_common::{AggregateOp, DimensionId, Level};
 use dc_mds::Mds;
 
-/// A parsed, name-resolved query, ready to execute against a DC-tree.
+/// One raw `Dimension.Attribute` path, unresolved.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RawPath {
+    /// Dimension name as written.
+    pub dimension: String,
+    /// Hierarchy attribute name as written.
+    pub attribute: String,
+}
+
+impl fmt::Display for RawPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.dimension, self.attribute)
+    }
+}
+
+/// One raw `WHERE` predicate: a path and the value names it admits.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RawCondition {
+    /// The constrained `Dimension.Attribute`.
+    pub path: RawPath,
+    /// Admitted value names (one for `=`, several for `IN`).
+    pub values: Vec<String>,
+}
+
+/// The body of a `SELECT` (or legacy bare-aggregate) statement, syntax
+/// only — nothing is resolved against a schema yet.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SelectBody {
+    /// The requested aggregates, in statement order (`SELECT SUM, COUNT`).
+    pub ops: Vec<AggregateOp>,
+    /// The `WHERE` predicates, in statement order. Several predicates may
+    /// constrain the *same* dimension; resolution joins them through the
+    /// dimension table.
+    pub conditions: Vec<RawCondition>,
+    /// Optional `GROUP BY Dimension.Attribute`.
+    pub group_by: Option<RawPath>,
+    /// Optional `TOP k` (requires `GROUP BY`).
+    pub top: Option<usize>,
+}
+
+/// A parsed statement: a query, optionally wrapped in `EXPLAIN`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Statement {
+    /// Execute the query and return its result.
+    Select(SelectBody),
+    /// Plan (and run) the query, reporting the chosen backends and costs.
+    Explain(SelectBody),
+}
+
+impl Statement {
+    /// The statement's query body, `EXPLAIN` or not.
+    pub fn body(&self) -> &SelectBody {
+        match self {
+            Statement::Select(b) | Statement::Explain(b) => b,
+        }
+    }
+
+    /// `true` for `EXPLAIN` statements.
+    pub fn is_explain(&self) -> bool {
+        matches!(self, Statement::Explain(_))
+    }
+}
+
+/// Quotes a value name as a dc-ql string literal (`'` doubled).
+fn quote(value: &str) -> String {
+    format!("'{}'", value.replace('\'', "''"))
+}
+
+impl fmt::Display for SelectBody {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        for (i, op) in self.ops.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{op}")?;
+        }
+        for (i, c) in self.conditions.iter().enumerate() {
+            write!(f, " {} ", if i == 0 { "WHERE" } else { "AND" })?;
+            match c.values.as_slice() {
+                [one] => write!(f, "{} = {}", c.path, quote(one))?,
+                many => {
+                    write!(f, "{} IN (", c.path)?;
+                    for (j, v) in many.iter().enumerate() {
+                        if j > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{}", quote(v))?;
+                    }
+                    write!(f, ")")?;
+                }
+            }
+        }
+        if let Some(g) = &self.group_by {
+            write!(f, " GROUP BY {g}")?;
+        }
+        if let Some(k) = self.top {
+            write!(f, " TOP {k}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Select(b) => write!(f, "{b}"),
+            Statement::Explain(b) => write!(f, "EXPLAIN {b}"),
+        }
+    }
+}
+
+/// How one dimension's predicates were folded into the range: the
+/// star-schema semi-join record the planner surfaces in `EXPLAIN`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct JoinInfo {
+    /// The constrained dimension.
+    pub dim: DimensionId,
+    /// Number of `WHERE` predicates on this dimension.
+    pub predicates: usize,
+    /// The level the merged predicate selects at (the finest constrained
+    /// attribute).
+    pub level: Level,
+    /// How many values at that level survived the join.
+    pub values: usize,
+}
+
+/// A parsed, name-resolved statement, ready to plan and execute.
+#[derive(Clone, Debug)]
+pub struct ParsedStatement {
+    /// The requested aggregates, in statement order (at least one).
+    pub ops: Vec<AggregateOp>,
+    /// The filter as a range MDS (unconstrained dimensions hold `ALL`).
+    pub filter: Mds,
+    /// Optional `GROUP BY`: the dimension and hierarchy level to group on.
+    pub group_by: Option<(DimensionId, Level)>,
+    /// Optional `TOP k` limit for grouped output (largest first aggregate
+    /// first).
+    pub top: Option<usize>,
+    /// Per-dimension join summaries (one per constrained dimension).
+    pub joins: Vec<JoinInfo>,
+}
+
+/// A parsed, name-resolved single-aggregate query (the original dc-ql
+/// surface, kept for callers that predate [`ParsedStatement`]).
 #[derive(Clone, Debug)]
 pub struct ParsedQuery {
     /// The aggregation operator.
@@ -38,8 +190,9 @@ pub enum QlError {
         attribute: String,
         value: String,
     },
-    /// Two conditions constrained the same dimension.
-    DuplicateCondition(String),
+    /// Joining a dimension's predicates left no admissible value — the
+    /// predicates contradict (e.g. `Nation = 'JAPAN' AND Region = 'EUROPE'`).
+    EmptySelection(String),
 }
 
 impl fmt::Display for QlError {
@@ -64,10 +217,10 @@ impl fmt::Display for QlError {
                 f,
                 "no value named '{value}' on level {attribute} of dimension {dimension}"
             ),
-            QlError::DuplicateCondition(d) => {
+            QlError::EmptySelection(d) => {
                 write!(
                     f,
-                    "dimension `{d}` is constrained twice (combine the values with IN)"
+                    "predicates on dimension `{d}` contradict: no value satisfies all of them"
                 )
             }
         }

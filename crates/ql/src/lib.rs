@@ -18,8 +18,20 @@
 //!   when a name repeats under different parents, e.g. month `'03'` of
 //!   every year);
 //! * dimensions without a condition stay unconstrained (`ALL`);
+//! * several conditions on the *same* dimension are joined through its
+//!   concept hierarchy (a star-schema semi-join): the finest attribute
+//!   supplies the candidates and coarser predicates filter them by
+//!   ancestor membership;
 //! * `GROUP BY <dim>.<attr>` compiles to the DC-tree's single-pass
-//!   [`group_by`](https://docs.rs/dc-tree) plan.
+//!   [`group_by`](https://docs.rs/dc-tree) plan;
+//! * `SELECT SUM, COUNT, … [WHERE …] [GROUP BY …] [TOP k]` requests
+//!   several aggregates at once, and `EXPLAIN <statement>` asks the
+//!   planner to report its chosen backend and costs instead of (as well
+//!   as) the answer.
+//!
+//! Parsing is two-phase: [`parse_statement`] is pure syntax (no schema) and
+//! produces a [`Statement`] that pretty-prints back to canonical text;
+//! [`resolve`] binds it against a schema into a [`ParsedStatement`].
 //!
 //! ```
 //! use dc_hierarchy::{CubeSchema, HierarchySchema};
@@ -39,5 +51,7 @@ pub mod ast;
 pub mod lexer;
 pub mod parser;
 
-pub use ast::{ParsedQuery, QlError};
-pub use parser::parse_query;
+pub use ast::{
+    JoinInfo, ParsedQuery, ParsedStatement, QlError, RawCondition, RawPath, SelectBody, Statement,
+};
+pub use parser::{parse_query, parse_statement, resolve};

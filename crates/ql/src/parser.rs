@@ -3,45 +3,86 @@
 //! Grammar (keywords case-insensitive):
 //!
 //! ```text
-//! query      := agg where? group?
+//! statement  := 'EXPLAIN'? body
+//! body       := 'SELECT' agg (',' agg)* tail      // multi-aggregate form
+//!             | agg tail                          // legacy single-aggregate
 //! agg        := 'SUM' | 'COUNT' | 'AVG' | 'MIN' | 'MAX'
+//! tail       := where? group? ('TOP' int)?
 //! where      := 'WHERE' condition ('AND' condition)*
 //! condition  := path 'IN' '(' value (',' value)* ')'
 //!             | path '=' value
-//! group      := 'GROUP' 'BY' path ('TOP' int)?
+//! group      := 'GROUP' 'BY' path
 //! path       := ident '.' ident          // Dimension.Attribute
 //! value      := string | ident           // 'EUROPE' or 1996-03
 //! ```
+//!
+//! Parsing is schema-free ([`parse_statement`]); name resolution happens in
+//! a second phase ([`resolve`]). Several conditions may constrain the same
+//! dimension: resolution performs a star-schema semi-join through the
+//! dimension's concept hierarchy — the finest constrained attribute supplies
+//! the candidate values, and every coarser condition filters them by
+//! ancestor membership (exactly the restriction a join against the
+//! denormalized dimension table would produce).
 
-use dc_common::{AggregateOp, DimensionId, Level, ValueId};
+use dc_common::{AggregateOp, DimensionId, ValueId};
 use dc_hierarchy::{ConceptHierarchy, CubeSchema};
 use dc_mds::{DimSet, Mds};
 
-use crate::ast::{ParsedQuery, QlError};
+use crate::ast::{
+    JoinInfo, ParsedQuery, ParsedStatement, QlError, RawCondition, RawPath, SelectBody, Statement,
+};
 use crate::lexer::{tokenize, Token};
 
-struct Parser<'a> {
+struct Parser {
     tokens: Vec<Token>,
     pos: usize,
-    schema: &'a CubeSchema,
 }
 
-/// Parses and resolves one query against `schema`.
-pub fn parse_query(schema: &CubeSchema, input: &str) -> Result<ParsedQuery, QlError> {
+/// Parses one statement (no schema needed; names stay raw strings).
+pub fn parse_statement(input: &str) -> Result<Statement, QlError> {
     let tokens = tokenize(input)?;
-    let mut p = Parser {
-        tokens,
-        pos: 0,
-        schema,
-    };
-    let q = p.query()?;
+    let mut p = Parser { tokens, pos: 0 };
+    let s = p.statement()?;
     if p.pos != p.tokens.len() {
-        return Err(p.err("expected end of query"));
+        return Err(p.err("expected end of statement"));
     }
-    Ok(q)
+    Ok(s)
 }
 
-impl<'a> Parser<'a> {
+/// Resolves a statement body's names against `schema`, joining multiple
+/// conditions on one dimension through its hierarchy.
+pub fn resolve(schema: &CubeSchema, body: &SelectBody) -> Result<ParsedStatement, QlError> {
+    Resolver { schema }.resolve(body)
+}
+
+/// Parses and resolves one single-aggregate query against `schema` — the
+/// original dc-ql entry point, kept source-compatible. Multi-aggregate
+/// `SELECT` and `EXPLAIN` statements are rejected here; use
+/// [`parse_statement`] + [`resolve`] for those.
+pub fn parse_query(schema: &CubeSchema, input: &str) -> Result<ParsedQuery, QlError> {
+    let stmt = parse_statement(input)?;
+    if stmt.is_explain() {
+        return Err(QlError::Parse {
+            near: "EXPLAIN".into(),
+            message: "EXPLAIN is not supported by parse_query".into(),
+        });
+    }
+    let resolved = resolve(schema, stmt.body())?;
+    if resolved.ops.len() != 1 {
+        return Err(QlError::Parse {
+            near: "SELECT".into(),
+            message: "parse_query accepts exactly one aggregate".into(),
+        });
+    }
+    Ok(ParsedQuery {
+        op: resolved.ops[0],
+        filter: resolved.filter,
+        group_by: resolved.group_by,
+        top: resolved.top,
+    })
+}
+
+impl Parser {
     fn peek(&self) -> Option<&Token> {
         self.tokens.get(self.pos)
     }
@@ -95,12 +136,39 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn query(&mut self) -> Result<ParsedQuery, QlError> {
-        let op = self.aggregate()?;
-        let mut per_dim: Vec<Option<DimSet>> = vec![None; self.schema.num_dims()];
+    fn statement(&mut self) -> Result<Statement, QlError> {
+        let explain = self.keyword("EXPLAIN");
+        let body = self.body()?;
+        Ok(if explain {
+            Statement::Explain(body)
+        } else {
+            Statement::Select(body)
+        })
+    }
+
+    fn body(&mut self) -> Result<SelectBody, QlError> {
+        let ops = if self.keyword("SELECT") {
+            let mut ops = vec![self.aggregate()?];
+            while self.peek() == Some(&Token::Comma) {
+                self.pos += 1;
+                let op = self.aggregate()?;
+                if ops.contains(&op) {
+                    return Err(QlError::Parse {
+                        near: op.to_string(),
+                        message: "aggregate requested twice".into(),
+                    });
+                }
+                ops.push(op);
+            }
+            ops
+        } else {
+            vec![self.aggregate()?]
+        };
+
+        let mut conditions = Vec::new();
         if self.keyword("WHERE") {
             loop {
-                self.condition(&mut per_dim)?;
+                conditions.push(self.condition()?);
                 if !self.keyword("AND") {
                     break;
                 }
@@ -110,8 +178,7 @@ impl<'a> Parser<'a> {
             if !self.keyword("BY") {
                 return Err(self.err("expected BY after GROUP"));
             }
-            let (dim, level, _) = self.path()?;
-            Some((dim, level))
+            Some(self.path()?)
         } else {
             None
         };
@@ -134,18 +201,9 @@ impl<'a> Parser<'a> {
         } else {
             None
         };
-        let dims = per_dim
-            .into_iter()
-            .enumerate()
-            .map(|(d, set)| {
-                set.unwrap_or_else(|| {
-                    DimSet::singleton(self.schema.dim(DimensionId(d as u16)).all())
-                })
-            })
-            .collect();
-        Ok(ParsedQuery {
-            op,
-            filter: Mds::new(dims),
+        Ok(SelectBody {
+            ops,
+            conditions,
             group_by,
             top,
         })
@@ -166,39 +224,23 @@ impl<'a> Parser<'a> {
         }
     }
 
-    /// `Dimension.Attribute` resolved to (dimension, level, hierarchy).
-    fn path(&mut self) -> Result<(DimensionId, Level, &'a ConceptHierarchy), QlError> {
-        let dim_name = self.ident("a dimension name")?;
+    /// `Dimension.Attribute`, raw.
+    fn path(&mut self) -> Result<RawPath, QlError> {
+        let dimension = self.ident("a dimension name")?;
         if self.next() != Some(Token::Dot) {
             self.pos = self.pos.saturating_sub(1);
             return Err(self.err("expected `.` after the dimension name"));
         }
-        let attr_name = self.ident("an attribute name")?;
-        let dim = self
-            .schema
-            .dims()
-            .position(|h| h.schema().name().eq_ignore_ascii_case(&dim_name))
-            .ok_or_else(|| QlError::UnknownDimension(dim_name.clone()))?;
-        let h = self.schema.dim(DimensionId(dim as u16));
-        let level = (0..h.top_level())
-            .find(|&l| {
-                h.schema()
-                    .attribute_name(l)
-                    .is_some_and(|a| a.eq_ignore_ascii_case(&attr_name))
-            })
-            .ok_or(QlError::UnknownAttribute {
-                dimension: dim_name,
-                attribute: attr_name,
-            })?;
-        Ok((DimensionId(dim as u16), level, h))
+        let attribute = self.ident("an attribute name")?;
+        Ok(RawPath {
+            dimension,
+            attribute,
+        })
     }
 
-    fn condition(&mut self, per_dim: &mut [Option<DimSet>]) -> Result<(), QlError> {
-        let (dim, level, h) = self.path()?;
-        if per_dim[dim.as_usize()].is_some() {
-            return Err(QlError::DuplicateCondition(h.schema().name().to_string()));
-        }
-        let names: Vec<String> = if self.keyword("IN") {
+    fn condition(&mut self) -> Result<RawCondition, QlError> {
+        let path = self.path()?;
+        let values: Vec<String> = if self.keyword("IN") {
             if self.next() != Some(Token::LParen) {
                 self.pos = self.pos.saturating_sub(1);
                 return Err(self.err("expected `(` after IN"));
@@ -221,9 +263,84 @@ impl<'a> Parser<'a> {
             self.pos = self.pos.saturating_sub(1);
             return Err(self.err("expected IN (...) or = after the attribute"));
         };
+        Ok(RawCondition { path, values })
+    }
+}
 
+struct Resolver<'a> {
+    schema: &'a CubeSchema,
+}
+
+impl<'a> Resolver<'a> {
+    fn resolve(&self, body: &SelectBody) -> Result<ParsedStatement, QlError> {
+        // Gather the resolved conditions per dimension, in statement order.
+        let mut per_dim: Vec<Vec<DimSet>> = vec![Vec::new(); self.schema.num_dims()];
+        for cond in &body.conditions {
+            let (dim, set) = self.condition(cond)?;
+            per_dim[dim.as_usize()].push(set);
+        }
+
+        let mut joins = Vec::new();
+        let mut dims = Vec::with_capacity(self.schema.num_dims());
+        for (d, sets) in per_dim.into_iter().enumerate() {
+            let dim = DimensionId(d as u16);
+            let h = self.schema.dim(dim);
+            if sets.is_empty() {
+                dims.push(DimSet::singleton(h.all()));
+                continue;
+            }
+            let predicates = sets.len();
+            let merged = self.join_dimension(h, sets)?;
+            joins.push(JoinInfo {
+                dim,
+                predicates,
+                level: merged.level(),
+                values: merged.len(),
+            });
+            dims.push(merged);
+        }
+
+        let group_by = match &body.group_by {
+            Some(p) => {
+                let (dim, level, _) = self.lookup_path(p)?;
+                Some((dim, level))
+            }
+            None => None,
+        };
+        Ok(ParsedStatement {
+            ops: body.ops.clone(),
+            filter: Mds::new(dims),
+            group_by,
+            top: body.top,
+            joins,
+        })
+    }
+
+    fn lookup_path(&self, p: &RawPath) -> Result<(DimensionId, u8, &'a ConceptHierarchy), QlError> {
+        let dim = self
+            .schema
+            .dims()
+            .position(|h| h.schema().name().eq_ignore_ascii_case(&p.dimension))
+            .ok_or_else(|| QlError::UnknownDimension(p.dimension.clone()))?;
+        let h = self.schema.dim(DimensionId(dim as u16));
+        let level = (0..h.top_level())
+            .find(|&l| {
+                h.schema()
+                    .attribute_name(l)
+                    .is_some_and(|a| a.eq_ignore_ascii_case(&p.attribute))
+            })
+            .ok_or_else(|| QlError::UnknownAttribute {
+                dimension: p.dimension.clone(),
+                attribute: p.attribute.clone(),
+            })?;
+        Ok((DimensionId(dim as u16), level, h))
+    }
+
+    /// One condition resolved to the values it names on its level.
+    fn condition(&self, cond: &RawCondition) -> Result<(DimensionId, DimSet), QlError> {
+        let (dim, level, h) = self.lookup_path(&cond.path)?;
         let mut values: Vec<ValueId> = Vec::new();
-        for name in &names {
+        for name in &cond.values {
             // Every value with this name on the level qualifies (names can
             // repeat under different parents, e.g. month '03').
             let matches: Vec<ValueId> = h
@@ -239,8 +356,38 @@ impl<'a> Parser<'a> {
             }
             values.extend(matches);
         }
-        per_dim[dim.as_usize()] = Some(DimSet::new(level, values));
-        Ok(())
+        Ok((dim, DimSet::new(level, values)))
+    }
+
+    /// Joins all of one dimension's resolved conditions into a single
+    /// DimSet at the finest constrained level: candidates come from the
+    /// finest condition(s); coarser conditions keep a candidate only when
+    /// its ancestor at their level is admitted (the dimension-table
+    /// semi-join of a star schema).
+    fn join_dimension(
+        &self,
+        h: &ConceptHierarchy,
+        mut sets: Vec<DimSet>,
+    ) -> Result<DimSet, QlError> {
+        sets.sort_by_key(DimSet::level);
+        let finest = sets[0].level();
+        let mut candidates: Vec<ValueId> = sets[0].values().to_vec();
+        for set in &sets[1..] {
+            if set.level() == finest {
+                candidates.retain(|v| set.values().contains(v));
+            } else {
+                candidates.retain(|v| {
+                    h.ancestor_at(*v, set.level())
+                        .is_ok_and(|a| set.values().contains(&a))
+                });
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        if candidates.is_empty() {
+            return Err(QlError::EmptySelection(h.schema().name().to_string()));
+        }
+        Ok(DimSet::new(finest, candidates))
     }
 }
 
@@ -332,6 +479,75 @@ mod tests {
     }
 
     #[test]
+    fn select_multi_aggregate_parses() {
+        let s = schema();
+        let stmt =
+            parse_statement("SELECT SUM, COUNT, MAX WHERE Customer.Region = 'EUROPE'").unwrap();
+        let r = resolve(&s, stmt.body()).unwrap();
+        assert_eq!(
+            r.ops,
+            vec![AggregateOp::Sum, AggregateOp::Count, AggregateOp::Max]
+        );
+        assert!(parse_statement("SELECT SUM, SUM").is_err(), "duplicate agg");
+        assert!(
+            parse_query(&s, "SELECT SUM, COUNT").is_err(),
+            "parse_query is single-aggregate"
+        );
+    }
+
+    #[test]
+    fn explain_wraps_any_body() {
+        let s = schema();
+        let stmt = parse_statement("EXPLAIN SELECT SUM GROUP BY Customer.Region").unwrap();
+        assert!(stmt.is_explain());
+        assert!(resolve(&s, stmt.body()).is_ok());
+        assert!(parse_query(&s, "EXPLAIN SUM").is_err());
+    }
+
+    #[test]
+    fn same_dimension_conditions_join_through_the_hierarchy() {
+        let s = schema();
+        // Region narrows the Nation candidates: GERMANY is in EUROPE.
+        let q = parse_query(
+            &s,
+            "SUM WHERE Customer.Region = 'EUROPE' AND Customer.Nation = 'GERMANY'",
+        )
+        .unwrap();
+        assert_eq!(q.filter.dim(0).level(), 0);
+        assert_eq!(q.filter.dim(0).len(), 1);
+        // Contradiction: JAPAN is not in EUROPE.
+        assert!(matches!(
+            parse_query(
+                &s,
+                "SUM WHERE Customer.Region = 'EUROPE' AND Customer.Nation = 'JAPAN'"
+            ),
+            Err(QlError::EmptySelection(_))
+        ));
+        // Two finest-level conditions intersect.
+        let q = parse_query(
+            &s,
+            "SUM WHERE Customer.Nation IN ('GERMANY', 'FRANCE') AND Customer.Nation IN ('FRANCE', 'JAPAN')",
+        )
+        .unwrap();
+        assert_eq!(q.filter.dim(0).len(), 1);
+    }
+
+    #[test]
+    fn join_summaries_record_the_semi_join() {
+        let s = schema();
+        let stmt = parse_statement(
+            "SELECT SUM WHERE Customer.Region = 'EUROPE' AND Customer.Nation IN ('GERMANY', 'FRANCE')",
+        )
+        .unwrap();
+        let r = resolve(&s, stmt.body()).unwrap();
+        assert_eq!(r.joins.len(), 1);
+        assert_eq!(r.joins[0].dim, DimensionId(0));
+        assert_eq!(r.joins[0].predicates, 2);
+        assert_eq!(r.joins[0].level, 0);
+        assert_eq!(r.joins[0].values, 2);
+    }
+
+    #[test]
     fn error_paths_are_reported() {
         let s = schema();
         assert!(matches!(
@@ -351,15 +567,39 @@ mod tests {
             Err(QlError::UnknownValue { .. })
         ));
         assert!(matches!(
-            parse_query(
-                &s,
-                "SUM WHERE Customer.Region = 'EUROPE' AND Customer.Nation = 'GERMANY'"
-            ),
-            Err(QlError::DuplicateCondition(_))
-        ));
-        assert!(matches!(
             parse_query(&s, "SUM trailing"),
             Err(QlError::Parse { .. })
         ));
+        assert!(matches!(
+            parse_statement("SELECT"),
+            Err(QlError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_statement("EXPLAIN"),
+            Err(QlError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_statement("SELECT SUM,"),
+            Err(QlError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn statements_round_trip_through_pretty_print() {
+        for text in [
+            "SELECT SUM",
+            "SELECT SUM, COUNT WHERE Customer.Region = 'EUROPE'",
+            "EXPLAIN SELECT AVG WHERE Time.Year IN ('1996', '1997') GROUP BY Customer.Nation TOP 5",
+            "SELECT MIN WHERE Customer.Region IN ('EUROPE', 'MIDDLE EAST') AND Time.Month = 'it''s'",
+        ] {
+            let stmt = parse_statement(text).unwrap();
+            let pretty = stmt.to_string();
+            let again = parse_statement(&pretty).unwrap();
+            assert_eq!(stmt, again, "round-trip of `{text}` via `{pretty}`");
+        }
+        // Legacy form canonicalizes to SELECT but stays semantically equal.
+        let legacy = parse_statement("SUM WHERE Customer.Region = 'EUROPE'").unwrap();
+        let canon = parse_statement(&legacy.to_string()).unwrap();
+        assert_eq!(legacy, canon);
     }
 }

@@ -1,0 +1,177 @@
+//! Pretty-printer ↔ parser round-trip: `parse_statement(stmt.to_string())`
+//! must reproduce the statement exactly, for arbitrary well-formed ASTs —
+//! and malformed text must come back as a positioned error, never a panic
+//! and never a silently "repaired" statement.
+
+use dc_common::AggregateOp;
+use dc_ql::{parse_statement, QlError, RawCondition, RawPath, SelectBody, Statement};
+use proptest::prelude::*;
+
+/// Keywords the grammar claims; identifiers must avoid them (the printer
+/// would otherwise emit text the parser reads as structure).
+const KEYWORDS: &[&str] = &[
+    "SELECT", "EXPLAIN", "WHERE", "AND", "GROUP", "BY", "TOP", "IN", "SUM", "COUNT", "AVG", "MIN",
+    "MAX",
+];
+
+fn ident() -> impl Strategy<Value = String> {
+    let first: Vec<char> = ('a'..='z').chain('A'..='Z').collect();
+    let rest: Vec<char> = ('a'..='z')
+        .chain('A'..='Z')
+        .chain('0'..='9')
+        .chain(['_', '#', '-'])
+        .collect();
+    (
+        prop::sample::select(first),
+        prop::collection::vec(prop::sample::select(rest), 0..10),
+    )
+        .prop_map(|(f, r)| std::iter::once(f).chain(r).collect::<String>())
+        .prop_filter("identifiers must not collide with keywords", |s| {
+            !KEYWORDS.iter().any(|k| k.eq_ignore_ascii_case(s))
+        })
+}
+
+/// Value names exercise the full quoted charset: spaces, punctuation, and
+/// embedded `'` (printed doubled, unescaped on reparse).
+fn value() -> impl Strategy<Value = String> {
+    let printable: Vec<char> = (0x20u8..0x7f).map(|b| b as char).collect();
+    prop::collection::vec(prop::sample::select(printable), 1..13)
+        .prop_map(|v| v.into_iter().collect::<String>())
+}
+
+fn raw_path() -> impl Strategy<Value = RawPath> {
+    (ident(), ident()).prop_map(|(dimension, attribute)| RawPath {
+        dimension,
+        attribute,
+    })
+}
+
+fn condition() -> impl Strategy<Value = RawCondition> {
+    (raw_path(), prop::collection::vec(value(), 1..4))
+        .prop_map(|(path, values)| RawCondition { path, values })
+}
+
+/// A non-empty subset of the aggregates in varied order (the grammar
+/// rejects `SELECT SUM, SUM`, so draws must be distinct).
+fn ops() -> impl Strategy<Value = Vec<AggregateOp>> {
+    (1u8..32, 0usize..120).prop_map(|(mask, rot)| {
+        let mut v: Vec<AggregateOp> = AggregateOp::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &op)| op)
+            .collect();
+        let n = v.len();
+        v.rotate_left(rot % n);
+        v
+    })
+}
+
+fn body() -> impl Strategy<Value = SelectBody> {
+    (
+        ops(),
+        prop::collection::vec(condition(), 0..4),
+        any::<bool>(),
+        raw_path(),
+        any::<bool>(),
+        1usize..100,
+    )
+        .prop_map(
+            |(ops, conditions, has_group, group, has_top, k)| SelectBody {
+                ops,
+                conditions,
+                // TOP is only grammatical with GROUP BY.
+                top: (has_group && has_top).then_some(k),
+                group_by: has_group.then_some(group),
+            },
+        )
+}
+
+fn statement() -> impl Strategy<Value = Statement> {
+    (body(), any::<bool>()).prop_map(|(b, explain)| {
+        if explain {
+            Statement::Explain(b)
+        } else {
+            Statement::Select(b)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(768))]
+
+    /// print → parse is the identity on well-formed statements.
+    #[test]
+    fn pretty_printed_statements_reparse_identically(stmt in statement()) {
+        let text = stmt.to_string();
+        let reparsed = parse_statement(&text);
+        prop_assert_eq!(reparsed.as_ref(), Ok(&stmt), "text: {}", text);
+        // And printing is a fixed point: parse(print(x)) prints the same.
+        prop_assert_eq!(reparsed.unwrap().to_string(), text);
+    }
+
+    /// Statements that differ print differently (the printer loses nothing
+    /// the parser can see).
+    #[test]
+    fn distinct_statements_print_distinctly(a in statement(), b in statement()) {
+        if a != b {
+            prop_assert_ne!(a.to_string(), b.to_string());
+        }
+    }
+}
+
+/// Malformed inputs: each must fail with a diagnosable error — and the
+/// error must carry the offending fragment or a clear message, because the
+/// server forwards it verbatim to the client.
+#[test]
+fn malformed_statements_error_cleanly() {
+    let cases: &[(&str, &str)] = &[
+        ("", "aggregate"),
+        ("SELECT", "aggregate"),
+        ("SELECT SUM,", "aggregate"),
+        ("SELECT SUM COUNT", "end of statement"),
+        ("FROB WHERE x.y = 'z'", "aggregate"),
+        ("SUM WHERE", "dimension"),
+        ("SUM WHERE Customer", "`.`"),
+        ("SUM WHERE Customer.Region", "IN (...) or ="),
+        ("SUM WHERE Customer.Region =", "value"),
+        ("SUM WHERE Customer.Region IN", "`(`"),
+        ("SUM WHERE Customer.Region IN (", "value"),
+        ("SUM WHERE Customer.Region IN ('EU' 'ASIA')", "IN list"),
+        ("SUM WHERE Customer.Region = 'EU' AND", "dimension"),
+        ("SUM GROUP", "BY"),
+        ("SUM GROUP BY", "dimension"),
+        ("SUM TOP 3", "TOP requires GROUP BY"),
+        ("SUM GROUP BY Customer.Region TOP 0", "positive integer"),
+        ("SUM GROUP BY Customer.Region TOP x", "positive integer"),
+        ("SUM trailing", "end of statement"),
+        ("EXPLAIN", "aggregate"),
+        ("EXPLAIN EXPLAIN SUM", "aggregate"),
+        ("SUM WHERE Customer.Region = 'unterminated", "unterminated"),
+        ("SUM ? COUNT", "unexpected character"),
+    ];
+    for (input, needle) in cases {
+        match parse_statement(input) {
+            Ok(stmt) => panic!("`{input}` parsed as {stmt:?}"),
+            Err(e) => {
+                let msg = e.to_string();
+                assert!(
+                    msg.to_lowercase().contains(&needle.to_lowercase()),
+                    "`{input}` errored with `{msg}`, expected it to mention `{needle}`"
+                );
+            }
+        }
+    }
+}
+
+/// The parser reports *where* it stopped: parse errors embed the nearest
+/// token so clients can locate the problem in longer statements.
+#[test]
+fn parse_errors_carry_position_context() {
+    let err = parse_statement("SELECT SUM WHERE Customer.Region = 'EU' GROUP Customer.Nation")
+        .unwrap_err();
+    match err {
+        QlError::Parse { near, .. } => assert_eq!(near, "Customer"),
+        other => panic!("expected a parse error, got {other:?}"),
+    }
+}

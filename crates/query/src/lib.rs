@@ -17,7 +17,7 @@
 //! structures answer *exactly* the same predicate (asserted by the
 //! integration tests). A scattered mode exists for DC-tree-only workloads.
 
-use dc_common::{DimensionId, Level, ValueId};
+use dc_common::{AggregateOp, DimensionId, Level, ValueId};
 use dc_hierarchy::CubeSchema;
 use dc_mds::{DimSet, Mds};
 use dc_xtree::Mbr;
@@ -97,6 +97,36 @@ impl RangeQueryGen {
     }
 }
 
+/// One serving-era query shape: a §5.2 range filter plus the SELECT-list
+/// and optional `GROUP BY` target that the planner front-end accepts.
+///
+/// The original evaluation only needed scalar single-aggregate ranges; the
+/// cost-based planner is exercised by roll-ups (`GROUP BY` at any hierarchy
+/// level) and multi-measure SELECT lists, so the mix can now draw those
+/// shapes too. `filter`/`group_by`/`ops` map 1:1 onto the public fields of
+/// `dc_ql::ParsedStatement`, so harnesses can execute a shape without going
+/// through the text grammar.
+#[derive(Clone, PartialEq, Debug)]
+pub struct QueryShape {
+    /// The range predicate (always present; may span every dimension).
+    pub filter: Mds,
+    /// Roll-up target `(dimension, level)`, `None` for scalar queries.
+    pub group_by: Option<(DimensionId, Level)>,
+    /// Aggregates in SELECT-list order (never empty).
+    pub ops: Vec<AggregateOp>,
+}
+
+impl QueryShape {
+    /// Wraps a bare range in the legacy shape: scalar `SUM`.
+    pub fn scalar_sum(filter: Mds) -> Self {
+        QueryShape {
+            filter,
+            group_by: None,
+            ops: vec![AggregateOp::Sum],
+        }
+    }
+}
+
 /// A Zipf-skewed *popularity* mix over a fixed pool of query templates —
 /// the dashboard workload shape: a handful of roll-ups asked over and over,
 /// a long tail asked rarely.
@@ -111,17 +141,42 @@ impl RangeQueryGen {
 #[derive(Debug)]
 pub struct ZipfQueryMix {
     templates: Vec<Mds>,
+    shapes: Vec<QueryShape>,
     cdf: Vec<f64>,
     rng: StdRng,
 }
 
 impl ZipfQueryMix {
     /// Builds a mix over `templates` (index = popularity rank: `templates[0]`
-    /// is the hottest) with skew `theta >= 0`.
+    /// is the hottest) with skew `theta >= 0`. Every template becomes a
+    /// scalar-`SUM` [`QueryShape`]; use [`ZipfQueryMix::with_shapes`] for
+    /// group-by / multi-measure pools.
     ///
     /// # Panics
     /// Panics when `templates` is empty or `theta` is negative/non-finite.
     pub fn new(templates: Vec<Mds>, theta: f64, seed: u64) -> Self {
+        let shapes = templates
+            .iter()
+            .map(|t| QueryShape::scalar_sum(t.clone()))
+            .collect();
+        ZipfQueryMix::build(templates, shapes, theta, seed)
+    }
+
+    /// Builds a mix over explicit [`QueryShape`]s (index = popularity rank).
+    ///
+    /// # Panics
+    /// Panics when `shapes` is empty, any SELECT-list is empty, or `theta`
+    /// is negative/non-finite.
+    pub fn with_shapes(shapes: Vec<QueryShape>, theta: f64, seed: u64) -> Self {
+        assert!(
+            shapes.iter().all(|s| !s.ops.is_empty()),
+            "every shape needs at least one aggregate"
+        );
+        let templates = shapes.iter().map(|s| s.filter.clone()).collect();
+        ZipfQueryMix::build(templates, shapes, theta, seed)
+    }
+
+    fn build(templates: Vec<Mds>, shapes: Vec<QueryShape>, theta: f64, seed: u64) -> Self {
         assert!(!templates.is_empty(), "need at least one query template");
         assert!(
             theta >= 0.0 && theta.is_finite(),
@@ -136,6 +191,7 @@ impl ZipfQueryMix {
             .collect();
         ZipfQueryMix {
             templates,
+            shapes,
             cdf,
             rng: StdRng::seed_from_u64(seed),
         }
@@ -154,20 +210,86 @@ impl ZipfQueryMix {
         ZipfQueryMix::new(templates, theta, seed)
     }
 
+    /// Builds a planner-era pool: each template pairs a fresh §5.2 range
+    /// with a randomly drawn shape — scalar or `GROUP BY` a random level of
+    /// a random dimension, single- or multi-measure SELECT list. Roughly
+    /// half the pool stays scalar single-aggregate (the legacy dashboard
+    /// mix); the rest splits between roll-ups and multi-measure lists so a
+    /// cost-based planner sees every physical-operator class. Deterministic
+    /// per `(gen, seed)`.
+    pub fn generate_shapes(
+        schema: &CubeSchema,
+        num_templates: usize,
+        theta: f64,
+        gen: &mut RangeQueryGen,
+        seed: u64,
+    ) -> Self {
+        // Salted so shape choice never correlates with popularity draws.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let shapes = (0..num_templates)
+            .map(|_| {
+                let filter = gen.generate(schema);
+                let group_by = if rng.gen_bool(0.4) {
+                    let d = DimensionId(rng.gen_range(0..schema.num_dims()) as u16);
+                    let level = rng.gen_range(0..schema.dim(d).top_level());
+                    Some((d, level))
+                } else {
+                    None
+                };
+                let ops = if rng.gen_bool(0.35) {
+                    // Multi-measure list: 2–4 distinct ops, SELECT order.
+                    let mut all = AggregateOp::ALL.to_vec();
+                    let take = rng.gen_range(2..=4);
+                    all.partial_shuffle(&mut rng, take);
+                    all.truncate(take);
+                    all
+                } else {
+                    vec![*AggregateOp::ALL.choose(&mut rng).expect("non-empty")]
+                };
+                QueryShape {
+                    filter,
+                    group_by,
+                    ops,
+                }
+            })
+            .collect();
+        ZipfQueryMix::with_shapes(shapes, theta, seed)
+    }
+
+    fn draw(&mut self) -> usize {
+        let total = *self.cdf.last().expect("non-empty cdf");
+        let x = self.rng.gen::<f64>() * total;
+        let idx = self.cdf.partition_point(|&c| c < x);
+        idx.min(self.templates.len() - 1)
+    }
+
     /// Draws the next query by popularity (repeat draws return the *same*
     /// template MDS — that repetition is what a semantic cache feeds on).
     /// Not an [`Iterator`]: the borrow is tied to the mix, and draws never end.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> &Mds {
-        let total = *self.cdf.last().expect("non-empty cdf");
-        let x = self.rng.gen::<f64>() * total;
-        let idx = self.cdf.partition_point(|&c| c < x);
-        &self.templates[idx.min(self.templates.len() - 1)]
+        let idx = self.draw();
+        &self.templates[idx]
+    }
+
+    /// Draws the next full [`QueryShape`] by popularity. Shares the Zipf
+    /// ranks (and RNG) with [`ZipfQueryMix::next`]; for pools built with
+    /// [`ZipfQueryMix::new`]/[`ZipfQueryMix::generate`] every shape is a
+    /// scalar `SUM` over the matching template.
+    pub fn next_shape(&mut self) -> &QueryShape {
+        let idx = self.draw();
+        &self.shapes[idx]
     }
 
     /// The template pool, hottest first.
     pub fn templates(&self) -> &[Mds] {
         &self.templates
+    }
+
+    /// The shape pool, hottest first (index-aligned with
+    /// [`ZipfQueryMix::templates`]).
+    pub fn shapes(&self) -> &[QueryShape] {
+        &self.shapes
     }
 }
 
@@ -328,6 +450,55 @@ mod tests {
             }
         }
         assert!(repeats > 100, "only {repeats}/200 draws were repeats");
+    }
+
+    #[test]
+    fn shape_mix_covers_every_query_class() {
+        let data = generate(&TpcdConfig::scaled(1000, 9));
+        let mut g = RangeQueryGen::new(0.1, ValuePick::ContiguousRun, 20);
+        let mix = ZipfQueryMix::generate_shapes(&data.schema, 64, 0.9, &mut g, 21);
+        assert_eq!(mix.shapes().len(), 64);
+        assert_eq!(mix.templates().len(), 64);
+        let grouped = mix.shapes().iter().filter(|s| s.group_by.is_some()).count();
+        let multi = mix.shapes().iter().filter(|s| s.ops.len() > 1).count();
+        assert!(grouped > 8, "only {grouped}/64 group-by shapes");
+        assert!(grouped < 56, "almost all shapes grouped: {grouped}/64");
+        assert!(multi > 8, "only {multi}/64 multi-measure shapes");
+        for s in mix.shapes() {
+            assert!(!s.ops.is_empty());
+            let distinct: std::collections::HashSet<_> =
+                s.ops.iter().map(|o| format!("{o}")).collect();
+            assert_eq!(distinct.len(), s.ops.len(), "duplicate op in {:?}", s.ops);
+            if let Some((d, level)) = s.group_by {
+                assert!(level < data.schema.dim(d).top_level());
+            }
+        }
+    }
+
+    #[test]
+    fn shape_mix_is_deterministic_and_aligned_with_templates() {
+        let data = generate(&TpcdConfig::scaled(500, 10));
+        let mut g1 = RangeQueryGen::new(0.05, ValuePick::ContiguousRun, 22);
+        let mut g2 = RangeQueryGen::new(0.05, ValuePick::ContiguousRun, 22);
+        let mut a = ZipfQueryMix::generate_shapes(&data.schema, 16, 1.0, &mut g1, 23);
+        let mut b = ZipfQueryMix::generate_shapes(&data.schema, 16, 1.0, &mut g2, 23);
+        for (s, t) in a.shapes().iter().zip(a.templates()) {
+            assert_eq!(&s.filter, t, "shapes index-aligned with templates");
+        }
+        for _ in 0..100 {
+            assert_eq!(a.next_shape(), b.next_shape());
+        }
+    }
+
+    #[test]
+    fn legacy_pools_yield_scalar_sum_shapes() {
+        let data = generate(&TpcdConfig::scaled(500, 11));
+        let mut g = RangeQueryGen::new(0.05, ValuePick::ContiguousRun, 24);
+        let mut mix = ZipfQueryMix::generate(&data.schema, 8, 0.5, &mut g, 25);
+        let shape = mix.next_shape().clone();
+        assert_eq!(shape.ops, vec![AggregateOp::Sum]);
+        assert!(shape.group_by.is_none());
+        assert!(mix.templates().contains(&shape.filter));
     }
 
     #[test]

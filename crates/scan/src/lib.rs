@@ -10,7 +10,7 @@
 //! per block of `records_per_block` records, so experiments can compare page
 //! accesses as well as wall time.
 
-use dc_common::{AggregateOp, DcError, DcResult, MeasureSummary};
+use dc_common::{AggregateOp, DcError, DcResult, DimensionId, Level, MeasureSummary, ValueId};
 use dc_hierarchy::{CubeSchema, Record};
 use dc_mds::Mds;
 use dc_storage::{BlockConfig, IoStats, IoTracker};
@@ -105,6 +105,59 @@ impl FlatTable {
         Ok(acc)
     }
 
+    /// Removes the first record equal to `record` (dims and measure).
+    /// Returns `false` when none matches. Like the insert file, deletion
+    /// rewrites the tail of the flat file — the scan baseline has no
+    /// cheaper option.
+    pub fn delete(&mut self, record: &Record) -> bool {
+        match self
+            .records
+            .iter()
+            .position(|r| r.dims == record.dims && r.measure == record.measure)
+        {
+            Some(i) => {
+                self.records.remove(i);
+                // Every block from the hole to the end is rewritten.
+                let from = i / self.records_per_block;
+                let to = self.records.len().div_ceil(self.records_per_block);
+                self.io.write((to.saturating_sub(from) as u32).max(1));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Full-scan group-by: one pass over every block, each selected record
+    /// keyed by its ancestor at `(dim, level)`. Groups are returned sorted
+    /// by value id; empty groups are omitted.
+    pub fn group_by(
+        &self,
+        schema: &CubeSchema,
+        dim: DimensionId,
+        level: Level,
+        range: &Mds,
+    ) -> DcResult<Vec<(ValueId, MeasureSummary)>> {
+        if range.num_dims() != schema.num_dims() {
+            return Err(DcError::DimensionMismatch {
+                expected: schema.num_dims(),
+                got: range.num_dims(),
+            });
+        }
+        let blocks = self.records.len().div_ceil(self.records_per_block) as u32;
+        for b in 0..blocks.max(1) as u64 {
+            self.io.read_keyed(b, 1);
+        }
+        let h = schema.dim(dim);
+        let mut groups: std::collections::BTreeMap<ValueId, MeasureSummary> = Default::default();
+        for r in &self.records {
+            if range.contains_record(schema, r)? {
+                let key = h.ancestor_at(r.dims[dim.as_usize()], level)?;
+                groups.entry(key).or_default().add(r.measure);
+            }
+        }
+        Ok(groups.into_iter().collect())
+    }
+
     /// Full-scan range query evaluating one aggregation operator.
     pub fn range_query(
         &self,
@@ -191,6 +244,37 @@ mod tests {
             full,
             "a scan always reads everything"
         );
+    }
+
+    #[test]
+    fn delete_removes_first_match_only() {
+        let (mut schema, mut table) = setup();
+        let dup = schema
+            .intern_record(&[vec!["Europe", "Germany"], vec!["1996", "01"]], 100)
+            .unwrap();
+        table.insert(dup.clone());
+        assert_eq!(table.len(), 4);
+        assert!(table.delete(&dup));
+        assert_eq!(table.len(), 3);
+        assert!(table.delete(&dup));
+        assert_eq!(table.len(), 2);
+        assert!(!table.delete(&dup), "both copies are gone");
+    }
+
+    #[test]
+    fn group_by_keys_by_ancestor() {
+        let (schema, table) = setup();
+        let all = Mds::all(&schema);
+        let groups = table
+            .group_by(&schema, dc_common::DimensionId(0), 1, &all)
+            .unwrap();
+        let h = schema.dim(dc_common::DimensionId(0));
+        let by_name: Vec<(&str, i64)> = groups
+            .iter()
+            .map(|(v, s)| (h.name(*v).unwrap(), s.sum))
+            .collect();
+        assert!(by_name.contains(&("Europe", 350)));
+        assert!(by_name.contains(&("Asia", 400)));
     }
 
     #[test]

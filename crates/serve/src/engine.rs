@@ -10,6 +10,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use dc_bitmap::BitmapIndex;
 use dc_cache::{CacheConfig, CacheDelta, Lookup, SharedCache};
 use dc_common::{
     AggregateOp, DcError, DcResult, DimensionId, Level, Measure, MeasureSummary, ValueId,
@@ -20,6 +21,13 @@ use dc_durable::{
 };
 use dc_hierarchy::{ConceptHierarchy, CubeSchema, Record};
 use dc_mds::Mds;
+use dc_mview::{rollup_lattice, MaterializedView};
+use dc_plan::{
+    choose, Backend, BackendRefs, Explain, LogicalPlan, PartitionStats, QueryOutput, ShardExplain,
+};
+use dc_ql::ParsedStatement;
+use dc_scan::FlatTable;
+use dc_storage::BlockConfig;
 use dc_tree::{DcTree, DcTreeConfig, PreparedRange};
 use parking_lot::{Mutex, RwLock};
 
@@ -80,6 +88,36 @@ impl WalOptions {
     }
 }
 
+/// Which auxiliary query engines the shard writers maintain for the
+/// cost-based planner (`dc-plan`). DC-tree descent is always available;
+/// each engine enabled here is kept in sync by the owning writer thread
+/// and published atomically with the tree snapshot, giving the planner a
+/// real alternative to price. Maintenance is paid on the write path (one
+/// bitmap append per level, one flat-table append, one lattice-cell merge
+/// per view), which is exactly the static-index update cost the paper
+/// criticizes — so the engines default off and benches opt in.
+#[derive(Clone, Copy, Debug)]
+pub struct PlannerOptions {
+    /// Maintain a `dc-bitmap` WAH index per shard.
+    pub bitmap: bool,
+    /// Maintain the `dc-mview` single-dimension roll-up lattice per shard.
+    /// Deletes mark the views stale; the writer rebuilds them from the
+    /// shard tree at the next snapshot publish.
+    pub views: bool,
+    /// Maintain a `dc-scan` flat table per shard.
+    pub table: bool,
+}
+
+impl Default for PlannerOptions {
+    fn default() -> Self {
+        PlannerOptions {
+            bitmap: true,
+            views: true,
+            table: true,
+        }
+    }
+}
+
 /// Engine construction knobs.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
@@ -111,6 +149,13 @@ pub struct EngineConfig {
     /// in place as part of snapshot publication. `None` disables caching —
     /// every query descends the shards (the uncached baseline).
     pub cache: Option<CacheConfig>,
+    /// `Some` makes each shard writer maintain the selected auxiliary
+    /// engines (bitmap index, roll-up views, flat table) alongside its
+    /// tree, so the cost-based planner ([`ShardedDcTree::execute`]) has
+    /// alternatives to DC-tree descent to choose from. `None` (the
+    /// default) keeps the write path lean: the planner still runs, but
+    /// descent is the only candidate.
+    pub planner: Option<PlannerOptions>,
 }
 
 impl Default for EngineConfig {
@@ -126,6 +171,7 @@ impl Default for EngineConfig {
                 .unwrap_or(false),
             pool_workers: None,
             cache: Some(CacheConfig::default()),
+            planner: None,
         }
     }
 }
@@ -166,9 +212,164 @@ struct DurableWal {
     checkpoint_lock: Mutex<()>,
 }
 
+/// One shard's atomically published planning state: the tree snapshot, the
+/// auxiliary engines built from exactly the same applied prefix, and the
+/// publish-time statistics the cost model prices against. A single `Arc`
+/// swap publishes all of it, so a query that plans *and* executes from one
+/// `PlanState` read sees every backend at the same logical point in time —
+/// the property the mid-churn differential tests pin.
+struct PlanState {
+    tree: Arc<DcTree>,
+    bitmap: Option<Arc<BitmapIndex>>,
+    views: Option<Arc<Vec<MaterializedView>>>,
+    table: Option<Arc<FlatTable>>,
+    stats: PartitionStats,
+}
+
+/// The writer-side mutable auxiliary engines (see [`PlannerOptions`]).
+struct AuxEngines {
+    bitmap: Option<BitmapIndex>,
+    views: Option<Vec<MaterializedView>>,
+    /// Set by deletes (summaries cannot subtract min/max); the views are
+    /// rebuilt from the shard tree at the next publish.
+    views_stale: bool,
+    table: Option<FlatTable>,
+}
+
+impl AuxEngines {
+    /// Builds the enabled engines and loads the tree's current records
+    /// (the recovery path: checkpoint images restore trees, not indexes).
+    fn build(tree: &DcTree, opts: PlannerOptions) -> Self {
+        let schema = tree.schema();
+        let mut aux = AuxEngines {
+            bitmap: opts
+                .bitmap
+                .then(|| BitmapIndex::new(schema, BlockConfig::DEFAULT)),
+            views: opts.views.then(|| fresh_views(schema)),
+            views_stale: false,
+            table: opts
+                .table
+                .then(|| FlatTable::for_schema(BlockConfig::DEFAULT, schema)),
+        };
+        for stored in tree.iter_records() {
+            aux.insert(schema, &stored.record);
+        }
+        aux
+    }
+
+    fn insert(&mut self, schema: &CubeSchema, record: &Record) {
+        if let Some(bitmap) = &mut self.bitmap {
+            bitmap
+                .insert(schema, record)
+                .expect("catalog-backed insert cannot fail");
+        }
+        if let Some(table) = &mut self.table {
+            table.insert(record.clone());
+        }
+        if !self.views_stale {
+            if let Some(views) = &mut self.views {
+                for v in views {
+                    v.apply(schema, record)
+                        .expect("catalog-backed insert cannot fail");
+                }
+            }
+        }
+    }
+
+    /// Registers a tree-confirmed deletion.
+    fn delete(&mut self, schema: &CubeSchema, record: &Record) {
+        if let Some(bitmap) = &mut self.bitmap {
+            let _ = bitmap.delete(schema, record);
+        }
+        if let Some(table) = &mut self.table {
+            table.delete(record);
+        }
+        if self.views.is_some() {
+            self.views_stale = true;
+        }
+    }
+}
+
+/// The single-dimension roll-up lattice plus the grand total.
+fn fresh_views(schema: &CubeSchema) -> Vec<MaterializedView> {
+    rollup_lattice(schema)
+        .into_iter()
+        .map(MaterializedView::new)
+        .collect()
+}
+
+/// Captures a publish-time [`PlanState`] from the shard tree and its aux
+/// engines (cloned — published state must be immutable).
+fn capture_plan_state(
+    tree: &DcTree,
+    snap: Arc<DcTree>,
+    aux: Option<&AuxEngines>,
+) -> Arc<PlanState> {
+    let ts = tree.stats();
+    let bitmap = aux.and_then(|a| a.bitmap.clone()).map(Arc::new);
+    let views = aux.and_then(|a| a.views.clone()).map(Arc::new);
+    let table = aux.and_then(|a| a.table.clone()).map(Arc::new);
+    let records_per_block = table
+        .as_ref()
+        .map(|t| t.records_per_block())
+        .unwrap_or_else(|| {
+            FlatTable::for_schema(BlockConfig::DEFAULT, tree.schema()).records_per_block()
+        });
+    let stats = PartitionStats {
+        records: ts.records,
+        tree_nodes: ts.dir_nodes + ts.data_nodes,
+        tree_height: ts.height,
+        records_per_block,
+        bitmap_bytes: bitmap.as_ref().map(|b| b.bitmap_bytes()).unwrap_or(0),
+        has_bitmap: bitmap.is_some(),
+        has_table: table.is_some(),
+        view_cells: views
+            .as_ref()
+            .map(|vs| {
+                vs.iter()
+                    .map(|v| (v.spec().levels.clone(), v.num_cells()))
+                    .collect()
+            })
+            .unwrap_or_default(),
+        views_stale: aux.map(|a| a.views_stale).unwrap_or(false),
+    };
+    Arc::new(PlanState {
+        tree: snap,
+        bitmap,
+        views,
+        table,
+        stats,
+    })
+}
+
+/// Borrowed handles into a published [`PlanState`], in `dc-plan`'s shape.
+fn backend_refs(state: &PlanState) -> BackendRefs<'_> {
+    BackendRefs {
+        tree: &state.tree,
+        bitmap: state.bitmap.as_deref(),
+        views: state.views.as_ref().map(|v| &v[..]),
+        table: state.table.as_deref(),
+    }
+}
+
+/// The output of [`ShardedDcTree::compare_backends`]: one merged answer
+/// per backend every visited shard maintains, plus the planner's own
+/// per-shard mix — all computed from the same published snapshots.
+#[derive(Debug)]
+pub struct BackendComparison {
+    /// Merged output per commonly-available backend, in [`Backend::ALL`]
+    /// order.
+    pub outputs: Vec<(Backend, QueryOutput)>,
+    /// The planner's per-shard choice, executed on the same snapshots.
+    pub chosen: QueryOutput,
+}
+
 struct Shard {
     tx: Mutex<Option<Sender<Cmd>>>,
     snapshot: Arc<RwLock<Arc<DcTree>>>,
+    /// The planner's published state (same cadence as `snapshot`; the tree
+    /// inside is the same `Arc`).
+    plan: Arc<RwLock<Arc<PlanState>>>,
     writer: Mutex<Option<JoinHandle<()>>>,
 }
 
@@ -301,13 +502,20 @@ impl ShardedDcTree {
         };
         let mut shards = Vec::with_capacity(config.num_shards);
         for (shard_id, tree) in shard_trees.drain(..).enumerate() {
-            let snapshot = Arc::new(RwLock::new(Arc::new(tree.clone())));
+            // Aux engines are rebuilt from the (possibly recovered) tree:
+            // checkpoint images restore trees, never derived indexes.
+            let aux = config.planner.map(|opts| AuxEngines::build(&tree, opts));
+            let snap = Arc::new(tree.clone());
+            let snapshot = Arc::new(RwLock::new(Arc::clone(&snap)));
+            let plan = Arc::new(RwLock::new(capture_plan_state(&tree, snap, aux.as_ref())));
             let (tx, rx) = channel();
             let writer = spawn_writer(
                 shard_id,
                 tree,
                 rx,
                 Arc::clone(&snapshot),
+                Arc::clone(&plan),
+                aux,
                 Arc::clone(&catalog),
                 Arc::clone(&metrics),
                 config.batch_size,
@@ -317,6 +525,7 @@ impl ShardedDcTree {
             shards.push(Shard {
                 tx: Mutex::new(Some(tx)),
                 snapshot,
+                plan,
                 writer: Mutex::new(Some(writer)),
             });
         }
@@ -872,6 +1081,233 @@ impl ShardedDcTree {
         Ok(merged.into_iter().collect())
     }
 
+    // ------------------------------------------------------------------
+    // Planned queries (dc-plan)
+    // ------------------------------------------------------------------
+
+    /// Executes a resolved dc-ql statement through the cost-based planner:
+    /// each visited shard prices the backends it maintains against its
+    /// publish-time [`PartitionStats`] and runs the cheapest one. Scalar
+    /// plans where every shard picks DC-tree descent delegate to the
+    /// cached scatter-gather path, so the aggregate cache keeps serving
+    /// the workloads it already accelerates.
+    pub fn execute(&self, stmt: &ParsedStatement) -> DcResult<QueryOutput> {
+        let t0 = Instant::now();
+        let plan = LogicalPlan::from_statement(stmt);
+        self.metrics.plan.plans.fetch_add(1, Relaxed);
+        if plan.group_by.is_none() && self.all_shards_pick_descend(&plan)? {
+            self.metrics
+                .plan
+                .chosen(Backend::Descend)
+                .fetch_add(1, Relaxed);
+            let total = self.cached_summary(&plan.filter, plan.needs_extrema())?;
+            self.metrics.queries.fetch_add(1, Relaxed);
+            self.metrics.query_latency.record(t0.elapsed());
+            return Ok(QueryOutput::Scalar(total));
+        }
+        let (out, explain) = self.run_planned(&plan, None)?;
+        self.note_plan_metrics(&explain);
+        self.metrics.queries.fetch_add(1, Relaxed);
+        self.metrics.query_latency.record(t0.elapsed());
+        Ok(out)
+    }
+
+    /// Plans and executes `stmt`, returning the answer plus the full
+    /// `EXPLAIN` record: chosen backend, estimated vs. measured page
+    /// reads, and per-shard plan fragments. Always takes the per-shard
+    /// measured path (no cache), since EXPLAIN is the diagnostic view.
+    pub fn explain(&self, stmt: &ParsedStatement) -> DcResult<(QueryOutput, Explain)> {
+        let t0 = Instant::now();
+        let plan = LogicalPlan::from_statement(stmt);
+        self.metrics.plan.plans.fetch_add(1, Relaxed);
+        self.metrics.plan.explains.fetch_add(1, Relaxed);
+        let (out, explain) = self.run_planned(&plan, None)?;
+        self.note_plan_metrics(&explain);
+        self.metrics.queries.fetch_add(1, Relaxed);
+        self.metrics.query_latency.record(t0.elapsed());
+        Ok((out, explain))
+    }
+
+    /// Plans and executes with the backend choice overridden on every
+    /// shard — the "always-X" baseline benches and tests compare the
+    /// planner against. Does not touch the planner counters. Errors when a
+    /// visited shard does not maintain `backend`.
+    pub fn execute_forced(
+        &self,
+        stmt: &ParsedStatement,
+        backend: Backend,
+    ) -> DcResult<(QueryOutput, Explain)> {
+        let plan = LogicalPlan::from_statement(stmt);
+        self.run_planned(&plan, Some(backend))
+    }
+
+    /// Evaluates `stmt` on **every** backend the visited shards all
+    /// maintain, plus the planner's per-shard choice, from one atomically
+    /// acquired [`PlanState`] per shard — so even under concurrent
+    /// ingest/delete churn every returned output describes the same
+    /// published data and must agree. This is the differential suite's
+    /// hook; it bypasses the cache and the planner counters.
+    pub fn compare_backends(&self, stmt: &ParsedStatement) -> DcResult<BackendComparison> {
+        let plan = LogicalPlan::from_statement(stmt);
+        // Sound containment mode: every backend must agree bit-for-bit.
+        let prepared = self
+            .catalog
+            .with_schema(|s| PreparedRange::with_mode(s, &plan.filter, false))?;
+        let catalog_values = self.catalog.with_schema(schema_total_values);
+        let mut states = Vec::new();
+        for s in self.relevant_shards(&plan.filter)? {
+            let state = Arc::clone(&self.shards[s].plan.read());
+            if shard_covers(&plan.filter, state.tree.schema(), catalog_values) {
+                states.push(state);
+            }
+        }
+        let mut backends = vec![Backend::Descend];
+        if states.iter().all(|st| st.bitmap.is_some()) {
+            backends.push(Backend::Bitmap);
+        }
+        if states
+            .iter()
+            .all(|st| st.views.is_some() && !st.stats.views_stale)
+        {
+            backends.push(Backend::Mview);
+        }
+        if states.iter().all(|st| st.table.is_some()) {
+            backends.push(Backend::Scan);
+        }
+        let grouped = plan.group_by.is_some();
+        let mut outputs = Vec::new();
+        'backends: for &backend in &backends {
+            let mut out = QueryOutput::empty(grouped);
+            for st in &states {
+                let prepared_ref = (backend == Backend::Descend).then_some(&prepared);
+                match dc_plan::execute(
+                    st.tree.schema(),
+                    &plan,
+                    backend,
+                    &backend_refs(st),
+                    prepared_ref,
+                ) {
+                    Ok((part, _)) => out.merge(&part),
+                    // No lattice view answers this query shape on this
+                    // shard — the backend is simply not comparable here.
+                    Err(DcError::IncomparableMds(_)) if backend == Backend::Mview => {
+                        continue 'backends;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            outputs.push((backend, out));
+        }
+        let mut chosen = QueryOutput::empty(grouped);
+        for st in &states {
+            let backend = self
+                .catalog
+                .with_schema(|schema| choose(schema, &plan, &st.stats).backend);
+            let prepared_ref = (backend == Backend::Descend).then_some(&prepared);
+            let (part, _) = dc_plan::execute(
+                st.tree.schema(),
+                &plan,
+                backend,
+                &backend_refs(st),
+                prepared_ref,
+            )?;
+            chosen.merge(&part);
+        }
+        Ok(BackendComparison { outputs, chosen })
+    }
+
+    /// `true` when the cost model picks descent on every relevant shard
+    /// (the cheap pre-check behind [`Self::execute`]'s cache delegation).
+    fn all_shards_pick_descend(&self, plan: &LogicalPlan) -> DcResult<bool> {
+        for s in self.relevant_shards(&plan.filter)? {
+            let state = Arc::clone(&self.shards[s].plan.read());
+            let picked = self
+                .catalog
+                .with_schema(|schema| choose(schema, plan, &state.stats).backend);
+            if picked != Backend::Descend {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// The planned scatter-gather: reads each visited shard's [`PlanState`]
+    /// once, prices the backends, executes the chosen (or forced) one, and
+    /// assembles the per-shard explain fragments.
+    fn run_planned(
+        &self,
+        plan: &LogicalPlan,
+        force: Option<Backend>,
+    ) -> DcResult<(QueryOutput, Explain)> {
+        // `group_by` decomposes containment per group, which the paper-mode
+        // shortcut does not model — grouped plans always prepare soundly.
+        let paper = self.paper_mode && plan.group_by.is_none();
+        let prepared = self
+            .catalog
+            .with_schema(|s| PreparedRange::with_mode(s, &plan.filter, paper))?;
+        let catalog_values = self.catalog.with_schema(schema_total_values);
+        let mut out = QueryOutput::empty(plan.group_by.is_some());
+        let mut frags = Vec::new();
+        for s in self.relevant_shards(&plan.filter)? {
+            let state = Arc::clone(&self.shards[s].plan.read());
+            if !shard_covers(&plan.filter, state.tree.schema(), catalog_values) {
+                frags.push(ShardExplain {
+                    shard: s,
+                    backend: Backend::Descend,
+                    est_pages: 0.0,
+                    actual_pages: None,
+                });
+                continue;
+            }
+            self.metrics.shard_visits.fetch_add(1, Relaxed);
+            let (backend, est_pages) = self.catalog.with_schema(|schema| {
+                let choice = choose(schema, plan, &state.stats);
+                match force {
+                    None => (choice.backend, choice.est_pages),
+                    Some(b) => (
+                        b,
+                        choice
+                            .candidates
+                            .iter()
+                            .find(|c| c.backend == b)
+                            .map(|c| c.pages)
+                            .unwrap_or(0.0),
+                    ),
+                }
+            });
+            let prepared_ref = (backend == Backend::Descend).then_some(&prepared);
+            let (part, pages) = dc_plan::execute(
+                state.tree.schema(),
+                plan,
+                backend,
+                &backend_refs(&state),
+                prepared_ref,
+            )?;
+            out.merge(&part);
+            frags.push(ShardExplain {
+                shard: s,
+                backend,
+                est_pages,
+                actual_pages: Some(pages),
+            });
+        }
+        Ok((out, Explain::from_shards(frags)))
+    }
+
+    /// Folds one planned query's explain record into the `plan` counters.
+    fn note_plan_metrics(&self, explain: &Explain) {
+        let pm = &self.metrics.plan;
+        pm.chosen(explain.backend).fetch_add(1, Relaxed);
+        pm.est_pages
+            .fetch_add(explain.est_pages.round() as u64, Relaxed);
+        pm.actual_pages.fetch_add(explain.actual_pages, Relaxed);
+        let est = explain.est_pages.max(1.0);
+        let actual = (explain.actual_pages as f64).max(1.0);
+        if actual / est > 2.0 || est / actual > 2.0 {
+            pm.mispredictions.fetch_add(1, Relaxed);
+        }
+    }
+
     /// The summary of the whole cube (merged shard totals).
     pub fn total_summary(&self) -> MeasureSummary {
         let mut total = MeasureSummary::empty();
@@ -981,6 +1417,8 @@ fn spawn_writer(
     mut tree: DcTree,
     rx: Receiver<Cmd>,
     snapshot: Arc<RwLock<Arc<DcTree>>>,
+    plan: Arc<RwLock<Arc<PlanState>>>,
+    mut aux: Option<AuxEngines>,
     catalog: Arc<SchemaCatalog>,
     metrics: Arc<EngineMetrics>,
     batch_size: usize,
@@ -1022,6 +1460,7 @@ fn spawn_writer(
                         &mut pending_flushes,
                         &mut shutting_down,
                         cache.is_some().then_some(&mut deltas),
+                        aux.as_mut(),
                     );
                 }
                 if shutting_down {
@@ -1038,6 +1477,7 @@ fn spawn_writer(
                             &mut pending_flushes,
                             &mut shutting_down,
                             cache.is_some().then_some(&mut deltas),
+                            aux.as_mut(),
                         );
                     }
                 }
@@ -1045,6 +1485,8 @@ fn spawn_writer(
                     publish(
                         &tree,
                         &snapshot,
+                        &plan,
+                        &mut aux,
                         &metrics,
                         shard_id,
                         cache.as_deref(),
@@ -1087,6 +1529,7 @@ fn apply(
     pending_flushes: &mut Vec<Sender<()>>,
     shutting_down: &mut bool,
     deltas: Option<&mut Vec<CacheDelta>>,
+    aux: Option<&mut AuxEngines>,
 ) {
     let shard_metrics = &metrics.shards[shard_id];
     match cmd {
@@ -1098,6 +1541,9 @@ fn apply(
                     record: record.clone(),
                     delete: false,
                 });
+            }
+            if let Some(aux) = aux {
+                aux.insert(tree.schema(), &record);
             }
             tree.insert(record)
                 .expect("catalog-backed insert cannot fail");
@@ -1113,6 +1559,9 @@ fn apply(
             // documented no-op.
             let removed = tree.delete(&record).unwrap_or(false);
             if removed {
+                if let Some(aux) = aux {
+                    aux.delete(tree.schema(), &record);
+                }
                 if let Some(deltas) = deltas {
                     deltas.push(CacheDelta {
                         record,
@@ -1154,16 +1603,40 @@ fn replay_catalog(tree: &mut DcTree, catalog: &SchemaCatalog, replayed: &mut u64
 /// With a cache configured, the batch's deltas are applied to cached
 /// summaries and the snapshot is swapped *under the cache lock* (one
 /// version bump covers both), so a cached answer always corresponds to
-/// some published state a bypassing query could have seen.
+/// some published state a bypassing query could have seen. The planner's
+/// [`PlanState`] is swapped inside the same closure, so the tree snapshot
+/// and the aux engines can never be observed at different batch points.
+#[allow(clippy::too_many_arguments)]
 fn publish(
     tree: &DcTree,
     snapshot: &RwLock<Arc<DcTree>>,
+    plan: &RwLock<Arc<PlanState>>,
+    aux: &mut Option<AuxEngines>,
     metrics: &EngineMetrics,
     shard_id: usize,
     cache: Option<&SharedCache>,
     deltas: &mut Vec<CacheDelta>,
 ) {
+    if let Some(aux) = aux.as_mut() {
+        if aux.views_stale {
+            // Deletes cannot be subtracted from roll-up cells; rebuild the
+            // lattice from the authoritative tree before publishing.
+            if let Some(views) = &mut aux.views {
+                let schema = tree.schema();
+                let mut fresh = fresh_views(schema);
+                for stored in tree.iter_records() {
+                    for v in &mut fresh {
+                        v.apply(schema, &stored.record)
+                            .expect("tree records resolve in their own schema");
+                    }
+                }
+                *views = fresh;
+            }
+            aux.views_stale = false;
+        }
+    }
     let snap = Arc::new(tree.clone());
+    let plan_state = capture_plan_state(tree, Arc::clone(&snap), aux.as_ref());
     let io = snap.io_stats();
     let shard_metrics = &metrics.shards[shard_id];
     shard_metrics.snapshot_records.store(snap.len(), Relaxed);
@@ -1172,7 +1645,10 @@ fn publish(
     shard_metrics
         .snapshot_published_at
         .store(metrics.now_nanos().max(1), Relaxed);
-    let swap = move || *snapshot.write() = snap;
+    let swap = move || {
+        *snapshot.write() = snap;
+        *plan.write() = plan_state;
+    };
     match cache {
         Some(cache) => {
             // The shard tree has replayed the catalog through every epoch

@@ -84,6 +84,11 @@ pub mod server;
 pub use catalog::SchemaCatalog;
 pub use dc_cache::CacheConfig;
 pub use dc_durable::{StdFs, SyncPolicy, WalFs};
-pub use engine::{EngineConfig, PartitionPolicy, ShardedDcTree, WalOptions};
-pub use metrics::{CacheMetrics, DurabilityMetrics, EngineMetrics, LatencyHistogram, PoolMetrics};
+pub use dc_plan::{Backend, Explain, QueryOutput};
+pub use engine::{
+    BackendComparison, EngineConfig, PartitionPolicy, PlannerOptions, ShardedDcTree, WalOptions,
+};
+pub use metrics::{
+    CacheMetrics, DurabilityMetrics, EngineMetrics, LatencyHistogram, PlanMetrics, PoolMetrics,
+};
 pub use server::{serve, ServerConfig, ServerHandle};

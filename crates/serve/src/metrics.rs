@@ -5,6 +5,8 @@
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::time::{Duration, Instant};
 
+use dc_plan::Backend;
+
 /// A log₂-bucketed latency histogram. Bucket `i` holds samples whose
 /// nanosecond count has its highest set bit at position `i`, so the range
 /// covers 1 ns .. ~584 years in 64 buckets with bounded (< 2×) relative
@@ -146,6 +148,45 @@ pub struct PoolMetrics {
     pub task_latency: LatencyHistogram,
 }
 
+/// Cost-based planner observability (`dc-plan`): how often each backend
+/// wins and how well the page-read estimates track measured cost. Updated
+/// by the planned-query path ([`crate::ShardedDcTree::execute`] /
+/// `explain`).
+#[derive(Default)]
+pub struct PlanMetrics {
+    /// Statements routed through the planner.
+    pub plans: AtomicU64,
+    /// `EXPLAIN` statements among them.
+    pub explains: AtomicU64,
+    /// Queries whose (dominant) chosen backend was DC-tree descent.
+    pub chose_descend: AtomicU64,
+    /// … the WAH bitmap index.
+    pub chose_bitmap: AtomicU64,
+    /// … a materialized roll-up view.
+    pub chose_mview: AtomicU64,
+    /// … the sequential scan.
+    pub chose_scan: AtomicU64,
+    /// Planned queries whose measured page reads missed the estimate by
+    /// more than 2× in either direction.
+    pub mispredictions: AtomicU64,
+    /// Total estimated page reads over planned (non-delegated) queries.
+    pub est_pages: AtomicU64,
+    /// Total measured page reads over the same queries.
+    pub actual_pages: AtomicU64,
+}
+
+impl PlanMetrics {
+    /// The `chose_*` counter for `backend`.
+    pub fn chosen(&self, backend: Backend) -> &AtomicU64 {
+        match backend {
+            Backend::Descend => &self.chose_descend,
+            Backend::Bitmap => &self.chose_bitmap,
+            Backend::Mview => &self.chose_mview,
+            Backend::Scan => &self.chose_scan,
+        }
+    }
+}
+
 /// Durability observability: WAL writer counters, checkpoint counters, and
 /// what the opening recovery pass found. All zero when no WAL is
 /// configured.
@@ -196,6 +237,8 @@ pub struct EngineMetrics {
     pub cache: CacheMetrics,
     /// Query-pool counters (all zero when the pool is disabled).
     pub pool: PoolMetrics,
+    /// Cost-based planner counters (zero until a SELECT/EXPLAIN arrives).
+    pub plan: PlanMetrics,
     /// WAL/checkpoint/recovery counters (all zero when no WAL is
     /// configured).
     pub durability: DurabilityMetrics,
@@ -215,6 +258,7 @@ impl EngineMetrics {
             apply_latency: LatencyHistogram::new(),
             cache: CacheMetrics::default(),
             pool: PoolMetrics::default(),
+            plan: PlanMetrics::default(),
             durability: DurabilityMetrics::default(),
             shards: (0..num_shards).map(|_| ShardMetrics::default()).collect(),
         }
@@ -281,6 +325,7 @@ impl EngineMetrics {
         );
         push_kv(&mut s, "cache", &self.cache_json());
         push_kv(&mut s, "pool", &self.pool_json());
+        push_kv(&mut s, "plan", &self.plan_json());
         push_kv(&mut s, "durability", &self.durability_json());
         s.push_str("\"shards\":[");
         for (i, sh) in self.shards.iter().enumerate() {
@@ -374,6 +419,38 @@ impl EngineMetrics {
         push_kv(&mut s, "steals", &p.steals.load(Relaxed).to_string());
         s.push_str("\"task_latency_us\":");
         s.push_str(&latency_json(&p.task_latency));
+        s.push('}');
+        s
+    }
+
+    /// The `"plan"` sub-object of the STATS payload.
+    fn plan_json(&self) -> String {
+        let p = &self.plan;
+        let mut s = String::with_capacity(224);
+        s.push('{');
+        push_kv(&mut s, "plans", &p.plans.load(Relaxed).to_string());
+        push_kv(&mut s, "explains", &p.explains.load(Relaxed).to_string());
+        let mut chose = String::with_capacity(96);
+        chose.push('{');
+        for (i, b) in Backend::ALL.iter().enumerate() {
+            if i > 0 {
+                chose.push(',');
+            }
+            chose.push('"');
+            chose.push_str(b.name());
+            chose.push_str("\":");
+            chose.push_str(&p.chosen(*b).load(Relaxed).to_string());
+        }
+        chose.push('}');
+        push_kv(&mut s, "chose", &chose);
+        push_kv(
+            &mut s,
+            "mispredictions",
+            &p.mispredictions.load(Relaxed).to_string(),
+        );
+        push_kv(&mut s, "est_pages", &p.est_pages.load(Relaxed).to_string());
+        s.push_str("\"actual_pages\":");
+        s.push_str(&p.actual_pages.load(Relaxed).to_string());
         s.push('}');
         s
     }
@@ -505,6 +582,19 @@ mod tests {
         assert!(json.contains("\"tasks\":12"));
         assert!(json.contains("\"steals\":3"));
         assert!(json.contains("\"task_latency_us\""));
+    }
+
+    #[test]
+    fn stats_json_includes_plan_block() {
+        let m = EngineMetrics::new(1);
+        m.plan.plans.store(9, Relaxed);
+        m.plan.chosen(Backend::Mview).store(4, Relaxed);
+        m.plan.mispredictions.store(1, Relaxed);
+        let json = m.to_json();
+        assert!(json.contains("\"plan\":{\"plans\":9"));
+        assert!(json.contains("\"chose\":{\"descend\":0,\"bitmap\":0,\"mview\":4,\"scan\":0}"));
+        assert!(json.contains("\"mispredictions\":1"));
+        assert!(json.contains("\"actual_pages\":0"));
     }
 
     #[test]

@@ -11,16 +11,26 @@
 //! DELETE <measure> <p>/<p>|<p>/<p>|…     → OK DELETED
 //! SUM WHERE Customer.Region = 'EUROPE'   → OK 1234.00
 //! AVG WHERE … GROUP BY Time.Year TOP 3   → OK 1996=12.50,1995=11.00,…
+//! SELECT SUM, COUNT WHERE …              → OK sum=1234.00 count=17.00
+//! SELECT SUM, MAX GROUP BY Time.Year     → OK 1996=900.00|80.00,1995=…
+//! EXPLAIN SUM GROUP BY Customer.Region   → OK backend=mview est_pages=… actual_pages=… shards=[…]
 //! ```
 //!
 //! `INSERT`/`DELETE` paths are one `/`-separated top→leaf chain per
 //! dimension, dimensions separated by `|` (names must not contain either
-//! character). Anything else is parsed as a dc-ql aggregate query against
-//! the engine's live schema. Errors come back as `ERR <message>`.
+//! character). Anything else is parsed as a dc-ql statement against the
+//! engine's live schema and routed through the cost-based planner
+//! (`dc-plan`); `EXPLAIN <query>` executes the query and reports the
+//! chosen backend, estimated vs. measured page reads, and the per-shard
+//! plan fragments on one line. Multi-aggregate `SELECT` responses label
+//! each value with its lowercase op name (scalar) or pipe-join the values
+//! in SELECT-list order (grouped). Errors come back as `ERR <message>`.
 
-use dc_ql::parse_query;
+use dc_common::AggregateOp;
+use dc_ql::{parse_statement, resolve, ParsedStatement};
 
 use crate::engine::ShardedDcTree;
+use dc_plan::QueryOutput;
 
 /// What the connection loop should do after answering.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -108,43 +118,88 @@ fn parse_mutation(line: &str) -> Result<(bool, i64, Vec<Vec<String>>), String> {
 }
 
 fn handle_query(engine: &ShardedDcTree, line: &str) -> String {
-    let parsed = match engine.with_schema(|schema| parse_query(schema, line)) {
-        Ok(p) => p,
+    let stmt = match parse_statement(line) {
+        Ok(s) => s,
         Err(e) => return format!("ERR {e}"),
     };
-    match parsed.group_by {
-        None => match engine.range_query(&parsed.filter, parsed.op) {
-            Ok(Some(v)) => format!("OK {v:.2}"),
-            Ok(None) => "OK NULL".into(),
+    let resolved = match engine.with_schema(|schema| resolve(schema, stmt.body())) {
+        Ok(r) => r,
+        Err(e) => return format!("ERR {e}"),
+    };
+    if stmt.is_explain() {
+        return match engine.explain(&resolved) {
+            Ok((_, explain)) => format!("OK {explain}"),
             Err(e) => format!("ERR {e}"),
-        },
-        Some((dim, level)) => match engine.group_by(dim, level, &parsed.filter) {
-            Err(e) => format!("ERR {e}"),
-            Ok(mut groups) => {
-                if let Some(k) = parsed.top {
-                    groups.sort_by(|a, b| {
-                        let av = a.1.eval(parsed.op).unwrap_or(f64::MIN);
-                        let bv = b.1.eval(parsed.op).unwrap_or(f64::MIN);
-                        bv.partial_cmp(&av).unwrap_or(std::cmp::Ordering::Equal)
-                    });
-                    groups.truncate(k);
-                }
-                let rendered: Vec<String> = engine.with_schema(|schema| {
-                    let h = schema.dim(dim);
-                    groups
-                        .iter()
-                        .map(|(value, summary)| {
-                            let name = h.name(*value).unwrap_or("?");
-                            match summary.eval(parsed.op) {
-                                Some(v) => format!("{name}={v:.2}"),
-                                None => format!("{name}=NULL"),
-                            }
-                        })
-                        .collect()
-                });
-                format!("OK {}", rendered.join(","))
+        };
+    }
+    match engine.execute(&resolved) {
+        Ok(out) => render_output(engine, &resolved, out),
+        Err(e) => format!("ERR {e}"),
+    }
+}
+
+/// `12.34` or `NULL`.
+fn render_value(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.2}"),
+        None => "NULL".into(),
+    }
+}
+
+/// The values of every SELECTed aggregate, pipe-joined in list order.
+fn render_ops(ops: &[AggregateOp], summary: &dc_common::MeasureSummary) -> String {
+    ops.iter()
+        .map(|&op| render_value(summary.eval(op)))
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+/// Renders a planned query answer. Single-aggregate responses keep the
+/// legacy formats (`OK 12.00`, `OK 1996=12.50,…`); multi-aggregate scalars
+/// label each value (`OK sum=12.00 count=3.00`) and multi-aggregate groups
+/// pipe-join the values in SELECT-list order. `TOP k` ranks groups by the
+/// first aggregate in the list.
+fn render_output(engine: &ShardedDcTree, stmt: &ParsedStatement, out: QueryOutput) -> String {
+    match out {
+        QueryOutput::Scalar(summary) => {
+            if let [op] = stmt.ops[..] {
+                return format!("OK {}", render_value(summary.eval(op)));
             }
-        },
+            let parts: Vec<String> = stmt
+                .ops
+                .iter()
+                .map(|&op| {
+                    let name = op.to_string().to_ascii_lowercase();
+                    format!("{name}={}", render_value(summary.eval(op)))
+                })
+                .collect();
+            format!("OK {}", parts.join(" "))
+        }
+        QueryOutput::Grouped(mut groups) => {
+            let Some((dim, _)) = stmt.group_by else {
+                return "ERR grouped output without GROUP BY".into();
+            };
+            if let Some(k) = stmt.top {
+                let rank = stmt.ops[0];
+                groups.sort_by(|a, b| {
+                    let av = a.1.eval(rank).unwrap_or(f64::MIN);
+                    let bv = b.1.eval(rank).unwrap_or(f64::MIN);
+                    bv.partial_cmp(&av).unwrap_or(std::cmp::Ordering::Equal)
+                });
+                groups.truncate(k);
+            }
+            let rendered: Vec<String> = engine.with_schema(|schema| {
+                let h = schema.dim(dim);
+                groups
+                    .iter()
+                    .map(|(value, summary)| {
+                        let name = h.name(*value).unwrap_or("?");
+                        format!("{name}={}", render_ops(&stmt.ops, summary))
+                    })
+                    .collect()
+            });
+            format!("OK {}", rendered.join(","))
+        }
     }
 }
 

@@ -140,6 +140,84 @@ fn full_protocol_round_trip() {
     assert_eq!(engine.len(), 1000);
 }
 
+/// SELECT / EXPLAIN flow through the planner-enabled engine over a real
+/// socket, answers match the legacy direct path, and STATS grows a `plan`
+/// section with the chosen-backend counters.
+#[test]
+fn select_and_explain_over_tcp() {
+    let data = generate(&TpcdConfig::scaled(800, 41));
+    let engine = Arc::new(
+        ShardedDcTree::new(
+            data.schema.clone(),
+            EngineConfig {
+                num_shards: 2,
+                policy: PartitionPolicy::Hash,
+                planner: Some(dc_serve::PlannerOptions::default()),
+                ..Default::default()
+            },
+        )
+        .unwrap(),
+    );
+    for r in &data.records {
+        engine.insert_raw(&data.paths_for(r), r.measure).unwrap();
+    }
+    engine.flush();
+    let config = ServerConfig {
+        poll_interval: Duration::from_millis(5),
+        ..Default::default()
+    };
+    let handle = serve(Arc::clone(&engine), "127.0.0.1:0", config).unwrap();
+    let mut client = Client::connect(handle.local_addr());
+
+    // Multi-aggregate scalar: labelled values, matching the direct answers.
+    let query = "SELECT SUM, COUNT WHERE Customer.Region = 'EUROPE'";
+    let parsed = engine
+        .with_schema(|s| dc_ql::parse_query(s, "SUM WHERE Customer.Region = 'EUROPE'"))
+        .unwrap();
+    let sum = engine
+        .range_query(&parsed.filter, dc_common::AggregateOp::Sum)
+        .unwrap()
+        .unwrap();
+    let count = engine
+        .range_query(&parsed.filter, dc_common::AggregateOp::Count)
+        .unwrap()
+        .unwrap();
+    assert_eq!(
+        client.request(query),
+        format!("OK sum={sum:.2} count={count:.2}")
+    );
+
+    // Multi-aggregate GROUP BY pipe-joins values in SELECT-list order.
+    let grouped = client.request("SELECT SUM, MAX GROUP BY Time.Year TOP 2");
+    assert!(grouped.starts_with("OK "), "{grouped}");
+    let rows: Vec<&str> = grouped[3..].split(',').collect();
+    assert_eq!(rows.len(), 2, "{grouped}");
+    for row in rows {
+        let (_, vals) = row.split_once('=').expect(row);
+        assert_eq!(vals.split('|').count(), 2, "{grouped}");
+    }
+
+    // EXPLAIN reports the chosen backend and estimated vs. measured pages.
+    let explain = client.request("EXPLAIN SUM GROUP BY Customer.Region");
+    assert!(explain.starts_with("OK backend="), "{explain}");
+    assert!(explain.contains("est_pages="), "{explain}");
+    assert!(explain.contains("actual_pages="), "{explain}");
+    assert!(explain.contains("shards=["), "{explain}");
+    // The explained answer itself must agree with the plain query.
+    let direct = client.request("SUM GROUP BY Customer.Region");
+    assert!(direct.starts_with("OK "), "{direct}");
+
+    // The planner section shows up in STATS with a chosen-backend split.
+    let stats = client.request("STATS");
+    for key in ["\"plan\":", "\"plans\":", "\"explains\":", "\"chose\":"] {
+        assert!(stats.contains(key), "STATS missing {key}: {stats}");
+    }
+
+    assert_eq!(client.request("SHUTDOWN"), "OK BYE");
+    handle.join();
+    engine.shutdown();
+}
+
 #[test]
 fn stop_joins_all_threads() {
     let (engine, handle) = start_server();

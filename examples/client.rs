@@ -1,6 +1,7 @@
 //! A dc-ql network client: connects to a running `dc-serve` server (pass
 //! its address), or — with no argument — starts one in-process over a small
-//! TPC-D warehouse and talks to it over a real TCP socket.
+//! TPC-D warehouse (with the cost-based planner enabled) and talks to it
+//! over a real TCP socket.
 //!
 //! ```sh
 //! cargo run --release --example client                 # self-hosted demo
@@ -12,7 +13,7 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
 
-use dctree::serve::{serve, EngineConfig, ServerConfig, ShardedDcTree};
+use dctree::serve::{serve, EngineConfig, PlannerOptions, ServerConfig, ShardedDcTree};
 use dctree::tpcd::{generate, TpcdConfig};
 
 fn main() -> std::io::Result<()> {
@@ -23,7 +24,14 @@ fn main() -> std::io::Result<()> {
             println!("no address given — starting an in-process server…");
             let data = generate(&TpcdConfig::scaled(10_000, 42));
             let engine = Arc::new(
-                ShardedDcTree::new(data.schema.clone(), EngineConfig::default()).expect("engine"),
+                ShardedDcTree::new(
+                    data.schema.clone(),
+                    EngineConfig {
+                        planner: Some(PlannerOptions::default()),
+                        ..Default::default()
+                    },
+                )
+                .expect("engine"),
             );
             for r in &data.records {
                 engine
@@ -58,9 +66,17 @@ fn main() -> std::io::Result<()> {
     request("AVG WHERE Customer.Region IN ('EUROPE', 'ASIA') AND Time.Year = '1996'")?;
     request("SUM GROUP BY Customer.Region TOP 3")?;
     request("COUNT WHERE Time.Year = '1999'")?;
-    // Repeat a query: the second run is answered by the aggregate cache
-    // (see the cache counters printed below).
+    // Repeat a query: with the planner off this hits the aggregate cache;
+    // with it on (this demo) the cost model may instead route both runs to
+    // a materialized view, which is why the cache counters below can stay
+    // at zero hits.
     request("SUM WHERE Customer.Region = 'EUROPE'")?;
+    // Planner-era statements: multi-measure SELECT lists and EXPLAIN,
+    // which reports the backend the cost model chose per shard.
+    request("SELECT SUM, COUNT, MAX WHERE Customer.Region = 'EUROPE'")?;
+    request("SELECT SUM, COUNT GROUP BY Time.Year TOP 3")?;
+    request("EXPLAIN SUM GROUP BY Customer.Region")?;
+    request("EXPLAIN SUM WHERE Customer.Nation = 'GERMANY' AND Time.Year = '1996'")?;
     request(
         "INSERT 500 EUROPE/GERMANY/BUILDING/Customer#000000001\
          |ASIA/JAPAN/Supplier#000000002\
@@ -70,8 +86,9 @@ fn main() -> std::io::Result<()> {
     request("FLUSH")?;
     request("COUNT WHERE Time.Year = '1999'")?;
     let stats = request("STATS")?;
-    print_cache_counters(&stats);
-    print_pool_gauges(&stats);
+    print_section(&stats, "cache", "aggregate cache");
+    print_section(&stats, "pool", "query pool");
+    print_section(&stats, "plan", "query planner");
 
     if let Some((engine, handle)) = hosted {
         request("SHUTDOWN")?;
@@ -82,51 +99,60 @@ fn main() -> std::io::Result<()> {
     Ok(())
 }
 
-/// Pulls the aggregate-cache counters out of the STATS JSON and prints
-/// them on their own lines (the full payload is one long line).
-fn print_cache_counters(stats: &str) {
-    println!("aggregate cache:");
-    for key in [
-        "hits",
-        "semantic_hits",
-        "misses",
-        "hit_rate",
-        "patches",
-        "invalidations",
-        "entries",
-    ] {
-        if let Some(v) = json_field(stats, key) {
-            println!("  {key:<14} {v}");
+/// Prints every scalar counter of one named STATS section, skipping the
+/// section silently when the server doesn't expose it. Sections are scoped
+/// by balanced-brace matching, so servers that grow *new* sections (or
+/// reorder existing ones) never confuse the client: keys are only looked up
+/// inside the requested object, never across the whole payload.
+fn print_section(stats: &str, section: &str, title: &str) {
+    let Some(body) = json_section(stats, section) else {
+        return;
+    };
+    println!("{title}:");
+    let mut rest = body;
+    while let Some(q) = rest.find('"') {
+        let after_quote = &rest[q + 1..];
+        let Some(end_quote) = after_quote.find('"') else {
+            break;
+        };
+        let key = &after_quote[..end_quote];
+        let after_key = &after_quote[end_quote + 1..];
+        let Some(after_colon) = after_key.strip_prefix(':') else {
+            rest = after_key;
+            continue;
+        };
+        if after_colon.starts_with('{') || after_colon.starts_with('[') {
+            // Nested object (e.g. plan's "chose"): step inside; its keys
+            // print flattened under the same section.
+            rest = after_colon;
+            continue;
         }
+        let end = after_colon
+            .find([',', '}', ']'])
+            .unwrap_or(after_colon.len());
+        println!("  {key:<16} {}", after_colon[..end].trim());
+        rest = &after_colon[end..];
     }
 }
 
-/// The work-stealing query pool's gauges (`"pool"` block of STATS):
-/// worker count, queue depth, how many units ran on workers vs inline on
-/// the submitting connection, and how many were stolen cross-affinity.
-/// All zeros when the pool is off (single shard or no spare cores).
-fn print_pool_gauges(stats: &str) {
-    println!("query pool:");
-    for key in [
-        "workers",
-        "queued_tasks",
-        "busy_workers",
-        "tasks",
-        "inline_tasks",
-        "steals",
-    ] {
-        if let Some(v) = json_field(stats, key) {
-            println!("  {key:<14} {v}");
-        }
-    }
-}
-
-/// The raw value of `"key":` in a flat JSON rendering (no parser in the
-/// workspace; the STATS payload is machine-generated and regular).
-fn json_field<'a>(json: &'a str, key: &str) -> Option<&'a str> {
-    let needle = format!("\"{key}\":");
+/// Extracts the balanced-brace body of `"section":{…}` from a flat JSON
+/// rendering (no parser in the workspace; the STATS payload is
+/// machine-generated and regular — no strings containing braces).
+fn json_section<'a>(json: &'a str, section: &str) -> Option<&'a str> {
+    let needle = format!("\"{section}\":{{");
     let start = json.find(&needle)? + needle.len();
-    let rest = &json[start..];
-    let end = rest.find([',', '}', ']']).unwrap_or(rest.len());
-    Some(rest[..end].trim())
+    let mut depth = 1usize;
+    for (i, b) in json[start..].bytes().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&json[start..start + i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
 }

@@ -26,6 +26,7 @@
 //! | [`bitmap`] | `dc-bitmap` | compressed bitmap-index baseline (§2 related work) |
 //! | [`ql`] | `dc-ql` | the small aggregate-query language (`SUM WHERE … GROUP BY …`) |
 //! | [`mview`] | `dc-mview` | materialized group-by views (the static §2 baseline) |
+//! | [`plan`] | `dc-plan` | cost-based planner choosing between the four engines, with `EXPLAIN` |
 //! | [`durable`] | `dc-durable` | write-ahead log, checkpoints, crash recovery |
 //! | [`cache`] | `dc-cache` | semantic aggregate cache with write-through delta maintenance |
 //! | [`serve`] | `dc-serve` | sharded concurrent serving engine + dc-ql TCP front-end |
@@ -37,6 +38,7 @@ pub use dc_durable as durable;
 pub use dc_hierarchy as hierarchy;
 pub use dc_mds as mds;
 pub use dc_mview as mview;
+pub use dc_plan as plan;
 pub use dc_ql as ql;
 pub use dc_query as query;
 pub use dc_scan as scan;
