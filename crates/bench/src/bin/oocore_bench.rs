@@ -1,0 +1,289 @@
+//! Out-of-core serving bench (`dc-oocore`): what does it cost to serve a
+//! DC-tree cube from disk through the concurrent buffer pool, and what
+//! does the compressed node codec buy? Three sections:
+//!
+//! * **density** — the same cube written as compressed and plain pages:
+//!   file bytes, records per GB, and the codec's compression ratio.
+//! * **serving** — the disk-backed engine with a frame budget ≥10× below
+//!   the dataset's page count vs. the RAM-resident engine, same query
+//!   stream (cache off on both, so every query descends): mean latency
+//!   and queries/sec. Disk is expected to lose — the point is to measure
+//!   the gap the pool holds it to while RAM holds 10× less.
+//! * **scan resistance** — a hot 1% query loop, alone and interleaved
+//!   with full-cube scans: the segmented LRU must keep the hot set's hit
+//!   rate from collapsing when scans sweep the pool.
+//!
+//! Emits `results/oocore_bench.json` (gated key: `mean_query_us`, two
+//! occurrences — disk then resident).
+//!
+//! ```sh
+//! cargo run --release -p dc-bench --bin oocore_bench [records] [queries]
+//! ```
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use dc_common::{AggregateOp, DimensionId};
+use dc_mds::Mds;
+use dc_oocore::{OocDcTree, OocOptions};
+use dc_query::{RangeQueryGen, ValuePick};
+use dc_serve::{DiskOptions, EngineConfig, PartitionPolicy, ShardedDcTree, StorageMode};
+use dc_storage::BlockConfig;
+use dc_tpcd::{generate, TpcdConfig, TpcdData};
+use dc_tree::DcTreeConfig;
+
+const BLOCK: usize = 1024;
+const SHARDS: usize = 2;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dc-oocbench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir bench dir");
+    dir
+}
+
+/// Extracts the first integer after `"key":` in hand-rolled STATS JSON.
+fn json_u64(json: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let at = json
+        .find(&pat)
+        .unwrap_or_else(|| panic!("{key} missing in stats"));
+    json[at + pat.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+fn pool_touches(engine: &ShardedDcTree) -> (u64, u64) {
+    let s = engine.stats_json();
+    (json_u64(&s, "pool_hits"), json_u64(&s, "pool_misses"))
+}
+
+/// Mixed workload: scalar summaries over three selectivities plus a
+/// level-1 group-by every fourth query.
+fn queries(data: &TpcdData, n: usize) -> Vec<(Mds, Option<DimensionId>)> {
+    let mut gens = [
+        RangeQueryGen::new(0.01, ValuePick::Scattered, 3),
+        RangeQueryGen::new(0.05, ValuePick::Scattered, 4),
+        RangeQueryGen::new(0.25, ValuePick::Scattered, 5),
+    ];
+    (0..n)
+        .map(|i| {
+            let q = gens[i % gens.len()].generate(&data.schema);
+            let group = (i % 4 == 0).then(|| DimensionId((i % data.schema.num_dims()) as u16));
+            (q, group)
+        })
+        .collect()
+}
+
+fn run_stream(engine: &ShardedDcTree, stream: &[(Mds, Option<DimensionId>)]) -> f64 {
+    let t0 = Instant::now();
+    for (q, group) in stream {
+        match group {
+            None => {
+                std::hint::black_box(engine.range_summary(q).expect("query"));
+            }
+            Some(dim) => {
+                std::hint::black_box(engine.group_by(*dim, 1, q).expect("group-by"));
+            }
+        }
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let records: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(40_000);
+    let num_queries: usize = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(200);
+    if records == 0 || num_queries == 0 {
+        eprintln!("usage: oocore_bench [records > 0] [queries > 0]");
+        std::process::exit(2);
+    }
+
+    println!("generating TPC-D cube: {records} lineitems…");
+    let data = generate(&TpcdConfig::scaled(records, 42));
+
+    // ------------------------------------------------------------------
+    // Density: compressed vs. plain pages, one standalone shard each.
+    // ------------------------------------------------------------------
+    let dir = temp_dir("density");
+    let mut density = Vec::new();
+    for (name, compress) in [("compressed", true), ("plain", false)] {
+        let tree = OocDcTree::create(
+            dir.join(format!("{name}.dct")),
+            data.schema.clone(),
+            DcTreeConfig::default(),
+            OocOptions {
+                block: BlockConfig::new(BLOCK),
+                frames: 256,
+                compress,
+            },
+        )
+        .expect("create shard");
+        let t0 = Instant::now();
+        for r in &data.records {
+            tree.insert(r.clone()).expect("insert");
+        }
+        tree.flush().expect("flush");
+        let bytes = tree.file_bytes();
+        let records_per_gb = records as f64 * 1e9 / bytes as f64;
+        println!(
+            "{name:>12}: {bytes:>12} bytes, {records_per_gb:>12.0} records/GB \
+             (ingest {:.2}s)",
+            t0.elapsed().as_secs_f64()
+        );
+        density.push((name, bytes, records_per_gb));
+    }
+    let ratio = density[1].1 as f64 / density[0].1 as f64;
+    println!("{:>12}: {ratio:.2}x", "codec ratio");
+
+    // ------------------------------------------------------------------
+    // Serving: disk at ≥10× the frame budget vs. RAM-resident.
+    // ------------------------------------------------------------------
+    let total_pages = density[0].1 / BLOCK as u64;
+    let frames = ((total_pages / (10 * SHARDS as u64)) as usize).max(8);
+    let over_budget = total_pages as f64 / (frames * SHARDS) as f64;
+    println!(
+        "\nserving: {total_pages} pages over {SHARDS}×{frames} frames \
+         ({over_budget:.1}x the budget), {num_queries} queries, cache off"
+    );
+
+    let build = |storage: StorageMode| -> ShardedDcTree {
+        let engine = ShardedDcTree::new(
+            data.schema.clone(),
+            EngineConfig {
+                num_shards: SHARDS,
+                policy: PartitionPolicy::Hash,
+                cache: None,
+                storage,
+                ..Default::default()
+            },
+        )
+        .expect("engine");
+        for r in &data.records {
+            engine
+                .insert_raw(&data.paths_for(r), r.measure)
+                .expect("insert");
+        }
+        engine.flush();
+        engine
+    };
+    let disk = build(StorageMode::Disk(DiskOptions {
+        dir: temp_dir("serve"),
+        ooc: OocOptions {
+            block: BlockConfig::new(BLOCK),
+            frames,
+            compress: true,
+        },
+    }));
+    let resident = build(StorageMode::Resident);
+
+    let stream = queries(&data, num_queries);
+    let mut rows = Vec::new();
+    for (mode, engine) in [("disk", &disk), ("resident", &resident)] {
+        // Warmup: fault the spine in, size per-thread scratch.
+        run_stream(engine, &stream[..stream.len().min(8)]);
+        let secs = run_stream(engine, &stream);
+        let mean_query_us = secs * 1e6 / stream.len() as f64;
+        let qps = stream.len() as f64 / secs;
+        println!("{mode:>12}: {mean_query_us:>10.1} µs/query, {qps:>10.0} q/s");
+        rows.push((mode, mean_query_us, qps));
+    }
+    let slowdown = rows[0].1 / rows[1].1;
+    println!("{:>12}: {slowdown:.1}x resident latency", "disk pays");
+
+    // ------------------------------------------------------------------
+    // Scan resistance: a hot query alone vs. interleaved with full scans.
+    // ------------------------------------------------------------------
+    let hot = RangeQueryGen::new(0.001, ValuePick::ContiguousRun, 11).generate(&data.schema);
+    let all = Mds::all(&data.schema);
+    let hot_rate = |with_scans: bool| -> f64 {
+        // Prime the hot set, then measure its touches per iteration.
+        for _ in 0..3 {
+            std::hint::black_box(disk.range_query(&hot, AggregateOp::Sum).expect("prime"));
+        }
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for i in 0..40 {
+            if with_scans && i % 5 == 0 {
+                std::hint::black_box(disk.range_summary(&all).expect("scan"));
+            }
+            let (h0, m0) = pool_touches(&disk);
+            std::hint::black_box(disk.range_query(&hot, AggregateOp::Sum).expect("hot"));
+            let (h1, m1) = pool_touches(&disk);
+            hits += h1 - h0;
+            misses += m1 - m0;
+        }
+        hits as f64 / (hits + misses).max(1) as f64
+    };
+    let hot_alone = hot_rate(false);
+    let hot_scanned = hot_rate(true);
+    println!(
+        "\nscan resistance: hot hit rate {:.3} alone, {:.3} under scans",
+        hot_alone, hot_scanned
+    );
+
+    let stats = disk.stats_json();
+    let (hits, misses) = (
+        json_u64(&stats, "pool_hits"),
+        json_u64(&stats, "pool_misses"),
+    );
+
+    // JSON report.
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"records\": {records},\n"));
+    json.push_str(&format!("  \"queries\": {num_queries},\n"));
+    json.push_str("  \"density\": [\n");
+    for (i, (name, bytes, rpg)) in density.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"pages\": \"{name}\", \"file_bytes\": {bytes}, \
+             \"records_per_gb\": {rpg:.0}}}{}\n",
+            if i + 1 < density.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"codec_ratio\": {ratio:.3},\n"));
+    json.push_str(&format!("  \"frames_per_shard\": {frames},\n"));
+    json.push_str(&format!("  \"dataset_over_budget_x\": {over_budget:.1},\n"));
+    json.push_str("  \"serving\": [\n");
+    for (i, (mode, us, qps)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"mode\": \"{mode}\", \"mean_query_us\": {us:.1}, \"qps\": {qps:.0}}}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"disk_slowdown_x\": {slowdown:.2},\n"));
+    json.push_str(&format!(
+        "  \"scan_resistance\": {{\"hot_hit_rate\": {hot_alone:.3}, \
+         \"hot_hit_rate_under_scans\": {hot_scanned:.3}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"pool\": {{\"hits\": {hits}, \"misses\": {misses}}}\n"
+    ));
+    json.push_str("}\n");
+
+    std::fs::create_dir_all("results").expect("mkdir results");
+    let path = "results/oocore_bench.json";
+    std::fs::write(path, &json).expect("write report");
+    println!("report written to {path}");
+
+    // Sanity: the bench must actually have run out-of-core.
+    if over_budget < 10.0 {
+        eprintln!(
+            "FAIL: dataset only {over_budget:.1}x the frame budget — raise [records] \
+             so the serving section measures disk, not RAM"
+        );
+        std::process::exit(1);
+    }
+    if ratio <= 1.0 {
+        eprintln!("FAIL: compressed pages are no smaller than plain pages");
+        std::process::exit(1);
+    }
+}

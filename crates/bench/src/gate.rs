@@ -41,6 +41,10 @@ pub const GATED_REPORTS: &[GateSpec] = &[
         file: "plan_bench.json",
         keys: &["planner_mean_us"],
     },
+    GateSpec {
+        file: "oocore_bench.json",
+        keys: &["mean_query_us"],
+    },
 ];
 
 /// One comparison that exceeded the allowed regression.

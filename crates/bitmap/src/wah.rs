@@ -153,6 +153,49 @@ impl CompressedBitmap {
         merge(self, other, |a, b| a & b)
     }
 
+    /// The raw encoded parts `(words, tail, len)` for persistence. Feed
+    /// them back through [`Self::from_parts`] to reconstruct the bitmap.
+    pub fn to_parts(&self) -> (&[u64], u64, u64) {
+        (&self.words, self.tail, self.len)
+    }
+
+    /// Reassembles a bitmap from persisted parts, validating the encoding
+    /// (this is the disk-decode path, so the input is untrusted). `max_len`
+    /// bounds the logical length — callers know their domain size, and the
+    /// bound keeps a corrupt fill count from turning `iter_ones` into an
+    /// effectively unbounded loop. Returns `None` on any inconsistency.
+    pub fn from_parts(words: Vec<u64>, tail: u64, len: u64, max_len: u64) -> Option<Self> {
+        if len > max_len || tail & FILL_FLAG != 0 {
+            return None;
+        }
+        let mut groups: u64 = 0;
+        for &w in &words {
+            if w & FILL_FLAG != 0 {
+                let count = w & COUNT_MASK;
+                if count == 0 {
+                    return None; // the encoder never writes empty fills
+                }
+                groups = groups.checked_add(count)?;
+            } else {
+                groups = groups.checked_add(1)?;
+            }
+            // Flushed groups may extend at most one group past `len`
+            // (see `merge`), so anything beyond that is corrupt.
+            if groups > len / GROUP + 1 {
+                return None;
+            }
+        }
+        if tail != 0 && len <= groups * GROUP {
+            return None; // a tail the cursor would never surface
+        }
+        Some(CompressedBitmap {
+            words,
+            groups,
+            tail,
+            len,
+        })
+    }
+
     /// Number of set bits.
     pub fn count_ones(&self) -> u64 {
         let mut n = 0;
@@ -290,6 +333,43 @@ mod tests {
         assert_eq!(b.iter_ones().collect::<Vec<_>>(), pos);
         assert_eq!(b.count_ones(), pos.len() as u64);
         assert_eq!(b.len(), 100_001);
+    }
+
+    #[test]
+    fn parts_roundtrip_preserves_encoding() {
+        for pos in [
+            &[0u64, 5, 63, 200][..],
+            &[][..],
+            &[62, 63][..],
+            &[100_000][..],
+        ] {
+            let b = from_positions(pos);
+            let (words, tail, len) = b.to_parts();
+            let back = CompressedBitmap::from_parts(words.to_vec(), tail, len, 1 << 32)
+                .expect("valid parts reassemble");
+            assert_eq!(back, b, "structural equality for {pos:?}");
+            assert_eq!(back.iter_ones().collect::<Vec<_>>(), pos);
+        }
+    }
+
+    #[test]
+    fn corrupt_parts_are_rejected() {
+        // A zero-count fill word never comes from the encoder.
+        assert!(CompressedBitmap::from_parts(vec![FILL_FLAG], 0, 63, 1 << 32).is_none());
+        // Fill count extending far past the declared length.
+        assert!(CompressedBitmap::from_parts(
+            vec![FILL_FLAG | FILL_BIT | 1_000_000],
+            0,
+            63,
+            1 << 32
+        )
+        .is_none());
+        // Length beyond the caller's domain bound.
+        assert!(CompressedBitmap::from_parts(vec![], 0, u64::MAX, 1 << 32).is_none());
+        // Tail with the fill flag set is not a 63-bit payload.
+        assert!(CompressedBitmap::from_parts(vec![], FILL_FLAG | 1, 64, 1 << 32).is_none());
+        // A non-zero tail the group cursor would never surface.
+        assert!(CompressedBitmap::from_parts(vec![0b1010], 1, 63, 1 << 32).is_none());
     }
 
     #[test]

@@ -1,47 +1,50 @@
-//! A **disk-resident** DC-tree: nodes live as page chains in a
-//! [`PagedFile`] behind a [`BufferPool`], loaded and decoded on demand.
+//! The **paged** (disk-resident) DC-tree: nodes live behind a
+//! [`NodeStore`], loaded and decoded on demand.
 //!
 //! The paper's trees are disk-based; the in-memory [`DcTree`](crate::DcTree)
 //! models their I/O with logical counters, while this implementation makes
-//! it physical: every node visit goes through the pool (hits and misses
-//! observable via [`DiskDcTree::pool_stats`]), node capacity and supernode
-//! growth follow the same rules as the in-memory tree, and the whole store
-//! — schema, nodes, counters — round-trips through
-//! [`flush`](DiskDcTree::flush)/[`open`](DiskDcTree::open).
+//! it physical: every node visit goes through the store's buffer pool, node
+//! capacity and supernode growth follow the same rules as the in-memory
+//! tree, and the whole store — schema, nodes, counters — round-trips
+//! through [`flush`](PagedDcTree::flush)/[`open`](DiskDcTree::open).
 //!
 //! The algorithms (choose-subtree, hierarchy split with lazy refinement,
-//! supernodes, materialized range queries, deletion with condensation) are
-//! the same as the in-memory tree's; the differential test suite in
-//! `tests/disk_tree.rs` holds the two implementations to identical answers
-//! on identical workloads.
+//! supernodes, materialized range queries and group-bys, deletion with
+//! condensation) are the same as the in-memory tree's; the differential
+//! test suite in `tests/disk_tree.rs` holds the two implementations to
+//! identical answers on identical workloads.
 //!
-//! Layout: page 1 is the metadata page (magic, root chain head, schema
-//! chain head, record counters); every node occupies a chain of pages
+//! [`PagedDcTree`] is generic over its [`NodeStore`] so the same tree runs
+//! over the single-threaded [`ChainStore`] (the classic [`DiskDcTree`]) and
+//! over `dc-oocore`'s concurrent, scan-resistant pool with compressed node
+//! pages. Queries take `&self`; only structural mutation (insert, delete,
+//! flush) needs `&mut self`, which is what lets the out-of-core engine
+//! serve concurrent readers under an `RwLock`.
+//!
+//! Chain layout (for chain-based stores): page 1 heads the metadata chain
+//! (magic, root, counters, schema); every node occupies a chain of pages
 //! (`[next: u64][len: u32][payload]` per page, like the paged checkpoint
 //! store). Entry `child` handles store the head page of the child's chain.
-//!
-//! [`PagedFile`]: dc_storage::PagedFile
-//! [`BufferPool`]: dc_storage::BufferPool
 
 use std::path::Path;
 
-use dc_common::{AggregateOp, DcError, DcResult, Measure, MeasureSummary, RecordId};
+use dc_common::{
+    AggregateOp, DcError, DcResult, DimensionId, Level, Measure, MeasureSummary, RecordId, ValueId,
+};
 use dc_hierarchy::{CubeSchema, Record};
 use dc_mds::Mds;
-use dc_storage::{BufferPool, ByteReader, ByteWriter, PageId, PagedFile, PoolStats};
+use dc_storage::{ByteReader, ByteWriter, PageId, PoolStats};
 
 use crate::config::DcTreeConfig;
 use crate::node::{DirEntry, Node, NodeId, NodeKind, StoredRecord};
-use crate::persist::{read_node, write_node};
 use crate::query::PreparedRange;
 use crate::split::{hierarchy_split, SplitOutcome};
+use crate::store::{ChainStore, NodeStore};
 
-const META_MAGIC: u64 = 0x4443_4449_534b_3031; // "DCDISK01"
-const CHAIN_NONE: u64 = u64::MAX;
-const PAGE_HEADER: usize = 8 + 4;
+const META_MAGIC: u64 = 0x4443_4449_534b_3032; // "DCDISK02"
 
 fn pid(id: NodeId) -> PageId {
-    PageId(id.0 as u64)
+    PageId(id.raw() as u64)
 }
 
 fn nid(page: PageId) -> NodeId {
@@ -49,21 +52,24 @@ fn nid(page: PageId) -> NodeId {
         page.0 <= u32::MAX as u64,
         "page id exceeds node-handle width"
     );
-    NodeId(page.0 as u32)
+    NodeId::from_raw(page.0 as u32)
 }
 
-/// The disk-resident DC-tree.
+/// A DC-tree whose nodes live in a [`NodeStore`].
 #[derive(Debug)]
-pub struct DiskDcTree {
+pub struct PagedDcTree<S: NodeStore> {
     schema: CubeSchema,
     config: DcTreeConfig,
-    pool: BufferPool,
-    meta: PageId,
+    store: S,
     root: PageId,
     next_record_id: u64,
     len: u64,
-    schema_dirty: bool,
+    nodes: u64,
 }
+
+/// The classic single-threaded disk tree: a [`PagedDcTree`] over the
+/// uncompressed [`ChainStore`].
+pub type DiskDcTree = PagedDcTree<ChainStore>;
 
 impl DiskDcTree {
     /// Creates a fresh disk tree at `path` (truncating any existing file).
@@ -75,19 +81,34 @@ impl DiskDcTree {
         frames: usize,
     ) -> DcResult<Self> {
         config.validate();
-        let file = PagedFile::create(path, config.block)?;
-        let mut pool = BufferPool::new(file, frames);
-        let meta = pool.alloc()?;
-        debug_assert_eq!(meta.0, 1, "metadata occupies page 1");
-        let mut tree = DiskDcTree {
+        let store = ChainStore::create(path, config.block, frames)?;
+        Self::create_in(store, schema, config)
+    }
+
+    /// Opens an existing disk tree.
+    pub fn open(path: impl AsRef<Path>, config: DcTreeConfig, frames: usize) -> DcResult<Self> {
+        let store = ChainStore::open(path, config.block, frames)?;
+        Self::open_in(store, config)
+    }
+
+    /// Buffer-pool counters: real page hits, misses, write-backs.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.store.pool_stats()
+    }
+}
+
+impl<S: NodeStore> PagedDcTree<S> {
+    /// Creates a fresh tree inside `store` (which must be empty).
+    pub fn create_in(store: S, schema: CubeSchema, config: DcTreeConfig) -> DcResult<Self> {
+        config.validate();
+        let mut tree = PagedDcTree {
             schema,
             config,
-            pool,
-            meta,
+            store,
             root: PageId(0), // placeholder until the root is allocated
             next_record_id: 0,
             len: 0,
-            schema_dirty: true,
+            nodes: 0,
         };
         let root_node = Node::new_data(Mds::all(&tree.schema));
         tree.root = tree.alloc_node(&root_node)?;
@@ -95,36 +116,28 @@ impl DiskDcTree {
         Ok(tree)
     }
 
-    /// Opens an existing disk tree.
-    pub fn open(path: impl AsRef<Path>, config: DcTreeConfig, frames: usize) -> DcResult<Self> {
-        let file = PagedFile::open(path, config.block)?;
-        let mut pool = BufferPool::new(file, frames);
-        let meta = PageId(1);
-        let (magic, root, schema_head, next_record_id, len) = pool.with_page(meta, |d| {
-            (
-                u64::from_le_bytes(d[0..8].try_into().expect("8 bytes")),
-                u64::from_le_bytes(d[8..16].try_into().expect("8 bytes")),
-                u64::from_le_bytes(d[16..24].try_into().expect("8 bytes")),
-                u64::from_le_bytes(d[24..32].try_into().expect("8 bytes")),
-                u64::from_le_bytes(d[32..40].try_into().expect("8 bytes")),
-            )
-        })?;
-        if magic != META_MAGIC {
+    /// Opens the tree persisted in `store`.
+    pub fn open_in(store: S, config: DcTreeConfig) -> DcResult<Self> {
+        config.validate();
+        let bytes = store.read_meta()?;
+        let mut r = ByteReader::new(&bytes);
+        if r.get_u64()? != META_MAGIC {
             return Err(DcError::Corrupt("not a disk DC-tree".into()));
         }
-        let schema_bytes = read_chain(&mut pool, PageId(schema_head))?;
-        let mut r = ByteReader::new(&schema_bytes);
+        let root = r.get_u64()?;
+        let next_record_id = r.get_u64()?;
+        let len = r.get_u64()?;
+        let nodes = r.get_u64()?;
         let schema = crate::persist::read_schema(&mut r)?;
         r.expect_end()?;
-        Ok(DiskDcTree {
+        Ok(PagedDcTree {
             schema,
             config,
-            pool,
-            meta,
+            store,
             root: PageId(root),
             next_record_id,
             len,
-            schema_dirty: false,
+            nodes,
         })
     }
 
@@ -138,6 +151,11 @@ impl DiskDcTree {
         &self.config
     }
 
+    /// The backing store.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
     /// Stored records.
     pub fn len(&self) -> u64 {
         self.len
@@ -148,13 +166,13 @@ impl DiskDcTree {
         self.len == 0
     }
 
-    /// Buffer-pool counters: real page hits, misses, write-backs.
-    pub fn pool_stats(&self) -> PoolStats {
-        self.pool.stats()
+    /// Live nodes (directory + data), maintained across alloc/free.
+    pub fn num_nodes(&self) -> u64 {
+        self.nodes
     }
 
     /// Tree height (number of node levels).
-    pub fn height(&mut self) -> DcResult<usize> {
+    pub fn height(&self) -> DcResult<usize> {
         let mut h = 1;
         let mut page = self.root;
         loop {
@@ -170,87 +188,52 @@ impl DiskDcTree {
     }
 
     /// The materialized total, read from the root.
-    pub fn total_summary(&mut self) -> DcResult<MeasureSummary> {
+    pub fn total_summary(&self) -> DcResult<MeasureSummary> {
         Ok(self.load_node(self.root)?.summary)
     }
 
-    // ------------------------------------------------------------------
-    // Chain I/O
-    // ------------------------------------------------------------------
-
-    fn payload_per_page(&self) -> usize {
-        self.config.block.block_size - PAGE_HEADER
+    /// Interns attribute paths into the schema without storing a record —
+    /// the catalog-replay hook that keeps shard `ValueId` spaces aligned
+    /// (see `SchemaCatalog` in dc-serve).
+    pub fn intern_paths<T: AsRef<str>>(&mut self, paths: &[Vec<T>]) -> DcResult<Vec<ValueId>> {
+        Ok(self.schema.intern_record(paths, 0)?.dims)
     }
 
-    fn load_node(&mut self, page: PageId) -> DcResult<Node> {
-        let bytes = read_chain(&mut self.pool, page)?;
-        let mut r = ByteReader::new(&bytes);
-        let node = read_node(&mut r, self.schema.num_dims())?;
-        r.expect_end()?;
-        Ok(node)
+    // ------------------------------------------------------------------
+    // Node I/O through the store
+    // ------------------------------------------------------------------
+
+    fn load_node(&self, page: PageId) -> DcResult<Node> {
+        self.store.load_node(page, self.schema.num_dims())
     }
 
-    /// Rewrites the chain headed at `head` with the node's encoding,
-    /// reusing pages and freeing/allocating as the size changed.
-    fn store_node(&mut self, head: PageId, node: &Node) -> DcResult<()> {
-        let mut w = ByteWriter::new();
-        write_node(&mut w, node);
-        let payload = self.payload_per_page();
-        write_chain(&mut self.pool, head, &w.into_vec(), payload)
+    fn store_node(&self, page: PageId, node: &Node) -> DcResult<()> {
+        self.store.store_node(page, node)
     }
 
     fn alloc_node(&mut self, node: &Node) -> DcResult<PageId> {
-        let head = self.pool.alloc()?;
-        // Fresh pages are zeroed; initialize an empty chain terminator
-        // before the real store.
-        self.pool.with_page_mut(head, |d| {
-            d[0..8].copy_from_slice(&CHAIN_NONE.to_le_bytes());
-            d[8..12].copy_from_slice(&0u32.to_le_bytes());
-        })?;
-        self.store_node(head, node)?;
-        Ok(head)
+        let page = self.store.alloc_node(node)?;
+        self.nodes += 1;
+        Ok(page)
     }
 
-    fn free_node(&mut self, head: PageId) -> DcResult<()> {
-        free_chain(&mut self.pool, head)
+    fn free_node(&mut self, page: PageId) -> DcResult<()> {
+        self.store.free_node(page)?;
+        self.nodes = self.nodes.saturating_sub(1);
+        Ok(())
     }
 
-    /// Persists metadata + schema and flushes the pool to disk.
+    /// Persists metadata + schema and flushes the store to disk.
     pub fn flush(&mut self) -> DcResult<()> {
-        // Schema chain: rewritten when the hierarchies grew.
-        let schema_head = {
-            let mut w = ByteWriter::new();
-            crate::persist::write_schema(&mut w, &self.schema);
-            let bytes = w.into_vec();
-            let existing = self.pool.with_page(self.meta, |d| {
-                u64::from_le_bytes(d[16..24].try_into().expect("8 bytes"))
-            })?;
-            let head = if existing == 0 || existing == CHAIN_NONE {
-                let h = self.pool.alloc()?;
-                self.pool.with_page_mut(h, |d| {
-                    d[0..8].copy_from_slice(&CHAIN_NONE.to_le_bytes());
-                    d[8..12].copy_from_slice(&0u32.to_le_bytes());
-                })?;
-                h
-            } else {
-                PageId(existing)
-            };
-            if self.schema_dirty || existing == 0 || existing == CHAIN_NONE {
-                let payload = self.payload_per_page();
-                write_chain(&mut self.pool, head, &bytes, payload)?;
-                self.schema_dirty = false;
-            }
-            head
-        };
-        let (root, next, len) = (self.root.0, self.next_record_id, self.len);
-        self.pool.with_page_mut(self.meta, |d| {
-            d[0..8].copy_from_slice(&META_MAGIC.to_le_bytes());
-            d[8..16].copy_from_slice(&root.to_le_bytes());
-            d[16..24].copy_from_slice(&schema_head.0.to_le_bytes());
-            d[24..32].copy_from_slice(&next.to_le_bytes());
-            d[32..40].copy_from_slice(&len.to_le_bytes());
-        })?;
-        self.pool.flush()
+        let mut w = ByteWriter::new();
+        w.put_u64(META_MAGIC);
+        w.put_u64(self.root.0);
+        w.put_u64(self.next_record_id);
+        w.put_u64(self.len);
+        w.put_u64(self.nodes);
+        crate::persist::write_schema(&mut w, &self.schema);
+        self.store.write_meta(&w.into_vec())?;
+        self.store.sync()
     }
 
     // ------------------------------------------------------------------
@@ -258,13 +241,12 @@ impl DiskDcTree {
     // ------------------------------------------------------------------
 
     /// Inserts a raw record (paths are interned dynamically).
-    pub fn insert_raw<S: AsRef<str>>(
+    pub fn insert_raw<T: AsRef<str>>(
         &mut self,
-        paths: &[Vec<S>],
+        paths: &[Vec<T>],
         measure: Measure,
     ) -> DcResult<RecordId> {
         let record = self.schema.intern_record(paths, measure)?;
-        self.schema_dirty = true;
         self.insert(record)
     }
 
@@ -275,26 +257,32 @@ impl DiskDcTree {
         self.next_record_id += 1;
         let stored = StoredRecord { id, record };
         if let Some(sibling) = self.insert_rec(self.root, &stored)? {
-            let old_root = self.load_node(self.root)?;
-            let new_node = self.load_node(sibling)?;
-            let mds = old_root.mds.cover(&new_node.mds, &self.schema)?;
-            let entries = vec![
-                DirEntry {
-                    mds: old_root.mds.clone(),
-                    summary: old_root.summary,
-                    child: nid(self.root),
-                },
-                DirEntry {
-                    mds: new_node.mds.clone(),
-                    summary: new_node.summary,
-                    child: nid(sibling),
-                },
-            ];
-            let root = Node::new_dir(mds, entries);
-            self.root = self.alloc_node(&root)?;
+            self.grow_root(sibling)?;
         }
         self.len += 1;
         Ok(id)
+    }
+
+    /// Installs a new directory root over the old root and `sibling`.
+    fn grow_root(&mut self, sibling: PageId) -> DcResult<()> {
+        let old_root = self.load_node(self.root)?;
+        let new_node = self.load_node(sibling)?;
+        let mds = old_root.mds.cover(&new_node.mds, &self.schema)?;
+        let entries = vec![
+            DirEntry {
+                mds: old_root.mds.clone(),
+                summary: old_root.summary,
+                child: nid(self.root),
+            },
+            DirEntry {
+                mds: new_node.mds.clone(),
+                summary: new_node.summary,
+                child: nid(sibling),
+            },
+        ];
+        let root = Node::new_dir(mds, entries);
+        self.root = self.alloc_node(&root)?;
+        Ok(())
     }
 
     fn insert_rec(&mut self, page: PageId, stored: &StoredRecord) -> DcResult<Option<PageId>> {
@@ -560,7 +548,7 @@ impl DiskDcTree {
         Ok(sib_page)
     }
 
-    fn subtree_dimset_at(&mut self, page: PageId, d: usize, level: u8) -> DcResult<dc_mds::DimSet> {
+    fn subtree_dimset_at(&self, page: PageId, d: usize, level: u8) -> DcResult<dc_mds::DimSet> {
         let node = self.load_node(page)?;
         if node.mds.dim(d).level() <= level {
             let h = self.schema.dims().nth(d).expect("dimension in schema");
@@ -611,32 +599,49 @@ impl DiskDcTree {
     }
 
     // ------------------------------------------------------------------
-    // Queries
+    // Queries — `&self`, so concurrent readers can share the tree
     // ------------------------------------------------------------------
 
+    /// Prepares a range against this tree's schema and containment mode.
+    pub fn prepare_range(&self, range: &Mds) -> DcResult<PreparedRange> {
+        PreparedRange::with_mode(&self.schema, range, self.config.use_paper_fig7_containment)
+    }
+
     /// Range query with one aggregation operator.
-    pub fn range_query(&mut self, range: &Mds, op: AggregateOp) -> DcResult<Option<f64>> {
+    pub fn range_query(&self, range: &Mds, op: AggregateOp) -> DcResult<Option<f64>> {
         Ok(self.range_summary(range)?.eval(op))
     }
 
     /// Range query returning the mergeable summary (Fig. 7 with the
     /// materialized shortcut, pages loaded through the buffer pool).
-    pub fn range_summary(&mut self, range: &Mds) -> DcResult<MeasureSummary> {
+    pub fn range_summary(&self, range: &Mds) -> DcResult<MeasureSummary> {
         if range.num_dims() != self.schema.num_dims() {
             return Err(DcError::DimensionMismatch {
                 expected: self.schema.num_dims(),
                 got: range.num_dims(),
             });
         }
-        let prepared =
-            PreparedRange::with_mode(&self.schema, range, self.config.use_paper_fig7_containment)?;
+        let prepared = self.prepare_range(range)?;
+        self.range_summary_prepared(&prepared)
+    }
+
+    /// Range query from an already-[prepared](Self::prepare_range) range.
+    /// Same cross-schema contract as the in-memory tree: the range may have
+    /// been prepared against any schema assigning the same `ValueId`s.
+    pub fn range_summary_prepared(&self, prepared: &PreparedRange) -> DcResult<MeasureSummary> {
+        if prepared.num_dims() != self.schema.num_dims() {
+            return Err(DcError::DimensionMismatch {
+                expected: self.schema.num_dims(),
+                got: prepared.num_dims(),
+            });
+        }
         let mut acc = MeasureSummary::empty();
-        self.query_rec(self.root, &prepared, &mut acc)?;
+        self.query_rec(self.root, prepared, &mut acc)?;
         Ok(acc)
     }
 
     fn query_rec(
-        &mut self,
+        &self,
         page: PageId,
         range: &PreparedRange,
         acc: &mut MeasureSummary,
@@ -666,6 +671,126 @@ impl DiskDcTree {
             }
         }
         Ok(())
+    }
+
+    /// Groups the records inside `filter` by their ancestor on
+    /// `(group_dim, group_level)` — same single-traversal algorithm (and
+    /// materialized shortcut) as the in-memory tree.
+    pub fn group_by(
+        &self,
+        group_dim: DimensionId,
+        group_level: Level,
+        filter: &Mds,
+    ) -> DcResult<Vec<(ValueId, MeasureSummary)>> {
+        if filter.num_dims() != self.schema.num_dims() {
+            return Err(DcError::DimensionMismatch {
+                expected: self.schema.num_dims(),
+                got: filter.num_dims(),
+            });
+        }
+        let prepared = PreparedRange::new(&self.schema, filter)?;
+        self.group_by_prepared(group_dim, group_level, &prepared)
+    }
+
+    /// [`Self::group_by`] from an already-prepared filter.
+    pub fn group_by_prepared(
+        &self,
+        group_dim: DimensionId,
+        group_level: Level,
+        prepared: &PreparedRange,
+    ) -> DcResult<Vec<(ValueId, MeasureSummary)>> {
+        if prepared.num_dims() != self.schema.num_dims() {
+            return Err(DcError::DimensionMismatch {
+                expected: self.schema.num_dims(),
+                got: prepared.num_dims(),
+            });
+        }
+        let h = self.schema.dim(group_dim);
+        if group_level > h.top_level() {
+            return Err(DcError::BadLevel {
+                dim: group_dim,
+                id: h.all(),
+                requested: group_level,
+            });
+        }
+        let mut groups: Vec<MeasureSummary> =
+            vec![MeasureSummary::empty(); h.num_values_at(group_level)];
+        self.group_rec(self.root, prepared, group_dim, group_level, &mut groups)?;
+        Ok(groups
+            .into_iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(i, s)| (ValueId::new(group_level, i as u32), s))
+            .collect())
+    }
+
+    fn group_rec(
+        &self,
+        page: PageId,
+        filter: &PreparedRange,
+        group_dim: DimensionId,
+        group_level: Level,
+        groups: &mut [MeasureSummary],
+    ) -> DcResult<()> {
+        let node = self.load_node(page)?;
+        let h = self.schema.dim(group_dim);
+        match &node.kind {
+            NodeKind::Data(records) => {
+                for r in records {
+                    if filter.contains_record(&self.schema, &r.record)? {
+                        let key =
+                            h.ancestor_at(r.record.dims[group_dim.as_usize()], group_level)?;
+                        groups[key.index() as usize].add(r.record.measure);
+                    }
+                }
+            }
+            NodeKind::Dir(entries) => {
+                for e in entries {
+                    if !filter.overlaps(&self.schema, &e.mds)? {
+                        continue;
+                    }
+                    // The materialized shortcut applies when the entry lies
+                    // fully inside the filter AND maps to a single group
+                    // value (its group-dim set collapses to one ancestor).
+                    let single_group = self.single_group_of(&e.mds, group_dim, group_level)?;
+                    if self.config.use_materialized_aggregates
+                        && filter.contains_entry(&self.schema, &e.mds)?
+                    {
+                        if let Some(key) = single_group {
+                            groups[key.index() as usize].merge(&e.summary);
+                            continue;
+                        }
+                    }
+                    self.group_rec(pid(e.child), filter, group_dim, group_level, groups)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// If every value of `mds`'s group dimension lies below one single value
+    /// on `group_level`, returns that value.
+    fn single_group_of(
+        &self,
+        mds: &Mds,
+        group_dim: DimensionId,
+        group_level: Level,
+    ) -> DcResult<Option<ValueId>> {
+        let h = self.schema.dim(group_dim);
+        let set = mds.dim(group_dim.as_usize());
+        if set.level() > group_level {
+            return Ok(None); // coarser than the grouping level: spans many
+        }
+        let mut single: Option<ValueId> = None;
+        for &v in set.values() {
+            let anc = h.ancestor_at(v, group_level)?;
+            match single {
+                None => single = Some(anc),
+                Some(prev) if prev == anc => {}
+                Some(_) => return Ok(None),
+            }
+        }
+        Ok(single)
     }
 
     // ------------------------------------------------------------------
@@ -700,23 +825,7 @@ impl DiskDcTree {
         for orphan in orphans {
             // Re-insert without consuming new record ids.
             if let Some(sibling) = self.insert_rec(self.root, &orphan)? {
-                let old_root = self.load_node(self.root)?;
-                let new_node = self.load_node(sibling)?;
-                let mds = old_root.mds.cover(&new_node.mds, &self.schema)?;
-                let entries = vec![
-                    DirEntry {
-                        mds: old_root.mds.clone(),
-                        summary: old_root.summary,
-                        child: nid(self.root),
-                    },
-                    DirEntry {
-                        mds: new_node.mds.clone(),
-                        summary: new_node.summary,
-                        child: nid(sibling),
-                    },
-                ];
-                let root = Node::new_dir(mds, entries);
-                self.root = self.alloc_node(&root)?;
+                self.grow_root(sibling)?;
             }
         }
         Ok(true)
@@ -903,93 +1012,5 @@ fn recompute_node(schema: &CubeSchema, node: &mut Node) -> DcResult<()> {
     };
     node.mds = mds;
     node.summary = summary;
-    Ok(())
-}
-
-// ----------------------------------------------------------------------
-// Chain primitives (shared layout with the paged checkpoint store)
-// ----------------------------------------------------------------------
-
-fn read_chain(pool: &mut BufferPool, head: PageId) -> DcResult<Vec<u8>> {
-    let mut out = Vec::new();
-    let mut page = head.0;
-    let mut guard = 0usize;
-    while page != CHAIN_NONE {
-        let (next, chunk) = pool.with_page(PageId(page), |d| {
-            let next = u64::from_le_bytes(d[0..8].try_into().expect("8 bytes"));
-            let len = u32::from_le_bytes(d[8..12].try_into().expect("4 bytes")) as usize;
-            let len = len.min(d.len() - PAGE_HEADER);
-            (next, d[PAGE_HEADER..PAGE_HEADER + len].to_vec())
-        })?;
-        out.extend_from_slice(&chunk);
-        page = next;
-        guard += 1;
-        if guard > 1 << 22 {
-            return Err(DcError::Corrupt("page chain cycle".into()));
-        }
-    }
-    Ok(out)
-}
-
-fn chain_pages(pool: &mut BufferPool, head: PageId) -> DcResult<Vec<PageId>> {
-    let mut pages = vec![head];
-    let mut page = head.0;
-    loop {
-        let next = pool.with_page(PageId(page), |d| {
-            u64::from_le_bytes(d[0..8].try_into().expect("8 bytes"))
-        })?;
-        if next == CHAIN_NONE {
-            return Ok(pages);
-        }
-        pages.push(PageId(next));
-        page = next;
-        if pages.len() > 1 << 22 {
-            return Err(DcError::Corrupt("page chain cycle".into()));
-        }
-    }
-}
-
-/// Rewrites the chain headed at `head` (which stays the head) to hold
-/// `bytes`, reusing pages, allocating extras, freeing spares.
-fn write_chain(
-    pool: &mut BufferPool,
-    head: PageId,
-    bytes: &[u8],
-    payload_per_page: usize,
-) -> DcResult<()> {
-    let mut existing = chain_pages(pool, head)?;
-    let chunks: Vec<&[u8]> = if bytes.is_empty() {
-        vec![&[][..]]
-    } else {
-        bytes.chunks(payload_per_page).collect()
-    };
-    // Grow or shrink the page list to match.
-    while existing.len() < chunks.len() {
-        let p = pool.alloc()?;
-        existing.push(p);
-    }
-    while existing.len() > chunks.len() {
-        let spare = existing.pop().expect("len checked");
-        pool.free(spare)?;
-    }
-    for (i, chunk) in chunks.iter().enumerate() {
-        let next = if i + 1 < existing.len() {
-            existing[i + 1].0
-        } else {
-            CHAIN_NONE
-        };
-        pool.with_page_mut(existing[i], |d| {
-            d[0..8].copy_from_slice(&next.to_le_bytes());
-            d[8..12].copy_from_slice(&(chunk.len() as u32).to_le_bytes());
-            d[PAGE_HEADER..PAGE_HEADER + chunk.len()].copy_from_slice(chunk);
-        })?;
-    }
-    Ok(())
-}
-
-fn free_chain(pool: &mut BufferPool, head: PageId) -> DcResult<()> {
-    for page in chain_pages(pool, head)? {
-        pool.free(page)?;
-    }
     Ok(())
 }

@@ -63,11 +63,13 @@ pub mod persist_paged;
 pub mod query;
 pub mod split;
 pub mod stats;
+pub mod store;
 pub mod tree;
 
 pub use config::DcTreeConfig;
-pub use disk::DiskDcTree;
+pub use disk::{DiskDcTree, PagedDcTree};
 pub use persist_paged::PagedTreeStore;
 pub use query::PreparedRange;
 pub use stats::{DeadSpaceReport, LevelStat, TreeStats};
+pub use store::{ChainStore, NodeStore};
 pub use tree::{DcTree, TreeMetrics};

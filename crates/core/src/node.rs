@@ -19,6 +19,18 @@ impl NodeId {
     pub(crate) fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// The raw handle value. For arena trees this is the slot index; for
+    /// paged trees it is the head page of the node's chain. Exposed for
+    /// external [`NodeStore`](crate::store::NodeStore) implementations.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds a handle from its raw value (see [`raw`](Self::raw)).
+    pub fn from_raw(raw: u32) -> Self {
+        NodeId(raw)
+    }
 }
 
 /// One directory entry: the child's MDS and materialized measure summary,

@@ -151,7 +151,7 @@ fn read_config(r: &mut ByteReader) -> DcResult<DcTreeConfig> {
     Ok(config)
 }
 
-pub(crate) fn write_schema(w: &mut ByteWriter, schema: &CubeSchema) {
+pub fn write_schema(w: &mut ByteWriter, schema: &CubeSchema) {
     w.put_u16(schema.num_dims() as u16);
     w.put_str(schema.measure_name());
     // First all hierarchy schemata, then all values — mirroring the two
@@ -177,7 +177,7 @@ pub(crate) fn write_schema(w: &mut ByteWriter, schema: &CubeSchema) {
     }
 }
 
-pub(crate) fn read_schema(r: &mut ByteReader) -> DcResult<CubeSchema> {
+pub fn read_schema(r: &mut ByteReader) -> DcResult<CubeSchema> {
     let num_dims = r.get_u16()? as usize;
     let measure = r.get_str()?;
     let mut dim_schemas = Vec::with_capacity(num_dims);
@@ -260,7 +260,7 @@ pub(crate) fn read_summary(r: &mut ByteReader) -> DcResult<MeasureSummary> {
     })
 }
 
-pub(crate) fn write_node(w: &mut ByteWriter, node: &Node) {
+pub fn write_node(w: &mut ByteWriter, node: &Node) {
     write_mds(w, &node.mds);
     write_summary(w, &node.summary);
     w.put_u32(node.blocks);
@@ -288,7 +288,7 @@ pub(crate) fn write_node(w: &mut ByteWriter, node: &Node) {
     }
 }
 
-pub(crate) fn read_node(r: &mut ByteReader, num_dims: usize) -> DcResult<Node> {
+pub fn read_node(r: &mut ByteReader, num_dims: usize) -> DcResult<Node> {
     let mds = read_mds(r, num_dims)?;
     let summary = read_summary(r)?;
     let blocks = r.get_u32()?;

@@ -1,0 +1,252 @@
+//! The node-storage abstraction behind the paged DC-tree.
+//!
+//! [`PagedDcTree`](crate::disk::PagedDcTree) holds the DC-tree *algorithms*
+//! (choose-subtree, hierarchy split, condensation, materialized range
+//! queries); a [`NodeStore`] holds the *pages*. The split lets the same
+//! tree run over the single-threaded [`ChainStore`] here (a `BufferPool`
+//! behind a `RefCell`, as used by tests and tools) and over the concurrent,
+//! scan-resistant pool in `dc-oocore` (compressed node pages served to the
+//! sharded engine) without duplicating any tree logic.
+//!
+//! All methods take `&self`: stores that need interior mutability (every
+//! pool does — a read can evict) wrap their state themselves. Handles are
+//! [`PageId`]s; for chain stores the handle is the head page of the node's
+//! page chain, and directory entries persist it through
+//! [`NodeId::raw`](crate::node::NodeId::raw).
+
+use std::cell::RefCell;
+use std::path::Path;
+
+use dc_common::{DcError, DcResult};
+use dc_storage::{BlockConfig, BufferPool, ByteReader, ByteWriter, PageId, PagedFile, PoolStats};
+
+use crate::node::Node;
+use crate::persist::{read_node, write_node};
+
+/// Sentinel `next` link terminating a page chain.
+pub const CHAIN_NONE: u64 = u64::MAX;
+/// Per-page chain header: `[next: u64][len: u32]`.
+pub const PAGE_HEADER: usize = 8 + 4;
+/// The page holding the head of the metadata chain (page 0 is the paged
+/// file's own header).
+pub const META_PAGE: u64 = 1;
+
+/// Page-granular storage for DC-tree nodes plus one metadata blob.
+///
+/// The tree treats handles as opaque; a store may place a node in a single
+/// page, a chain, or anything else addressable by a `PageId`.
+pub trait NodeStore {
+    /// Loads and decodes the node at `page`. `num_dims` is the cube's
+    /// dimensionality (needed to decode MDS sets).
+    fn load_node(&self, page: PageId, num_dims: usize) -> DcResult<Node>;
+
+    /// Re-encodes `node` over the storage already headed at `page`.
+    fn store_node(&self, page: PageId, node: &Node) -> DcResult<()>;
+
+    /// Allocates storage for a fresh node and writes it.
+    fn alloc_node(&self, node: &Node) -> DcResult<PageId>;
+
+    /// Releases the node at `page`.
+    fn free_node(&self, page: PageId) -> DcResult<()>;
+
+    /// Reads the metadata blob (tree root, counters, schema).
+    fn read_meta(&self) -> DcResult<Vec<u8>>;
+
+    /// Rewrites the metadata blob.
+    fn write_meta(&self, bytes: &[u8]) -> DcResult<()>;
+
+    /// Forces every buffered write down to durable storage.
+    fn sync(&self) -> DcResult<()>;
+}
+
+// ----------------------------------------------------------------------
+// Chain primitives (shared layout with the paged checkpoint store):
+// every node is a chain of pages `[next: u64][len: u32][payload]`.
+// ----------------------------------------------------------------------
+
+pub(crate) fn read_chain(pool: &mut BufferPool, head: PageId) -> DcResult<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut page = head.0;
+    let mut guard = 0usize;
+    while page != CHAIN_NONE {
+        let (next, chunk) = pool.with_page(PageId(page), |d| {
+            let next = u64::from_le_bytes(d[0..8].try_into().expect("8 bytes"));
+            let len = u32::from_le_bytes(d[8..12].try_into().expect("4 bytes")) as usize;
+            let len = len.min(d.len() - PAGE_HEADER);
+            (next, d[PAGE_HEADER..PAGE_HEADER + len].to_vec())
+        })?;
+        out.extend_from_slice(&chunk);
+        page = next;
+        guard += 1;
+        if guard > 1 << 22 {
+            return Err(DcError::Corrupt("page chain cycle".into()));
+        }
+    }
+    Ok(out)
+}
+
+pub(crate) fn chain_pages(pool: &mut BufferPool, head: PageId) -> DcResult<Vec<PageId>> {
+    let mut pages = vec![head];
+    let mut page = head.0;
+    loop {
+        let next = pool.with_page(PageId(page), |d| {
+            u64::from_le_bytes(d[0..8].try_into().expect("8 bytes"))
+        })?;
+        if next == CHAIN_NONE {
+            return Ok(pages);
+        }
+        pages.push(PageId(next));
+        page = next;
+        if pages.len() > 1 << 22 {
+            return Err(DcError::Corrupt("page chain cycle".into()));
+        }
+    }
+}
+
+/// Rewrites the chain headed at `head` (which stays the head) to hold
+/// `bytes`, reusing pages, allocating extras, freeing spares.
+pub(crate) fn write_chain(
+    pool: &mut BufferPool,
+    head: PageId,
+    bytes: &[u8],
+    payload_per_page: usize,
+) -> DcResult<()> {
+    let mut existing = chain_pages(pool, head)?;
+    let chunks: Vec<&[u8]> = if bytes.is_empty() {
+        vec![&[][..]]
+    } else {
+        bytes.chunks(payload_per_page).collect()
+    };
+    // Grow or shrink the page list to match.
+    while existing.len() < chunks.len() {
+        let p = pool.alloc()?;
+        existing.push(p);
+    }
+    while existing.len() > chunks.len() {
+        let spare = existing.pop().expect("len checked");
+        pool.free(spare)?;
+    }
+    for (i, chunk) in chunks.iter().enumerate() {
+        let next = if i + 1 < existing.len() {
+            existing[i + 1].0
+        } else {
+            CHAIN_NONE
+        };
+        pool.with_page_mut(existing[i], |d| {
+            d[0..8].copy_from_slice(&next.to_le_bytes());
+            d[8..12].copy_from_slice(&(chunk.len() as u32).to_le_bytes());
+            d[PAGE_HEADER..PAGE_HEADER + chunk.len()].copy_from_slice(chunk);
+        })?;
+    }
+    Ok(())
+}
+
+pub(crate) fn free_chain(pool: &mut BufferPool, head: PageId) -> DcResult<()> {
+    for page in chain_pages(pool, head)? {
+        pool.free(page)?;
+    }
+    Ok(())
+}
+
+/// Marks a fresh page as an empty, terminated chain.
+pub(crate) fn init_chain(pool: &mut BufferPool, head: PageId) -> DcResult<()> {
+    pool.with_page_mut(head, |d| {
+        d[0..8].copy_from_slice(&CHAIN_NONE.to_le_bytes());
+        d[8..12].copy_from_slice(&0u32.to_le_bytes());
+    })
+}
+
+/// The single-threaded chain store: a [`BufferPool`] over a [`PagedFile`],
+/// nodes encoded with the plain (uncompressed) persist codec. This is the
+/// store behind [`DiskDcTree`](crate::disk::DiskDcTree).
+#[derive(Debug)]
+pub struct ChainStore {
+    pool: RefCell<BufferPool>,
+    payload: usize,
+}
+
+impl ChainStore {
+    /// Creates a fresh chain store at `path` (truncating any existing
+    /// file); `frames` bounds the buffer pool.
+    pub fn create(path: impl AsRef<Path>, block: BlockConfig, frames: usize) -> DcResult<Self> {
+        let file = PagedFile::create(path, block)?;
+        let mut pool = BufferPool::new(file, frames);
+        let meta = pool.alloc()?;
+        debug_assert_eq!(meta.0, META_PAGE, "metadata occupies page 1");
+        init_chain(&mut pool, meta)?;
+        Ok(ChainStore {
+            pool: RefCell::new(pool),
+            payload: block.block_size - PAGE_HEADER,
+        })
+    }
+
+    /// Opens an existing chain store.
+    pub fn open(path: impl AsRef<Path>, block: BlockConfig, frames: usize) -> DcResult<Self> {
+        let file = PagedFile::open(path, block)?;
+        let pool = BufferPool::new(file, frames);
+        Ok(ChainStore {
+            pool: RefCell::new(pool),
+            payload: block.block_size - PAGE_HEADER,
+        })
+    }
+
+    /// Buffer-pool counters: real page hits, misses, write-backs.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.borrow().stats()
+    }
+}
+
+impl NodeStore for ChainStore {
+    fn load_node(&self, page: PageId, num_dims: usize) -> DcResult<Node> {
+        let bytes = read_chain(&mut self.pool.borrow_mut(), page)?;
+        let mut r = ByteReader::new(&bytes);
+        let node = read_node(&mut r, num_dims)?;
+        r.expect_end()?;
+        Ok(node)
+    }
+
+    fn store_node(&self, page: PageId, node: &Node) -> DcResult<()> {
+        let mut w = ByteWriter::new();
+        write_node(&mut w, node);
+        write_chain(
+            &mut self.pool.borrow_mut(),
+            page,
+            &w.into_vec(),
+            self.payload,
+        )
+    }
+
+    fn alloc_node(&self, node: &Node) -> DcResult<PageId> {
+        let head = {
+            let mut pool = self.pool.borrow_mut();
+            let head = pool.alloc()?;
+            // Fresh pages are zeroed; initialize an empty chain terminator
+            // before the real store.
+            init_chain(&mut pool, head)?;
+            head
+        };
+        self.store_node(head, node)?;
+        Ok(head)
+    }
+
+    fn free_node(&self, page: PageId) -> DcResult<()> {
+        free_chain(&mut self.pool.borrow_mut(), page)
+    }
+
+    fn read_meta(&self) -> DcResult<Vec<u8>> {
+        read_chain(&mut self.pool.borrow_mut(), PageId(META_PAGE))
+    }
+
+    fn write_meta(&self, bytes: &[u8]) -> DcResult<()> {
+        write_chain(
+            &mut self.pool.borrow_mut(),
+            PageId(META_PAGE),
+            bytes,
+            self.payload,
+        )
+    }
+
+    fn sync(&self) -> DcResult<()> {
+        self.pool.borrow_mut().flush()
+    }
+}

@@ -1,0 +1,31 @@
+//! # dc-oocore
+//!
+//! Out-of-core DC-tree serving: shards answered directly from disk pages
+//! through a **concurrent, scan-resistant buffer pool**, with node pages
+//! stored in a **compressed codec**.
+//!
+//! The paper's deployment target is a data warehouse that no longer fits
+//! the batch-rebuild mold — always online, updated record at a time. The
+//! rest of this workspace keeps every shard RAM-resident; this crate is the
+//! configuration for cubes bigger than memory:
+//!
+//! * [`ConcurrentPool`] — a striped buffer pool with RAII pins, segmented
+//!   LRU eviction (a one-touch range scan cannot flush the hot directory
+//!   levels), lazy dirty write-back, and a [`flush`](ConcurrentPool::flush)
+//!   barrier for the checkpointer.
+//! * [`codec`] — varint/delta/WAH-compressed node pages behind a format
+//!   tag, with fully checked decoding (disk bytes never panic).
+//! * [`OocStore`] — the [`NodeStore`](dc_tree::store::NodeStore) gluing the
+//!   two under `dc_tree::PagedDcTree`, page-chain layout shared with the
+//!   single-threaded `ChainStore`.
+//! * [`OocDcTree`] — the servable shard: concurrent readers, exclusive
+//!   writers, pool stats and checkpoint flush without the tree lock.
+
+pub mod codec;
+pub mod pool;
+pub mod shard;
+pub mod store;
+
+pub use pool::{ConcurrentPool, OocPoolStats, PinnedPage};
+pub use shard::OocDcTree;
+pub use store::{OocOptions, OocStore};

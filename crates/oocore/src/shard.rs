@@ -1,0 +1,170 @@
+//! [`OocDcTree`]: a disk-backed DC-tree shard servable by many threads.
+//!
+//! The tree logic is `dc_tree::PagedDcTree` over an [`OocStore`]; this
+//! wrapper adds the `RwLock` discipline the serving engine needs — queries
+//! take the read lock (the store underneath is fully concurrent, so any
+//! number of readers fault and evict pages in parallel), mutations take the
+//! write lock. The pool `Arc` is kept alongside so checkpointing and stats
+//! never have to take the tree lock just to reach the buffer pool.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use dc_common::{AggregateOp, DcResult, DimensionId, Level, MeasureSummary, RecordId, ValueId};
+use dc_hierarchy::{CubeSchema, Record};
+use dc_mds::Mds;
+use dc_tree::{DcTreeConfig, PagedDcTree};
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use crate::pool::{ConcurrentPool, OocPoolStats};
+use crate::store::{OocOptions, OocStore};
+
+/// A DC-tree shard served out-of-core: `RwLock<PagedDcTree<OocStore>>`
+/// plus a handle to the shared buffer pool.
+#[derive(Debug)]
+pub struct OocDcTree {
+    inner: RwLock<PagedDcTree<OocStore>>,
+    pool: Arc<ConcurrentPool>,
+}
+
+impl OocDcTree {
+    /// Creates a fresh shard file at `path`.
+    pub fn create(
+        path: impl AsRef<Path>,
+        schema: CubeSchema,
+        config: DcTreeConfig,
+        opts: OocOptions,
+    ) -> DcResult<Self> {
+        let store = OocStore::create(path, opts)?;
+        let pool = Arc::clone(store.pool());
+        let tree = PagedDcTree::create_in(store, schema, config)?;
+        Ok(OocDcTree {
+            inner: RwLock::new(tree),
+            pool,
+        })
+    }
+
+    /// Opens an existing shard file.
+    pub fn open(path: impl AsRef<Path>, config: DcTreeConfig, opts: OocOptions) -> DcResult<Self> {
+        let store = OocStore::open(path, opts)?;
+        let pool = Arc::clone(store.pool());
+        let tree = PagedDcTree::open_in(store, config)?;
+        Ok(OocDcTree {
+            inner: RwLock::new(tree),
+            pool,
+        })
+    }
+
+    /// Read access to the tree. Hold this across a batch of queries that
+    /// must see one consistent version.
+    pub fn read(&self) -> RwLockReadGuard<'_, PagedDcTree<OocStore>> {
+        self.inner.read()
+    }
+
+    /// Write access to the tree. The shard writer holds this across a whole
+    /// update batch *and* the cache publish that follows, so readers never
+    /// see a half-applied batch.
+    pub fn write(&self) -> RwLockWriteGuard<'_, PagedDcTree<OocStore>> {
+        self.inner.write()
+    }
+
+    /// The shared buffer pool (reachable without the tree lock).
+    pub fn pool(&self) -> &Arc<ConcurrentPool> {
+        &self.pool
+    }
+
+    /// Buffer-pool counters for the `pool_*` gauges.
+    pub fn pool_stats(&self) -> OocPoolStats {
+        self.pool.stats()
+    }
+
+    /// Flushes tree metadata, writes back every dirty frame, and fsyncs:
+    /// after this returns, the shard file on disk is a complete image of
+    /// the tree — the barrier the checkpointer copies behind.
+    pub fn flush(&self) -> DcResult<()> {
+        self.inner.write().flush()
+    }
+
+    /// On-disk footprint in bytes (pages × page size).
+    pub fn file_bytes(&self) -> u64 {
+        self.pool.num_pages() * self.pool.page_size() as u64
+    }
+
+    // -- convenience passthroughs (single read/write lock scope each) --
+
+    /// Records stored.
+    pub fn len(&self) -> u64 {
+        self.inner.read().len()
+    }
+
+    /// `true` iff no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clone of the cube schema.
+    pub fn schema(&self) -> CubeSchema {
+        self.inner.read().schema().clone()
+    }
+
+    /// Interns raw paths and inserts the record.
+    pub fn insert_raw<T: AsRef<str>>(
+        &self,
+        paths: &[Vec<T>],
+        measure: dc_common::Measure,
+    ) -> DcResult<RecordId> {
+        self.inner.write().insert_raw(paths, measure)
+    }
+
+    /// Inserts an already-interned record.
+    pub fn insert(&self, record: Record) -> DcResult<RecordId> {
+        self.inner.write().insert(record)
+    }
+
+    /// Deletes one record matching `record`; `true` if one was found.
+    pub fn delete(&self, record: &Record) -> DcResult<bool> {
+        self.inner.write().delete(record)
+    }
+
+    /// Aggregate over `range` under `op`.
+    pub fn range_query(&self, range: &Mds, op: AggregateOp) -> DcResult<Option<f64>> {
+        self.inner.read().range_query(range, op)
+    }
+
+    /// Full measure summary over `range`.
+    pub fn range_summary(&self, range: &Mds) -> DcResult<MeasureSummary> {
+        self.inner.read().range_summary(range)
+    }
+
+    /// Per-group summaries of `group_dim` at `group_level` under `filter`.
+    pub fn group_by(
+        &self,
+        group_dim: DimensionId,
+        group_level: Level,
+        filter: &Mds,
+    ) -> DcResult<Vec<(ValueId, MeasureSummary)>> {
+        self.inner.read().group_by(group_dim, group_level, filter)
+    }
+
+    /// Summary over every record.
+    pub fn total_summary(&self) -> DcResult<MeasureSummary> {
+        self.inner.read().total_summary()
+    }
+
+    /// Tree height (root to leaf).
+    pub fn height(&self) -> DcResult<usize> {
+        self.inner.read().height()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_sync_bounds_hold() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OocDcTree>();
+        assert_send_sync::<ConcurrentPool>();
+    }
+}

@@ -1,0 +1,215 @@
+//! Property tests for the compressed node codec: random nodes round-trip
+//! bit-exactly through both formats, and corrupt pages produce *checked*
+//! [`DcError`]s — never a panic — because these bytes come from disk.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use dc_common::{DcError, MeasureSummary, RecordId, ValueId};
+use dc_hierarchy::Record;
+use dc_mds::{DimSet, Mds};
+use dc_oocore::codec::{decode_node, encode_node};
+use dc_storage::ByteWriter;
+use dc_tree::node::{DirEntry, Node, NodeId, NodeKind, StoredRecord};
+use dc_tree::persist::write_node;
+use proptest::prelude::*;
+
+const NUM_DIMS: usize = 3;
+
+/// Canonical byte image of a node under the *plain* persist codec — the
+/// equality oracle (Node has no PartialEq; DimSet ordering is canonical).
+fn plain_image(node: &Node) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    write_node(&mut w, node);
+    w.into_vec()
+}
+
+fn dimset_strategy(level: u8) -> impl Strategy<Value = DimSet> {
+    prop::collection::btree_set(0u32..4_000, 1..40).prop_map(move |idx| {
+        DimSet::new(
+            level,
+            idx.into_iter().map(|i| ValueId::new(level, i)).collect(),
+        )
+    })
+}
+
+fn mds_strategy() -> impl Strategy<Value = Mds> {
+    (dimset_strategy(0), dimset_strategy(2), dimset_strategy(5))
+        .prop_map(|(a, b, c)| Mds::new(vec![a, b, c]))
+}
+
+fn summary_strategy() -> impl Strategy<Value = MeasureSummary> {
+    prop::collection::vec(-1_000_000i64..1_000_000, 0..10).prop_map(|vals| {
+        let mut s = MeasureSummary::empty();
+        for v in vals {
+            s.add(v);
+        }
+        s
+    })
+}
+
+fn data_node_strategy() -> impl Strategy<Value = Node> {
+    (
+        mds_strategy(),
+        summary_strategy(),
+        prop::collection::vec(
+            (
+                0u64..1 << 40,
+                prop::collection::vec(0u32..100_000, NUM_DIMS..=NUM_DIMS),
+                -1_000_000i64..1_000_000,
+            ),
+            0..30,
+        ),
+        1u32..4,
+    )
+        .prop_map(|(mds, summary, recs, blocks)| Node {
+            mds,
+            summary,
+            blocks,
+            kind: NodeKind::Data(
+                recs.into_iter()
+                    .map(|(id, dims, measure)| StoredRecord {
+                        id: RecordId(id),
+                        record: Record::new(
+                            dims.into_iter().map(|i| ValueId::new(0, i)).collect(),
+                            measure,
+                        ),
+                    })
+                    .collect(),
+            ),
+        })
+}
+
+fn dir_node_strategy() -> impl Strategy<Value = Node> {
+    (
+        mds_strategy(),
+        summary_strategy(),
+        prop::collection::vec((mds_strategy(), summary_strategy(), 2u32..1 << 30), 1..12),
+        1u32..4,
+    )
+        .prop_map(|(mds, summary, entries, blocks)| Node {
+            mds,
+            summary,
+            blocks,
+            kind: NodeKind::Dir(
+                entries
+                    .into_iter()
+                    .map(|(mds, summary, child)| DirEntry {
+                        mds,
+                        summary,
+                        child: NodeId::from_raw(child),
+                    })
+                    .collect(),
+            ),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Data nodes survive compressed encode → decode bit-exactly.
+    #[test]
+    fn data_nodes_roundtrip_compressed(node in data_node_strategy()) {
+        let encoded = encode_node(&node, true);
+        let back = decode_node(&encoded, NUM_DIMS).expect("decode own encoding");
+        prop_assert_eq!(plain_image(&back), plain_image(&node));
+    }
+
+    /// Directory nodes survive compressed encode → decode bit-exactly.
+    #[test]
+    fn dir_nodes_roundtrip_compressed(node in dir_node_strategy()) {
+        let encoded = encode_node(&node, true);
+        let back = decode_node(&encoded, NUM_DIMS).expect("decode own encoding");
+        prop_assert_eq!(plain_image(&back), plain_image(&node));
+    }
+
+    /// The plain format round-trips too (tag + persist codec).
+    #[test]
+    fn nodes_roundtrip_plain(node in data_node_strategy()) {
+        let encoded = encode_node(&node, false);
+        let back = decode_node(&encoded, NUM_DIMS).expect("decode own encoding");
+        prop_assert_eq!(plain_image(&back), plain_image(&node));
+    }
+
+    /// The compressed format earns its keep on realistic nodes.
+    #[test]
+    fn compressed_is_never_wildly_larger(node in data_node_strategy()) {
+        let plain = encode_node(&node, false);
+        let compressed = encode_node(&node, true);
+        // Varints can lose on pathological values but must stay in the same
+        // ballpark; real nodes compress well below 1×.
+        prop_assert!(compressed.len() <= plain.len() * 2);
+    }
+
+    /// Every single-byte mutation of a valid page either decodes to *some*
+    /// node or fails with a checked error. No input may panic: corrupt disk
+    /// bytes must never take the server down.
+    #[test]
+    fn corrupt_bytes_never_panic(node in data_node_strategy(), xor in 1u8..=255) {
+        let encoded = encode_node(&node, true);
+        for pos in 0..encoded.len() {
+            let mut bad = encoded.clone();
+            bad[pos] ^= xor;
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let _ = decode_node(&bad, NUM_DIMS);
+            }));
+            prop_assert!(outcome.is_ok(), "decode panicked at byte {}", pos);
+        }
+    }
+
+    /// Truncating a page anywhere yields a checked `DcError`.
+    #[test]
+    fn truncations_are_checked_errors(node in data_node_strategy()) {
+        let encoded = encode_node(&node, true);
+        for cut in 0..encoded.len() {
+            match decode_node(&encoded[..cut], NUM_DIMS) {
+                Err(DcError::Corrupt(_)) => {}
+                Err(e) => prop_assert!(false, "unexpected error kind at cut {}: {e:?}", cut),
+                // Counts live in the prefix, so every strict prefix must
+                // leave some field unreadable.
+                Ok(_) => prop_assert!(false, "truncation at {} decoded Ok", cut),
+            }
+        }
+    }
+}
+
+/// Targeted corruptions hit the specific checked paths.
+#[test]
+fn targeted_corruptions_yield_dc_errors() {
+    let node = Node {
+        mds: Mds::new(vec![
+            DimSet::new(1, (0..50).map(|i| ValueId::new(1, i)).collect()),
+            DimSet::new(0, vec![ValueId::new(0, 7)]),
+            DimSet::new(3, (0..2000).map(|i| ValueId::new(3, i * 3)).collect()),
+        ]),
+        summary: MeasureSummary::of(42),
+        blocks: 1,
+        kind: NodeKind::Data(vec![StoredRecord {
+            id: RecordId(9),
+            record: Record::new(
+                vec![ValueId::new(0, 1), ValueId::new(0, 2), ValueId::new(0, 3)],
+                -5,
+            ),
+        }]),
+    };
+    let encoded = encode_node(&node, true);
+
+    // Unknown format tag.
+    let mut bad = encoded.clone();
+    bad[0] = 0x7f;
+    assert!(matches!(
+        decode_node(&bad, 3),
+        Err(DcError::Corrupt(msg)) if msg.contains("format tag")
+    ));
+
+    // Level beyond MAX_LEVEL (byte 1 is the first dimension's level).
+    let mut bad = encoded.clone();
+    bad[1] = 0xff;
+    assert!(matches!(decode_node(&bad, 3), Err(DcError::Corrupt(_))));
+
+    // Empty input.
+    assert!(matches!(decode_node(&[], 3), Err(DcError::Corrupt(_))));
+
+    // Wrong dimensionality shears the layout apart: must error, not panic.
+    let outcome = catch_unwind(AssertUnwindSafe(|| decode_node(&encoded, 2)));
+    assert!(outcome.is_ok(), "wrong num_dims must not panic");
+}

@@ -1,0 +1,196 @@
+//! Differential test: an [`OocDcTree`] running through the concurrent pool
+//! with compressed pages and a deliberately tiny frame budget must answer
+//! every query exactly like the RAM-resident [`DcTree`], including after
+//! deletes, a reopen, and under concurrent query load.
+
+use std::sync::Arc;
+
+use dc_common::{AggregateOp, DimensionId};
+use dc_hierarchy::CubeSchema;
+use dc_mds::{DimSet, Mds};
+use dc_oocore::{OocDcTree, OocOptions};
+use dc_storage::BlockConfig;
+use dc_tpcd::{generate, TpcdConfig};
+use dc_tree::{DcTree, DcTreeConfig};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dc_oocore_diff_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn small_opts() -> OocOptions {
+    OocOptions {
+        block: BlockConfig::new(512),
+        // Tiny budget: the working set cannot stay resident, so every query
+        // path exercises faulting and eviction.
+        frames: 16,
+        compress: true,
+    }
+}
+
+/// Queries covering the selectivity spectrum: per-dimension prefixes of the
+/// level-1 domain, plus the full cube.
+fn probe_queries(schema: &CubeSchema) -> Vec<Mds> {
+    let mut queries = vec![Mds::all(schema)];
+    for d in 0..schema.num_dims() {
+        for take in [1usize, 2, 4] {
+            let dim = schema.dim(DimensionId(d as u16));
+            let picked: Vec<_> = dim.values_at(1).take(take).collect();
+            if picked.is_empty() {
+                continue;
+            }
+            let mut q = Mds::all(schema);
+            *q.dim_mut(d) = DimSet::new(1, picked);
+            queries.push(q);
+        }
+    }
+    queries
+}
+
+fn assert_equivalent(ram: &DcTree, ooc: &OocDcTree, queries: &[Mds]) {
+    assert_eq!(ram.len(), ooc.len());
+    let ram_total = ram.total_summary();
+    let ooc_total = ooc.total_summary().unwrap();
+    assert_eq!(ram_total.sum, ooc_total.sum);
+    assert_eq!(ram_total.count, ooc_total.count);
+    for (qi, q) in queries.iter().enumerate() {
+        let a = ram.range_summary(q).unwrap();
+        let b = ooc.range_summary(q).unwrap();
+        assert_eq!(
+            (a.sum, a.count, a.min, a.max),
+            (b.sum, b.count, b.min, b.max),
+            "query {qi}"
+        );
+        for op in [AggregateOp::Sum, AggregateOp::Count, AggregateOp::Avg] {
+            assert_eq!(
+                ram.range_query(q, op).unwrap(),
+                ooc.range_query(q, op).unwrap(),
+                "query {qi} op {op:?}"
+            );
+        }
+        // Group-by along each dimension at level 1.
+        for d in 0..ram.schema().num_dims() {
+            let mut ga = ram.group_by(DimensionId(d as u16), 1, q).unwrap();
+            let mut gb = ooc.group_by(DimensionId(d as u16), 1, q).unwrap();
+            ga.sort_by_key(|(v, _)| *v);
+            gb.sort_by_key(|(v, _)| *v);
+            let ka: Vec<_> = ga.iter().map(|(v, s)| (*v, s.sum, s.count)).collect();
+            let kb: Vec<_> = gb.iter().map(|(v, s)| (*v, s.sum, s.count)).collect();
+            assert_eq!(ka, kb, "group-by dim {d} query {qi}");
+        }
+    }
+}
+
+#[test]
+fn disk_backed_tree_matches_ram_resident_baseline() {
+    let cube = generate(&TpcdConfig::scaled(600, 7));
+    let path = tmp("diff_main.dct");
+    let mut ram = DcTree::new(cube.schema.clone(), DcTreeConfig::default());
+    let ooc = OocDcTree::create(
+        &path,
+        cube.schema.clone(),
+        DcTreeConfig::default(),
+        small_opts(),
+    )
+    .unwrap();
+
+    for r in &cube.records {
+        ram.insert(r.clone()).unwrap();
+        ooc.insert(r.clone()).unwrap();
+    }
+
+    let queries = probe_queries(&cube.schema);
+    assert_equivalent(&ram, &ooc, &queries);
+
+    // The frame budget is far below the working set: the equivalence above
+    // must have been served through real faults and evictions.
+    let stats = ooc.pool_stats();
+    assert!(
+        stats.evictions > 0,
+        "16-frame pool over a 600-record cube must evict (got {stats:?})"
+    );
+    assert!(stats.resident <= stats.capacity);
+
+    // Delete a third of the records from both and re-verify.
+    for r in cube.records.iter().step_by(3) {
+        assert!(ram.delete(r).unwrap());
+        assert!(ooc.delete(r).unwrap());
+    }
+    assert_equivalent(&ram, &ooc, &queries);
+
+    // Flush, reopen from disk, verify again: the on-disk image is complete.
+    ooc.flush().unwrap();
+    drop(ooc);
+    let reopened = OocDcTree::open(&path, DcTreeConfig::default(), small_opts()).unwrap();
+    assert_equivalent(&ram, &reopened, &queries);
+}
+
+#[test]
+fn uncompressed_pages_give_identical_answers() {
+    let cube = generate(&TpcdConfig::scaled(300, 11));
+    let mut ram = DcTree::new(cube.schema.clone(), DcTreeConfig::default());
+    let ooc = OocDcTree::create(
+        tmp("diff_plain.dct"),
+        cube.schema.clone(),
+        DcTreeConfig::default(),
+        OocOptions {
+            compress: false,
+            ..small_opts()
+        },
+    )
+    .unwrap();
+    for r in &cube.records {
+        ram.insert(r.clone()).unwrap();
+        ooc.insert(r.clone()).unwrap();
+    }
+    assert_equivalent(&ram, &ooc, &probe_queries(&cube.schema));
+}
+
+#[test]
+fn concurrent_queries_during_churn_see_consistent_states() {
+    let cube = generate(&TpcdConfig::scaled(400, 23));
+    let ooc = Arc::new(
+        OocDcTree::create(
+            tmp("diff_churn.dct"),
+            cube.schema.clone(),
+            DcTreeConfig::default(),
+            small_opts(),
+        )
+        .unwrap(),
+    );
+    let half = cube.records.len() / 2;
+    for r in &cube.records[..half] {
+        ooc.insert(r.clone()).unwrap();
+    }
+
+    let all = Mds::all(&cube.schema);
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut readers = Vec::new();
+    for _ in 0..3 {
+        let ooc = Arc::clone(&ooc);
+        let all = all.clone();
+        let stop = Arc::clone(&stop);
+        readers.push(std::thread::spawn(move || {
+            let mut last_count = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let s = ooc.range_summary(&all).unwrap();
+                // Writers only insert: the record count a reader observes
+                // must be monotone, and sum/count must come from one
+                // consistent version (count within the insert range).
+                assert!(s.count >= last_count, "count went backwards");
+                last_count = s.count;
+            }
+            last_count
+        }));
+    }
+    for r in &cube.records[half..] {
+        ooc.insert(r.clone()).unwrap();
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for h in readers {
+        let final_seen = h.join().unwrap();
+        assert!(final_seen <= cube.records.len() as u64);
+    }
+    assert_eq!(ooc.len(), cube.records.len() as u64);
+}

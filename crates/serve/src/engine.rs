@@ -22,13 +22,14 @@ use dc_durable::{
 use dc_hierarchy::{ConceptHierarchy, CubeSchema, Record};
 use dc_mds::Mds;
 use dc_mview::{rollup_lattice, MaterializedView};
+use dc_oocore::{OocDcTree, OocOptions, OocPoolStats, OocStore};
 use dc_plan::{
     choose, Backend, BackendRefs, Explain, LogicalPlan, PartitionStats, QueryOutput, ShardExplain,
 };
 use dc_ql::ParsedStatement;
 use dc_scan::FlatTable;
 use dc_storage::BlockConfig;
-use dc_tree::{DcTree, DcTreeConfig, PreparedRange};
+use dc_tree::{DcTree, DcTreeConfig, PagedDcTree, PreparedRange};
 use parking_lot::{Mutex, RwLock};
 
 use crate::catalog::SchemaCatalog;
@@ -84,6 +85,45 @@ impl WalOptions {
             segment_bytes: WalConfig::default().segment_bytes,
             checkpoint_every: 0,
             fs: None,
+        }
+    }
+}
+
+/// Where shard trees live.
+#[derive(Clone, Debug, Default)]
+pub enum StorageMode {
+    /// Every shard is a RAM-resident [`DcTree`]; queries run against
+    /// copy-on-publish snapshots. The default, and the fastest when the
+    /// cube fits in memory.
+    #[default]
+    Resident,
+    /// Every shard is a disk file of compressed node pages served through
+    /// `dc-oocore`'s concurrent, scan-resistant buffer pool — the cube may
+    /// exceed RAM by an order of magnitude. Queries take a shard read lock
+    /// instead of a snapshot, the planner prices possibly-cold page
+    /// fetches via the observed pool miss rate, and STATS grows a
+    /// `buffer_pool` section.
+    Disk(DiskOptions),
+}
+
+/// Options for [`StorageMode::Disk`].
+#[derive(Clone, Debug)]
+pub struct DiskOptions {
+    /// Directory holding one `shard-<i>.dct` paged file per shard. Without
+    /// a WAL these files are the only copy of the data; with one they are
+    /// working state, rebuilt from checkpoint images on recovery.
+    pub dir: PathBuf,
+    /// Buffer-pool and page-codec knobs (frame budget, block size,
+    /// compression).
+    pub ooc: OocOptions,
+}
+
+impl DiskOptions {
+    /// Disk mode under `dir` with default pool options.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DiskOptions {
+            dir: dir.into(),
+            ooc: OocOptions::default(),
         }
     }
 }
@@ -156,6 +196,10 @@ pub struct EngineConfig {
     /// default) keeps the write path lean: the planner still runs, but
     /// descent is the only candidate.
     pub planner: Option<PlannerOptions>,
+    /// Where the shard trees live: RAM-resident (default) or disk-backed
+    /// through `dc-oocore`'s buffer pool. Disk mode maintains only the
+    /// DC-tree backend, so it rejects [`EngineConfig::planner`] engines.
+    pub storage: StorageMode,
 }
 
 impl Default for EngineConfig {
@@ -172,6 +216,7 @@ impl Default for EngineConfig {
             pool_workers: None,
             cache: Some(CacheConfig::default()),
             planner: None,
+            storage: StorageMode::default(),
         }
     }
 }
@@ -210,6 +255,14 @@ struct DurableWal {
     /// Serializes checkpoints; `try_lock` makes concurrent auto-checkpoint
     /// attempts cheap no-ops.
     checkpoint_lock: Mutex<()>,
+}
+
+/// What the checkpointer captured for one shard in phase 1: a resident
+/// snapshot still to be serialized, or the raw paged-file bytes a
+/// disk-backed shard was flushed down to.
+enum CheckpointImage {
+    Resident(Arc<DcTree>),
+    Disk(Vec<u8>),
 }
 
 /// One shard's atomically published planning state: the tree snapshot, the
@@ -332,6 +385,8 @@ fn capture_plan_state(
             })
             .unwrap_or_default(),
         views_stale: aux.map(|a| a.views_stale).unwrap_or(false),
+        disk_resident: false,
+        pool_miss_rate: 0.0,
     };
     Arc::new(PlanState {
         tree: snap,
@@ -364,12 +419,25 @@ pub struct BackendComparison {
     pub chosen: QueryOutput,
 }
 
+/// One disk-backed shard: the pooled tree, its backing file, and the
+/// publish-time planner statistics (swapped by the writer in place of a
+/// snapshot — readers lock the tree itself, so there is nothing to swap).
+struct OocShardState {
+    tree: Arc<OocDcTree>,
+    /// The shard's paged file (the checkpointer copies it after a flush).
+    path: PathBuf,
+    stats: RwLock<PartitionStats>,
+}
+
 struct Shard {
     tx: Mutex<Option<Sender<Cmd>>>,
     snapshot: Arc<RwLock<Arc<DcTree>>>,
     /// The planner's published state (same cadence as `snapshot`; the tree
     /// inside is the same `Arc`).
     plan: Arc<RwLock<Arc<PlanState>>>,
+    /// `Some` in [`StorageMode::Disk`]; `snapshot` and `plan` then hold a
+    /// shared empty placeholder and are never consulted.
+    ooc: Option<Arc<OocShardState>>,
     writer: Mutex<Option<JoinHandle<()>>>,
 }
 
@@ -426,16 +494,16 @@ impl ShardedDcTree {
                             scan.manifest.shards, config.num_shards
                         )));
                     }
-                    let mut trees = Vec::with_capacity(config.num_shards);
+                    let mut raw = Vec::with_capacity(config.num_shards);
                     for i in 0..config.num_shards {
                         let name =
                             checkpoint_file_name(scan.manifest.checkpoint_lsn, Some(i as u32));
                         let bytes = fs.read(&opts.dir.join(&name))?.ok_or_else(|| {
                             DcError::Corrupt(format!("missing checkpoint image {name}"))
                         })?;
-                        trees.push(DcTree::from_bytes(&bytes)?);
+                        raw.push(bytes);
                     }
-                    Some(trees)
+                    Some(raw)
                 } else {
                     None
                 };
@@ -446,12 +514,60 @@ impl ShardedDcTree {
             Some((fs, scan, images)) => (Some(fs), Some(scan), images),
             None => (None, None, None),
         };
+        let disk_opts = match &config.storage {
+            StorageMode::Resident => None,
+            StorageMode::Disk(opts) => Some(opts.clone()),
+        };
+        if disk_opts.is_some() && config.planner.is_some() {
+            return Err(DcError::Config(
+                "disk-backed storage maintains only the DC-tree descent backend; \
+                 disable the planner engines"
+                    .into(),
+            ));
+        }
+        // Materialize the shard backing. Resident images parse back into
+        // trees; disk images *are* the paged shard-file format and are laid
+        // down under the storage directory, then opened through the buffer
+        // pool. (A WAL directory's images are therefore tied to the storage
+        // mode they were taken under.)
+        let resident_trees: Option<Vec<DcTree>> = match (&disk_opts, &images) {
+            (None, Some(raw)) => Some(
+                raw.iter()
+                    .map(|b| DcTree::from_bytes(b))
+                    .collect::<DcResult<Vec<_>>>()?,
+            ),
+            _ => None,
+        };
+        let ooc_trees: Option<Vec<(Arc<OocDcTree>, PathBuf)>> = match &disk_opts {
+            None => None,
+            Some(opts) => {
+                std::fs::create_dir_all(&opts.dir)?;
+                let mut out = Vec::with_capacity(config.num_shards);
+                for i in 0..config.num_shards {
+                    let path = opts.dir.join(format!("shard-{i}.dct"));
+                    let tree = match &images {
+                        Some(raw) => {
+                            std::fs::write(&path, &raw[i])?;
+                            OocDcTree::open(&path, config.tree, opts.ooc)?
+                        }
+                        None => OocDcTree::create(&path, schema.clone(), config.tree, opts.ooc)?,
+                    };
+                    out.push((Arc::new(tree), path));
+                }
+                Some(out)
+            }
+        };
         // Before imaging, the checkpoint path catches every shard up to the
         // full catalog epoch, so every image carries the complete master
         // schema — shard 0's restores the catalog exactly.
-        let schema = match &images {
-            Some(images) => images[0].schema().clone(),
-            None => schema,
+        let schema = if let Some(trees) = &resident_trees {
+            trees[0].schema().clone()
+        } else if images.is_some() {
+            ooc_trees.as_ref().expect("disk images imply disk shards")[0]
+                .0
+                .schema()
+        } else {
+            schema
         };
         if let PartitionPolicy::ByDimension { dim, level } = config.policy {
             let h = schema.dim(dim);
@@ -494,42 +610,85 @@ impl ShardedDcTree {
             }
             _ => None,
         };
-        let mut shard_trees: Vec<DcTree> = match images {
-            Some(images) => images,
-            None => (0..config.num_shards)
-                .map(|_| DcTree::new(schema.clone(), config.tree))
-                .collect(),
-        };
         let mut shards = Vec::with_capacity(config.num_shards);
-        for (shard_id, tree) in shard_trees.drain(..).enumerate() {
-            // Aux engines are rebuilt from the (possibly recovered) tree:
-            // checkpoint images restore trees, never derived indexes.
-            let aux = config.planner.map(|opts| AuxEngines::build(&tree, opts));
-            let snap = Arc::new(tree.clone());
-            let snapshot = Arc::new(RwLock::new(Arc::clone(&snap)));
-            let plan = Arc::new(RwLock::new(capture_plan_state(&tree, snap, aux.as_ref())));
-            let (tx, rx) = channel();
-            let writer = spawn_writer(
-                shard_id,
-                tree,
-                rx,
-                Arc::clone(&snapshot),
-                Arc::clone(&plan),
-                aux,
-                Arc::clone(&catalog),
-                Arc::clone(&metrics),
-                config.batch_size,
-                cache.clone(),
-                wal.clone(),
-            );
-            shards.push(Shard {
-                tx: Mutex::new(Some(tx)),
-                snapshot,
-                plan,
-                writer: Mutex::new(Some(writer)),
-            });
+        if let Some(ooc_trees) = ooc_trees {
+            // Disk mode: queries lock the pooled tree directly, so the
+            // resident snapshot/plan slots hold one shared empty
+            // placeholder and are never consulted.
+            let placeholder = Arc::new(DcTree::new(schema, config.tree));
+            for (shard_id, (tree, path)) in ooc_trees.into_iter().enumerate() {
+                let snapshot = Arc::new(RwLock::new(Arc::clone(&placeholder)));
+                let plan = Arc::new(RwLock::new(capture_plan_state(
+                    &placeholder,
+                    Arc::clone(&placeholder),
+                    None,
+                )));
+                let stats = capture_ooc_stats(&tree.read(), tree.pool());
+                let state = Arc::new(OocShardState {
+                    tree,
+                    path,
+                    stats: RwLock::new(stats),
+                });
+                let (tx, rx) = channel();
+                let writer = spawn_writer_ooc(
+                    shard_id,
+                    Arc::clone(&state),
+                    rx,
+                    Arc::clone(&catalog),
+                    Arc::clone(&metrics),
+                    config.batch_size,
+                    cache.clone(),
+                    wal.clone(),
+                );
+                shards.push(Shard {
+                    tx: Mutex::new(Some(tx)),
+                    snapshot,
+                    plan,
+                    ooc: Some(state),
+                    writer: Mutex::new(Some(writer)),
+                });
+            }
+        } else {
+            let mut shard_trees: Vec<DcTree> = match resident_trees {
+                Some(trees) => trees,
+                None => (0..config.num_shards)
+                    .map(|_| DcTree::new(schema.clone(), config.tree))
+                    .collect(),
+            };
+            for (shard_id, tree) in shard_trees.drain(..).enumerate() {
+                // Aux engines are rebuilt from the (possibly recovered) tree:
+                // checkpoint images restore trees, never derived indexes.
+                let aux = config.planner.map(|opts| AuxEngines::build(&tree, opts));
+                let snap = Arc::new(tree.clone());
+                let snapshot = Arc::new(RwLock::new(Arc::clone(&snap)));
+                let plan = Arc::new(RwLock::new(capture_plan_state(&tree, snap, aux.as_ref())));
+                let (tx, rx) = channel();
+                let writer = spawn_writer(
+                    shard_id,
+                    tree,
+                    rx,
+                    Arc::clone(&snapshot),
+                    Arc::clone(&plan),
+                    aux,
+                    Arc::clone(&catalog),
+                    Arc::clone(&metrics),
+                    config.batch_size,
+                    cache.clone(),
+                    wal.clone(),
+                );
+                shards.push(Shard {
+                    tx: Mutex::new(Some(tx)),
+                    snapshot,
+                    plan,
+                    ooc: None,
+                    writer: Mutex::new(Some(writer)),
+                });
+            }
         }
-        let pool = if config.parallel_queries && config.num_shards > 1 {
+        // Disk-mode queries evaluate sequentially under the shard read
+        // locks (the work-stealing pool scatters over owned snapshots,
+        // which disk shards do not publish), so the pool is not started.
+        let pool = if disk_opts.is_none() && config.parallel_queries && config.num_shards > 1 {
             let workers = config.pool_workers.unwrap_or_else(|| {
                 std::thread::available_parallelism()
                     .map(|p| p.get())
@@ -568,7 +727,50 @@ impl ShardedDcTree {
                 engine.flush();
             }
         }
+        engine.refresh_pool_gauges();
         Ok(engine)
+    }
+
+    /// `true` when the shards are disk-backed ([`StorageMode::Disk`]).
+    pub fn is_disk(&self) -> bool {
+        self.shards.first().is_some_and(|s| s.ooc.is_some())
+    }
+
+    /// Serializes the STATS payload, refreshing the `buffer_pool` gauges
+    /// from the live pools first (disk mode only; resident engines emit no
+    /// `buffer_pool` section).
+    pub fn stats_json(&self) -> String {
+        self.refresh_pool_gauges();
+        self.metrics.to_json()
+    }
+
+    /// Sums the per-shard buffer-pool counters into the STATS gauges.
+    fn refresh_pool_gauges(&self) {
+        let mut agg = OocPoolStats::default();
+        let mut any = false;
+        for shard in &self.shards {
+            if let Some(state) = &shard.ooc {
+                let s = state.tree.pool_stats();
+                agg.hits += s.hits;
+                agg.misses += s.misses;
+                agg.evictions += s.evictions;
+                agg.writebacks += s.writebacks;
+                agg.resident += s.resident;
+                agg.capacity += s.capacity;
+                any = true;
+            }
+        }
+        if !any {
+            return;
+        }
+        let bp = &self.metrics.buffer_pool;
+        bp.enabled.store(1, Relaxed);
+        bp.hits.store(agg.hits, Relaxed);
+        bp.misses.store(agg.misses, Relaxed);
+        bp.evictions.store(agg.evictions, Relaxed);
+        bp.writebacks.store(agg.writebacks, Relaxed);
+        bp.resident.store(agg.resident, Relaxed);
+        bp.capacity.store(agg.capacity, Relaxed);
     }
 
     /// Number of shards.
@@ -743,18 +945,33 @@ impl ShardedDcTree {
                 self.send(i, Cmd::Catchup { epoch })?;
             }
             self.flush();
-            let snaps: Vec<Arc<DcTree>> = (0..self.shards.len())
-                .map(|i| self.shard_snapshot(i))
-                .collect();
+            let mut snaps: Vec<CheckpointImage> = Vec::with_capacity(self.shards.len());
+            for (i, shard) in self.shards.iter().enumerate() {
+                match &shard.ooc {
+                    None => snaps.push(CheckpointImage::Resident(self.shard_snapshot(i))),
+                    Some(state) => {
+                        // Write back every dirty frame and fsync, then copy
+                        // the complete paged file as the image. Ingest is
+                        // gated and the flush barrier above drained the
+                        // writer, so the file cannot move underneath.
+                        state.tree.flush()?;
+                        snaps.push(CheckpointImage::Disk(std::fs::read(&state.path)?));
+                    }
+                }
+            }
             (lsn, start_seq, snaps)
         };
         // Phase 2 (ingest running again): serialize the images, then commit.
         // A crash anywhere in here recovers through the *previous*
         // checkpoint — the old manifest and segments are still intact.
-        for (i, snap) in snaps.iter().enumerate() {
+        for (i, snap) in snaps.into_iter().enumerate() {
+            let bytes = match snap {
+                CheckpointImage::Resident(tree) => tree.to_bytes(),
+                CheckpointImage::Disk(bytes) => bytes,
+            };
             wal.fs.write_atomic(
                 &wal.dir.join(checkpoint_file_name(lsn, Some(i as u32))),
-                &snap.to_bytes(),
+                &bytes,
             )?;
         }
         {
@@ -860,17 +1077,31 @@ impl ShardedDcTree {
         if let Some(wal) = &self.wal {
             let _ = wal.writer.lock().sync();
         }
+        // Disk shards: leave a complete on-disk image behind (writers are
+        // joined, so nothing mutates underneath the flush).
+        for shard in &self.shards {
+            if let Some(state) = &shard.ooc {
+                let _ = state.tree.flush();
+            }
+        }
     }
 
-    /// The published snapshot of one shard (primarily for tests and tools).
+    /// The published snapshot of one shard (primarily for tests and
+    /// tools). Disk-backed shards publish no snapshots — this returns
+    /// their empty placeholder; query through the engine instead.
     pub fn shard_snapshot(&self, shard: usize) -> Arc<DcTree> {
         Arc::clone(&self.shards[shard].snapshot.read())
     }
 
-    /// Total records across the published shard snapshots.
+    /// Total records across the shards (published snapshots, or the live
+    /// disk trees in disk mode).
     pub fn len(&self) -> u64 {
-        (0..self.shards.len())
-            .map(|i| self.shard_snapshot(i).len())
+        self.shards
+            .iter()
+            .map(|s| match &s.ooc {
+                Some(state) => state.tree.len(),
+                None => s.snapshot.read().len(),
+            })
             .sum()
     }
 
@@ -961,6 +1192,9 @@ impl ShardedDcTree {
     /// I/O counters, so concurrent queries make it a heuristic, not an
     /// exact cost).
     fn descend(&self, range: &Mds) -> DcResult<(MeasureSummary, u64)> {
+        if self.is_disk() {
+            return self.descend_ooc(range);
+        }
         let parts = self.eval_shards(range, self.paper_mode, |snap, q| {
             let r0 = snap.io_stats().reads;
             let summary = snap.range_summary_prepared(q)?;
@@ -1040,6 +1274,54 @@ impl ShardedDcTree {
         }
     }
 
+    /// The disk-mode twin of [`Self::descend`]: merges the shard answers
+    /// and the buffer-pool page *touches* the descents cost (hot or cold —
+    /// the currency the cost model estimates in).
+    fn descend_ooc(&self, range: &Mds) -> DcResult<(MeasureSummary, u64)> {
+        let parts = self.eval_shards_ooc(range, self.paper_mode, |tree, q| {
+            tree.range_summary_prepared(q)
+        })?;
+        let mut total = MeasureSummary::empty();
+        let mut pages = 0;
+        for (part, p) in &parts {
+            total.merge(part);
+            pages += p;
+        }
+        Ok((total, pages))
+    }
+
+    /// Evaluates `eval` against every relevant disk shard, sequentially,
+    /// under each shard's read lock (the pooled store is internally
+    /// concurrent; the lock only orders a query against whole writer
+    /// batches). Returns each shard's result plus its pool-touch delta —
+    /// heuristic under concurrent queries, same as the resident counters.
+    fn eval_shards_ooc<R>(
+        &self,
+        range: &Mds,
+        paper_mode: bool,
+        mut eval: impl FnMut(&PagedDcTree<OocStore>, &PreparedRange) -> DcResult<R>,
+    ) -> DcResult<Vec<(R, u64)>> {
+        let prepared = self
+            .catalog
+            .with_schema(|schema| PreparedRange::with_mode(schema, range, paper_mode))?;
+        let catalog_values = self.catalog.with_schema(schema_total_values);
+        let mut out = Vec::with_capacity(self.shards.len());
+        for s in self.relevant_shards(range)? {
+            let state = self.shards[s].ooc.as_ref().expect("disk-mode shard");
+            let tree = state.tree.read();
+            if !shard_covers(range, tree.schema(), catalog_values) {
+                continue;
+            }
+            self.metrics.shard_visits.fetch_add(1, Relaxed);
+            let p0 = state.tree.pool_stats();
+            let r = eval(&tree, &prepared)?;
+            let p1 = state.tree.pool_stats();
+            let pages = (p1.hits + p1.misses).saturating_sub(p0.hits + p0.misses);
+            out.push((r, pages));
+        }
+        Ok(out)
+    }
+
     /// One aggregate over `range` (`None` when the op is undefined on an
     /// empty selection, e.g. `AVG`). SUM/COUNT/AVG tolerate cache entries
     /// whose extrema were degraded by deletes; MIN/MAX do not.
@@ -1064,9 +1346,18 @@ impl ShardedDcTree {
         let t0 = Instant::now();
         // `DcTree::group_by` always prepares in the sound containment mode,
         // so the shared preparation does too.
-        let parts = self.eval_shards(filter, false, move |snap, q| {
-            snap.group_by_prepared(dim, level, q)
-        })?;
+        let parts: Vec<Vec<(ValueId, MeasureSummary)>> = if self.is_disk() {
+            self.eval_shards_ooc(filter, false, |tree, q| {
+                tree.group_by_prepared(dim, level, q)
+            })?
+            .into_iter()
+            .map(|(groups, _)| groups)
+            .collect()
+        } else {
+            self.eval_shards(filter, false, move |snap, q| {
+                snap.group_by_prepared(dim, level, q)
+            })?
+        };
         let mut merged: BTreeMap<ValueId, MeasureSummary> = BTreeMap::new();
         for groups in parts {
             for (value, summary) in groups {
@@ -1149,6 +1440,15 @@ impl ShardedDcTree {
     /// hook; it bypasses the cache and the planner counters.
     pub fn compare_backends(&self, stmt: &ParsedStatement) -> DcResult<BackendComparison> {
         let plan = LogicalPlan::from_statement(stmt);
+        if self.is_disk() {
+            // Descent is the only backend disk shards maintain; the
+            // comparison degenerates to one execution.
+            let (out, _) = self.run_planned_ooc(&plan, None)?;
+            return Ok(BackendComparison {
+                outputs: vec![(Backend::Descend, out.clone())],
+                chosen: out,
+            });
+        }
         // Sound containment mode: every backend must agree bit-for-bit.
         let prepared = self
             .catalog
@@ -1216,14 +1516,25 @@ impl ShardedDcTree {
         Ok(BackendComparison { outputs, chosen })
     }
 
+    /// One shard's current planner statistics, whichever storage mode
+    /// published them.
+    fn shard_stats(&self, s: usize) -> PartitionStats {
+        match &self.shards[s].ooc {
+            Some(state) => state.stats.read().clone(),
+            None => self.shards[s].plan.read().stats.clone(),
+        }
+    }
+
     /// `true` when the cost model picks descent on every relevant shard
     /// (the cheap pre-check behind [`Self::execute`]'s cache delegation).
+    /// Trivially true in disk mode: descent is the only backend there, so
+    /// scalar planned queries keep flowing through the aggregate cache.
     fn all_shards_pick_descend(&self, plan: &LogicalPlan) -> DcResult<bool> {
         for s in self.relevant_shards(&plan.filter)? {
-            let state = Arc::clone(&self.shards[s].plan.read());
+            let stats = self.shard_stats(s);
             let picked = self
                 .catalog
-                .with_schema(|schema| choose(schema, plan, &state.stats).backend);
+                .with_schema(|schema| choose(schema, plan, &stats).backend);
             if picked != Backend::Descend {
                 return Ok(false);
             }
@@ -1239,6 +1550,9 @@ impl ShardedDcTree {
         plan: &LogicalPlan,
         force: Option<Backend>,
     ) -> DcResult<(QueryOutput, Explain)> {
+        if self.is_disk() {
+            return self.run_planned_ooc(plan, force);
+        }
         // `group_by` decomposes containment per group, which the paper-mode
         // shortcut does not model — grouped plans always prepare soundly.
         let paper = self.paper_mode && plan.group_by.is_none();
@@ -1294,6 +1608,65 @@ impl ShardedDcTree {
         Ok((out, Explain::from_shards(frags)))
     }
 
+    /// The disk-mode planned path. Disk shards maintain only the DC-tree,
+    /// so every shard runs descent; the value of planning here is the
+    /// estimate itself — `choose` prices the descent with the observed
+    /// buffer-pool miss rate (see `dc_plan::cold_factor`), and EXPLAIN
+    /// reports estimated vs. measured pool touches per shard.
+    fn run_planned_ooc(
+        &self,
+        plan: &LogicalPlan,
+        force: Option<Backend>,
+    ) -> DcResult<(QueryOutput, Explain)> {
+        if force.is_some_and(|b| b != Backend::Descend) {
+            return Err(DcError::Config(
+                "disk-backed shards only maintain the DC-tree descent backend".into(),
+            ));
+        }
+        let paper = self.paper_mode && plan.group_by.is_none();
+        let prepared = self
+            .catalog
+            .with_schema(|s| PreparedRange::with_mode(s, &plan.filter, paper))?;
+        let catalog_values = self.catalog.with_schema(schema_total_values);
+        let mut out = QueryOutput::empty(plan.group_by.is_some());
+        let mut frags = Vec::new();
+        for s in self.relevant_shards(&plan.filter)? {
+            let state = self.shards[s].ooc.as_ref().expect("disk-mode shard");
+            let tree = state.tree.read();
+            if !shard_covers(&plan.filter, tree.schema(), catalog_values) {
+                frags.push(ShardExplain {
+                    shard: s,
+                    backend: Backend::Descend,
+                    est_pages: 0.0,
+                    actual_pages: None,
+                });
+                continue;
+            }
+            self.metrics.shard_visits.fetch_add(1, Relaxed);
+            let stats = state.stats.read().clone();
+            let est_pages = self
+                .catalog
+                .with_schema(|schema| choose(schema, plan, &stats).est_pages);
+            let p0 = state.tree.pool_stats();
+            let part = match plan.group_by {
+                None => QueryOutput::Scalar(tree.range_summary_prepared(&prepared)?),
+                Some((dim, level)) => {
+                    QueryOutput::Grouped(tree.group_by_prepared(dim, level, &prepared)?)
+                }
+            };
+            let p1 = state.tree.pool_stats();
+            let pages = (p1.hits + p1.misses).saturating_sub(p0.hits + p0.misses);
+            out.merge(&part);
+            frags.push(ShardExplain {
+                shard: s,
+                backend: Backend::Descend,
+                est_pages,
+                actual_pages: Some(pages),
+            });
+        }
+        Ok((out, Explain::from_shards(frags)))
+    }
+
     /// Folds one planned query's explain record into the `plan` counters.
     fn note_plan_metrics(&self, explain: &Explain) {
         let pm = &self.metrics.plan;
@@ -1311,8 +1684,16 @@ impl ShardedDcTree {
     /// The summary of the whole cube (merged shard totals).
     pub fn total_summary(&self) -> MeasureSummary {
         let mut total = MeasureSummary::empty();
-        for i in 0..self.shards.len() {
-            total.merge(&self.shard_snapshot(i).total_summary());
+        for (i, shard) in self.shards.iter().enumerate() {
+            match &shard.ooc {
+                Some(state) => total.merge(
+                    &state
+                        .tree
+                        .total_summary()
+                        .expect("disk shard total_summary failed"),
+                ),
+                None => total.merge(&self.shard_snapshot(i).total_summary()),
+            }
         }
         total
     }
@@ -1663,4 +2044,252 @@ fn publish(
         None => swap(),
     }
     deltas.clear();
+}
+
+/// Starts a disk-backed shard's writer thread. The structure mirrors
+/// [`spawn_writer`], with one crucial difference: there is no snapshot to
+/// swap. Instead the writer holds the shard's **write lock across the
+/// whole batch and the publish**, so readers (who take the read lock per
+/// query) observe pre- or post-batch state only — the same all-or-nothing
+/// visibility the snapshot swap gives resident shards.
+#[allow(clippy::too_many_arguments)]
+fn spawn_writer_ooc(
+    shard_id: usize,
+    state: Arc<OocShardState>,
+    rx: Receiver<Cmd>,
+    catalog: Arc<SchemaCatalog>,
+    metrics: Arc<EngineMetrics>,
+    batch_size: usize,
+    cache: Option<Arc<SharedCache>>,
+    wal: Option<Arc<DurableWal>>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("dc-shard-{shard_id}"))
+        .spawn(move || {
+            let shard_metrics = &metrics.shards[shard_id];
+            let mut replayed: u64 = 0;
+            let mut pending_flushes: Vec<Sender<()>> = Vec::new();
+            let mut deltas: Vec<CacheDelta> = Vec::new();
+            let mut shutting_down = false;
+            'outer: loop {
+                let first = match rx.recv() {
+                    Ok(cmd) => cmd,
+                    Err(_) => break 'outer,
+                };
+                let mut batch = vec![first];
+                while batch.len() < batch_size {
+                    match rx.try_recv() {
+                        Ok(cmd) => batch.push(cmd),
+                        Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+                    }
+                }
+                let mut mutated = false;
+                {
+                    let mut tree = state.tree.write();
+                    for cmd in batch {
+                        apply_ooc(
+                            cmd,
+                            &mut tree,
+                            &catalog,
+                            &metrics,
+                            shard_id,
+                            &mut replayed,
+                            &mut mutated,
+                            &mut pending_flushes,
+                            &mut shutting_down,
+                            cache.is_some().then_some(&mut deltas),
+                        );
+                    }
+                    if shutting_down {
+                        while let Ok(cmd) = rx.try_recv() {
+                            apply_ooc(
+                                cmd,
+                                &mut tree,
+                                &catalog,
+                                &metrics,
+                                shard_id,
+                                &mut replayed,
+                                &mut mutated,
+                                &mut pending_flushes,
+                                &mut shutting_down,
+                                cache.is_some().then_some(&mut deltas),
+                            );
+                        }
+                    }
+                    if mutated || !pending_flushes.is_empty() {
+                        publish_ooc(
+                            &tree,
+                            &state,
+                            &metrics,
+                            shard_id,
+                            cache.as_deref(),
+                            &mut deltas,
+                        );
+                    }
+                    // The write lock drops here: the batch and its cache
+                    // version bump become visible together.
+                }
+                if let Some(wal) = wal.as_ref().filter(|w| w.group_commit) {
+                    if mutated || !pending_flushes.is_empty() {
+                        let _ = wal.writer.lock().group_commit();
+                    }
+                }
+                for ack in pending_flushes.drain(..) {
+                    let _ = ack.send(());
+                }
+                if shutting_down {
+                    break 'outer;
+                }
+            }
+            shard_metrics.queue_depth.store(0, Relaxed);
+        })
+        .expect("spawn shard writer")
+}
+
+/// Applies one command to a disk-backed shard tree (the [`apply`] twin;
+/// no aux engines — disk shards maintain descent only). Mutations go
+/// through the buffer pool, so an `Err` here is real disk I/O failure:
+/// the writer panics, poisoning the shard the same way a resident
+/// writer's impossible-error `expect`s would.
+#[allow(clippy::too_many_arguments)]
+fn apply_ooc(
+    cmd: Cmd,
+    tree: &mut PagedDcTree<OocStore>,
+    catalog: &SchemaCatalog,
+    metrics: &EngineMetrics,
+    shard_id: usize,
+    replayed: &mut u64,
+    mutated: &mut bool,
+    pending_flushes: &mut Vec<Sender<()>>,
+    shutting_down: &mut bool,
+    deltas: Option<&mut Vec<CacheDelta>>,
+) {
+    let shard_metrics = &metrics.shards[shard_id];
+    match cmd {
+        Cmd::Insert { record, epoch } => {
+            let t0 = Instant::now();
+            replay_catalog_ooc(tree, catalog, replayed, epoch);
+            if let Some(deltas) = deltas {
+                deltas.push(CacheDelta {
+                    record: record.clone(),
+                    delete: false,
+                });
+            }
+            tree.insert(record).expect("disk shard insert I/O failed");
+            metrics.apply_latency.record(t0.elapsed());
+            shard_metrics.queue_depth.fetch_sub(1, Relaxed);
+            shard_metrics.applied.fetch_add(1, Relaxed);
+            *mutated = true;
+        }
+        Cmd::Delete { record, epoch } => {
+            let t0 = Instant::now();
+            replay_catalog_ooc(tree, catalog, replayed, epoch);
+            let removed = tree.delete(&record).expect("disk shard delete I/O failed");
+            if removed {
+                if let Some(deltas) = deltas {
+                    deltas.push(CacheDelta {
+                        record,
+                        delete: true,
+                    });
+                }
+            }
+            metrics.apply_latency.record(t0.elapsed());
+            shard_metrics.queue_depth.fetch_sub(1, Relaxed);
+            shard_metrics.applied.fetch_add(1, Relaxed);
+            *mutated = true;
+        }
+        Cmd::Flush(ack) => pending_flushes.push(ack),
+        Cmd::Catchup { epoch } => {
+            replay_catalog_ooc(tree, catalog, replayed, epoch);
+            // Force a publish; the checkpoint path then flushes the file,
+            // which must carry the caught-up schema.
+            *mutated = true;
+        }
+        Cmd::Shutdown => *shutting_down = true,
+    }
+}
+
+/// [`replay_catalog`] for a disk-backed shard tree.
+fn replay_catalog_ooc(
+    tree: &mut PagedDcTree<OocStore>,
+    catalog: &SchemaCatalog,
+    replayed: &mut u64,
+    epoch: u64,
+) {
+    if *replayed >= epoch {
+        return;
+    }
+    for entry in catalog.entries(*replayed, epoch) {
+        tree.intern_paths(&entry)
+            .expect("disk shard catalog replay I/O failed");
+    }
+    *replayed = epoch;
+}
+
+/// The disk-mode publish: refreshes the shard's planner statistics and
+/// gauges, and (with a cache) applies the batch's deltas under the cache
+/// lock. The caller still holds the shard write lock, so the cache version
+/// bump and the batch become visible to readers atomically — a reader that
+/// observed the pre-batch tree can never pair its answer with the
+/// post-batch cache version, and vice versa.
+fn publish_ooc(
+    tree: &PagedDcTree<OocStore>,
+    state: &OocShardState,
+    metrics: &EngineMetrics,
+    shard_id: usize,
+    cache: Option<&SharedCache>,
+    deltas: &mut Vec<CacheDelta>,
+) {
+    let stats = capture_ooc_stats(tree, state.tree.pool());
+    let pool = state.tree.pool_stats();
+    let shard_metrics = &metrics.shards[shard_id];
+    shard_metrics.snapshot_records.store(tree.len(), Relaxed);
+    shard_metrics
+        .io_reads
+        .store(pool.hits + pool.misses, Relaxed);
+    shard_metrics.io_writes.store(pool.writebacks, Relaxed);
+    shard_metrics
+        .snapshot_published_at
+        .store(metrics.now_nanos().max(1), Relaxed);
+    let swap = move || {
+        *state.stats.write() = stats;
+    };
+    match cache {
+        Some(cache) => {
+            let (cstats, ()) = cache.publish(tree.schema(), deltas, swap);
+            metrics.cache.patches.fetch_add(cstats.patches, Relaxed);
+            metrics
+                .cache
+                .invalidations
+                .fetch_add(cstats.invalidations, Relaxed);
+        }
+        None => swap(),
+    }
+    deltas.clear();
+}
+
+/// Publish-time [`PartitionStats`] for a disk-backed shard: tree shape
+/// plus the observed buffer-pool miss rate the cost model converts into a
+/// cold-fetch multiplier. A pool with no history prices fully cold — the
+/// conservative prior for freshly opened shards.
+fn capture_ooc_stats(
+    tree: &PagedDcTree<OocStore>,
+    pool: &dc_oocore::ConcurrentPool,
+) -> PartitionStats {
+    let p = pool.stats();
+    let touches = p.hits + p.misses;
+    PartitionStats {
+        records: tree.len(),
+        tree_nodes: tree.num_nodes() as usize,
+        tree_height: tree.height().unwrap_or(1),
+        records_per_block: FlatTable::for_schema(BlockConfig::DEFAULT, tree.schema())
+            .records_per_block(),
+        disk_resident: true,
+        pool_miss_rate: if touches == 0 {
+            1.0
+        } else {
+            p.misses as f64 / touches as f64
+        },
+        ..PartitionStats::default()
+    }
 }

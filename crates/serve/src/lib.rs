@@ -84,11 +84,14 @@ pub mod server;
 pub use catalog::SchemaCatalog;
 pub use dc_cache::CacheConfig;
 pub use dc_durable::{StdFs, SyncPolicy, WalFs};
+pub use dc_oocore::OocOptions;
 pub use dc_plan::{Backend, Explain, QueryOutput};
 pub use engine::{
-    BackendComparison, EngineConfig, PartitionPolicy, PlannerOptions, ShardedDcTree, WalOptions,
+    BackendComparison, DiskOptions, EngineConfig, PartitionPolicy, PlannerOptions, ShardedDcTree,
+    StorageMode, WalOptions,
 };
 pub use metrics::{
-    CacheMetrics, DurabilityMetrics, EngineMetrics, LatencyHistogram, PlanMetrics, PoolMetrics,
+    BufferPoolMetrics, CacheMetrics, DurabilityMetrics, EngineMetrics, LatencyHistogram,
+    PlanMetrics, PoolMetrics,
 };
 pub use server::{serve, ServerConfig, ServerHandle};

@@ -187,6 +187,29 @@ impl PlanMetrics {
     }
 }
 
+/// Buffer-pool observability (`dc-oocore`): aggregated over every shard's
+/// pool when the engine runs disk-backed ([`StorageMode::Disk`]
+/// (crate::StorageMode::Disk)). All zero — and the STATS section absent —
+/// in RAM-resident mode. Refreshed from the pools by
+/// [`crate::ShardedDcTree::stats_json`] and at each snapshot publish.
+#[derive(Default)]
+pub struct BufferPoolMetrics {
+    /// `1` once the engine runs disk-backed (gates the STATS section).
+    pub enabled: AtomicU64,
+    /// Page touches served from a resident frame.
+    pub hits: AtomicU64,
+    /// Page touches that went to disk.
+    pub misses: AtomicU64,
+    /// Frames dropped to make room.
+    pub evictions: AtomicU64,
+    /// Dirty frames written back (on eviction or flush).
+    pub writebacks: AtomicU64,
+    /// Frames currently resident, summed over shards (gauge).
+    pub resident: AtomicU64,
+    /// Total frame budget, summed over shards (gauge).
+    pub capacity: AtomicU64,
+}
+
 /// Durability observability: WAL writer counters, checkpoint counters, and
 /// what the opening recovery pass found. All zero when no WAL is
 /// configured.
@@ -242,6 +265,8 @@ pub struct EngineMetrics {
     /// WAL/checkpoint/recovery counters (all zero when no WAL is
     /// configured).
     pub durability: DurabilityMetrics,
+    /// Buffer-pool counters (all zero in RAM-resident mode).
+    pub buffer_pool: BufferPoolMetrics,
     /// One gauge block per shard.
     pub shards: Vec<ShardMetrics>,
 }
@@ -260,6 +285,7 @@ impl EngineMetrics {
             pool: PoolMetrics::default(),
             plan: PlanMetrics::default(),
             durability: DurabilityMetrics::default(),
+            buffer_pool: BufferPoolMetrics::default(),
             shards: (0..num_shards).map(|_| ShardMetrics::default()).collect(),
         }
     }
@@ -327,6 +353,9 @@ impl EngineMetrics {
         push_kv(&mut s, "pool", &self.pool_json());
         push_kv(&mut s, "plan", &self.plan_json());
         push_kv(&mut s, "durability", &self.durability_json());
+        if self.buffer_pool.enabled.load(Relaxed) != 0 {
+            push_kv(&mut s, "buffer_pool", &self.buffer_pool_json());
+        }
         s.push_str("\"shards\":[");
         for (i, sh) in self.shards.iter().enumerate() {
             if i > 0 {
@@ -451,6 +480,41 @@ impl EngineMetrics {
         push_kv(&mut s, "est_pages", &p.est_pages.load(Relaxed).to_string());
         s.push_str("\"actual_pages\":");
         s.push_str(&p.actual_pages.load(Relaxed).to_string());
+        s.push('}');
+        s
+    }
+
+    /// The `"buffer_pool"` sub-object of the STATS payload (disk mode only).
+    fn buffer_pool_json(&self) -> String {
+        let b = &self.buffer_pool;
+        let hits = b.hits.load(Relaxed);
+        let misses = b.misses.load(Relaxed);
+        let mut s = String::with_capacity(192);
+        s.push('{');
+        push_kv(&mut s, "pool_hits", &hits.to_string());
+        push_kv(&mut s, "pool_misses", &misses.to_string());
+        push_kv(
+            &mut s,
+            "pool_hit_rate",
+            &format!("{:.3}", hits as f64 / (hits + misses).max(1) as f64),
+        );
+        push_kv(
+            &mut s,
+            "pool_evictions",
+            &b.evictions.load(Relaxed).to_string(),
+        );
+        push_kv(
+            &mut s,
+            "pool_writebacks",
+            &b.writebacks.load(Relaxed).to_string(),
+        );
+        push_kv(
+            &mut s,
+            "pool_resident",
+            &b.resident.load(Relaxed).to_string(),
+        );
+        s.push_str("\"pool_capacity\":");
+        s.push_str(&b.capacity.load(Relaxed).to_string());
         s.push('}');
         s
     }
@@ -608,6 +672,25 @@ mod tests {
         assert!(json.contains("\"checkpoints\":2"));
         assert!(json.contains("\"recovery_replayed_entries\":4"));
         assert!(json.contains("\"recovery_truncated_bytes\":0"));
+    }
+
+    #[test]
+    fn buffer_pool_block_is_gated_on_disk_mode() {
+        let m = EngineMetrics::new(1);
+        // RAM-resident engines never show the section (client.rs tolerates
+        // its absence; this keeps resident STATS payloads unchanged).
+        assert!(!m.to_json().contains("\"buffer_pool\""));
+        m.buffer_pool.enabled.store(1, Relaxed);
+        m.buffer_pool.hits.store(30, Relaxed);
+        m.buffer_pool.misses.store(10, Relaxed);
+        m.buffer_pool.evictions.store(4, Relaxed);
+        m.buffer_pool.capacity.store(64, Relaxed);
+        let json = m.to_json();
+        assert!(json.contains("\"buffer_pool\":{\"pool_hits\":30"));
+        assert!(json.contains("\"pool_hit_rate\":0.750"));
+        assert!(json.contains("\"pool_evictions\":4"));
+        assert!(json.contains("\"pool_capacity\":64"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

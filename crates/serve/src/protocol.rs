@@ -51,10 +51,7 @@ pub fn handle_line(engine: &ShardedDcTree, line: &str) -> (String, Control) {
     let verb = line.split_whitespace().next().unwrap_or("");
     match verb.to_ascii_uppercase().as_str() {
         "PING" => ("OK PONG".into(), Control::Continue),
-        "STATS" => (
-            format!("OK {}", engine.metrics().to_json()),
-            Control::Continue,
-        ),
+        "STATS" => (format!("OK {}", engine.stats_json()), Control::Continue),
         "FLUSH" => {
             engine.flush();
             ("OK FLUSHED".into(), Control::Continue)

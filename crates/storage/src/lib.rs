@@ -27,7 +27,7 @@ pub mod io;
 pub mod paged;
 
 pub use block::BlockConfig;
-pub use buffer::{BufferPool, PoolStats};
+pub use buffer::{BufferPool, PinGuard, PoolStats};
 pub use cachesim::{CacheReport, CacheSim};
 pub use codec::{crc32, ByteReader, ByteWriter};
 pub use io::{IoStats, IoTracker};

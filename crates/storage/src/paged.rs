@@ -86,7 +86,26 @@ impl PagedFile {
         }
         pf.num_pages = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
         pf.free_head = u64::from_le_bytes(header[24..32].try_into().expect("8 bytes"));
+        if pf.num_pages == 0 {
+            return Err(DcError::Corrupt(
+                "paged file header claims zero pages".into(),
+            ));
+        }
+        pf.check_free_link(pf.free_head)?;
         Ok(pf)
+    }
+
+    /// Validates a free-list link read from disk: either the end-of-list
+    /// sentinel or a data-page id. Following a corrupt link would silently
+    /// hand out the header page or read past the file.
+    fn check_free_link(&self, link: u64) -> DcResult<()> {
+        if link != NO_PAGE && (link == 0 || link >= self.num_pages) {
+            return Err(DcError::Corrupt(format!(
+                "free-list link {link} out of bounds ({} pages)",
+                self.num_pages
+            )));
+        }
+        Ok(())
     }
 
     /// The page size in bytes.
@@ -137,7 +156,9 @@ impl PagedFile {
         let id = if self.free_head != NO_PAGE {
             let head = self.free_head;
             let page = self.read_page_raw(head)?;
-            self.free_head = u64::from_le_bytes(page[0..8].try_into().expect("8 bytes"));
+            let next = u64::from_le_bytes(page[0..8].try_into().expect("8 bytes"));
+            self.check_free_link(next)?;
+            self.free_head = next;
             // Zero the recycled page so stale free-list links (or old
             // content) never leak to the new owner.
             self.write_page_raw(head, &vec![0u8; self.block.block_size])?;
@@ -159,6 +180,12 @@ impl PagedFile {
     /// Panics on an attempt to free the header page.
     pub fn free(&mut self, id: PageId) -> DcResult<()> {
         assert_ne!(id.0, 0, "cannot free the header page");
+        if id.0 >= self.num_pages {
+            return Err(DcError::Corrupt(format!(
+                "freeing page {} beyond the file ({} pages)",
+                id.0, self.num_pages
+            )));
+        }
         let mut page = vec![0u8; self.block.block_size];
         page[0..8].copy_from_slice(&self.free_head.to_le_bytes());
         self.write_page_raw(id.0, &page)?;
@@ -283,6 +310,63 @@ mod tests {
         }
         assert_eq!(f.num_pages(), 6); // header + 5, never grew past that
         std::fs::remove_file(&path).ok();
+    }
+
+    /// Regression test for free-list handling across reopen: a page freed
+    /// before close must be the first one handed out after reopen, instead
+    /// of the file growing a new page.
+    #[test]
+    fn alloc_free_reopen_alloc_reuses_freed_page() {
+        let path = tmp("freelist-reopen");
+        let freed;
+        let pages_before;
+        {
+            let mut f = PagedFile::create(&path, BlockConfig::new(128)).unwrap();
+            let _keep = f.alloc().unwrap();
+            freed = f.alloc().unwrap();
+            f.free(freed).unwrap();
+            pages_before = f.num_pages();
+            f.sync().unwrap();
+        }
+        let mut f = PagedFile::open(&path, BlockConfig::new(128)).unwrap();
+        let reused = f.alloc().unwrap();
+        assert_eq!(reused, freed, "freed page is reused after reopen");
+        assert_eq!(
+            f.num_pages(),
+            pages_before,
+            "the file must not grow while the free list is non-empty"
+        );
+        // The recycled page comes back zeroed, not carrying its old link.
+        assert_eq!(f.read(reused).unwrap(), vec![0u8; 128]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_free_list_links_are_checked_errors() {
+        let path = tmp("freelist-corrupt");
+        {
+            let mut f = PagedFile::create(&path, BlockConfig::new(128)).unwrap();
+            let a = f.alloc().unwrap();
+            f.free(a).unwrap();
+            f.sync().unwrap();
+        }
+        // Smash the header's free_head to point past the file.
+        {
+            use std::io::{Seek, SeekFrom, Write};
+            let mut raw = OpenOptions::new().write(true).open(&path).unwrap();
+            raw.seek(SeekFrom::Start(24)).unwrap();
+            raw.write_all(&999u64.to_le_bytes()).unwrap();
+        }
+        assert!(matches!(
+            PagedFile::open(&path, BlockConfig::new(128)),
+            Err(DcError::Corrupt(_))
+        ));
+        // Out-of-bounds frees are rejected too.
+        let path2 = tmp("freelist-badfree");
+        let mut f = PagedFile::create(&path2, BlockConfig::new(128)).unwrap();
+        assert!(matches!(f.free(PageId(42)), Err(DcError::Corrupt(_))));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&path2).ok();
     }
 
     #[test]

@@ -89,6 +89,9 @@ fn main() -> std::io::Result<()> {
     print_section(&stats, "cache", "aggregate cache");
     print_section(&stats, "pool", "query pool");
     print_section(&stats, "plan", "query planner");
+    // Only present when the server runs disk-backed shards
+    // (StorageMode::Disk); resident servers skip it silently.
+    print_section(&stats, "buffer_pool", "buffer pool");
 
     if let Some((engine, handle)) = hosted {
         request("SHUTDOWN")?;

@@ -30,6 +30,7 @@
 //! | [`durable`] | `dc-durable` | write-ahead log, checkpoints, crash recovery |
 //! | [`cache`] | `dc-cache` | semantic aggregate cache with write-through delta maintenance |
 //! | [`serve`] | `dc-serve` | sharded concurrent serving engine + dc-ql TCP front-end |
+//! | [`oocore`] | `dc-oocore` | out-of-core shards: concurrent scan-resistant buffer pool, compressed node pages |
 
 pub use dc_bitmap as bitmap;
 pub use dc_cache as cache;
@@ -38,6 +39,7 @@ pub use dc_durable as durable;
 pub use dc_hierarchy as hierarchy;
 pub use dc_mds as mds;
 pub use dc_mview as mview;
+pub use dc_oocore as oocore;
 pub use dc_plan as plan;
 pub use dc_ql as ql;
 pub use dc_query as query;
@@ -54,7 +56,9 @@ pub use dc_common::{
 };
 pub use dc_hierarchy::{ConceptHierarchy, CubeSchema, HierarchySchema, Record};
 pub use dc_mds::{DimSet, Mds};
-pub use dc_serve::{EngineConfig, PartitionPolicy, ShardedDcTree, SyncPolicy, WalOptions};
+pub use dc_serve::{
+    DiskOptions, EngineConfig, PartitionPolicy, ShardedDcTree, StorageMode, SyncPolicy, WalOptions,
+};
 pub use dc_tree::{DcTree, DcTreeConfig};
 
 use parking_lot::RwLock;
