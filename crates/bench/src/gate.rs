@@ -45,6 +45,10 @@ pub const GATED_REPORTS: &[GateSpec] = &[
         file: "oocore_bench.json",
         keys: &["mean_query_us"],
     },
+    GateSpec {
+        file: "replication_bench.json",
+        keys: &["catchup_ms", "mean_lag_ms", "promotion_ms"],
+    },
 ];
 
 /// One comparison that exceeded the allowed regression.

@@ -36,10 +36,17 @@
 //!
 //! [`DcTree`]: dc_tree::DcTree
 
+//!
+//! The [`ship`] module is the read side of replication: it serves a WAL
+//! directory's live segments (clean prefixes only, LSN-continuous or a
+//! `NeedCheckpoint` redirect — never a silent gap) and checkpoint bundles
+//! to followers, concurrently with the writer.
+
 #[cfg(feature = "fault-injection")]
 pub mod fault;
 pub mod fs;
 pub mod segment;
+pub mod ship;
 pub mod tree;
 pub mod wal;
 
@@ -50,5 +57,6 @@ pub use segment::{
     checkpoint_file_name, parse_checkpoint_file_name, parse_segment_file_name, segment_file_name,
     Manifest, MANIFEST_FILE, SEGMENT_HEADER_LEN,
 };
+pub use ship::{fetch_checkpoint, fetch_segments, CheckpointBundle, FetchOutcome, SegmentShipment};
 pub use tree::{apply, DurabilityConfig, DurableDcTree, RecoveryReport};
 pub use wal::{SyncPolicy, WalConfig, WalEntry, WalReader, WalWriter, WalWriterStats};

@@ -448,7 +448,7 @@ impl WalReader {
 /// checkpoint_lsn` are skipped (already baked into the checkpoint); the
 /// rest are appended to `entries`. Returns `(frames_kept, clean_len,
 /// next_lsn)`, where `clean_len` is the byte length of the valid prefix.
-fn scan_frames(
+pub(crate) fn scan_frames(
     bytes: &[u8],
     first_lsn: u64,
     checkpoint_lsn: u64,

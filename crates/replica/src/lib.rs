@@ -1,0 +1,41 @@
+//! # dc-replica
+//!
+//! WAL segment-shipping replication for the DC-tree serving engine.
+//!
+//! The paper's index promises a warehouse without maintenance windows; a
+//! real deployment also wants one without *read downtime* — reporting
+//! replicas that absorb query load and a failover path when the primary
+//! dies. This crate adds both on top of `dc-durable`'s segmented WAL and
+//! `dc-serve`'s sharded engine, without touching the write path: the WAL
+//! the primary already writes for durability *is* the replication stream.
+//!
+//! * A primary ([`dc_serve::EngineRole::Primary`] with a WAL) serves its
+//!   log through [`dc_durable::ship`]: checkpoint bundles for bootstrap,
+//!   LSN-continuous segment runs for tailing — over three transports
+//!   ([`EngineSource`] in-process, [`DirSource`] shared directory,
+//!   [`TcpSource`] via the dc-serve wire verbs `FETCH_CHECKPOINT` /
+//!   `FETCH_SEGMENTS`).
+//! * A [`Follower`] mirrors those bytes into a local directory (fsynced
+//!   before apply, so the mirror always recovers to the applied prefix),
+//!   applies the entries to a read-only [`dc_serve::ShardedDcTree`], and
+//!   serves snapshot reads with **read-your-LSN** freshness: a client
+//!   that wrote through the primary at LSN `n` issues `WAIT_LSN n` (or
+//!   prefixes a query with `MIN_LSN n`) on the follower and then reads
+//!   its own write.
+//! * Failover is [`Follower::promote`] (or [`promote_dir`] for a
+//!   crashed follower's directory): ordinary crash recovery seals any
+//!   torn tail, and the directory reopens as a writable primary at the
+//!   next LSN — the same code path every crash test in the workspace
+//!   already exercises.
+//!
+//! If the primary checkpoints and GC's segments past a lagging
+//! follower's position, the fetch redirects (`NeedCheckpoint`) and the
+//! follower resyncs from the latest bundle — never a silent gap
+//! (property-tested in `tests/gc_continuity.rs`, fault-tested in
+//! `tests/fault_points.rs`).
+
+pub mod follower;
+pub mod source;
+
+pub use follower::{promote_dir, Follower, FollowerConfig, Progress};
+pub use source::{DirSource, EngineSource, LogSource, TcpSource};

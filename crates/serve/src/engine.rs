@@ -8,7 +8,7 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use dc_bitmap::BitmapIndex;
 use dc_cache::{CacheConfig, CacheDelta, Lookup, SharedCache};
@@ -16,8 +16,8 @@ use dc_common::{
     AggregateOp, DcError, DcResult, DimensionId, Level, Measure, MeasureSummary, ValueId,
 };
 use dc_durable::{
-    checkpoint_file_name, parse_checkpoint_file_name, StdFs, SyncPolicy, WalConfig, WalEntry,
-    WalFs, WalReader, WalWriter,
+    checkpoint_file_name, parse_checkpoint_file_name, ship, CheckpointBundle, FetchOutcome, StdFs,
+    SyncPolicy, WalConfig, WalEntry, WalFs, WalReader, WalWriter,
 };
 use dc_hierarchy::{ConceptHierarchy, CubeSchema, Record};
 use dc_mds::Mds;
@@ -30,7 +30,7 @@ use dc_ql::ParsedStatement;
 use dc_scan::FlatTable;
 use dc_storage::BlockConfig;
 use dc_tree::{DcTree, DcTreeConfig, PagedDcTree, PreparedRange};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::catalog::SchemaCatalog;
 use crate::metrics::EngineMetrics;
@@ -53,6 +53,23 @@ pub enum PartitionPolicy {
         /// The hierarchy level whose values are distributed over shards.
         level: Level,
     },
+}
+
+/// Whether the engine accepts writes or replicates them from a primary.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum EngineRole {
+    /// The single writable engine: mutations are logged to its WAL, and
+    /// followers fetch its segments. The default — a standalone engine is
+    /// just a primary nobody replicates.
+    #[default]
+    Primary,
+    /// A read-only replica fed by `dc-replica`: ingest is rejected, state
+    /// advances only through [`ShardedDcTree::apply_replicated`], and
+    /// promotion (reopening the replicated WAL directory as a `Primary`)
+    /// is how it becomes writable. Requires [`EngineConfig::wal`] — the
+    /// follower recovers its starting state from the replicated directory,
+    /// but opens no WAL writer of its own.
+    Follower,
 }
 
 /// Write-ahead-log options for a durable engine.
@@ -200,6 +217,8 @@ pub struct EngineConfig {
     /// through `dc-oocore`'s buffer pool. Disk mode maintains only the
     /// DC-tree backend, so it rejects [`EngineConfig::planner`] engines.
     pub storage: StorageMode,
+    /// Writable primary (default) or read-only replication follower.
+    pub role: EngineRole,
 }
 
 impl Default for EngineConfig {
@@ -217,6 +236,7 @@ impl Default for EngineConfig {
             cache: Some(CacheConfig::default()),
             planner: None,
             storage: StorageMode::default(),
+            role: EngineRole::default(),
         }
     }
 }
@@ -255,6 +275,15 @@ struct DurableWal {
     /// Serializes checkpoints; `try_lock` makes concurrent auto-checkpoint
     /// attempts cheap no-ops.
     checkpoint_lock: Mutex<()>,
+}
+
+/// The engine's replication frontier: its role and the highest LSN it has
+/// applied (logged, on a primary; replicated, on a follower), guarded by a
+/// condvar so `WAIT_LSN` waiters block instead of polling.
+struct ReplState {
+    role: EngineRole,
+    applied: Mutex<u64>,
+    caught_up: Condvar,
 }
 
 /// What the checkpointer captured for one shard in phase 1: a resident
@@ -469,6 +498,8 @@ pub struct ShardedDcTree {
     /// checkpoint path holds it for write, so its LSN capture sees no
     /// half-enqueued mutation.
     ingest_gate: RwLock<()>,
+    /// Role and applied-LSN frontier (see [`ReplState`]).
+    repl: ReplState,
 }
 
 impl ShardedDcTree {
@@ -479,6 +510,11 @@ impl ShardedDcTree {
     pub fn new(schema: CubeSchema, config: EngineConfig) -> DcResult<Self> {
         assert!(config.num_shards > 0, "need at least one shard");
         assert!(config.batch_size > 0, "batch_size must be positive");
+        if config.role == EngineRole::Follower && config.wal.is_none() {
+            return Err(DcError::Config(
+                "a follower recovers from a replicated WAL directory; set EngineConfig::wal".into(),
+            ));
+        }
         // Recover the WAL directory before anything is built: checkpoint
         // images decide the starting state of the catalog and the shards.
         let recovered = match &config.wal {
@@ -581,16 +617,6 @@ impl ShardedDcTree {
         let cache = config.cache.map(|c| Arc::new(SharedCache::new(c)));
         let wal = match (&config.wal, &recovered_fs, &recovered_scan) {
             (Some(opts), Some(fs), Some(scan)) => {
-                let writer = WalWriter::open(
-                    Arc::clone(fs),
-                    &opts.dir,
-                    WalConfig {
-                        segment_bytes: opts.segment_bytes,
-                        sync: opts.sync,
-                    },
-                    scan,
-                    config.num_shards as u32,
-                )?;
                 let d = &metrics.durability;
                 d.recovery_checkpoint_lsn
                     .store(scan.manifest.checkpoint_lsn, Relaxed);
@@ -598,18 +624,47 @@ impl ShardedDcTree {
                     .store(scan.entries.len() as u64, Relaxed);
                 d.recovery_truncated_bytes
                     .store(scan.truncated_bytes, Relaxed);
-                Some(Arc::new(DurableWal {
-                    writer: Mutex::new(writer),
-                    fs: Arc::clone(fs),
-                    dir: opts.dir.clone(),
-                    checkpoint_every: opts.checkpoint_every,
-                    group_commit: matches!(opts.sync, SyncPolicy::GroupCommitMs(_)),
-                    since_checkpoint: AtomicU64::new(0),
-                    checkpoint_lock: Mutex::new(()),
-                }))
+                if config.role == EngineRole::Follower {
+                    // A follower only recovers from the replicated
+                    // directory; it appends nothing, so it opens no writer
+                    // (and must not: a local fresh segment would collide
+                    // with the next segment shipped from the primary).
+                    None
+                } else {
+                    let writer = WalWriter::open(
+                        Arc::clone(fs),
+                        &opts.dir,
+                        WalConfig {
+                            segment_bytes: opts.segment_bytes,
+                            sync: opts.sync,
+                        },
+                        scan,
+                        config.num_shards as u32,
+                    )?;
+                    Some(Arc::new(DurableWal {
+                        writer: Mutex::new(writer),
+                        fs: Arc::clone(fs),
+                        dir: opts.dir.clone(),
+                        checkpoint_every: opts.checkpoint_every,
+                        group_commit: matches!(opts.sync, SyncPolicy::GroupCommitMs(_)),
+                        since_checkpoint: AtomicU64::new(0),
+                        checkpoint_lock: Mutex::new(()),
+                    }))
+                }
             }
             _ => None,
         };
+        // The replication frontier starts at the recovered tip; the STATS
+        // section is gated on actually participating in replication (any
+        // WAL-backed engine can serve fetches; followers always count).
+        let recovered_lsn = recovered_scan.as_ref().map_or(0, |s| s.next_lsn - 1);
+        if config.wal.is_some() {
+            let r = &metrics.replication;
+            r.enabled.store(1, Relaxed);
+            r.follower
+                .store((config.role == EngineRole::Follower) as u64, Relaxed);
+            r.applied_lsn.store(recovered_lsn, Relaxed);
+        }
         let mut shards = Vec::with_capacity(config.num_shards);
         if let Some(ooc_trees) = ooc_trees {
             // Disk mode: queries lock the pooled tree directly, so the
@@ -708,6 +763,11 @@ impl ShardedDcTree {
             cache,
             wal,
             ingest_gate: RwLock::new(()),
+            repl: ReplState {
+                role: config.role,
+                applied: Mutex::new(recovered_lsn),
+                caught_up: Condvar::new(),
+            },
         };
         // Replay the recovered tail over the checkpoint state. The entries
         // are already durable in their segments, so they are NOT re-logged
@@ -802,13 +862,24 @@ impl ShardedDcTree {
     /// logged (if a WAL is configured) and enqueued on its shard; call
     /// [`flush`](Self::flush) to wait for visibility.
     pub fn insert_raw<S: AsRef<str>>(&self, paths: &[Vec<S>], measure: Measure) -> DcResult<()> {
+        self.ensure_writable()?;
         self.ingest(paths, measure, true)
     }
 
     /// Asynchronously deletes one record matching the paths and measure.
     /// A miss is a silent no-op, matching `dc-durable`'s replay contract.
     pub fn delete_raw<S: AsRef<str>>(&self, paths: &[Vec<S>], measure: Measure) -> DcResult<()> {
+        self.ensure_writable()?;
         self.remove(paths, measure, true)
+    }
+
+    fn ensure_writable(&self) -> DcResult<()> {
+        if self.repl.role == EngineRole::Follower {
+            return Err(DcError::Config(
+                "engine is a read-only follower; promote it before writing".into(),
+            ));
+        }
+        Ok(())
     }
 
     fn ingest<S: AsRef<str>>(
@@ -879,12 +950,14 @@ impl ShardedDcTree {
                 measure,
             }
         };
-        {
+        let lsn = {
             let mut w = wal.writer.lock();
-            w.append(&entry)?;
+            let lsn = w.append(&entry)?;
             self.refresh_wal_gauges(&w);
-        }
+            lsn
+        };
         wal.since_checkpoint.fetch_add(1, Relaxed);
+        self.note_applied(lsn);
         Ok(())
     }
 
@@ -1084,6 +1157,119 @@ impl ShardedDcTree {
                 let _ = state.tree.flush();
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Replication
+    // ------------------------------------------------------------------
+
+    /// The engine's replication role.
+    pub fn role(&self) -> EngineRole {
+        self.repl.role
+    }
+
+    /// The replication frontier. On a primary: the highest LSN logged to
+    /// its WAL — what a client quotes to a follower's `WAIT_LSN` to read
+    /// its own write. On a follower: the highest LSN applied *and
+    /// visible* (published after each replicated batch is flushed). `0`
+    /// before any mutation.
+    pub fn applied_lsn(&self) -> u64 {
+        *self.repl.applied.lock()
+    }
+
+    /// Advances the applied frontier (monotonic max) and wakes `WAIT_LSN`
+    /// waiters.
+    fn note_applied(&self, lsn: u64) {
+        let mut applied = self.repl.applied.lock();
+        if lsn > *applied {
+            *applied = lsn;
+            self.metrics.replication.applied_lsn.store(lsn, Relaxed);
+            self.repl.caught_up.notify_all();
+        }
+    }
+
+    /// Applies one replicated WAL entry (follower ingest path: nothing is
+    /// re-logged, and the read-only guard is bypassed — the entry is
+    /// already durable in the replicated segment). The applied frontier
+    /// does NOT advance here: [`flush`](Self::flush) the batch, then
+    /// [`publish_applied`](Self::publish_applied) — so `WAIT_LSN n`
+    /// returning means LSN `n` is both applied *and visible* to queries
+    /// (the read-your-LSN contract).
+    pub fn apply_replicated(&self, entry: &WalEntry) -> DcResult<()> {
+        match entry {
+            WalEntry::Insert { paths, measure } => self.ingest(paths, *measure, false),
+            WalEntry::Delete { paths, measure } => self.remove(paths, *measure, false),
+        }
+    }
+
+    /// Advances the replication frontier to `lsn` (monotonic max) and
+    /// wakes `WAIT_LSN` waiters. Call only once every entry up to `lsn`
+    /// is visible (after [`flush`](Self::flush)).
+    pub fn publish_applied(&self, lsn: u64) {
+        self.note_applied(lsn);
+    }
+
+    /// Blocks until [`applied_lsn`](Self::applied_lsn) reaches `lsn` (the
+    /// read-your-LSN barrier behind `WAIT_LSN` / `MIN_LSN`). Returns the
+    /// applied LSN at wake-up, or [`DcError::Config`] on timeout.
+    pub fn wait_lsn(&self, lsn: u64, timeout: Duration) -> DcResult<u64> {
+        self.metrics.replication.waits.fetch_add(1, Relaxed);
+        let deadline = Instant::now() + timeout;
+        let mut applied = self.repl.applied.lock();
+        while *applied < lsn {
+            let now = Instant::now();
+            if now >= deadline {
+                self.metrics.replication.wait_timeouts.fetch_add(1, Relaxed);
+                return Err(DcError::Config(format!(
+                    "WAIT_LSN {lsn} timed out at applied lsn {}",
+                    *applied
+                )));
+            }
+            let _ = self.repl.caught_up.wait_for(&mut applied, deadline - now);
+        }
+        Ok(*applied)
+    }
+
+    /// Serves a follower's log fetch from this engine's WAL directory:
+    /// every live segment holding entries past `from_lsn`, or a
+    /// `NeedCheckpoint` redirect when `from_lsn` predates the oldest
+    /// retained segment. Requires a WAL (primary side of replication).
+    pub fn fetch_segments(&self, from_lsn: u64) -> DcResult<FetchOutcome> {
+        let Some(wal) = &self.wal else {
+            return Err(DcError::Config(
+                "engine has no WAL to replicate from; configure EngineConfig::wal".into(),
+            ));
+        };
+        let out = ship::fetch_segments(&*wal.fs, &wal.dir, from_lsn)?;
+        let r = &self.metrics.replication;
+        r.segment_fetches.fetch_add(1, Relaxed);
+        match &out {
+            FetchOutcome::NeedCheckpoint { .. } => {
+                r.checkpoint_redirects.fetch_add(1, Relaxed);
+            }
+            FetchOutcome::Segments(segs) => {
+                r.segments_shipped.fetch_add(segs.len() as u64, Relaxed);
+                let bytes: u64 = segs.iter().map(|s| s.bytes.len() as u64).sum();
+                r.bytes_shipped.fetch_add(bytes, Relaxed);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Serves the latest committed checkpoint bundle (manifest + shard
+    /// images) for a follower bootstrap. Requires a WAL.
+    pub fn fetch_checkpoint(&self) -> DcResult<CheckpointBundle> {
+        let Some(wal) = &self.wal else {
+            return Err(DcError::Config(
+                "engine has no WAL to replicate from; configure EngineConfig::wal".into(),
+            ));
+        };
+        let bundle = ship::fetch_checkpoint(&*wal.fs, &wal.dir)?;
+        self.metrics
+            .replication
+            .checkpoint_fetches
+            .fetch_add(1, Relaxed);
+        Ok(bundle)
     }
 
     /// The published snapshot of one shard (primarily for tests and

@@ -83,15 +83,15 @@ pub mod server;
 
 pub use catalog::SchemaCatalog;
 pub use dc_cache::CacheConfig;
-pub use dc_durable::{StdFs, SyncPolicy, WalFs};
+pub use dc_durable::{CheckpointBundle, FetchOutcome, SegmentShipment, StdFs, SyncPolicy, WalFs};
 pub use dc_oocore::OocOptions;
 pub use dc_plan::{Backend, Explain, QueryOutput};
 pub use engine::{
-    BackendComparison, DiskOptions, EngineConfig, PartitionPolicy, PlannerOptions, ShardedDcTree,
-    StorageMode, WalOptions,
+    BackendComparison, DiskOptions, EngineConfig, EngineRole, PartitionPolicy, PlannerOptions,
+    ShardedDcTree, StorageMode, WalOptions,
 };
 pub use metrics::{
     BufferPoolMetrics, CacheMetrics, DurabilityMetrics, EngineMetrics, LatencyHistogram,
-    PlanMetrics, PoolMetrics,
+    PlanMetrics, PoolMetrics, ReplicationMetrics,
 };
 pub use server::{serve, ServerConfig, ServerHandle};

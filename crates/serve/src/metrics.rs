@@ -210,6 +210,37 @@ pub struct BufferPoolMetrics {
     pub capacity: AtomicU64,
 }
 
+/// Replication observability: the engine's role, the LSN frontier it has
+/// applied, and the log-fetch traffic it has served (primary) or pulled
+/// (follower). All zero — and the STATS section absent — when the engine
+/// has no WAL and no replication role (the section is gated like
+/// `buffer_pool`'s).
+#[derive(Default)]
+pub struct ReplicationMetrics {
+    /// `1` once the engine participates in replication (gates the STATS
+    /// section).
+    pub enabled: AtomicU64,
+    /// `0` = primary, `1` = follower (gauge).
+    pub follower: AtomicU64,
+    /// Highest LSN applied to the engine: logged on a primary, replicated
+    /// on a follower (gauge; what `WAIT_LSN` waits on).
+    pub applied_lsn: AtomicU64,
+    /// `FETCH_SEGMENTS` requests served (primary side).
+    pub segment_fetches: AtomicU64,
+    /// Segments shipped across those fetches.
+    pub segments_shipped: AtomicU64,
+    /// Segment bytes shipped (headers included).
+    pub bytes_shipped: AtomicU64,
+    /// `FETCH_CHECKPOINT` requests served.
+    pub checkpoint_fetches: AtomicU64,
+    /// Checkpoint redirects returned (a fetch from below the checkpoint).
+    pub checkpoint_redirects: AtomicU64,
+    /// `WAIT_LSN`/`MIN_LSN` waits that were satisfied.
+    pub waits: AtomicU64,
+    /// Waits that timed out before the LSN was applied.
+    pub wait_timeouts: AtomicU64,
+}
+
 /// Durability observability: WAL writer counters, checkpoint counters, and
 /// what the opening recovery pass found. All zero when no WAL is
 /// configured.
@@ -267,6 +298,8 @@ pub struct EngineMetrics {
     pub durability: DurabilityMetrics,
     /// Buffer-pool counters (all zero in RAM-resident mode).
     pub buffer_pool: BufferPoolMetrics,
+    /// Replication counters (all zero outside a replication setup).
+    pub replication: ReplicationMetrics,
     /// One gauge block per shard.
     pub shards: Vec<ShardMetrics>,
 }
@@ -286,6 +319,7 @@ impl EngineMetrics {
             plan: PlanMetrics::default(),
             durability: DurabilityMetrics::default(),
             buffer_pool: BufferPoolMetrics::default(),
+            replication: ReplicationMetrics::default(),
             shards: (0..num_shards).map(|_| ShardMetrics::default()).collect(),
         }
     }
@@ -355,6 +389,9 @@ impl EngineMetrics {
         push_kv(&mut s, "durability", &self.durability_json());
         if self.buffer_pool.enabled.load(Relaxed) != 0 {
             push_kv(&mut s, "buffer_pool", &self.buffer_pool_json());
+        }
+        if self.replication.enabled.load(Relaxed) != 0 {
+            push_kv(&mut s, "replication", &self.replication_json());
         }
         s.push_str("\"shards\":[");
         for (i, sh) in self.shards.iter().enumerate() {
@@ -515,6 +552,58 @@ impl EngineMetrics {
         );
         s.push_str("\"pool_capacity\":");
         s.push_str(&b.capacity.load(Relaxed).to_string());
+        s.push('}');
+        s
+    }
+
+    /// The `"replication"` sub-object of the STATS payload (replication
+    /// setups only).
+    fn replication_json(&self) -> String {
+        let r = &self.replication;
+        let mut s = String::with_capacity(256);
+        s.push('{');
+        push_kv(
+            &mut s,
+            "role",
+            if r.follower.load(Relaxed) != 0 {
+                "\"follower\""
+            } else {
+                "\"primary\""
+            },
+        );
+        push_kv(
+            &mut s,
+            "applied_lsn",
+            &r.applied_lsn.load(Relaxed).to_string(),
+        );
+        push_kv(
+            &mut s,
+            "segment_fetches",
+            &r.segment_fetches.load(Relaxed).to_string(),
+        );
+        push_kv(
+            &mut s,
+            "segments_shipped",
+            &r.segments_shipped.load(Relaxed).to_string(),
+        );
+        push_kv(
+            &mut s,
+            "bytes_shipped",
+            &r.bytes_shipped.load(Relaxed).to_string(),
+        );
+        push_kv(
+            &mut s,
+            "checkpoint_fetches",
+            &r.checkpoint_fetches.load(Relaxed).to_string(),
+        );
+        push_kv(
+            &mut s,
+            "checkpoint_redirects",
+            &r.checkpoint_redirects.load(Relaxed).to_string(),
+        );
+        push_kv(&mut s, "waits", &r.waits.load(Relaxed).to_string());
+        s.push_str("\"wait_timeouts\":");
+        s.push_str(&r.wait_timeouts.load(Relaxed).to_string());
         s.push('}');
         s
     }
@@ -690,6 +779,25 @@ mod tests {
         assert!(json.contains("\"pool_hit_rate\":0.750"));
         assert!(json.contains("\"pool_evictions\":4"));
         assert!(json.contains("\"pool_capacity\":64"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn replication_block_is_gated_on_participation() {
+        let m = EngineMetrics::new(1);
+        // Engines outside a replication setup keep their STATS payload
+        // unchanged (client.rs tolerates the section's absence).
+        assert!(!m.to_json().contains("\"replication\""));
+        m.replication.enabled.store(1, Relaxed);
+        m.replication.follower.store(1, Relaxed);
+        m.replication.applied_lsn.store(42, Relaxed);
+        m.replication.segment_fetches.store(3, Relaxed);
+        m.replication.wait_timeouts.store(1, Relaxed);
+        let json = m.to_json();
+        assert!(json.contains("\"replication\":{\"role\":\"follower\""));
+        assert!(json.contains("\"applied_lsn\":42"));
+        assert!(json.contains("\"segment_fetches\":3"));
+        assert!(json.contains("\"wait_timeouts\":1"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

@@ -9,6 +9,12 @@
 //! SHUTDOWN                               → OK BYE            (server stops)
 //! INSERT <measure> <p>/<p>|<p>/<p>|…     → OK INSERTED       (async; FLUSH for visibility)
 //! DELETE <measure> <p>/<p>|<p>/<p>|…     → OK DELETED
+//! REPL_STATUS                            → OK ROLE=primary APPLIED=17 SYNCED=17 SEGMENT=2
+//! WAIT_LSN <lsn> [timeout_ms]            → OK APPLIED <lsn>  (read-your-LSN barrier)
+//! MIN_LSN <lsn> <request…>               → waits, then handles <request…>
+//! FETCH_SEGMENTS <from_lsn>              → OK SEGMENTS <n> <seq>:<first_lsn>:<hex> …
+//!                                        | OK NEED_CHECKPOINT <lsn>
+//! FETCH_CHECKPOINT                       → OK CHECKPOINT <lsn> <start_seq> <shards> <hex>…
 //! SUM WHERE Customer.Region = 'EUROPE'   → OK 1234.00
 //! AVG WHERE … GROUP BY Time.Year TOP 3   → OK 1996=12.50,1995=11.00,…
 //! SELECT SUM, COUNT WHERE …              → OK sum=1234.00 count=17.00
@@ -26,11 +32,17 @@
 //! each value with its lowercase op name (scalar) or pipe-join the values
 //! in SELECT-list order (grouped). Errors come back as `ERR <message>`.
 
+use std::time::Duration;
+
 use dc_common::AggregateOp;
+use dc_durable::FetchOutcome;
 use dc_ql::{parse_statement, resolve, ParsedStatement};
 
-use crate::engine::ShardedDcTree;
+use crate::engine::{EngineRole, ShardedDcTree};
 use dc_plan::QueryOutput;
+
+/// Default `WAIT_LSN` / `MIN_LSN` patience before `ERR`ing out.
+const DEFAULT_WAIT_MS: u64 = 10_000;
 
 /// What the connection loop should do after answering.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -65,8 +77,144 @@ pub fn handle_line(engine: &ShardedDcTree, line: &str) -> (String, Control) {
         ),
         "SHUTDOWN" => ("OK BYE".into(), Control::StopServer),
         "INSERT" | "DELETE" => (handle_mutation(engine, line), Control::Continue),
+        "REPL_STATUS" => (handle_repl_status(engine), Control::Continue),
+        "WAIT_LSN" => (handle_wait_lsn(engine, line), Control::Continue),
+        "MIN_LSN" => handle_min_lsn(engine, line),
+        "FETCH_SEGMENTS" => (handle_fetch_segments(engine, line), Control::Continue),
+        "FETCH_CHECKPOINT" => (handle_fetch_checkpoint(engine), Control::Continue),
         _ => (handle_query(engine, line), Control::Continue),
     }
+}
+
+// ----------------------------------------------------------------------
+// Replication verbs
+// ----------------------------------------------------------------------
+
+fn handle_repl_status(engine: &ShardedDcTree) -> String {
+    let role = match engine.role() {
+        EngineRole::Primary => "primary",
+        EngineRole::Follower => "follower",
+    };
+    use std::sync::atomic::Ordering::Relaxed;
+    let d = &engine.metrics().durability;
+    format!(
+        "OK ROLE={role} APPLIED={} SYNCED={} SEGMENT={}",
+        engine.applied_lsn(),
+        d.wal_synced_lsn.load(Relaxed),
+        d.wal_segment.load(Relaxed),
+    )
+}
+
+/// `WAIT_LSN <lsn> [timeout_ms]`.
+fn handle_wait_lsn(engine: &ShardedDcTree, line: &str) -> String {
+    let mut parts = line.split_whitespace().skip(1);
+    let Some(Ok(lsn)) = parts.next().map(str::parse::<u64>) else {
+        return "ERR WAIT_LSN needs a numeric lsn".into();
+    };
+    let timeout_ms = match parts.next() {
+        Some(t) => match t.parse::<u64>() {
+            Ok(ms) => ms,
+            Err(_) => return "ERR WAIT_LSN timeout must be milliseconds".into(),
+        },
+        None => DEFAULT_WAIT_MS,
+    };
+    match engine.wait_lsn(lsn, Duration::from_millis(timeout_ms)) {
+        Ok(applied) => format!("OK APPLIED {applied}"),
+        Err(e) => format!("ERR {e}"),
+    }
+}
+
+/// `MIN_LSN <lsn> <request…>`: a read-your-LSN prefix — wait for the
+/// engine to reach `lsn` (default patience), then handle the wrapped
+/// request. Lets a client that wrote through the primary read its own
+/// write from a follower.
+fn handle_min_lsn(engine: &ShardedDcTree, line: &str) -> (String, Control) {
+    let mut parts = line.splitn(3, char::is_whitespace);
+    parts.next(); // MIN_LSN
+    let Some(Ok(lsn)) = parts.next().map(str::parse::<u64>) else {
+        return ("ERR MIN_LSN needs a numeric lsn".into(), Control::Continue);
+    };
+    let Some(rest) = parts.next().map(str::trim).filter(|r| !r.is_empty()) else {
+        return (
+            "ERR MIN_LSN needs a request to run".into(),
+            Control::Continue,
+        );
+    };
+    if let Err(e) = engine.wait_lsn(lsn, Duration::from_millis(DEFAULT_WAIT_MS)) {
+        return (format!("ERR {e}"), Control::Continue);
+    }
+    handle_line(engine, rest)
+}
+
+/// `FETCH_SEGMENTS <from_lsn>`.
+fn handle_fetch_segments(engine: &ShardedDcTree, line: &str) -> String {
+    let Some(Ok(from_lsn)) = line.split_whitespace().nth(1).map(str::parse::<u64>) else {
+        return "ERR FETCH_SEGMENTS needs a numeric from_lsn".into();
+    };
+    match engine.fetch_segments(from_lsn) {
+        Ok(FetchOutcome::NeedCheckpoint { checkpoint_lsn }) => {
+            format!("OK NEED_CHECKPOINT {checkpoint_lsn}")
+        }
+        Ok(FetchOutcome::Segments(segs)) => {
+            let mut out = format!("OK SEGMENTS {}", segs.len());
+            for seg in &segs {
+                out.push(' ');
+                out.push_str(&format!(
+                    "{}:{}:{}",
+                    seg.seq,
+                    seg.first_lsn,
+                    hex_encode(&seg.bytes)
+                ));
+            }
+            out
+        }
+        Err(e) => format!("ERR {e}"),
+    }
+}
+
+fn handle_fetch_checkpoint(engine: &ShardedDcTree) -> String {
+    match engine.fetch_checkpoint() {
+        Ok(bundle) => {
+            let m = &bundle.manifest;
+            let mut out = format!(
+                "OK CHECKPOINT {} {} {}",
+                m.checkpoint_lsn, m.start_seq, m.shards
+            );
+            // Image order is the manifest's: the single unsharded image, or
+            // shard 0..shards — the id is implicit in the position.
+            for (_, bytes) in &bundle.images {
+                out.push(' ');
+                out.push_str(&hex_encode(bytes));
+            }
+            out
+        }
+        Err(e) => format!("ERR {e}"),
+    }
+}
+
+/// Lowercase hex of `bytes` (the wire framing keeps the protocol
+/// line-delimited; segments are small enough that 2× inflation is fine).
+pub fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// Inverse of [`hex_encode`]; `None` on odd length or a non-hex digit.
+pub fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push((hi * 16 + lo) as u8);
+    }
+    Some(out)
 }
 
 fn handle_mutation(engine: &ShardedDcTree, line: &str) -> String {
@@ -220,5 +368,15 @@ mod tests {
         assert!(parse_mutation("INSERT 5").is_err());
         assert!(parse_mutation("DELETE -3 a//b").is_err());
         assert!(parse_mutation("DELETE -3 a/b").unwrap().0);
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let data = [0u8, 1, 0x7f, 0x80, 0xff, 0xde, 0xad];
+        assert_eq!(hex_decode(&hex_encode(&data)).unwrap(), data);
+        assert_eq!(hex_encode(&[]), "");
+        assert_eq!(hex_decode("").unwrap(), Vec::<u8>::new());
+        assert!(hex_decode("abc").is_none());
+        assert!(hex_decode("zz").is_none());
     }
 }

@@ -13,7 +13,9 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
 
-use dctree::serve::{serve, EngineConfig, PlannerOptions, ServerConfig, ShardedDcTree};
+use dctree::serve::{
+    serve, EngineConfig, PlannerOptions, ServerConfig, ShardedDcTree, SyncPolicy, WalOptions,
+};
 use dctree::tpcd::{generate, TpcdConfig};
 
 fn main() -> std::io::Result<()> {
@@ -23,11 +25,21 @@ fn main() -> std::io::Result<()> {
         None => {
             println!("no address given — starting an in-process server…");
             let data = generate(&TpcdConfig::scaled(10_000, 42));
+            // A WAL makes the demo server a replication primary: the
+            // REPL_STATUS / WAIT_LSN calls below report a real log frontier
+            // and a follower could tail it with FETCH_SEGMENTS.
+            let wal_dir =
+                std::env::temp_dir().join(format!("dc-client-demo-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&wal_dir);
             let engine = Arc::new(
                 ShardedDcTree::new(
                     data.schema.clone(),
                     EngineConfig {
                         planner: Some(PlannerOptions::default()),
+                        wal: Some(WalOptions {
+                            sync: SyncPolicy::GroupCommitMs(2),
+                            ..WalOptions::new(&wal_dir)
+                        }),
                         ..Default::default()
                     },
                 )
@@ -41,7 +53,10 @@ fn main() -> std::io::Result<()> {
             engine.flush();
             let handle = serve(Arc::clone(&engine), "127.0.0.1:0", ServerConfig::default())?;
             println!("serving 10 000 TPC-D lineitems on {}", handle.local_addr());
-            (handle.local_addr().to_string(), Some((engine, handle)))
+            (
+                handle.local_addr().to_string(),
+                Some((engine, handle, wal_dir)),
+            )
         }
     };
 
@@ -85,18 +100,34 @@ fn main() -> std::io::Result<()> {
     )?;
     request("FLUSH")?;
     request("COUNT WHERE Time.Year = '1999'")?;
+    // Replication verbs: REPL_STATUS reports the role and log frontier;
+    // WAIT_LSN blocks until the applied-and-visible frontier reaches an
+    // LSN (a no-op on a primary, the read-your-LSN barrier on a
+    // follower); MIN_LSN prefixes any read with that barrier.
+    let status = request("REPL_STATUS")?;
+    let applied: u64 = status
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix("APPLIED="))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    request(&format!("WAIT_LSN {applied}"))?;
+    request(&format!("MIN_LSN {applied} COUNT WHERE Time.Year = '1999'"))?;
     let stats = request("STATS")?;
     print_section(&stats, "cache", "aggregate cache");
     print_section(&stats, "pool", "query pool");
     print_section(&stats, "plan", "query planner");
+    // Only present when the server has a WAL (this demo does): the
+    // replication role, applied frontier, and segment-shipping counters.
+    print_section(&stats, "replication", "replication");
     // Only present when the server runs disk-backed shards
     // (StorageMode::Disk); resident servers skip it silently.
     print_section(&stats, "buffer_pool", "buffer pool");
 
-    if let Some((engine, handle)) = hosted {
+    if let Some((engine, handle, wal_dir)) = hosted {
         request("SHUTDOWN")?;
         handle.join();
         engine.shutdown();
+        let _ = std::fs::remove_dir_all(&wal_dir);
         println!("server stopped cleanly.");
     }
     Ok(())

@@ -100,6 +100,35 @@ impl Condvar {
         // Temporarily move the guard out to satisfy std's by-value API.
         take_mut_guard(&self.0, guard);
     }
+
+    /// Blocks until notified or `timeout` elapses, reporting which one
+    /// happened (spurious wakeups possible, as in parking_lot).
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let mut timed_out = false;
+        replace_with(guard, |g| {
+            let (g, result) = self
+                .0
+                .wait_timeout(g, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            timed_out = result.timed_out();
+            g
+        });
+        WaitTimeoutResult(timed_out)
+    }
+}
+
+/// Whether a [`Condvar::wait_for`] returned because the timeout elapsed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(self) -> bool {
+        self.0
+    }
 }
 
 fn take_mut_guard<T>(cv: &std::sync::Condvar, guard: &mut MutexGuard<'_, T>) {
@@ -157,6 +186,17 @@ mod tests {
         // parking_lot semantics: later threads still acquire the lock.
         *m.lock() += 1;
         assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let pair = (Mutex::new(false), Condvar::new());
+        let mut flag = pair.0.lock();
+        let result = pair
+            .1
+            .wait_for(&mut flag, std::time::Duration::from_millis(5));
+        assert!(result.timed_out());
+        assert!(!*flag, "guard is reacquired intact");
     }
 
     #[test]

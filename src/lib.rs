@@ -31,6 +31,7 @@
 //! | [`cache`] | `dc-cache` | semantic aggregate cache with write-through delta maintenance |
 //! | [`serve`] | `dc-serve` | sharded concurrent serving engine + dc-ql TCP front-end |
 //! | [`oocore`] | `dc-oocore` | out-of-core shards: concurrent scan-resistant buffer pool, compressed node pages |
+//! | [`replica`] | `dc-replica` | WAL segment-shipping replication: follower reads, read-your-LSN, promotion |
 
 pub use dc_bitmap as bitmap;
 pub use dc_cache as cache;
@@ -43,6 +44,7 @@ pub use dc_oocore as oocore;
 pub use dc_plan as plan;
 pub use dc_ql as ql;
 pub use dc_query as query;
+pub use dc_replica as replica;
 pub use dc_scan as scan;
 pub use dc_serve as serve;
 pub use dc_storage as storage;
