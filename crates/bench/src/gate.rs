@@ -49,6 +49,15 @@ pub const GATED_REPORTS: &[GateSpec] = &[
         file: "replication_bench.json",
         keys: &["catchup_ms", "mean_lag_ms", "promotion_ms"],
     },
+    GateSpec {
+        file: "ingest_bench.json",
+        keys: &[
+            "record_at_a_time_us_per_record",
+            "batched_us_per_record",
+            "bulk_us_per_record",
+            "engine_batched_us_per_record",
+        ],
+    },
 ];
 
 /// One comparison that exceeded the allowed regression.
@@ -78,7 +87,7 @@ pub fn extract_all(json: &str, key: &str) -> Vec<f64> {
     let mut rest = json;
     while let Some(at) = rest.find(&needle) {
         rest = &rest[at + needle.len()..];
-        let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+        let end = rest.find([',', '}', ']', '\n']).unwrap_or(rest.len());
         if let Ok(v) = rest[..end].trim().parse::<f64>() {
             out.push(v);
         }
@@ -138,6 +147,17 @@ mod tests {
     fn extracts_every_occurrence_in_order() {
         assert_eq!(extract_all(BASE, "avg_query_us"), vec![900.0, 400.0]);
         assert_eq!(extract_all(BASE, "missing"), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn value_closing_an_array_is_extracted() {
+        // A gated key whose value is the last element of a JSON array used
+        // to parse as nothing (']' was missing from the terminator set),
+        // which turned a real regression into a shape-change error at best
+        // and a silent pass at worst.
+        let json = r#"{"per_run_us": [12.5, "x": 5.0], "tail_ms": 7.25]}"#;
+        assert_eq!(extract_all(json, "x"), vec![5.0]);
+        assert_eq!(extract_all(json, "tail_ms"), vec![7.25]);
     }
 
     #[test]

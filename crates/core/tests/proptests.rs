@@ -197,6 +197,70 @@ proptest! {
         }
     }
 
+    /// A bottom-up bulk-built tree answers every query exactly like the
+    /// record-at-a-time tree and keeps every structural invariant —
+    /// including exact materialized directory aggregates (the checker
+    /// verifies every entry summary against its subtree).
+    #[test]
+    fn bulk_load_matches_record_at_a_time(
+        recs in prop::collection::vec(raw_rec(), 1..150),
+        salt in 0u64..7,
+    ) {
+        let config = DcTreeConfig { dir_capacity: 3, data_capacity: 3, ..DcTreeConfig::default() };
+        let mut incremental = DcTree::new(schema(), config);
+        let mut records = Vec::new();
+        for r in &recs {
+            records.push(insert_raw(&mut incremental, r));
+        }
+        incremental.check_invariants().unwrap();
+        let mut bulk = DcTree::new(incremental.schema().clone(), config);
+        let ids = bulk.bulk_load(records.clone()).unwrap();
+        prop_assert_eq!(ids.len(), records.len());
+        bulk.check_invariants().unwrap();
+        prop_assert_eq!(bulk.len(), incremental.len());
+        prop_assert_eq!(bulk.total_summary(), incremental.total_summary());
+        for q in queries_for(&incremental, salt) {
+            prop_assert_eq!(
+                bulk.range_summary(&q).unwrap(),
+                incremental.range_summary(&q).unwrap(),
+                "query {:?}", q
+            );
+        }
+    }
+
+    /// Splitting the same record stream into a record-at-a-time prefix and
+    /// a batched suffix changes nothing semantically: `insert_batch` on a
+    /// populated tree keeps invariants and answers.
+    #[test]
+    fn insert_batch_matches_record_at_a_time(
+        recs in prop::collection::vec(raw_rec(), 2..150),
+        cut in 1usize..149,
+        salt in 0u64..7,
+    ) {
+        let config = DcTreeConfig { dir_capacity: 3, data_capacity: 3, ..DcTreeConfig::default() };
+        let mut incremental = DcTree::new(schema(), config);
+        let mut records = Vec::new();
+        for r in &recs {
+            records.push(insert_raw(&mut incremental, r));
+        }
+        let cut = cut.min(records.len() - 1).max(1);
+        let mut batched = DcTree::new(incremental.schema().clone(), config);
+        for r in &records[..cut] {
+            batched.insert(r.clone()).unwrap();
+        }
+        batched.insert_batch(records[cut..].to_vec()).unwrap();
+        batched.check_invariants().unwrap();
+        prop_assert_eq!(batched.len(), incremental.len());
+        prop_assert_eq!(batched.total_summary(), incremental.total_summary());
+        for q in queries_for(&incremental, salt) {
+            prop_assert_eq!(
+                batched.range_summary(&q).unwrap(),
+                incremental.range_summary(&q).unwrap(),
+                "query {:?}", q
+            );
+        }
+    }
+
     /// Inserting the same multiset in any order yields the same answers
     /// (structure may differ; semantics may not).
     #[test]

@@ -186,12 +186,15 @@ impl DurableDcTree {
         Ok(())
     }
 
-    /// Durable insert: logged, then applied.
+    /// Durable insert: validated, logged, then applied. Validation comes
+    /// first — a record the tree would reject must never reach the WAL,
+    /// or the rejection replays as corruption on recovery.
     pub fn insert_raw<S: AsRef<str>>(
         &mut self,
         paths: &[Vec<S>],
         measure: Measure,
     ) -> DcResult<RecordId> {
+        self.tree.schema().validate_paths(paths)?;
         let entry = WalEntry::Insert {
             paths: paths
                 .iter()
@@ -205,6 +208,43 @@ impl DurableDcTree {
         Ok(id)
     }
 
+    /// Durable batched insert: the whole batch is appended to the log as
+    /// one frame group — a single write and a single sync-policy decision
+    /// — then applied to the tree in order. A crash inside the group
+    /// recovers a clean prefix of the batch: per-frame CRCs make a torn
+    /// group indistinguishable from a shorter stream of single inserts,
+    /// so replay semantics are byte-identical to looped
+    /// [`Self::insert_raw`] calls.
+    pub fn insert_batch_raw<S: AsRef<str>>(
+        &mut self,
+        batch: &[(Vec<Vec<S>>, Measure)],
+    ) -> DcResult<Vec<RecordId>> {
+        if batch.is_empty() {
+            return Ok(Vec::new());
+        }
+        for (paths, _) in batch {
+            self.tree.schema().validate_paths(paths)?;
+        }
+        let entries: Vec<WalEntry> = batch
+            .iter()
+            .map(|(paths, measure)| WalEntry::Insert {
+                paths: paths
+                    .iter()
+                    .map(|d| d.iter().map(|s| s.as_ref().to_string()).collect())
+                    .collect(),
+                measure: *measure,
+            })
+            .collect();
+        self.wal.append_batch(&entries)?;
+        self.since_checkpoint += entries.len() as u64;
+        let mut ids = Vec::with_capacity(batch.len());
+        for (paths, measure) in batch {
+            ids.push(self.tree.insert_raw(paths, *measure)?);
+        }
+        self.maybe_auto_checkpoint()?;
+        Ok(ids)
+    }
+
     /// Durable delete by raw paths + measure. Returns `false` when no
     /// matching record exists (the no-op is still logged for replay
     /// fidelity).
@@ -213,6 +253,7 @@ impl DurableDcTree {
         paths: &[Vec<S>],
         measure: Measure,
     ) -> DcResult<bool> {
+        self.tree.schema().validate_paths(paths)?;
         let entry = WalEntry::Delete {
             paths: paths
                 .iter()

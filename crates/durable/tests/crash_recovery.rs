@@ -264,3 +264,35 @@ fn group_commit_policy_syncs_on_barrier() {
     assert_eq!(store.synced_lsn(), 10);
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn rejected_writes_never_reach_the_log() {
+    // Validation runs *before* the append: a record the tree would reject
+    // (wrong dimension count, wrong path depth) must leave the WAL
+    // untouched, or recovery replays the rejection and the directory can
+    // never be reopened.
+    let dir = fresh_dir("rejected-writes");
+    {
+        let mut store = DurableDcTree::open(&dir, make_tree, DurabilityConfig::default()).unwrap();
+        store.insert_raw(&paths(0), 10).unwrap();
+
+        let one_dim = [vec!["R0".to_string(), "R0-N0".to_string()]];
+        assert!(store.insert_raw(&one_dim, 5).is_err());
+        assert!(store.delete_raw(&one_dim, 5).is_err());
+        let shallow = [vec!["R0".to_string()], vec!["1990".to_string()]];
+        assert!(store.insert_raw(&shallow, 5).is_err());
+        let batch = vec![
+            (paths(1).to_vec(), 20),
+            (one_dim.to_vec(), 7), // poisons the whole batch
+        ];
+        assert!(store.insert_batch_raw(&batch).is_err());
+        assert_eq!(store.last_lsn(), 1, "a rejected write was logged");
+
+        store.insert_raw(&paths(1), 20).unwrap();
+        store.sync().unwrap();
+    }
+    let store = DurableDcTree::open(&dir, make_tree, DurabilityConfig::default()).unwrap();
+    assert_eq!(store.tree().len(), 2);
+    assert_eq!(store.recovery_report().replayed_entries, 2);
+    std::fs::remove_dir_all(&dir).ok();
+}

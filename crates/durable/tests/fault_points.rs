@@ -216,6 +216,91 @@ fn crash_sweep_over_byte_offsets() {
     }
 }
 
+/// Runs an insert-only workload through [`DurableDcTree::insert_batch_raw`]
+/// in uneven batches (3, 1, 8, 5, …) until a fault. Returns
+/// `(attempted_records, synced_lsn_at_crash)` — `attempted` counts records,
+/// not batches: a fault inside a group means every record of that group was
+/// attempted, and recovery may keep any clean prefix of it.
+fn run_batched_until_fault(
+    dir: &std::path::Path,
+    ops: &[Op],
+    fs: &FaultFs,
+    cfg: DurabilityConfig,
+) -> (u64, u64) {
+    let store = DurableDcTree::open_with_fs(Arc::new(fs.clone()), dir, make_tree, cfg);
+    let mut store = match store {
+        Ok(s) => s,
+        Err(DcError::Fault(_)) => return (0, 0),
+        Err(e) => panic!("unexpected open error: {e}"),
+    };
+    let mut i = 0usize;
+    let mut sizes = [3usize, 1, 8, 5].iter().cycle();
+    while i < ops.len() {
+        let n = (*sizes.next().unwrap()).min(ops.len() - i);
+        let batch: Vec<_> = ops[i..i + n]
+            .iter()
+            .map(|op| match *op {
+                Op::Insert(key, m) => (paths(key).to_vec(), m),
+                Op::Delete(..) => unreachable!("the batched sweep is insert-only"),
+            })
+            .collect();
+        match store.insert_batch_raw(&batch) {
+            Ok(ids) => {
+                assert_eq!(ids.len(), n);
+                i += n;
+            }
+            Err(DcError::Fault(_)) => return ((i + n) as u64, store.synced_lsn()),
+            Err(e) => panic!("unexpected batch error: {e}"),
+        }
+    }
+    (ops.len() as u64, store.synced_lsn())
+}
+
+#[test]
+fn crash_sweep_at_batch_boundaries() {
+    // The batched commit path under the same contract as the
+    // record-at-a-time sweep: synced ≤ recovered ≤ attempted, for crash
+    // points landing before, inside, and after WAL frame groups, under
+    // whichever sync policy `DC_SYNC_POLICY` selects. A torn group must
+    // recover a clean *record* prefix — group atomicity is not promised,
+    // losing durable records is forbidden.
+    let ops: Vec<Op> = workload(140)
+        .into_iter()
+        .map(|op| match op {
+            Op::Insert(..) => op,
+            Op::Delete(k, m) => Op::Insert(k, m),
+        })
+        .collect();
+    let cfg = config(0);
+    let total = {
+        let dir = fresh_dir("batch-dry");
+        let fs = FaultFs::new(FaultPlan::default());
+        let (attempted, _) = run_batched_until_fault(&dir, &ops, &fs, cfg);
+        assert_eq!(attempted, ops.len() as u64, "dry run must not fault");
+        let written = fs.written();
+        std::fs::remove_dir_all(&dir).ok();
+        written
+    };
+    assert!(total > 4096, "workload too small to sweep ({total} bytes)");
+    let stride = total / 12;
+    let mut offsets = Vec::new();
+    for k in 0..12 {
+        let base = k * stride + 1;
+        offsets.extend([base, base + 1, base + stride / 2]);
+    }
+    for offset in offsets {
+        let dir = fresh_dir(&format!("batch-{offset}"));
+        let fs = FaultFs::new(FaultPlan {
+            crash_after_bytes: Some(offset),
+            ..FaultPlan::default()
+        });
+        let (attempted, synced) = run_batched_until_fault(&dir, &ops, &fs, cfg);
+        assert!(fs.crashed(), "offset {offset} must crash mid-workload");
+        check_recovery(&dir, &ops, attempted, synced);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
 #[test]
 fn crash_sweep_with_checkpoints_bounds_replay() {
     let ops = workload(120);

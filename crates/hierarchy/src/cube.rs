@@ -96,6 +96,32 @@ impl CubeSchema {
         Ok(Record { dims, measure })
     }
 
+    /// Structurally validates one raw record — one path per dimension,
+    /// each exactly as deep as its hierarchy — **without interning
+    /// anything**. Durable layers call this before logging a mutation:
+    /// interning accepts any *names* dynamically, so this is the complete
+    /// set of checks that could later reject the record, and a record that
+    /// would be rejected must never reach the WAL (recovery replays the
+    /// log and would fail on it).
+    pub fn validate_paths<S: AsRef<str>>(&self, paths: &[Vec<S>]) -> DcResult<()> {
+        if paths.len() != self.num_dims() {
+            return Err(DcError::DimensionMismatch {
+                expected: self.num_dims(),
+                got: paths.len(),
+            });
+        }
+        for (h, path) in self.dimensions.iter().zip(paths) {
+            if path.len() != h.schema().num_attributes() {
+                return Err(DcError::BadPathLength {
+                    dim: h.dimension(),
+                    expected: h.schema().num_attributes(),
+                    got: path.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Validates that a record's leaf IDs all belong to this schema.
     pub fn validate_record(&self, record: &Record) -> DcResult<()> {
         if record.dims.len() != self.num_dims() {

@@ -246,6 +246,10 @@ enum Cmd {
     /// Apply a pre-interned record once the shard has replayed the catalog
     /// log through `epoch`.
     Insert { record: Record, epoch: u64 },
+    /// Apply a whole pre-interned batch (one `INSERT_BATCH` group's worth
+    /// routed to this shard) once the catalog is replayed through `epoch`.
+    /// The resident writer feeds it to the tree's amortized batch path.
+    InsertBatch { records: Vec<Record>, epoch: u64 },
     /// Delete one matching record (same epoch contract).
     Delete { record: Record, epoch: u64 },
     /// Acknowledge once everything enqueued before this command is applied
@@ -866,6 +870,55 @@ impl ShardedDcTree {
         self.ingest(paths, measure, true)
     }
 
+    /// Asynchronously inserts a whole batch of raw records — the
+    /// `INSERT_BATCH` fast path. The batch is logged as **one WAL frame
+    /// group** (one buffered write, one fsync decision), interned once
+    /// against the catalog, and handed to each destination shard as a
+    /// single batch command whose writer applies it through the tree's
+    /// amortized batch insert. Returns once the group is durably logged
+    /// and enqueued; call [`flush`](Self::flush) for visibility.
+    pub fn insert_batch_raw<S: AsRef<str>>(
+        &self,
+        batch: &[(Vec<Vec<S>>, Measure)],
+    ) -> DcResult<()> {
+        self.ensure_writable()?;
+        if batch.is_empty() {
+            return Ok(());
+        }
+        {
+            let _gate = self.ingest_gate.read();
+            // Intern and route the whole batch before logging any of it:
+            // the group is all-or-nothing at the validation boundary, so a
+            // batch with one malformed record leaves the WAL untouched
+            // instead of poisoning recovery with entries the catalog
+            // rejected.
+            let mut per_shard: Vec<Vec<Record>> = vec![Vec::new(); self.shards.len()];
+            let mut epoch = 0u64;
+            for (paths, measure) in batch {
+                let (record, e) = self.catalog.intern(paths, *measure)?;
+                let shard = self.route(paths, &record)?;
+                epoch = epoch.max(e);
+                per_shard[shard].push(record);
+            }
+            self.append_wal_batch(batch)?;
+            self.metrics.inserts.fetch_add(batch.len() as u64, Relaxed);
+            self.metrics.insert_batches.fetch_add(1, Relaxed);
+            self.metrics
+                .insert_batch_records
+                .fetch_add(batch.len() as u64, Relaxed);
+            for (shard, records) in per_shard.into_iter().enumerate() {
+                if records.is_empty() {
+                    continue;
+                }
+                self.metrics.shards[shard]
+                    .queue_depth
+                    .fetch_add(records.len() as u64, Relaxed);
+                self.send(shard, Cmd::InsertBatch { records, epoch })?;
+            }
+        }
+        self.maybe_auto_checkpoint()
+    }
+
     /// Asynchronously deletes one record matching the paths and measure.
     /// A miss is a silent no-op, matching `dc-durable`'s replay contract.
     pub fn delete_raw<S: AsRef<str>>(&self, paths: &[Vec<S>], measure: Measure) -> DcResult<()> {
@@ -890,11 +943,16 @@ impl ShardedDcTree {
     ) -> DcResult<()> {
         {
             let _gate = self.ingest_gate.read();
+            // Intern and route before logging: a record the catalog
+            // rejects must never reach the WAL, or recovery (and every
+            // follower tailing the log) replays the rejection as
+            // corruption. Interning's only side effect on failure-free
+            // paths later is new vocabulary, which is harmless.
+            let (record, epoch) = self.catalog.intern(paths, measure)?;
+            let shard = self.route(paths, &record)?;
             if log_to_wal {
                 self.append_wal(paths, measure, false)?;
             }
-            let (record, epoch) = self.catalog.intern(paths, measure)?;
-            let shard = self.route(paths, &record)?;
             self.metrics.inserts.fetch_add(1, Relaxed);
             self.metrics.shards[shard].queue_depth.fetch_add(1, Relaxed);
             self.send(shard, Cmd::Insert { record, epoch })?;
@@ -913,11 +971,12 @@ impl ShardedDcTree {
     ) -> DcResult<()> {
         {
             let _gate = self.ingest_gate.read();
+            // Validate-by-interning before logging, as in `ingest`.
+            let (record, epoch) = self.catalog.intern(paths, measure)?;
+            let shard = self.route(paths, &record)?;
             if log_to_wal {
                 self.append_wal(paths, measure, true)?;
             }
-            let (record, epoch) = self.catalog.intern(paths, measure)?;
-            let shard = self.route(paths, &record)?;
             self.metrics.deletes.fetch_add(1, Relaxed);
             self.metrics.shards[shard].queue_depth.fetch_add(1, Relaxed);
             self.send(shard, Cmd::Delete { record, epoch })?;
@@ -957,6 +1016,34 @@ impl ShardedDcTree {
             lsn
         };
         wal.since_checkpoint.fetch_add(1, Relaxed);
+        self.note_applied(lsn);
+        Ok(())
+    }
+
+    /// Logs a whole insert batch as one WAL frame group: the writer lock is
+    /// taken once and the configured sync policy decides once for the
+    /// group. Entries stay per-record `Insert` frames, so recovery and
+    /// replication replay are byte-identical to a looped `INSERT` stream.
+    fn append_wal_batch<S: AsRef<str>>(&self, batch: &[(Vec<Vec<S>>, Measure)]) -> DcResult<()> {
+        let Some(wal) = &self.wal else { return Ok(()) };
+        let entries: Vec<WalEntry> = batch
+            .iter()
+            .map(|(paths, measure)| WalEntry::Insert {
+                paths: paths
+                    .iter()
+                    .map(|d| d.iter().map(|s| s.as_ref().to_string()).collect())
+                    .collect(),
+                measure: *measure,
+            })
+            .collect();
+        let lsn = {
+            let mut w = wal.writer.lock();
+            let lsn = w.append_batch(&entries)?;
+            self.refresh_wal_gauges(&w);
+            lsn
+        };
+        wal.since_checkpoint
+            .fetch_add(entries.len() as u64, Relaxed);
         self.note_applied(lsn);
         Ok(())
     }
@@ -2119,6 +2206,30 @@ fn apply(
             shard_metrics.applied.fetch_add(1, Relaxed);
             *mutated = true;
         }
+        Cmd::InsertBatch { records, epoch } => {
+            let t0 = Instant::now();
+            replay_catalog(tree, catalog, replayed, epoch);
+            let n = records.len() as u64;
+            if let Some(deltas) = deltas {
+                for record in &records {
+                    deltas.push(CacheDelta {
+                        record: record.clone(),
+                        delete: false,
+                    });
+                }
+            }
+            if let Some(aux) = aux {
+                for record in &records {
+                    aux.insert(tree.schema(), record);
+                }
+            }
+            tree.insert_batch(records)
+                .expect("catalog-backed batch insert cannot fail");
+            metrics.batch_apply_latency.record(t0.elapsed());
+            shard_metrics.queue_depth.fetch_sub(n, Relaxed);
+            shard_metrics.applied.fetch_add(n, Relaxed);
+            *mutated = true;
+        }
         Cmd::Delete { record, epoch } => {
             let t0 = Instant::now();
             replay_catalog(tree, catalog, replayed, epoch);
@@ -2365,6 +2476,28 @@ fn apply_ooc(
             metrics.apply_latency.record(t0.elapsed());
             shard_metrics.queue_depth.fetch_sub(1, Relaxed);
             shard_metrics.applied.fetch_add(1, Relaxed);
+            *mutated = true;
+        }
+        Cmd::InsertBatch { records, epoch } => {
+            let t0 = Instant::now();
+            replay_catalog_ooc(tree, catalog, replayed, epoch);
+            let n = records.len() as u64;
+            if let Some(deltas) = deltas {
+                for record in &records {
+                    deltas.push(CacheDelta {
+                        record: record.clone(),
+                        delete: false,
+                    });
+                }
+            }
+            // The paged tree has no bottom-up batch path; content
+            // equivalence with the resident shard holds record by record.
+            for record in records {
+                tree.insert(record).expect("disk shard insert I/O failed");
+            }
+            metrics.batch_apply_latency.record(t0.elapsed());
+            shard_metrics.queue_depth.fetch_sub(n, Relaxed);
+            shard_metrics.applied.fetch_add(n, Relaxed);
             *mutated = true;
         }
         Cmd::Delete { record, epoch } => {

@@ -287,6 +287,14 @@ pub struct EngineMetrics {
     pub query_latency: LatencyHistogram,
     /// Time spent applying one record inside a writer thread.
     pub apply_latency: LatencyHistogram,
+    /// `INSERT_BATCH` groups accepted by `insert_batch_raw` since start.
+    pub insert_batches: AtomicU64,
+    /// Records that arrived inside those groups (`insert_batch_records /
+    /// insert_batches` is the mean batch size).
+    pub insert_batch_records: AtomicU64,
+    /// Time from a writer thread picking up one batch command to the whole
+    /// group being applied to its shard tree.
+    pub batch_apply_latency: LatencyHistogram,
     /// Aggregate-cache counters (all zero when the cache is disabled).
     pub cache: CacheMetrics,
     /// Query-pool counters (all zero when the pool is disabled).
@@ -314,6 +322,9 @@ impl EngineMetrics {
             shard_visits: AtomicU64::new(0),
             query_latency: LatencyHistogram::new(),
             apply_latency: LatencyHistogram::new(),
+            insert_batches: AtomicU64::new(0),
+            insert_batch_records: AtomicU64::new(0),
+            batch_apply_latency: LatencyHistogram::new(),
             cache: CacheMetrics::default(),
             pool: PoolMetrics::default(),
             plan: PlanMetrics::default(),
@@ -383,6 +394,7 @@ impl EngineMetrics {
             "apply_latency_us",
             &latency_json(&self.apply_latency),
         );
+        push_kv(&mut s, "ingest", &self.ingest_json());
         push_kv(&mut s, "cache", &self.cache_json());
         push_kv(&mut s, "pool", &self.pool_json());
         push_kv(&mut s, "plan", &self.plan_json());
@@ -421,6 +433,26 @@ impl EngineMetrics {
             s.push('}');
         }
         s.push_str("]}");
+        s
+    }
+
+    /// The `"ingest"` sub-object of the STATS payload: batched-write
+    /// gauges (all zero while only single-record INSERTs arrive).
+    fn ingest_json(&self) -> String {
+        let batches = self.insert_batches.load(Relaxed);
+        let batch_records = self.insert_batch_records.load(Relaxed);
+        let mut s = String::with_capacity(160);
+        s.push('{');
+        push_kv(&mut s, "batches", &batches.to_string());
+        push_kv(&mut s, "batch_records", &batch_records.to_string());
+        push_kv(
+            &mut s,
+            "mean_batch_size",
+            &format!("{:.1}", batch_records as f64 / batches.max(1) as f64),
+        );
+        s.push_str("\"batch_apply_latency_us\":");
+        s.push_str(&latency_json(&self.batch_apply_latency));
+        s.push('}');
         s
     }
 
@@ -748,6 +780,20 @@ mod tests {
         assert!(json.contains("\"chose\":{\"descend\":0,\"bitmap\":0,\"mview\":4,\"scan\":0}"));
         assert!(json.contains("\"mispredictions\":1"));
         assert!(json.contains("\"actual_pages\":0"));
+    }
+
+    #[test]
+    fn stats_json_includes_ingest_block() {
+        let m = EngineMetrics::new(1);
+        m.insert_batches.store(4, Relaxed);
+        m.insert_batch_records.store(10, Relaxed);
+        m.batch_apply_latency.record(Duration::from_micros(120));
+        let json = m.to_json();
+        assert!(json.contains("\"ingest\":{\"batches\":4"));
+        assert!(json.contains("\"batch_records\":10"));
+        assert!(json.contains("\"mean_batch_size\":2.5"));
+        assert!(json.contains("\"batch_apply_latency_us\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! CHECKPOINT                             → OK CHECKPOINTED <lsn>
 //! SHUTDOWN                               → OK BYE            (server stops)
 //! INSERT <measure> <p>/<p>|<p>/<p>|…     → OK INSERTED       (async; FLUSH for visibility)
+//! INSERT_BATCH <m> <paths>;<m> <paths>;… → OK INSERTED <n>   (one WAL group, one fsync decision)
 //! DELETE <measure> <p>/<p>|<p>/<p>|…     → OK DELETED
 //! REPL_STATUS                            → OK ROLE=primary APPLIED=17 SYNCED=17 SEGMENT=2
 //! WAIT_LSN <lsn> [timeout_ms]            → OK APPLIED <lsn>  (read-your-LSN barrier)
@@ -24,7 +25,12 @@
 //!
 //! `INSERT`/`DELETE` paths are one `/`-separated top→leaf chain per
 //! dimension, dimensions separated by `|` (names must not contain either
-//! character). Anything else is parsed as a dc-ql statement against the
+//! character). `INSERT_BATCH` carries many records on one line, separated
+//! by `;` (also reserved in names), each record in the same
+//! `<measure> <paths>` shape; the whole batch is appended to the WAL as a
+//! single group and handed to the shard writers in one command.
+//!
+//! Anything else is parsed as a dc-ql statement against the
 //! engine's live schema and routed through the cost-based planner
 //! (`dc-plan`); `EXPLAIN <query>` executes the query and reports the
 //! chosen backend, estimated vs. measured page reads, and the per-shard
@@ -77,6 +83,7 @@ pub fn handle_line(engine: &ShardedDcTree, line: &str) -> (String, Control) {
         ),
         "SHUTDOWN" => ("OK BYE".into(), Control::StopServer),
         "INSERT" | "DELETE" => (handle_mutation(engine, line), Control::Continue),
+        "INSERT_BATCH" => (handle_insert_batch(engine, line), Control::Continue),
         "REPL_STATUS" => (handle_repl_status(engine), Control::Continue),
         "WAIT_LSN" => (handle_wait_lsn(engine, line), Control::Continue),
         "MIN_LSN" => handle_min_lsn(engine, line),
@@ -235,6 +242,42 @@ fn handle_mutation(engine: &ShardedDcTree, line: &str) -> String {
     }
 }
 
+fn handle_insert_batch(engine: &ShardedDcTree, line: &str) -> String {
+    match parse_insert_batch(line) {
+        Err(msg) => format!("ERR {msg}"),
+        Ok(batch) => {
+            let n = batch.len();
+            match engine.insert_batch_raw(&batch) {
+                Ok(()) => format!("OK INSERTED {n}"),
+                Err(e) => format!("ERR {e}"),
+            }
+        }
+    }
+}
+
+/// Parses `INSERT_BATCH <m> <paths>;<m> <paths>;…` — each `;`-separated
+/// record reuses the single-record grammar.
+#[allow(clippy::type_complexity)]
+fn parse_insert_batch(line: &str) -> Result<Vec<(Vec<Vec<String>>, i64)>, String> {
+    let mut parts = line.splitn(2, char::is_whitespace);
+    parts.next(); // INSERT_BATCH
+    let spec = parts.next().map(str::trim).unwrap_or("");
+    if spec.is_empty() {
+        return Err("INSERT_BATCH needs at least one record".into());
+    }
+    let mut batch = Vec::new();
+    for (i, rec) in spec.split(';').enumerate() {
+        let rec = rec.trim();
+        if rec.is_empty() {
+            return Err(format!("record {i} is empty"));
+        }
+        let (_, measure, paths) =
+            parse_mutation(&format!("INSERT {rec}")).map_err(|msg| format!("record {i}: {msg}"))?;
+        batch.push((paths, measure));
+    }
+    Ok(batch)
+}
+
 /// Parses `INSERT|DELETE <measure> <p>/<p>|<p>/<p>|…`.
 #[allow(clippy::type_complexity)]
 fn parse_mutation(line: &str) -> Result<(bool, i64, Vec<Vec<String>>), String> {
@@ -368,6 +411,26 @@ mod tests {
         assert!(parse_mutation("INSERT 5").is_err());
         assert!(parse_mutation("DELETE -3 a//b").is_err());
         assert!(parse_mutation("DELETE -3 a/b").unwrap().0);
+    }
+
+    #[test]
+    fn insert_batch_lines_parse() {
+        let batch =
+            parse_insert_batch("INSERT_BATCH 10 EUROPE/GERMANY|1996/Jan; -3 ASIA/JAPAN|1997/Feb")
+                .unwrap();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0].1, 10);
+        assert_eq!(batch[1].1, -3);
+        assert_eq!(
+            batch[0].0[0],
+            vec!["EUROPE".to_string(), "GERMANY".to_string()]
+        );
+        assert_eq!(batch[1].0[1], vec!["1997".to_string(), "Feb".to_string()]);
+        // Errors name the offending record.
+        assert!(parse_insert_batch("INSERT_BATCH").is_err());
+        assert!(parse_insert_batch("INSERT_BATCH 5 a/b;").is_err());
+        let err = parse_insert_batch("INSERT_BATCH 5 a/b; x a/b").unwrap_err();
+        assert!(err.contains("record 1"), "{err}");
     }
 
     #[test]

@@ -288,3 +288,49 @@ fn engine_bit_flips_recover_to_a_clean_prefix() {
         let _ = std::fs::remove_dir_all(&dir);
     }
 }
+
+#[test]
+fn rejected_writes_never_poison_the_wal() {
+    // A mutation the catalog rejects (wrong dimension count, wrong path
+    // depth) must leave the WAL untouched: the caller already saw an Err,
+    // and recovery replays the log verbatim — a logged rejection would turn
+    // one bad client request into a directory that can never be reopened.
+    let data = tpcd();
+    let dir = temp_dir("reject", 0);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let good: Vec<_> = data.records[..40]
+        .iter()
+        .map(|r| (data.paths_for(r), r.measure))
+        .collect();
+    let expected_total;
+    {
+        let engine = ShardedDcTree::new(data.schema.clone(), config(&dir, None, 0)).unwrap();
+        engine.insert_batch_raw(&good[..20]).unwrap();
+
+        // Wrong dimension count, single insert and delete.
+        let two_dims = vec![vec!["EUROPE".to_string()], vec!["1999".to_string()]];
+        assert!(engine.insert_raw(&two_dims, 5).is_err());
+        assert!(engine.delete_raw(&two_dims, 5).is_err());
+        // Wrong path depth within one dimension.
+        let mut shallow = data.paths_for(&data.records[0]);
+        shallow[0].pop();
+        assert!(engine.insert_raw(&shallow, 5).is_err());
+        // A batch with one malformed record is rejected whole.
+        let mut batch = good[20..30].to_vec();
+        batch.push((two_dims, 7));
+        assert!(engine.insert_batch_raw(&batch).is_err());
+
+        engine.insert_batch_raw(&good[20..]).unwrap();
+        engine.flush();
+        assert_eq!(engine.len(), good.len() as u64);
+        expected_total = engine.total_summary();
+    }
+
+    // Reopen: recovery must replay only the accepted writes.
+    let reopened = ShardedDcTree::new(data.schema, config(&dir, None, 0))
+        .expect("recovery failed: a rejected write reached the WAL");
+    assert_eq!(reopened.len(), good.len() as u64);
+    assert_eq!(reopened.total_summary(), expected_total);
+    let _ = std::fs::remove_dir_all(&dir);
+}
