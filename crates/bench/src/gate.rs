@@ -50,6 +50,14 @@ pub const GATED_REPORTS: &[GateSpec] = &[
         keys: &["catchup_ms", "mean_lag_ms", "promotion_ms"],
     },
     GateSpec {
+        file: "saturation_bench.json",
+        keys: &[
+            "open_loop_p99_us",
+            "open_loop_p999_us",
+            "overload_admitted_p99_us",
+        ],
+    },
+    GateSpec {
         file: "ingest_bench.json",
         keys: &[
             "record_at_a_time_us_per_record",

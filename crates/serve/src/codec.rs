@@ -1,0 +1,694 @@
+//! The `DCB1` binary wire codec: length-prefixed frames over a raw TCP
+//! stream, supporting request pipelining (many in-flight requests per
+//! connection; responses come back in request order).
+//!
+//! ## Connection preamble
+//!
+//! A binary client opens by sending the 4 magic bytes `DCB1`. The server
+//! auto-detects the protocol from a connection's first bytes
+//! ([`detect_protocol`]): the magic selects this codec, anything else
+//! falls back to the newline-delimited text protocol — which is why every
+//! pre-existing client, test, and replication transport keeps working
+//! unchanged.
+//!
+//! ## Frame format
+//!
+//! ```text
+//! request  := u32 len (LE) | u8 opcode | payload        len = 1 + |payload|
+//! response := u32 len (LE) | u8 status | payload        len = 1 + |payload|
+//! ```
+//!
+//! `len` counts everything after the length field and must be in
+//! `1 ..= MAX_FRAME`. Response `status` is [`STATUS_OK`] / [`STATUS_ERR`] /
+//! [`STATUS_BUSY`]; the response payload is exactly the text-protocol
+//! response line (`OK PONG`, `ERR …`, `BUSY …`), which keeps the two
+//! protocols byte-comparable end to end.
+//!
+//! | opcode | request            | payload |
+//! |--------|--------------------|---------|
+//! | 0x01   | `HELLO`            | tenant (UTF-8) |
+//! | 0x02   | `PING`             | — |
+//! | 0x03   | `STATS`            | — |
+//! | 0x04   | `FLUSH`            | — |
+//! | 0x05   | `CHECKPOINT`       | — |
+//! | 0x06   | `SHUTDOWN`         | — |
+//! | 0x07   | `INSERT`           | i64 measure, paths (see below) |
+//! | 0x08   | `DELETE`           | i64 measure, paths |
+//! | 0x09   | `INSERT_BATCH`     | u32 count, then count × (i64 measure, paths) |
+//! | 0x0A   | query (dc-ql)      | statement text (UTF-8) |
+//! | 0x0B   | `REPL_STATUS`      | — |
+//! | 0x0C   | `WAIT_LSN`         | u64 lsn, u8 has_timeout, [u64 timeout_ms] |
+//! | 0x0D   | `MIN_LSN`          | u64 lsn, nested request (u8 opcode + payload) |
+//! | 0x0E   | `FETCH_SEGMENTS`   | u64 from_lsn |
+//! | 0x0F   | `FETCH_CHECKPOINT` | — |
+//!
+//! Paths encode as `u16 ndims`, then per dimension `u8 ncomponents`, then
+//! per component `u16 len + UTF-8 bytes` — the top→leaf hierarchy chain of
+//! `INSERT 150 EUROPE/GERMANY|1996/Jan` without the separator grammar (so
+//! binary clients may use names containing `/`, `|`, `;`).
+//!
+//! ## Error containment
+//!
+//! Decoding distinguishes recoverable from fatal malformations. A frame
+//! with an intact length but an unknown opcode or a payload that does not
+//! parse is consumed whole and answered `ERR …` — the stream stays in
+//! sync and later frames are served. A length outside `1 ..= MAX_FRAME`
+//! means the framing itself cannot be trusted; the connection is answered
+//! `ERR …` once and closed ([`DecodeStep::Fatal`]). Truncated frames are
+//! simply [`DecodeStep::Incomplete`] — more bytes may still arrive.
+
+use crate::protocol::{valid_tenant, Request};
+
+/// The binary-protocol connection preamble.
+pub const MAGIC: [u8; 4] = *b"DCB1";
+
+/// Hard ceiling on `len` (opcode/status byte + payload): 16 MiB, far above
+/// any legal request (the text protocol's longest lines are segment
+/// fetches, well under 1 MiB per frame on default segment sizing).
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Response status: the payload starts `OK `.
+pub const STATUS_OK: u8 = 0;
+/// Response status: the payload starts `ERR `.
+pub const STATUS_ERR: u8 = 1;
+/// Response status: shed by admission control, payload starts `BUSY `.
+pub const STATUS_BUSY: u8 = 2;
+
+const OP_HELLO: u8 = 0x01;
+const OP_PING: u8 = 0x02;
+const OP_STATS: u8 = 0x03;
+const OP_FLUSH: u8 = 0x04;
+const OP_CHECKPOINT: u8 = 0x05;
+const OP_SHUTDOWN: u8 = 0x06;
+const OP_INSERT: u8 = 0x07;
+const OP_DELETE: u8 = 0x08;
+const OP_INSERT_BATCH: u8 = 0x09;
+const OP_QUERY: u8 = 0x0A;
+const OP_REPL_STATUS: u8 = 0x0B;
+const OP_WAIT_LSN: u8 = 0x0C;
+const OP_MIN_LSN: u8 = 0x0D;
+const OP_FETCH_SEGMENTS: u8 = 0x0E;
+const OP_FETCH_CHECKPOINT: u8 = 0x0F;
+
+/// `MIN_LSN` frames nest a request; the decoder bounds the depth like the
+/// text parser does.
+const MAX_NESTING: usize = 16;
+
+/// What a connection's first bytes say it speaks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Protocol {
+    /// Not enough bytes yet to rule the magic in or out.
+    Undecided,
+    /// The `DCB1` preamble: consume 4 bytes, then parse binary frames.
+    Binary,
+    /// Anything else: the newline-delimited text protocol.
+    Text,
+}
+
+/// Sniffs a connection's opening bytes. Returns [`Protocol::Undecided`]
+/// while `buf` is still a proper prefix of the magic.
+pub fn detect_protocol(buf: &[u8]) -> Protocol {
+    let probe = buf.len().min(MAGIC.len());
+    if buf[..probe] != MAGIC[..probe] {
+        return Protocol::Text;
+    }
+    if buf.len() >= MAGIC.len() {
+        Protocol::Binary
+    } else {
+        Protocol::Undecided
+    }
+}
+
+/// A malformed frame, with the recoverable/fatal split described in the
+/// [module docs](self).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Frame length field outside `1 ..= MAX_FRAME` — framing is lost,
+    /// close the connection (fatal).
+    BadLength(u64),
+    /// Unknown opcode; the frame was consumed whole (recoverable).
+    UnknownOpcode(u8),
+    /// The payload did not parse for its opcode; consumed (recoverable).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadLength(n) => {
+                write!(f, "frame length {n} outside 1..={MAX_FRAME}")
+            }
+            FrameError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            FrameError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+/// One step of incremental request decoding from a connection buffer.
+#[derive(Debug, PartialEq)]
+pub enum DecodeStep {
+    /// Not enough bytes for a whole frame yet.
+    Incomplete,
+    /// A whole frame was consumed (`consumed` bytes): either a request, or
+    /// a recoverable per-frame error to answer `ERR` while the stream
+    /// stays usable.
+    Frame {
+        consumed: usize,
+        request: Result<Request, FrameError>,
+    },
+    /// The length field itself is illegal: answer once, then close.
+    Fatal(FrameError),
+}
+
+/// Tries to decode one request frame from the front of `buf`.
+pub fn decode_request(buf: &[u8]) -> DecodeStep {
+    let Some(len_bytes) = buf.get(..4) else {
+        return DecodeStep::Incomplete;
+    };
+    let len = u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
+    if len == 0 || len > MAX_FRAME {
+        return DecodeStep::Fatal(FrameError::BadLength(len as u64));
+    }
+    let Some(body) = buf.get(4..4 + len) else {
+        return DecodeStep::Incomplete;
+    };
+    DecodeStep::Frame {
+        consumed: 4 + len,
+        request: decode_body(body[0], &body[1..], 0),
+    }
+}
+
+fn decode_body(opcode: u8, payload: &[u8], depth: usize) -> Result<Request, FrameError> {
+    let mut r = Reader { buf: payload };
+    let req = match opcode {
+        OP_HELLO => {
+            let tenant = r.rest_utf8()?;
+            if !valid_tenant(tenant) {
+                return Err(FrameError::Malformed("illegal tenant name"));
+            }
+            Request::Hello {
+                tenant: tenant.to_string(),
+            }
+        }
+        OP_PING => Request::Ping,
+        OP_STATS => Request::Stats,
+        OP_FLUSH => Request::Flush,
+        OP_CHECKPOINT => Request::Checkpoint,
+        OP_SHUTDOWN => Request::Shutdown,
+        OP_INSERT => {
+            let (measure, paths) = r.record()?;
+            Request::Insert { measure, paths }
+        }
+        OP_DELETE => {
+            let (measure, paths) = r.record()?;
+            Request::Delete { measure, paths }
+        }
+        OP_INSERT_BATCH => {
+            let count = r.u32()? as usize;
+            if count == 0 {
+                return Err(FrameError::Malformed("empty INSERT_BATCH"));
+            }
+            // A count can claim at most one record per remaining payload
+            // byte; reject early instead of pre-allocating on a lie.
+            if count > r.buf.len() {
+                return Err(FrameError::Malformed("INSERT_BATCH count exceeds payload"));
+            }
+            let mut records = Vec::with_capacity(count);
+            for _ in 0..count {
+                let (measure, paths) = r.record()?;
+                records.push((paths, measure));
+            }
+            Request::InsertBatch { records }
+        }
+        OP_QUERY => Request::Query {
+            text: r.rest_utf8()?.to_string(),
+        },
+        OP_REPL_STATUS => Request::ReplStatus,
+        OP_WAIT_LSN => {
+            let lsn = r.u64()?;
+            let timeout_ms = match r.u8()? {
+                0 => None,
+                1 => Some(r.u64()?),
+                _ => return Err(FrameError::Malformed("WAIT_LSN timeout flag")),
+            };
+            Request::WaitLsn { lsn, timeout_ms }
+        }
+        OP_MIN_LSN => {
+            if depth >= MAX_NESTING {
+                return Err(FrameError::Malformed("MIN_LSN nesting too deep"));
+            }
+            let lsn = r.u64()?;
+            let inner_op = r.u8()?;
+            return decode_body(inner_op, r.buf, depth + 1).map(|inner| Request::MinLsn {
+                lsn,
+                inner: Box::new(inner),
+            });
+        }
+        OP_FETCH_SEGMENTS => Request::FetchSegments { from_lsn: r.u64()? },
+        OP_FETCH_CHECKPOINT => Request::FetchCheckpoint,
+        other => return Err(FrameError::UnknownOpcode(other)),
+    };
+    if !r.buf.is_empty() {
+        return Err(FrameError::Malformed("trailing bytes in frame"));
+    }
+    Ok(req)
+}
+
+/// Appends the frame for `req` to `out` (reusable buffer; the caller
+/// clears between frames or lets frames accumulate for pipelining).
+pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
+    let at = out.len();
+    out.extend_from_slice(&[0; 4]); // length back-patched below
+    encode_body(req, out);
+    let len = (out.len() - at - 4) as u32;
+    out[at..at + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+fn encode_body(req: &Request, out: &mut Vec<u8>) {
+    match req {
+        Request::Hello { tenant } => {
+            out.push(OP_HELLO);
+            out.extend_from_slice(tenant.as_bytes());
+        }
+        Request::Ping => out.push(OP_PING),
+        Request::Stats => out.push(OP_STATS),
+        Request::Flush => out.push(OP_FLUSH),
+        Request::Checkpoint => out.push(OP_CHECKPOINT),
+        Request::Shutdown => out.push(OP_SHUTDOWN),
+        Request::Insert { measure, paths } => {
+            out.push(OP_INSERT);
+            encode_record(*measure, paths, out);
+        }
+        Request::Delete { measure, paths } => {
+            out.push(OP_DELETE);
+            encode_record(*measure, paths, out);
+        }
+        Request::InsertBatch { records } => {
+            out.push(OP_INSERT_BATCH);
+            out.extend_from_slice(&(records.len() as u32).to_le_bytes());
+            for (paths, measure) in records {
+                encode_record(*measure, paths, out);
+            }
+        }
+        Request::Query { text } => {
+            out.push(OP_QUERY);
+            out.extend_from_slice(text.as_bytes());
+        }
+        Request::ReplStatus => out.push(OP_REPL_STATUS),
+        Request::WaitLsn { lsn, timeout_ms } => {
+            out.push(OP_WAIT_LSN);
+            out.extend_from_slice(&lsn.to_le_bytes());
+            match timeout_ms {
+                None => out.push(0),
+                Some(ms) => {
+                    out.push(1);
+                    out.extend_from_slice(&ms.to_le_bytes());
+                }
+            }
+        }
+        Request::MinLsn { lsn, inner } => {
+            out.push(OP_MIN_LSN);
+            out.extend_from_slice(&lsn.to_le_bytes());
+            encode_body(inner, out);
+        }
+        Request::FetchSegments { from_lsn } => {
+            out.push(OP_FETCH_SEGMENTS);
+            out.extend_from_slice(&from_lsn.to_le_bytes());
+        }
+        Request::FetchCheckpoint => out.push(OP_FETCH_CHECKPOINT),
+    }
+}
+
+fn encode_record(measure: i64, paths: &[Vec<String>], out: &mut Vec<u8>) {
+    out.extend_from_slice(&measure.to_le_bytes());
+    out.extend_from_slice(&(paths.len().min(u16::MAX as usize) as u16).to_le_bytes());
+    for dim in paths {
+        out.push(dim.len().min(u8::MAX as usize) as u8);
+        for comp in dim {
+            let bytes = comp.as_bytes();
+            let n = bytes.len().min(u16::MAX as usize);
+            out.extend_from_slice(&(n as u16).to_le_bytes());
+            out.extend_from_slice(&bytes[..n]);
+        }
+    }
+}
+
+/// The status byte a response line maps to (`OK …` / `BUSY …` / `ERR …`).
+pub fn status_of(response: &str) -> u8 {
+    if response.starts_with("OK") {
+        STATUS_OK
+    } else if response.starts_with("BUSY") {
+        STATUS_BUSY
+    } else {
+        STATUS_ERR
+    }
+}
+
+/// Appends a response frame (status byte + the text-protocol response
+/// line) to `out`.
+pub fn encode_response(response: &str, out: &mut Vec<u8>) {
+    let len = (1 + response.len()) as u32;
+    out.extend_from_slice(&len.to_le_bytes());
+    out.push(status_of(response));
+    out.extend_from_slice(response.as_bytes());
+}
+
+/// One step of incremental response decoding (the client side).
+#[derive(Debug, PartialEq)]
+pub enum ResponseStep {
+    Incomplete,
+    /// A whole response frame: `consumed` bytes, its status byte, and the
+    /// response line.
+    Frame {
+        consumed: usize,
+        status: u8,
+        response: String,
+    },
+    /// Illegal length or non-UTF-8 payload: the stream is unusable.
+    Fatal(FrameError),
+}
+
+/// Tries to decode one response frame from the front of `buf`.
+pub fn decode_response(buf: &[u8]) -> ResponseStep {
+    let Some(len_bytes) = buf.get(..4) else {
+        return ResponseStep::Incomplete;
+    };
+    let len = u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
+    if len == 0 || len > MAX_FRAME {
+        return ResponseStep::Fatal(FrameError::BadLength(len as u64));
+    }
+    let Some(body) = buf.get(4..4 + len) else {
+        return ResponseStep::Incomplete;
+    };
+    match std::str::from_utf8(&body[1..]) {
+        Ok(s) => ResponseStep::Frame {
+            consumed: 4 + len,
+            status: body[0],
+            response: s.to_string(),
+        },
+        Err(_) => ResponseStep::Fatal(FrameError::Malformed("response not UTF-8")),
+    }
+}
+
+/// A little-endian payload cursor; every read is bounds-checked so a
+/// truncated or lying payload yields [`FrameError::Malformed`], never a
+/// panic.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        if self.buf.len() < n {
+            return Err(FrameError::Malformed("truncated payload"));
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, FrameError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, FrameError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, FrameError> {
+        let n = self.u16()? as usize;
+        let bytes = self.take(n)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_string)
+            .map_err(|_| FrameError::Malformed("path component not UTF-8"))
+    }
+
+    fn rest_utf8(&mut self) -> Result<&'a str, FrameError> {
+        let bytes = std::mem::take(&mut self.buf);
+        std::str::from_utf8(bytes).map_err(|_| FrameError::Malformed("payload not UTF-8"))
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn record(&mut self) -> Result<(i64, Vec<Vec<String>>), FrameError> {
+        let measure = self.i64()?;
+        let ndims = self.u16()? as usize;
+        if ndims == 0 {
+            return Err(FrameError::Malformed("record with zero dimensions"));
+        }
+        let mut paths = Vec::with_capacity(ndims.min(64));
+        for _ in 0..ndims {
+            let ncomps = self.u8()? as usize;
+            if ncomps == 0 {
+                return Err(FrameError::Malformed("dimension with zero components"));
+            }
+            let mut dim = Vec::with_capacity(ncomps);
+            for _ in 0..ncomps {
+                let comp = self.string()?;
+                if comp.is_empty() {
+                    return Err(FrameError::Malformed("empty path component"));
+                }
+                dim.push(comp);
+            }
+            paths.push(dim);
+        }
+        Ok((measure, paths))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(req: Request) {
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf);
+        match decode_request(&buf) {
+            DecodeStep::Frame { consumed, request } => {
+                assert_eq!(consumed, buf.len());
+                assert_eq!(request.as_ref(), Ok(&req));
+            }
+            other => panic!("{req:?} decoded to {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_opcode_round_trips() {
+        let paths = vec![
+            vec!["EUROPE".to_string(), "GERMANY".to_string()],
+            vec!["1996".to_string(), "Jan".to_string()],
+        ];
+        for req in [
+            Request::Hello {
+                tenant: "analytics-7".into(),
+            },
+            Request::Ping,
+            Request::Stats,
+            Request::Flush,
+            Request::Checkpoint,
+            Request::Shutdown,
+            Request::Insert {
+                measure: -150,
+                paths: paths.clone(),
+            },
+            Request::Delete {
+                measure: i64::MAX,
+                paths: paths.clone(),
+            },
+            Request::InsertBatch {
+                records: vec![(paths.clone(), 1), (paths, -2)],
+            },
+            Request::Query {
+                text: "SELECT SUM, COUNT WHERE Customer.Region = 'EUROPE'".into(),
+            },
+            Request::ReplStatus,
+            Request::WaitLsn {
+                lsn: 17,
+                timeout_ms: None,
+            },
+            Request::WaitLsn {
+                lsn: u64::MAX,
+                timeout_ms: Some(250),
+            },
+            Request::MinLsn {
+                lsn: 5,
+                inner: Box::new(Request::Query {
+                    text: "COUNT".into(),
+                }),
+            },
+            Request::MinLsn {
+                lsn: 5,
+                inner: Box::new(Request::MinLsn {
+                    lsn: 6,
+                    inner: Box::new(Request::Ping),
+                }),
+            },
+            Request::FetchSegments { from_lsn: 12 },
+            Request::FetchCheckpoint,
+        ] {
+            round_trip(req);
+        }
+    }
+
+    #[test]
+    fn binary_paths_may_contain_text_separators() {
+        // The text grammar reserves '/', '|', ';' — the binary encoding
+        // doesn't need to.
+        round_trip(Request::Insert {
+            measure: 9,
+            paths: vec![vec!["A/B|C;D".to_string(), "x y".to_string()]],
+        });
+    }
+
+    #[test]
+    fn truncated_frames_are_incomplete_never_panic() {
+        let mut buf = Vec::new();
+        encode_request(
+            &Request::Insert {
+                measure: 1,
+                paths: vec![vec!["a".into(), "b".into()]],
+            },
+            &mut buf,
+        );
+        for cut in 0..buf.len() {
+            assert_eq!(decode_request(&buf[..cut]), DecodeStep::Incomplete, "{cut}");
+        }
+    }
+
+    #[test]
+    fn oversized_and_zero_lengths_are_fatal() {
+        let mut buf = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
+        buf.push(OP_PING);
+        assert!(matches!(
+            decode_request(&buf),
+            DecodeStep::Fatal(FrameError::BadLength(_))
+        ));
+        let zero = 0u32.to_le_bytes();
+        assert!(matches!(
+            decode_request(&zero),
+            DecodeStep::Fatal(FrameError::BadLength(0))
+        ));
+    }
+
+    #[test]
+    fn unknown_opcode_is_recoverable_and_stream_stays_in_sync() {
+        let mut buf = Vec::new();
+        // Bad frame…
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.extend_from_slice(&[0xEE, 1, 2]);
+        // …followed by a good one.
+        encode_request(&Request::Ping, &mut buf);
+        let DecodeStep::Frame { consumed, request } = decode_request(&buf) else {
+            panic!("expected a frame");
+        };
+        assert_eq!(consumed, 7);
+        assert_eq!(request, Err(FrameError::UnknownOpcode(0xEE)));
+        match decode_request(&buf[consumed..]) {
+            DecodeStep::Frame { request, .. } => assert_eq!(request, Ok(Request::Ping)),
+            other => panic!("desynced: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_payloads_are_recoverable_errors() {
+        // An INSERT whose payload lies about its component count.
+        let mut body = vec![OP_INSERT];
+        body.extend_from_slice(&5i64.to_le_bytes());
+        body.extend_from_slice(&1u16.to_le_bytes()); // 1 dim
+        body.push(3); // claims 3 components, provides none
+        let mut buf = (body.len() as u32).to_le_bytes().to_vec();
+        buf.extend_from_slice(&body);
+        match decode_request(&buf) {
+            DecodeStep::Frame { consumed, request } => {
+                assert_eq!(consumed, buf.len());
+                assert_eq!(request, Err(FrameError::Malformed("truncated payload")));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Trailing garbage after a complete request is rejected too.
+        let mut buf = Vec::new();
+        encode_request(&Request::Ping, &mut buf);
+        buf[0] += 2; // lengthen the frame over two junk bytes
+        buf.extend_from_slice(&[9, 9]);
+        match decode_request(&buf) {
+            DecodeStep::Frame { request, .. } => {
+                assert_eq!(
+                    request,
+                    Err(FrameError::Malformed("trailing bytes in frame"))
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_with_status() {
+        for (line, status) in [
+            ("OK PONG", STATUS_OK),
+            ("OK 1234.00", STATUS_OK),
+            ("ERR no such dimension", STATUS_ERR),
+            ("BUSY tenant over rate", STATUS_BUSY),
+        ] {
+            let mut buf = Vec::new();
+            encode_response(line, &mut buf);
+            match decode_response(&buf) {
+                ResponseStep::Frame {
+                    consumed,
+                    status: s,
+                    response,
+                } => {
+                    assert_eq!(consumed, buf.len());
+                    assert_eq!(s, status);
+                    assert_eq!(response, line);
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(decode_response(&[1, 2]), ResponseStep::Incomplete);
+    }
+
+    #[test]
+    fn protocol_detection() {
+        assert_eq!(detect_protocol(b""), Protocol::Undecided);
+        assert_eq!(detect_protocol(b"D"), Protocol::Undecided);
+        assert_eq!(detect_protocol(b"DCB"), Protocol::Undecided);
+        assert_eq!(detect_protocol(b"DCB1"), Protocol::Binary);
+        assert_eq!(detect_protocol(b"DCB1\x0a\x00\x00\x00"), Protocol::Binary);
+        assert_eq!(detect_protocol(b"PING\n"), Protocol::Text);
+        assert_eq!(detect_protocol(b"DCBX"), Protocol::Text);
+        assert_eq!(detect_protocol(b"S"), Protocol::Text);
+    }
+
+    #[test]
+    fn min_lsn_nesting_is_bounded() {
+        let mut req = Request::Ping;
+        for i in 0..40 {
+            req = Request::MinLsn {
+                lsn: i,
+                inner: Box::new(req),
+            };
+        }
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf);
+        match decode_request(&buf) {
+            DecodeStep::Frame { request, .. } => {
+                assert_eq!(
+                    request,
+                    Err(FrameError::Malformed("MIN_LSN nesting too deep"))
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

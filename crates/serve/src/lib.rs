@@ -74,13 +74,17 @@
 //! speeds up aggregate throughput even on a single core, and it composes
 //! with real parallelism on multi-core hosts.
 
+pub mod admission;
 pub mod catalog;
+pub mod codec;
 pub mod engine;
 pub mod metrics;
 mod pool;
 pub mod protocol;
+pub mod reactor;
 pub mod server;
 
+pub use admission::{AdmissionConfig, AdmissionController, Verdict};
 pub use catalog::SchemaCatalog;
 pub use dc_cache::CacheConfig;
 pub use dc_durable::{CheckpointBundle, FetchOutcome, SegmentShipment, StdFs, SyncPolicy, WalFs};
@@ -94,4 +98,5 @@ pub use metrics::{
     BufferPoolMetrics, CacheMetrics, DurabilityMetrics, EngineMetrics, LatencyHistogram,
     PlanMetrics, PoolMetrics, ReplicationMetrics,
 };
+pub use reactor::{serve_reactor, ReactorConfig};
 pub use server::{serve, ServerConfig, ServerHandle};

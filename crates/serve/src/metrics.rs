@@ -2,10 +2,13 @@
 //! log-scaled latency histograms, rendered as one JSON object for the
 //! `STATS` verb.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dc_plan::Backend;
+use parking_lot::Mutex;
 
 /// A log₂-bucketed latency histogram. Bucket `i` holds samples whose
 /// nanosecond count has its highest set bit at position `i`, so the range
@@ -210,6 +213,103 @@ pub struct BufferPoolMetrics {
     pub capacity: AtomicU64,
 }
 
+/// A log₂-bucketed histogram over dimensionless counts (pipeline depths),
+/// reusing [`LatencyHistogram`]'s bucket machinery with 1 "nano" = 1 unit.
+#[derive(Default)]
+pub struct DepthHistogram {
+    inner: LatencyHistogram,
+}
+
+impl DepthHistogram {
+    /// Records one observation (clamped up to 1 so depth 0 still lands in
+    /// the first bucket).
+    pub fn record(&self, depth: u64) {
+        self.inner.record(Duration::from_nanos(depth.max(1)));
+    }
+
+    pub fn count(&self) -> u64 {
+        self.inner.count()
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.inner.mean().as_nanos() as f64
+    }
+
+    /// Upper bucket bound at quantile `q`, as a plain count.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.inner.quantile(q).as_nanos().min(u128::from(u64::MAX)) as u64
+    }
+}
+
+/// Per-tenant admission counters (see [`NetMetrics::tenant`]).
+#[derive(Default)]
+pub struct TenantNetMetrics {
+    /// Requests this tenant got past admission control.
+    pub admitted: AtomicU64,
+    /// Requests answered `BUSY` for this tenant.
+    pub denied: AtomicU64,
+}
+
+/// Network front-end observability: connection and byte counters, the
+/// pipelining depth distribution, load-shedding counts, and per-tenant
+/// admit/deny tallies. All zero — and the STATS section absent — until a
+/// front-end (the threaded server or the reactor) registers itself by
+/// setting `enabled`.
+#[derive(Default)]
+pub struct NetMetrics {
+    /// `1` once a network front-end serves this engine (gates the STATS
+    /// section).
+    pub enabled: AtomicU64,
+    /// Currently open connections (gauge).
+    pub active_connections: AtomicU64,
+    /// Connections accepted since start.
+    pub accepted_total: AtomicU64,
+    /// Requests decoded off the wire since start (sheds included).
+    pub requests_total: AtomicU64,
+    /// Requests answered `BUSY` by admission control / backpressure.
+    pub shed_total: AtomicU64,
+    /// Payload bytes read off sockets.
+    pub bytes_in: AtomicU64,
+    /// Payload bytes written to sockets.
+    pub bytes_out: AtomicU64,
+    /// In-flight requests on the connection at each admission (1 = no
+    /// pipelining; the reactor records this per decoded request).
+    pub pipeline_depth: DepthHistogram,
+    /// Admit/deny counters per declared tenant (`HELLO <tenant>`; the
+    /// unnamed default tenant is `"default"`).
+    tenants: Mutex<BTreeMap<String, Arc<TenantNetMetrics>>>,
+}
+
+impl NetMetrics {
+    /// The counters for `name`, created on first sight. Front-ends cache
+    /// the `Arc` per connection, so the map lock is off the per-request
+    /// path.
+    pub fn tenant(&self, name: &str) -> Arc<TenantNetMetrics> {
+        let mut tenants = self.tenants.lock();
+        if let Some(t) = tenants.get(name) {
+            return Arc::clone(t);
+        }
+        let t = Arc::new(TenantNetMetrics::default());
+        tenants.insert(name.to_string(), Arc::clone(&t));
+        t
+    }
+
+    /// Snapshot of every tenant's counters, in name order.
+    pub fn tenant_counts(&self) -> Vec<(String, u64, u64)> {
+        self.tenants
+            .lock()
+            .iter()
+            .map(|(name, t)| {
+                (
+                    name.clone(),
+                    t.admitted.load(Relaxed),
+                    t.denied.load(Relaxed),
+                )
+            })
+            .collect()
+    }
+}
+
 /// Replication observability: the engine's role, the LSN frontier it has
 /// applied, and the log-fetch traffic it has served (primary) or pulled
 /// (follower). All zero — and the STATS section absent — when the engine
@@ -308,6 +408,8 @@ pub struct EngineMetrics {
     pub buffer_pool: BufferPoolMetrics,
     /// Replication counters (all zero outside a replication setup).
     pub replication: ReplicationMetrics,
+    /// Network front-end counters (all zero until a server registers).
+    pub net: NetMetrics,
     /// One gauge block per shard.
     pub shards: Vec<ShardMetrics>,
 }
@@ -331,6 +433,7 @@ impl EngineMetrics {
             durability: DurabilityMetrics::default(),
             buffer_pool: BufferPoolMetrics::default(),
             replication: ReplicationMetrics::default(),
+            net: NetMetrics::default(),
             shards: (0..num_shards).map(|_| ShardMetrics::default()).collect(),
         }
     }
@@ -404,6 +507,9 @@ impl EngineMetrics {
         }
         if self.replication.enabled.load(Relaxed) != 0 {
             push_kv(&mut s, "replication", &self.replication_json());
+        }
+        if self.net.enabled.load(Relaxed) != 0 {
+            push_kv(&mut s, "net", &self.net_json());
         }
         s.push_str("\"shards\":[");
         for (i, sh) in self.shards.iter().enumerate() {
@@ -640,6 +746,65 @@ impl EngineMetrics {
         s
     }
 
+    /// The `"net"` sub-object of the STATS payload (served engines only).
+    fn net_json(&self) -> String {
+        let n = &self.net;
+        let mut s = String::with_capacity(320);
+        s.push('{');
+        push_kv(
+            &mut s,
+            "active_connections",
+            &n.active_connections.load(Relaxed).to_string(),
+        );
+        push_kv(
+            &mut s,
+            "accepted_total",
+            &n.accepted_total.load(Relaxed).to_string(),
+        );
+        push_kv(
+            &mut s,
+            "requests_total",
+            &n.requests_total.load(Relaxed).to_string(),
+        );
+        push_kv(
+            &mut s,
+            "shed_total",
+            &n.shed_total.load(Relaxed).to_string(),
+        );
+        push_kv(&mut s, "bytes_in", &n.bytes_in.load(Relaxed).to_string());
+        push_kv(&mut s, "bytes_out", &n.bytes_out.load(Relaxed).to_string());
+        push_kv(
+            &mut s,
+            "pipeline_depth",
+            &format!(
+                "{{\"count\":{},\"mean\":{:.1},\"p50\":{},\"p99\":{}}}",
+                n.pipeline_depth.count(),
+                n.pipeline_depth.mean(),
+                n.pipeline_depth.quantile(0.50),
+                n.pipeline_depth.quantile(0.99),
+            ),
+        );
+        let mut tenants = String::with_capacity(96);
+        tenants.push('{');
+        for (i, (name, admitted, denied)) in self.net.tenant_counts().iter().enumerate() {
+            if i > 0 {
+                tenants.push(',');
+            }
+            tenants.push('"');
+            tenants.push_str(name);
+            tenants.push_str("\":{\"admitted\":");
+            tenants.push_str(&admitted.to_string());
+            tenants.push_str(",\"denied\":");
+            tenants.push_str(&denied.to_string());
+            tenants.push('}');
+        }
+        tenants.push('}');
+        s.push_str("\"tenants\":");
+        s.push_str(&tenants);
+        s.push('}');
+        s
+    }
+
     /// The `"durability"` sub-object of the STATS payload.
     fn durability_json(&self) -> String {
         let d = &self.durability;
@@ -845,6 +1010,45 @@ mod tests {
         assert!(json.contains("\"segment_fetches\":3"));
         assert!(json.contains("\"wait_timeouts\":1"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn net_block_is_gated_on_a_front_end() {
+        let m = EngineMetrics::new(1);
+        // Engines without a network front-end keep their STATS payload
+        // unchanged (client.rs tolerates the section's absence).
+        assert!(!m.to_json().contains("\"net\""));
+        m.net.enabled.store(1, Relaxed);
+        m.net.accepted_total.store(7, Relaxed);
+        m.net.active_connections.store(2, Relaxed);
+        m.net.shed_total.store(3, Relaxed);
+        m.net.pipeline_depth.record(1);
+        m.net.pipeline_depth.record(32);
+        let t = m.net.tenant("analytics");
+        t.admitted.fetch_add(5, Relaxed);
+        t.denied.fetch_add(3, Relaxed);
+        // Same name returns the same counters; a new name appears too.
+        m.net.tenant("analytics").admitted.fetch_add(1, Relaxed);
+        m.net.tenant("default");
+        let json = m.to_json();
+        assert!(json.contains("\"net\":{\"active_connections\":2"));
+        assert!(json.contains("\"accepted_total\":7"));
+        assert!(json.contains("\"shed_total\":3"));
+        assert!(json.contains("\"pipeline_depth\":{\"count\":2"));
+        assert!(json.contains("\"analytics\":{\"admitted\":6,\"denied\":3}"));
+        assert!(json.contains("\"default\":{\"admitted\":0,\"denied\":0}"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn depth_histogram_reports_counts() {
+        let h = DepthHistogram::default();
+        for d in [0u64, 1, 1, 4, 16] {
+            h.record(d);
+        }
+        assert_eq!(h.count(), 5);
+        assert!(h.mean() >= 4.0 && h.mean() <= 5.0, "{}", h.mean());
+        assert!(h.quantile(0.99) >= 16);
     }
 
     #[test]

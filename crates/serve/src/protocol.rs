@@ -1,7 +1,11 @@
-//! The newline-delimited wire protocol: dc-ql query lines plus a few
-//! engine verbs, one request line → one response line.
+//! The request layer shared by both front-ends: a typed [`Request`] that
+//! the newline text codec ([`parse_request`]) and the binary frame codec
+//! ([`crate::codec`]) both decode into, and one executor ([`execute`])
+//! that turns it into the response line. Text wire format, one request
+//! line → one response line:
 //!
 //! ```text
+//! HELLO <tenant>                         → OK HELLO <tenant> (declares the admission tenant)
 //! PING                                   → OK PONG
 //! STATS                                  → OK {"uptime_secs":…}
 //! FLUSH                                  → OK FLUSHED
@@ -37,6 +41,13 @@
 //! plan fragments on one line. Multi-aggregate `SELECT` responses label
 //! each value with its lowercase op name (scalar) or pipe-join the values
 //! in SELECT-list order (grouped). Errors come back as `ERR <message>`.
+//!
+//! Under the reactor front-end ([`crate::reactor`]), a request refused by
+//! admission control is answered `BUSY <reason>` instead of queueing
+//! unboundedly; the threaded legacy server never sheds. `HELLO` names the
+//! token bucket subsequent requests on that connection draw from (the
+//! unnamed default tenant otherwise); it is connection state, so the
+//! executor only acknowledges it.
 
 use std::time::Duration;
 
@@ -50,6 +61,11 @@ use dc_plan::QueryOutput;
 /// Default `WAIT_LSN` / `MIN_LSN` patience before `ERR`ing out.
 const DEFAULT_WAIT_MS: u64 = 10_000;
 
+/// `MIN_LSN` prefixes may wrap further `MIN_LSN`s, but not unboundedly —
+/// the parser is recursive and a crafted request must not exhaust the
+/// stack.
+pub const MAX_MIN_LSN_DEPTH: usize = 16;
+
 /// What the connection loop should do after answering.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Control {
@@ -59,37 +75,237 @@ pub enum Control {
     StopServer,
 }
 
+/// One decoded request, whichever codec it arrived through. The dc-ql
+/// surface stays textual ([`Request::Query`] carries the statement
+/// verbatim); everything the engine hot paths consume is typed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Declares the connection's admission tenant (connection state; the
+    /// executor just acknowledges).
+    Hello {
+        tenant: String,
+    },
+    Ping,
+    Stats,
+    Flush,
+    Checkpoint,
+    Shutdown,
+    Insert {
+        measure: i64,
+        paths: Vec<Vec<String>>,
+    },
+    Delete {
+        measure: i64,
+        paths: Vec<Vec<String>>,
+    },
+    InsertBatch {
+        records: Vec<(Vec<Vec<String>>, i64)>,
+    },
+    ReplStatus,
+    WaitLsn {
+        lsn: u64,
+        timeout_ms: Option<u64>,
+    },
+    MinLsn {
+        lsn: u64,
+        inner: Box<Request>,
+    },
+    FetchSegments {
+        from_lsn: u64,
+    },
+    FetchCheckpoint,
+    /// A dc-ql statement (`SUM WHERE …`, `SELECT …`, `EXPLAIN …`), parsed
+    /// against the live schema at execution time.
+    Query {
+        text: String,
+    },
+}
+
+impl Request {
+    /// Whether admission control applies: data-plane work that costs
+    /// engine resources is shed under overload, while the control plane
+    /// (health checks, observability, shutdown, tenant declaration) stays
+    /// answerable precisely when the operator needs it.
+    pub fn admission_controlled(&self) -> bool {
+        !matches!(
+            self,
+            Request::Hello { .. }
+                | Request::Ping
+                | Request::Stats
+                | Request::ReplStatus
+                | Request::Shutdown
+        )
+    }
+}
+
+/// Whether `s` is a legal tenant name: 1–64 chars from a conservative
+/// ASCII set, so tenant names can be embedded verbatim in the STATS JSON
+/// and in `BUSY`/log lines without escaping.
+pub fn valid_tenant(s: &str) -> bool {
+    !s.is_empty()
+        && s.len() <= 64
+        && s.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b':' | b'@' | b'-'))
+}
+
 /// Handles one request line; returns the response line (without the
 /// trailing newline) and the control action.
 pub fn handle_line(engine: &ShardedDcTree, line: &str) -> (String, Control) {
+    match parse_request(line) {
+        Ok(req) => execute(engine, &req),
+        Err(msg) => (format!("ERR {msg}"), Control::Continue),
+    }
+}
+
+/// Parses one text-protocol line into a [`Request`] (the error is the
+/// message without the `ERR ` prefix).
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    parse_request_at(line, 0)
+}
+
+fn parse_request_at(line: &str, depth: usize) -> Result<Request, String> {
     let line = line.trim();
     if line.is_empty() {
-        return ("ERR empty request".into(), Control::Continue);
+        return Err("empty request".into());
     }
     let verb = line.split_whitespace().next().unwrap_or("");
-    match verb.to_ascii_uppercase().as_str() {
-        "PING" => ("OK PONG".into(), Control::Continue),
-        "STATS" => (format!("OK {}", engine.stats_json()), Control::Continue),
-        "FLUSH" => {
+    Ok(match verb.to_ascii_uppercase().as_str() {
+        "HELLO" => {
+            let tenant = line[verb.len()..].trim();
+            if tenant.is_empty() {
+                return Err("HELLO needs a tenant name".into());
+            }
+            if !valid_tenant(tenant) {
+                return Err("tenant names are ≤64 ASCII [A-Za-z0-9_.:@-] chars".into());
+            }
+            Request::Hello {
+                tenant: tenant.to_string(),
+            }
+        }
+        "PING" => Request::Ping,
+        "STATS" => Request::Stats,
+        "FLUSH" => Request::Flush,
+        "CHECKPOINT" => Request::Checkpoint,
+        "SHUTDOWN" => Request::Shutdown,
+        "INSERT" | "DELETE" => {
+            let (delete, measure, paths) = parse_mutation(line)?;
+            if delete {
+                Request::Delete { measure, paths }
+            } else {
+                Request::Insert { measure, paths }
+            }
+        }
+        "INSERT_BATCH" => Request::InsertBatch {
+            records: parse_insert_batch(line)?,
+        },
+        "REPL_STATUS" => Request::ReplStatus,
+        "WAIT_LSN" => {
+            let mut parts = line.split_whitespace().skip(1);
+            let Some(Ok(lsn)) = parts.next().map(str::parse::<u64>) else {
+                return Err("WAIT_LSN needs a numeric lsn".into());
+            };
+            let timeout_ms = match parts.next() {
+                Some(t) => match t.parse::<u64>() {
+                    Ok(ms) => Some(ms),
+                    Err(_) => return Err("WAIT_LSN timeout must be milliseconds".into()),
+                },
+                None => None,
+            };
+            Request::WaitLsn { lsn, timeout_ms }
+        }
+        "MIN_LSN" => {
+            if depth >= MAX_MIN_LSN_DEPTH {
+                return Err("MIN_LSN nesting too deep".into());
+            }
+            let mut parts = line.splitn(3, char::is_whitespace);
+            parts.next(); // MIN_LSN
+            let Some(Ok(lsn)) = parts.next().map(str::parse::<u64>) else {
+                return Err("MIN_LSN needs a numeric lsn".into());
+            };
+            let Some(rest) = parts.next().map(str::trim).filter(|r| !r.is_empty()) else {
+                return Err("MIN_LSN needs a request to run".into());
+            };
+            Request::MinLsn {
+                lsn,
+                inner: Box::new(parse_request_at(rest, depth + 1)?),
+            }
+        }
+        "FETCH_SEGMENTS" => {
+            let Some(Ok(from_lsn)) = line.split_whitespace().nth(1).map(str::parse::<u64>) else {
+                return Err("FETCH_SEGMENTS needs a numeric from_lsn".into());
+            };
+            Request::FetchSegments { from_lsn }
+        }
+        "FETCH_CHECKPOINT" => Request::FetchCheckpoint,
+        _ => Request::Query {
+            text: line.to_string(),
+        },
+    })
+}
+
+/// Executes one decoded request; returns the response line (without the
+/// trailing newline) and the control action. Both codecs funnel through
+/// here, which is what makes text and binary responses byte-identical.
+pub fn execute(engine: &ShardedDcTree, req: &Request) -> (String, Control) {
+    match req {
+        Request::Hello { tenant } => (format!("OK HELLO {tenant}"), Control::Continue),
+        Request::Ping => ("OK PONG".into(), Control::Continue),
+        Request::Stats => (format!("OK {}", engine.stats_json()), Control::Continue),
+        Request::Flush => {
             engine.flush();
             ("OK FLUSHED".into(), Control::Continue)
         }
-        "CHECKPOINT" => (
+        Request::Checkpoint => (
             match engine.checkpoint() {
                 Ok(lsn) => format!("OK CHECKPOINTED {lsn}"),
                 Err(e) => format!("ERR {e}"),
             },
             Control::Continue,
         ),
-        "SHUTDOWN" => ("OK BYE".into(), Control::StopServer),
-        "INSERT" | "DELETE" => (handle_mutation(engine, line), Control::Continue),
-        "INSERT_BATCH" => (handle_insert_batch(engine, line), Control::Continue),
-        "REPL_STATUS" => (handle_repl_status(engine), Control::Continue),
-        "WAIT_LSN" => (handle_wait_lsn(engine, line), Control::Continue),
-        "MIN_LSN" => handle_min_lsn(engine, line),
-        "FETCH_SEGMENTS" => (handle_fetch_segments(engine, line), Control::Continue),
-        "FETCH_CHECKPOINT" => (handle_fetch_checkpoint(engine), Control::Continue),
-        _ => (handle_query(engine, line), Control::Continue),
+        Request::Shutdown => ("OK BYE".into(), Control::StopServer),
+        Request::Insert { measure, paths } => (
+            match engine.insert_raw(paths, *measure) {
+                Ok(()) => "OK INSERTED".into(),
+                Err(e) => format!("ERR {e}"),
+            },
+            Control::Continue,
+        ),
+        Request::Delete { measure, paths } => (
+            match engine.delete_raw(paths, *measure) {
+                Ok(()) => "OK DELETED".into(),
+                Err(e) => format!("ERR {e}"),
+            },
+            Control::Continue,
+        ),
+        Request::InsertBatch { records } => (
+            match engine.insert_batch_raw(records) {
+                Ok(()) => format!("OK INSERTED {}", records.len()),
+                Err(e) => format!("ERR {e}"),
+            },
+            Control::Continue,
+        ),
+        Request::ReplStatus => (handle_repl_status(engine), Control::Continue),
+        Request::WaitLsn { lsn, timeout_ms } => {
+            let timeout = Duration::from_millis(timeout_ms.unwrap_or(DEFAULT_WAIT_MS));
+            (
+                match engine.wait_lsn(*lsn, timeout) {
+                    Ok(applied) => format!("OK APPLIED {applied}"),
+                    Err(e) => format!("ERR {e}"),
+                },
+                Control::Continue,
+            )
+        }
+        Request::MinLsn { lsn, inner } => {
+            if let Err(e) = engine.wait_lsn(*lsn, Duration::from_millis(DEFAULT_WAIT_MS)) {
+                return (format!("ERR {e}"), Control::Continue);
+            }
+            execute(engine, inner)
+        }
+        Request::FetchSegments { from_lsn } => {
+            (handle_fetch_segments(engine, *from_lsn), Control::Continue)
+        }
+        Request::FetchCheckpoint => (handle_fetch_checkpoint(engine), Control::Continue),
+        Request::Query { text } => (handle_query(engine, text), Control::Continue),
     }
 }
 
@@ -112,52 +328,7 @@ fn handle_repl_status(engine: &ShardedDcTree) -> String {
     )
 }
 
-/// `WAIT_LSN <lsn> [timeout_ms]`.
-fn handle_wait_lsn(engine: &ShardedDcTree, line: &str) -> String {
-    let mut parts = line.split_whitespace().skip(1);
-    let Some(Ok(lsn)) = parts.next().map(str::parse::<u64>) else {
-        return "ERR WAIT_LSN needs a numeric lsn".into();
-    };
-    let timeout_ms = match parts.next() {
-        Some(t) => match t.parse::<u64>() {
-            Ok(ms) => ms,
-            Err(_) => return "ERR WAIT_LSN timeout must be milliseconds".into(),
-        },
-        None => DEFAULT_WAIT_MS,
-    };
-    match engine.wait_lsn(lsn, Duration::from_millis(timeout_ms)) {
-        Ok(applied) => format!("OK APPLIED {applied}"),
-        Err(e) => format!("ERR {e}"),
-    }
-}
-
-/// `MIN_LSN <lsn> <request…>`: a read-your-LSN prefix — wait for the
-/// engine to reach `lsn` (default patience), then handle the wrapped
-/// request. Lets a client that wrote through the primary read its own
-/// write from a follower.
-fn handle_min_lsn(engine: &ShardedDcTree, line: &str) -> (String, Control) {
-    let mut parts = line.splitn(3, char::is_whitespace);
-    parts.next(); // MIN_LSN
-    let Some(Ok(lsn)) = parts.next().map(str::parse::<u64>) else {
-        return ("ERR MIN_LSN needs a numeric lsn".into(), Control::Continue);
-    };
-    let Some(rest) = parts.next().map(str::trim).filter(|r| !r.is_empty()) else {
-        return (
-            "ERR MIN_LSN needs a request to run".into(),
-            Control::Continue,
-        );
-    };
-    if let Err(e) = engine.wait_lsn(lsn, Duration::from_millis(DEFAULT_WAIT_MS)) {
-        return (format!("ERR {e}"), Control::Continue);
-    }
-    handle_line(engine, rest)
-}
-
-/// `FETCH_SEGMENTS <from_lsn>`.
-fn handle_fetch_segments(engine: &ShardedDcTree, line: &str) -> String {
-    let Some(Ok(from_lsn)) = line.split_whitespace().nth(1).map(str::parse::<u64>) else {
-        return "ERR FETCH_SEGMENTS needs a numeric from_lsn".into();
-    };
+fn handle_fetch_segments(engine: &ShardedDcTree, from_lsn: u64) -> String {
     match engine.fetch_segments(from_lsn) {
         Ok(FetchOutcome::NeedCheckpoint { checkpoint_lsn }) => {
             format!("OK NEED_CHECKPOINT {checkpoint_lsn}")
@@ -222,37 +393,6 @@ pub fn hex_decode(s: &str) -> Option<Vec<u8>> {
         out.push((hi * 16 + lo) as u8);
     }
     Some(out)
-}
-
-fn handle_mutation(engine: &ShardedDcTree, line: &str) -> String {
-    match parse_mutation(line) {
-        Err(msg) => format!("ERR {msg}"),
-        Ok((delete, measure, paths)) => {
-            let result = if delete {
-                engine.delete_raw(&paths, measure)
-            } else {
-                engine.insert_raw(&paths, measure)
-            };
-            match result {
-                Ok(()) if delete => "OK DELETED".into(),
-                Ok(()) => "OK INSERTED".into(),
-                Err(e) => format!("ERR {e}"),
-            }
-        }
-    }
-}
-
-fn handle_insert_batch(engine: &ShardedDcTree, line: &str) -> String {
-    match parse_insert_batch(line) {
-        Err(msg) => format!("ERR {msg}"),
-        Ok(batch) => {
-            let n = batch.len();
-            match engine.insert_batch_raw(&batch) {
-                Ok(()) => format!("OK INSERTED {n}"),
-                Err(e) => format!("ERR {e}"),
-            }
-        }
-    }
 }
 
 /// Parses `INSERT_BATCH <m> <paths>;<m> <paths>;…` — each `;`-separated
@@ -431,6 +571,93 @@ mod tests {
         assert!(parse_insert_batch("INSERT_BATCH 5 a/b;").is_err());
         let err = parse_insert_batch("INSERT_BATCH 5 a/b; x a/b").unwrap_err();
         assert!(err.contains("record 1"), "{err}");
+    }
+
+    #[test]
+    fn requests_parse_into_typed_forms() {
+        assert_eq!(parse_request("PING").unwrap(), Request::Ping);
+        assert_eq!(parse_request("  stats  ").unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request("HELLO analytics-7").unwrap(),
+            Request::Hello {
+                tenant: "analytics-7".into()
+            }
+        );
+        assert_eq!(
+            parse_request("WAIT_LSN 17 250").unwrap(),
+            Request::WaitLsn {
+                lsn: 17,
+                timeout_ms: Some(250)
+            }
+        );
+        assert_eq!(
+            parse_request("WAIT_LSN 17").unwrap(),
+            Request::WaitLsn {
+                lsn: 17,
+                timeout_ms: None
+            }
+        );
+        assert_eq!(
+            parse_request("MIN_LSN 5 PING").unwrap(),
+            Request::MinLsn {
+                lsn: 5,
+                inner: Box::new(Request::Ping)
+            }
+        );
+        assert_eq!(
+            parse_request("SUM WHERE X = 'y'").unwrap(),
+            Request::Query {
+                text: "SUM WHERE X = 'y'".into()
+            }
+        );
+        assert!(parse_request("").is_err());
+        assert!(parse_request("HELLO").is_err());
+        assert!(parse_request("WAIT_LSN x").is_err());
+        assert!(parse_request("MIN_LSN 5").is_err());
+    }
+
+    #[test]
+    fn min_lsn_nesting_is_bounded() {
+        let mut line = "PING".to_string();
+        for _ in 0..MAX_MIN_LSN_DEPTH {
+            line = format!("MIN_LSN 0 {line}");
+        }
+        // Exactly at the bound still parses…
+        assert!(parse_request(&line).is_ok());
+        // …one deeper is rejected instead of recursing unboundedly.
+        let deeper = format!("MIN_LSN 0 {line}");
+        assert_eq!(
+            parse_request(&deeper).unwrap_err(),
+            "MIN_LSN nesting too deep"
+        );
+    }
+
+    #[test]
+    fn control_plane_requests_bypass_admission() {
+        for req in [
+            Request::Ping,
+            Request::Stats,
+            Request::ReplStatus,
+            Request::Shutdown,
+            Request::Hello { tenant: "t".into() },
+        ] {
+            assert!(!req.admission_controlled(), "{req:?}");
+        }
+        for req in [
+            Request::Flush,
+            Request::Checkpoint,
+            Request::FetchCheckpoint,
+            Request::FetchSegments { from_lsn: 0 },
+            Request::Query {
+                text: "COUNT".into(),
+            },
+            Request::WaitLsn {
+                lsn: 0,
+                timeout_ms: None,
+            },
+        ] {
+            assert!(req.admission_controlled(), "{req:?}");
+        }
     }
 
     #[test]

@@ -3,15 +3,16 @@
 
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed, Ordering::SeqCst};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use crate::admission::DEFAULT_TENANT;
 use crate::engine::ShardedDcTree;
-use crate::protocol::{handle_line, Control};
+use crate::protocol::{self, Control, Request};
 
 /// Server knobs.
 #[derive(Clone, Copy, Debug)]
@@ -27,7 +28,12 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             read_timeout: Duration::from_secs(30),
-            poll_interval: Duration::from_millis(25),
+            // The poll interval only bounds stop-flag/idle-timeout checks —
+            // a blocked read returns the moment data arrives regardless —
+            // so a coarse tick costs nothing in request latency while a
+            // fine one (this used to be 25 ms) woke every idle connection
+            // thread 40×/s for nothing.
+            poll_interval: Duration::from_millis(250),
         }
     }
 }
@@ -38,9 +44,28 @@ pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    /// Kicks blocked event loops after the stop flag flips (reactor
+    /// front-end; the threaded server polls and needs no waker).
+    waker: Option<Box<dyn Fn() + Send + Sync>>,
 }
 
 impl ServerHandle {
+    /// Handle over an arbitrary front-end: `thread` is joined on
+    /// stop/join, `waker` is invoked right after the stop flag is set.
+    pub(crate) fn with_waker(
+        addr: SocketAddr,
+        stop: Arc<AtomicBool>,
+        thread: JoinHandle<()>,
+        waker: Box<dyn Fn() + Send + Sync>,
+    ) -> ServerHandle {
+        ServerHandle {
+            addr,
+            stop,
+            accept_thread: Some(thread),
+            waker: Some(waker),
+        }
+    }
+
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
@@ -56,6 +81,9 @@ impl ServerHandle {
     /// thread to exit.
     pub fn stop(mut self) {
         self.stop.store(true, SeqCst);
+        if let Some(w) = &self.waker {
+            w();
+        }
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
@@ -79,6 +107,7 @@ pub fn serve(
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
     let local = listener.local_addr()?;
+    engine.metrics().net.enabled.store(1, Relaxed);
     let stop = Arc::new(AtomicBool::new(false));
     let accept_stop = Arc::clone(&stop);
     let accept_thread = std::thread::Builder::new()
@@ -88,6 +117,7 @@ pub fn serve(
         addr: local,
         stop,
         accept_thread: Some(accept_thread),
+        waker: None,
     })
 }
 
@@ -131,19 +161,38 @@ fn accept_loop(
     }
 }
 
+/// Decrements a gauge on scope exit, whatever the exit path.
+struct GaugeGuard<'a>(&'a AtomicU64);
+
+impl Drop for GaugeGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Relaxed);
+    }
+}
+
 fn serve_connection(
     stream: TcpStream,
     engine: &ShardedDcTree,
     stop: &AtomicBool,
     config: ServerConfig,
 ) -> std::io::Result<()> {
+    let net = &engine.metrics().net;
+    net.accepted_total.fetch_add(1, Relaxed);
+    net.active_connections.fetch_add(1, Relaxed);
+    let _active = GaugeGuard(&net.active_connections);
     // Short socket timeouts act as the poll interval; `read_timeout` is
     // enforced on top via `last_activity`.
     stream.set_read_timeout(Some(config.poll_interval))?;
     stream.set_write_timeout(Some(config.read_timeout))?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
+    // Both buffers live as long as the connection: the request line and
+    // the assembled response are reused across requests instead of being
+    // reallocated per request, and the response + newline go out in one
+    // `write_all` instead of three.
     let mut line = String::new();
+    let mut out: Vec<u8> = Vec::new();
+    let mut tenant = net.tenant(DEFAULT_TENANT);
     let mut last_activity = Instant::now();
     loop {
         if stop.load(SeqCst) {
@@ -151,13 +200,32 @@ fn serve_connection(
         }
         match reader.read_line(&mut line) {
             Ok(0) => return Ok(()), // client closed
-            Ok(_) => {
+            Ok(n) => {
                 last_activity = Instant::now();
-                let (response, control) = handle_line(engine, &line);
+                net.bytes_in.fetch_add(n as u64, Relaxed);
+                net.requests_total.fetch_add(1, Relaxed);
+                // One request at a time on this transport.
+                net.pipeline_depth.record(1);
+                let (response, control) = match protocol::parse_request(&line) {
+                    Ok(req) => {
+                        if let Request::Hello { tenant: name } = &req {
+                            tenant = net.tenant(name);
+                        } else if req.admission_controlled() {
+                            // The threaded front-end has no admission
+                            // gate; everything data-plane counts admitted.
+                            tenant.admitted.fetch_add(1, Relaxed);
+                        }
+                        protocol::execute(engine, &req)
+                    }
+                    Err(msg) => (format!("ERR {msg}"), Control::Continue),
+                };
                 line.clear();
-                writer.write_all(response.as_bytes())?;
-                writer.write_all(b"\n")?;
+                out.clear();
+                out.extend_from_slice(response.as_bytes());
+                out.push(b'\n');
+                writer.write_all(&out)?;
                 writer.flush()?;
+                net.bytes_out.fetch_add(out.len() as u64, Relaxed);
                 if control == Control::StopServer {
                     stop.store(true, SeqCst);
                     return Ok(());

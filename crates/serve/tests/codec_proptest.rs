@@ -1,0 +1,173 @@
+//! Property tests for the `DCB1` binary codec: every opcode round-trips,
+//! arbitrary truncation is `Incomplete` (never a panic), corrupt length
+//! fields are fatal, and corrupt payload bytes never desync the stream —
+//! the following frame still decodes.
+
+use dc_serve::codec::{
+    decode_request, decode_response, encode_request, encode_response, DecodeStep, FrameError,
+    ResponseStep, MAX_FRAME,
+};
+use dc_serve::protocol::Request;
+use proptest::prelude::*;
+
+fn component() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "EUROPE", "ASIA", "GERMANY", "JAPAN", "1996", "Jan", "a/b|c;d", "x y", "ü", "-",
+    ])
+    .prop_map(str::to_string)
+}
+
+fn paths() -> impl Strategy<Value = Vec<Vec<String>>> {
+    prop::collection::vec(prop::collection::vec(component(), 1..4), 1..4)
+}
+
+fn tenant() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["default", "analytics-7", "t.x:y@z", "A_1"]).prop_map(str::to_string)
+}
+
+fn query_text() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "SUM",
+        "COUNT WHERE Time.Year = '1999'",
+        "SELECT SUM, MAX GROUP BY Customer.Region TOP 3",
+        "EXPLAIN SUM GROUP BY Customer.Region",
+        "",
+    ])
+    .prop_map(str::to_string)
+}
+
+fn request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        tenant().prop_map(|tenant| Request::Hello { tenant }),
+        Just(Request::Ping),
+        Just(Request::Stats),
+        Just(Request::Flush),
+        Just(Request::Checkpoint),
+        Just(Request::Shutdown),
+        (any::<i64>(), paths()).prop_map(|(measure, paths)| Request::Insert { measure, paths }),
+        (any::<i64>(), paths()).prop_map(|(measure, paths)| Request::Delete { measure, paths }),
+        prop::collection::vec((paths(), any::<i64>()), 1..5)
+            .prop_map(|records| Request::InsertBatch { records }),
+        query_text().prop_map(|text| Request::Query { text }),
+        Just(Request::ReplStatus),
+        (
+            any::<u64>(),
+            prop_oneof![Just(None), (0u64..100_000).prop_map(Some)]
+        )
+            .prop_map(|(lsn, timeout_ms)| Request::WaitLsn { lsn, timeout_ms }),
+        (any::<u64>(), query_text()).prop_map(|(lsn, text)| Request::MinLsn {
+            lsn,
+            inner: Box::new(Request::Query { text }),
+        }),
+        any::<u64>().prop_map(|from_lsn| Request::FetchSegments { from_lsn }),
+        Just(Request::FetchCheckpoint),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → decode is the identity for every opcode, and consumes
+    /// exactly the encoded bytes.
+    #[test]
+    fn any_request_round_trips(req in request()) {
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf);
+        match decode_request(&buf) {
+            DecodeStep::Frame { consumed, request } => {
+                prop_assert_eq!(consumed, buf.len());
+                prop_assert_eq!(request, Ok(req));
+            }
+            other => prop_assert!(false, "decoded to {:?}", other),
+        }
+    }
+
+    /// A pipelined burst of frames decodes back to the same sequence.
+    #[test]
+    fn pipelined_frames_decode_in_order(reqs in prop::collection::vec(request(), 1..8)) {
+        let mut buf = Vec::new();
+        for req in &reqs {
+            encode_request(req, &mut buf);
+        }
+        let mut off = 0;
+        for req in &reqs {
+            match decode_request(&buf[off..]) {
+                DecodeStep::Frame { consumed, request } => {
+                    off += consumed;
+                    prop_assert_eq!(request.as_ref(), Ok(req));
+                }
+                other => prop_assert!(false, "decoded to {:?}", other),
+            }
+        }
+        prop_assert_eq!(off, buf.len());
+    }
+
+    /// Every proper prefix of a frame is `Incomplete` — truncation never
+    /// panics and never yields a bogus frame.
+    #[test]
+    fn any_truncation_is_incomplete(req in request(), frac in 0.0f64..1.0) {
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf);
+        let cut = ((buf.len() as f64) * frac) as usize; // < len since frac < 1
+        prop_assert_eq!(decode_request(&buf[..cut]), DecodeStep::Incomplete);
+    }
+
+    /// Corrupting one payload byte (length field intact) never panics and
+    /// never desyncs: whatever the first frame decodes to, the next frame
+    /// still comes out whole.
+    #[test]
+    fn corrupt_payload_byte_keeps_stream_in_sync(
+        req in request(),
+        victim in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf);
+        let frame_len = buf.len();
+        // Corrupt one byte past the 4-byte length field.
+        let at = 4 + (victim as usize) % (frame_len - 4);
+        buf[at] ^= flip;
+        let follower = Request::Ping;
+        encode_request(&follower, &mut buf);
+        match decode_request(&buf) {
+            DecodeStep::Frame { consumed, .. } => {
+                prop_assert_eq!(consumed, frame_len, "length field was not corrupted");
+                match decode_request(&buf[consumed..]) {
+                    DecodeStep::Frame { request, .. } =>
+                        prop_assert_eq!(request, Ok(follower)),
+                    other => prop_assert!(false, "follower frame lost: {:?}", other),
+                }
+            }
+            other => prop_assert!(false, "intact length must consume the frame: {:?}", other),
+        }
+    }
+
+    /// A length field outside `1..=MAX_FRAME` is fatal, whatever follows.
+    #[test]
+    fn oversized_length_is_fatal(extra in 1u32..1_000_000, junk in 0u8..=255) {
+        let len = (MAX_FRAME as u32).saturating_add(extra);
+        let mut buf = len.to_le_bytes().to_vec();
+        buf.extend_from_slice(&[junk; 8]);
+        prop_assert!(matches!(
+            decode_request(&buf),
+            DecodeStep::Fatal(FrameError::BadLength(_))
+        ));
+    }
+
+    /// Response frames round-trip with their status byte intact.
+    #[test]
+    fn responses_round_trip(line in prop::sample::select(vec![
+        "OK PONG", "OK 1234.00", "OK INSERTED 17", "ERR no such dimension",
+        "BUSY tenant over rate", "BUSY engine overloaded", "OK BYE",
+    ])) {
+        let mut buf = Vec::new();
+        encode_response(line, &mut buf);
+        match decode_response(&buf) {
+            ResponseStep::Frame { consumed, response, .. } => {
+                prop_assert_eq!(consumed, buf.len());
+                prop_assert_eq!(response, line);
+            }
+            other => prop_assert!(false, "decoded to {:?}", other),
+        }
+    }
+}

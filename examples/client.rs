@@ -122,6 +122,10 @@ fn main() -> std::io::Result<()> {
     // Only present when the server runs disk-backed shards
     // (StorageMode::Disk); resident servers skip it silently.
     print_section(&stats, "buffer_pool", "buffer pool");
+    // Only present once a network front-end (threaded or reactor) serves
+    // the engine: connections, request/byte counters, pipeline depth,
+    // admission shed counts and per-tenant admit/deny tallies.
+    print_section(&stats, "net", "network front-end");
 
     if let Some((engine, handle, wal_dir)) = hosted {
         request("SHUTDOWN")?;
